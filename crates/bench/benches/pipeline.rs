@@ -1,0 +1,150 @@
+//! Criterion benchmarks of the PolyUFC compilation stages themselves
+//! (the Table IV cost centers) and of the simulation substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use polyufc::{search_cap, Objective, ParametricModel, Pipeline};
+use polyufc_cache::{AssocMode, CacheModel, CacheSim};
+use polyufc_machine::Platform;
+use polyufc_pluto::PlutoOptimizer;
+use polyufc_presburger::{BasicSet, LinExpr, Set, Space};
+use polyufc_roofline::RooflineModel;
+use polyufc_workloads::polybench;
+
+fn bench_presburger_counting(c: &mut Criterion) {
+    // A tiled 6-D gemm-like iteration domain.
+    let mut b = BasicSet::universe(Space::set(0, 6));
+    for t in 0..3 {
+        b.add_range(t, 0, 7);
+    }
+    for p in 3..6 {
+        b.add_range(p, 0, 255);
+        b.add_ge0(LinExpr::var(p) - LinExpr::var(p - 3) * 32);
+        b.add_ge0(LinExpr::var(p - 3) * 32 + LinExpr::constant(31) - LinExpr::var(p));
+    }
+    let s = Set::from_basic(b);
+    c.bench_function("presburger/count_tiled_6d", |bench| {
+        bench.iter(|| black_box(&s).count().unwrap())
+    });
+}
+
+fn bench_cache_model(c: &mut Criterion) {
+    let plat = Platform::broadwell();
+    let program = polybench::gemm(256);
+    let (opt, _) = PlutoOptimizer::default().optimize(&program);
+    let model = CacheModel::new(plat.hierarchy.clone(), AssocMode::SetAssociative);
+    c.bench_function("polyufc_cm/gemm256_tiled", |bench| {
+        bench.iter(|| model.analyze_kernel(black_box(&opt), &opt.kernels[1]).unwrap())
+    });
+}
+
+fn bench_pluto(c: &mut Criterion) {
+    let program = polybench::gemm(256);
+    let opt = PlutoOptimizer::default();
+    c.bench_function("pluto/optimize_gemm256", |bench| {
+        bench.iter(|| opt.optimize(black_box(&program)))
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let plat = Platform::raptor_lake();
+    let pipe = Pipeline::new(plat.clone());
+    let out = pipe.compile_affine(&polybench::gemm(256)).unwrap();
+    let freqs = plat.uncore_freqs();
+    let conc = plat.cores as f64;
+    c.bench_function("search/binary_edp_39steps", |bench| {
+        bench.iter(|| {
+            let pm = ParametricModel::new(&pipe.roofline, &out.cache_stats[1], true, conc);
+            search_cap(black_box(&pm), &freqs, Objective::Edp, 1e-3)
+        })
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let plat = Platform::broadwell();
+    let pipe = Pipeline::new(plat);
+    let program = polybench::mvt(512);
+    c.bench_function("pipeline/compile_mvt512", |bench| {
+        bench.iter(|| pipe.compile_affine(black_box(&program)).unwrap())
+    });
+}
+
+fn bench_trace_sim(c: &mut Criterion) {
+    let plat = Platform::broadwell();
+    let program = polybench::gemm(64);
+    c.bench_function("sim/trace_gemm64", |bench| {
+        bench.iter(|| {
+            let mut sim = CacheSim::new(&plat.hierarchy, &program);
+            polyufc_ir::interp::interpret_program(black_box(&program), &mut sim);
+            sim.stats.accesses
+        })
+    });
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    c.bench_function("roofline/calibrate_bdw", |bench| {
+        bench.iter(|| {
+            let eng = polyufc_machine::ExecutionEngine::noiseless(Platform::broadwell());
+            RooflineModel::calibrate(black_box(&eng))
+        })
+    });
+}
+
+fn bench_presburger_algebra(c: &mut Criterion) {
+    use polyufc_presburger::Set;
+    let sp = Space::set(0, 2);
+    let mut a = BasicSet::universe(sp.clone());
+    a.add_range(0, 0, 255);
+    a.add_range(1, 0, 255);
+    let mut b = BasicSet::universe(sp);
+    b.add_range(0, 64, 191);
+    b.add_range(1, 64, 191);
+    let (sa, sb) = (Set::from_basic(a), Set::from_basic(b));
+    c.bench_function("presburger/subtract_boxes", |bench| {
+        bench.iter(|| black_box(&sa).subtract(&sb).unwrap().count().unwrap())
+    });
+}
+
+fn bench_exact_cache(c: &mut Criterion) {
+    use polyufc_cache::exact::analyze_exact;
+    use polyufc_cache::CacheLevelConfig;
+    let program = polybench::jacobi_1d(4, 256);
+    let level =
+        CacheLevelConfig { size_bytes: 64 * 64, line_bytes: 64, assoc: 8, shared: false };
+    c.bench_function("exact/jacobi1d_reuse_maps", |bench| {
+        bench.iter(|| {
+            analyze_exact(black_box(&program), &program.kernels[0], &level, 100_000).unwrap()
+        })
+    });
+}
+
+fn bench_dufs_governor(c: &mut Criterion) {
+    use polyufc_machine::{measure_kernel, DufsGovernor, ExecutionEngine};
+    let plat = Platform::broadwell();
+    let program = polybench::mvt(512);
+    let counters: Vec<_> = program
+        .kernels
+        .iter()
+        .map(|k| measure_kernel(&plat, &program, k))
+        .collect();
+    let eng = ExecutionEngine::noiseless(plat);
+    c.bench_function("machine/dufs_governor_mvt", |bench| {
+        bench.iter(|| DufsGovernor::default().run(black_box(&eng), &counters, 1.2))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_presburger_counting,
+    bench_presburger_algebra,
+    bench_cache_model,
+    bench_exact_cache,
+    bench_pluto,
+    bench_search,
+    bench_full_pipeline,
+    bench_trace_sim,
+    bench_dufs_governor,
+    bench_calibration
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: sensitivity of POLYUFC-SEARCH to the ε threshold
+//! (Sec. VI-C "Tuning"): caps and steady-state EDP across ε values.
+
+use polyufc::Pipeline;
+use polyufc_bench::{evaluate, pct, print_table, size_from_args};
+use polyufc_machine::{ExecutionEngine, Platform};
+use polyufc_workloads::polybench_suite;
+
+fn main() {
+    let size = size_from_args();
+    let plat = Platform::broadwell();
+    let eng = ExecutionEngine::noiseless(plat.clone());
+    let kernels = ["gemm", "mvt", "jacobi-2d", "trisolv"];
+    println!("# Ablation — ε sensitivity on {} (paper sets ε = 1e-3)", plat.name);
+    let mut rows = Vec::new();
+    for eps in [1e-6, 1e-3, 1e-2, 0.1] {
+        for name in kernels {
+            let w = polybench_suite(size)
+                .into_iter()
+                .find(|w| w.name == name)
+                .expect("kernel exists");
+            let mut pipe = Pipeline::new(plat.clone());
+            pipe.epsilon = eps;
+            let e = match evaluate(&pipe, &eng, &w.program, name) {
+                Ok(e) => e,
+                Err(_) => continue,
+            };
+            let caps: Vec<String> =
+                e.steady_caps_ghz.iter().map(|f| format!("{f:.1}")).collect();
+            rows.push(vec![
+                format!("{eps:.0e}"),
+                name.to_string(),
+                caps.join(","),
+                pct(e.steady_edp_improvement()),
+                pct(e.steady_time_improvement()),
+            ]);
+        }
+    }
+    print_table(&["ε", "kernel", "caps (GHz)", "ΔEDP", "Δtime"], &rows);
+}

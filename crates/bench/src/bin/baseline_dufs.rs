@@ -1,0 +1,62 @@
+//! Extra comparison (Sec. VIII context): PolyUFC's static inter-kernel
+//! capping vs. a reactive DUFS governor vs. the stock max-frequency
+//! driver, on representative CB and BB kernels. Compiler-driven capping
+//! wins on short kernels and phase changes because it has no control-loop
+//! latency (the paper's Sec. VII-F argument, quantified).
+
+use polyufc::Pipeline;
+use polyufc_bench::{pct, print_table, size_from_args};
+use polyufc_ir::lower::lower_tensor_to_linalg;
+use polyufc_machine::{measure_kernel, DufsGovernor, ExecutionEngine, Platform, UfsDriver};
+use polyufc_workloads::ml::sdpa_bert;
+use polyufc_workloads::polybench;
+
+fn main() {
+    let size = size_from_args();
+    let plat = Platform::broadwell();
+    let pipe = Pipeline::new(plat.clone());
+    let eng = ExecutionEngine::new(plat.clone());
+
+    let sdpa = {
+        let w = sdpa_bert();
+        lower_tensor_to_linalg(&w.graph, w.elem).lower_to_affine()
+    };
+    let programs = vec![
+        ("gemm (CB)", polybench::gemm(size.n3())),
+        ("mvt (BB)", polybench::mvt(size.n2())),
+        ("sdpa-bert (phases)", sdpa),
+    ];
+
+    println!("# PolyUFC vs DUFS governor vs stock driver on {}", plat.name);
+    let mut rows = Vec::new();
+    for (name, program) in programs {
+        let out = match pipe.compile_affine(&program) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("skipping {name}: {e}");
+                continue;
+            }
+        };
+        let counters: Vec<_> = out
+            .optimized
+            .kernels
+            .iter()
+            .map(|k| measure_kernel(&plat, &out.optimized, k))
+            .collect();
+        let stock = UfsDriver::stock().run_baseline(&eng, &counters);
+        let capped = eng.run_scf(&out.scf, &counters);
+        // The governor starts from its previous steady state — assume a
+        // half-range idle frequency, like a machine between jobs.
+        let start = (plat.uncore_min_ghz + plat.uncore_max_ghz) / 2.0;
+        let (dufs, _) = DufsGovernor::default().run(&eng, &counters, start);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3e}", stock.edp()),
+            format!("{:.3e} ({})", dufs.edp(), pct(1.0 - dufs.edp() / stock.edp())),
+            format!("{:.3e} ({})", capped.edp(), pct(1.0 - capped.edp() / stock.edp())),
+        ]);
+    }
+    print_table(&["workload", "stock EDP", "DUFS EDP (vs stock)", "PolyUFC EDP (vs stock)"], &rows);
+    println!("\n(DUFS pays control-loop latency on every phase change; PolyUFC sets the");
+    println!(" frequency before each kernel starts — the Sec. VII-F argument.)");
+}

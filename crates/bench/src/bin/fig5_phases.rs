@@ -1,0 +1,24 @@
+//! Fig. 5: CB/BB phase changes of BERT's scaled dot-product attention
+//! across the torch (tensor), linalg, and affine dialect levels.
+
+use polyufc::{MlPolyUfc, PhaseReport, Pipeline};
+use polyufc_machine::Platform;
+use polyufc_workloads::ml::{sdpa_bert, sdpa_gemma2};
+
+fn main() {
+    for plat in [Platform::raptor_lake()] {
+        let ml = MlPolyUfc::new(Pipeline::new(plat.clone()));
+        for w in [sdpa_bert(), sdpa_gemma2()] {
+            let rep = ml.phase_report(&w.graph, w.elem).expect("analysis");
+            println!("# Fig. 5 — {} on {}", w.name, plat.name);
+            println!("torch level : {}", PhaseReport::phase_string(&rep.tensor));
+            println!("linalg level: {}", PhaseReport::phase_string(&rep.linalg));
+            println!("affine level: {}", PhaseReport::phase_string(&rep.affine));
+            println!("linalg ops:");
+            for (name, class) in &rep.linalg {
+                println!("  {class}  {name}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Fig. 8: estimated EDP over the uncore frequency range with PolyUFC-CM
+//! in set-associative vs. fully-associative mode, against "hardware"
+//! (machine-model) measurements — gemm on BDW, 2mm on RPL.
+
+use polyufc::{ParametricModel, Pipeline};
+use polyufc_bench::{pct, size_from_args};
+use polyufc_cache::AssocMode;
+use polyufc_machine::{measure_kernel, ExecutionEngine, Platform};
+use polyufc_workloads::polybench;
+
+fn main() {
+    let size = size_from_args();
+    let cases = vec![
+        ("gemm", Platform::broadwell(), polybench::gemm(size.n3())),
+        ("2mm", Platform::raptor_lake(), polybench::two_mm(size.n3())),
+    ];
+    for (name, plat, program) in cases {
+        println!("\n# Fig. 8 — {} on {}: EDP, set- vs fully-associative model vs HW", name, plat.name);
+        let eng = ExecutionEngine::new(plat.clone());
+        let conc = plat.cores as f64;
+
+        let pipe_sa = Pipeline::new(plat.clone()).with_assoc_mode(AssocMode::SetAssociative);
+        let pipe_fa = Pipeline::new(plat.clone()).with_assoc_mode(AssocMode::FullyAssociative);
+        let out_sa = pipe_sa.compile_affine(&program).expect("set-assoc analysis");
+        let out_fa = pipe_fa.compile_affine(&program).expect("fully-assoc analysis");
+        let counters: Vec<_> = out_sa
+            .optimized
+            .kernels
+            .iter()
+            .map(|k| measure_kernel(&plat, &out_sa.optimized, k))
+            .collect();
+
+        println!("{:>6} {:>14} {:>14} {:>14}", "f/GHz", "EDP set-assoc", "EDP full-assoc", "EDP HW");
+        let mut rows = Vec::new();
+        for f in plat.uncore_freqs() {
+            let edp = |out: &polyufc::PipelineOutput| {
+                let mut t = 0.0;
+                let mut e = 0.0;
+                for (k, st) in out.optimized.kernels.iter().zip(&out.cache_stats) {
+                    let pm = ParametricModel::new(
+                        &pipe_sa.roofline,
+                        st,
+                        k.outer_parallel().is_some(),
+                        conc,
+                    );
+                    t += pm.exec_time(f);
+                    e += pm.energy(f);
+                }
+                e * t
+            };
+            let (mut t_hw, mut e_hw) = (0.0, 0.0);
+            for c in &counters {
+                let r = eng.run_kernel(c, f);
+                t_hw += r.time_s;
+                e_hw += r.energy.total();
+            }
+            let row = (f, edp(&out_sa), edp(&out_fa), e_hw * t_hw);
+            println!("{:>6.1} {:>14.4e} {:>14.4e} {:>14.4e}", row.0, row.1, row.2, row.3);
+            rows.push(row);
+        }
+        let best = |sel: fn(&(f64, f64, f64, f64)) -> f64| {
+            rows.iter().min_by(|a, b| sel(a).partial_cmp(&sel(b)).unwrap()).unwrap().0
+        };
+        let f_sa = best(|r| r.1);
+        let f_fa = best(|r| r.2);
+        let f_hw = best(|r| r.3);
+        let hw_at = |f: f64| rows.iter().find(|r| (r.0 - f).abs() < 1e-9).unwrap().3;
+        let hw_max = rows.last().unwrap().3;
+        println!("set-assoc model optimum:   {f_sa:.1} GHz -> HW EDP gain {}", pct(1.0 - hw_at(f_sa) / hw_max));
+        println!("fully-assoc model optimum: {f_fa:.1} GHz -> HW EDP gain {}", pct(1.0 - hw_at(f_fa) / hw_max));
+        println!("HW optimum:                {f_hw:.1} GHz -> HW EDP gain {}", pct(1.0 - hw_at(f_hw) / hw_max));
+    }
+}

@@ -1,0 +1,37 @@
+//! Table III: the simulated microarchitecture platforms.
+
+use polyufc_bench::print_table;
+use polyufc_machine::Platform;
+
+fn main() {
+    println!("# Table III — platforms");
+    let mut rows = Vec::new();
+    for p in Platform::all() {
+        rows.push(vec![
+            p.name.clone(),
+            match p.name.as_str() {
+                "BDW" => "Xeon E5-1650 v4 (2015)".into(),
+                "RPL" => "Core i5-13600 (2023)".into(),
+                _ => "custom".into(),
+            },
+            format!("{}C/{}T", p.cores, p.threads),
+            format!("{:.1} GHz", p.core_freq_ghz),
+            format!("{:.1}-{:.1} GHz", p.uncore_min_ghz, p.uncore_max_ghz),
+            format!("{}", p.hierarchy.llc()),
+            format!("{:.0} GB/s", p.dram_bw_peak_gbps),
+            format!("{:.0} µs", p.cap_switch_us),
+            if p.has_uncore_rapl_zone { "yes".into() } else { "no (package only)".into() },
+        ]);
+    }
+    print_table(
+        &["arch", "CPU", "cores", "core f", "uncore f", "LLC", "DRAM BW", "cap switch", "uncore RAPL"],
+        &rows,
+    );
+    for p in Platform::all() {
+        println!("\n{} cache hierarchy:", p.name);
+        for (i, l) in p.hierarchy.levels.iter().enumerate() {
+            println!("  L{}: {}", i + 1, l);
+        }
+        println!("  uncore search space: {} steps of {:.1} GHz", p.uncore_freqs().len(), p.uncore_step_ghz);
+    }
+}

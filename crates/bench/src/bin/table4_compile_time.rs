@@ -1,0 +1,65 @@
+//! Table IV: compile-time breakdown of the PolyUFC flow per benchmark —
+//! preprocessing, the Pluto stage, PolyUFC-CM (stages 3a/3b), and
+//! characterization + search + codegen (stages 4–6). Times in
+//! milliseconds for the BDW cache configuration, like the paper.
+
+use polyufc::Pipeline;
+use polyufc_bench::{print_table, size_from_args};
+use polyufc_ir::lower::lower_tensor_to_linalg;
+use polyufc_machine::Platform;
+use polyufc_workloads::{ml_suite, polybench_suite};
+
+fn main() {
+    let size = size_from_args();
+    let plat = Platform::broadwell();
+    let pipe = Pipeline::new(plat);
+
+    let mut programs: Vec<(String, polyufc_ir::affine::AffineProgram)> = Vec::new();
+    for w in ml_suite() {
+        programs.push((
+            w.name.to_string(),
+            lower_tensor_to_linalg(&w.graph, w.elem).lower_to_affine(),
+        ));
+    }
+    for w in polybench_suite(size) {
+        programs.push((w.name.to_string(), w.program));
+    }
+
+    println!("# Table IV — compile-time breakdown (ms, BDW cache configuration)");
+    let mut rows = Vec::new();
+    let ms = |us: u128| format!("{:.2}", us as f64 / 1000.0);
+    let mut totals = (0u128, 0u128, 0u128, 0u128);
+    for (name, program) in &programs {
+        match pipe.compile_affine(program) {
+            Ok(out) => {
+                let r = out.report;
+                totals.0 += r.preprocess_us;
+                totals.1 += r.pluto_us;
+                totals.2 += r.polyufc_cm_us;
+                totals.3 += r.steps_4_6_us;
+                rows.push(vec![
+                    name.clone(),
+                    ms(r.preprocess_us),
+                    ms(r.pluto_us),
+                    ms(r.polyufc_cm_us),
+                    ms(r.steps_4_6_us),
+                    ms(r.total_us()),
+                ]);
+            }
+            Err(e) => {
+                rows.push(vec![name.clone(), "-".into(), "-".into(), "-".into(), "-".into(), format!("failed: {e}")]);
+            }
+        }
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        ms(totals.0),
+        ms(totals.1),
+        ms(totals.2),
+        ms(totals.3),
+        ms(totals.0 + totals.1 + totals.2 + totals.3),
+    ]);
+    print_table(&["program", "preprocess", "Pluto", "PolyUFC-CM", "steps 4-6", "total"], &rows);
+    println!("\n(The paper's flow times out at 30 min on some kernels and resets f_c to max;");
+    println!(" our PolyUFC-CM uses a solver work budget with the same fallback semantics.)");
+}

@@ -1,0 +1,130 @@
+//! Cache hierarchy descriptions.
+
+use std::fmt;
+
+/// How PolyUFC-CM models associativity (the Fig. 8 ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssocMode {
+    /// Per-set modeling: working sets are spread over the sets their lines
+    /// map to; a level holds a footprint only if each set's share fits in
+    /// its ways. Captures conflict misses.
+    #[default]
+    SetAssociative,
+    /// Classic fully-associative approximation: a footprint fits iff it is
+    /// at most the level's total capacity.
+    FullyAssociative,
+}
+
+/// One cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (`ℓ`).
+    pub line_bytes: u64,
+    /// Associativity (`k` ways).
+    pub assoc: u32,
+    /// Whether the level is shared among all cores (the LLC / uncore) or
+    /// private per core.
+    pub shared: bool,
+}
+
+impl CacheLevelConfig {
+    /// Number of cache sets.
+    pub fn n_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.assoc as u64)
+    }
+
+    /// Capacity in lines.
+    pub fn n_lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+}
+
+impl fmt::Display for CacheLevelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KiB, {}-way, {}B lines, {} sets{}",
+            self.size_bytes / 1024,
+            self.assoc,
+            self.line_bytes,
+            self.n_sets(),
+            if self.shared { ", shared" } else { "" }
+        )
+    }
+}
+
+/// A multi-level inclusive hierarchy, L1 first. The last level is the LLC
+/// (part of the uncore).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheHierarchy {
+    /// Levels from closest-to-core (L1) to LLC.
+    pub levels: Vec<CacheLevelConfig>,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no level is given, line sizes differ, or capacities are
+    /// not non-decreasing (inclusion requires nested capacities).
+    pub fn new(levels: Vec<CacheLevelConfig>) -> Self {
+        assert!(!levels.is_empty(), "need at least one cache level");
+        let line = levels[0].line_bytes;
+        for w in levels.windows(2) {
+            assert_eq!(w[0].line_bytes, line, "uniform line size required");
+            assert!(w[0].size_bytes <= w[1].size_bytes, "capacities must be nested");
+        }
+        CacheHierarchy { levels }
+    }
+
+    /// Number of levels.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The last level (LLC).
+    pub fn llc(&self) -> &CacheLevelConfig {
+        self.levels.last().expect("non-empty")
+    }
+
+    /// Uniform line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.levels[0].line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_and_lines() {
+        let l = CacheLevelConfig { size_bytes: 32 * 1024, line_bytes: 64, assoc: 8, shared: false };
+        assert_eq!(l.n_sets(), 64);
+        assert_eq!(l.n_lines(), 512);
+    }
+
+    #[test]
+    fn hierarchy_accessors() {
+        let h = CacheHierarchy::new(vec![
+            CacheLevelConfig { size_bytes: 32 << 10, line_bytes: 64, assoc: 8, shared: false },
+            CacheLevelConfig { size_bytes: 1 << 20, line_bytes: 64, assoc: 16, shared: false },
+            CacheLevelConfig { size_bytes: 15 << 20, line_bytes: 64, assoc: 20, shared: true },
+        ]);
+        assert_eq!(h.n_levels(), 3);
+        assert!(h.llc().shared);
+        assert_eq!(h.line_bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn rejects_shrinking_levels() {
+        CacheHierarchy::new(vec![
+            CacheLevelConfig { size_bytes: 1 << 20, line_bytes: 64, assoc: 8, shared: false },
+            CacheLevelConfig { size_bytes: 32 << 10, line_bytes: 64, assoc: 8, shared: false },
+        ]);
+    }
+}

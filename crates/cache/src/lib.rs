@@ -1,0 +1,30 @@
+//! PolyUFC-CM: cache modeling for affine programs.
+//!
+//! Three components, mirroring the paper's Sec. IV:
+//!
+//! * [`config`] — set-associative multi-level cache hierarchy descriptions.
+//! * [`sim`] — an exact trace-driven LRU set-associative simulator (the
+//!   Dinero-style reference; stands in for the hardware's caches and
+//!   validates the static model).
+//! * [`model`] — the static PolyUFC-CM analysis: compulsory-miss counting
+//!   from distinct-line footprints, capacity/conflict misses from
+//!   per-loop-level working sets spread over cache sets (set-associative
+//!   mode) or compared against total capacity (fully-associative mode),
+//!   and the thread-sharing heuristic (sequential miss counts divided by
+//!   the thread count, paper Sec. IV-B).
+//! * [`exact`] — the paper's exact reuse-distance formulation (forward /
+//!   backward reuse maps built from lexicographic-order relations and map
+//!   composition, Fig. 4), practical for small kernels and used to
+//!   validate the scalable model.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod exact;
+pub mod model;
+pub mod sim;
+
+pub use config::{AssocMode, CacheHierarchy, CacheLevelConfig};
+pub use model::{CacheModel, KernelCacheStats, LevelStats, ModelError};
+pub use sim::{CacheSim, SimStats};

@@ -1,0 +1,358 @@
+//! An exact trace-driven, multi-level, set-associative LRU cache
+//! simulator (write-allocate, write-back). This is the reference the
+//! static model is validated against, and the memory system of the
+//! machine simulator.
+
+use polyufc_ir::affine::AffineProgram;
+use polyufc_ir::interp::{AccessEvent, TraceSink};
+use polyufc_ir::types::ArrayId;
+
+use crate::config::CacheHierarchy;
+
+/// Aggregate counters of one simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Per-level hits.
+    pub hits: Vec<u64>,
+    /// Per-level misses.
+    pub misses: Vec<u64>,
+    /// Lines fetched from DRAM (LLC misses).
+    pub dram_line_fills: u64,
+    /// Dirty lines written back to DRAM.
+    pub dram_writebacks: u64,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total flops.
+    pub flops: u64,
+    /// Total bytes requested by the program (not unique).
+    pub bytes_requested: u64,
+}
+
+impl SimStats {
+    /// Bytes moved between LLC and DRAM for fills (`Q_DRAM` in the paper's
+    /// `Miss_LLC · ℓ` sense).
+    pub fn dram_fill_bytes(&self, line_bytes: u64) -> u64 {
+        self.dram_line_fills * line_bytes
+    }
+
+    /// Total DRAM traffic including writebacks.
+    pub fn dram_total_bytes(&self, line_bytes: u64) -> u64 {
+        (self.dram_line_fills + self.dram_writebacks) * line_bytes
+    }
+
+    /// Hit ratio of level `i` (hits / accesses reaching that level).
+    pub fn hit_ratio(&self, level: usize) -> f64 {
+        let a = self.hits[level] + self.misses[level];
+        if a == 0 {
+            0.0
+        } else {
+            self.hits[level] as f64 / a as f64
+        }
+    }
+}
+
+struct Level {
+    n_sets: u64,
+    assoc: usize,
+    /// Flat `n_sets × assoc` entries, MRU first within each set;
+    /// `(tag, dirty)` with `EMPTY` marking unused ways.
+    entries: Vec<(u64, bool)>,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Level {
+    fn new(n_sets: u64, assoc: usize) -> Self {
+        Level { n_sets, assoc, entries: vec![(EMPTY, false); n_sets as usize * assoc] }
+    }
+
+    /// Returns `true` on hit; updates LRU order and dirtiness.
+    #[inline]
+    fn access(&mut self, line: u64, write: bool) -> bool {
+        let s = (line % self.n_sets) as usize * self.assoc;
+        let set = &mut self.entries[s..s + self.assoc];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == line) {
+            let (_, d) = set[pos];
+            set.copy_within(0..pos, 1);
+            set[0] = (line, d || write);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a line (after a miss); returns the evicted `(line, dirty)`
+    /// if a valid way was displaced.
+    #[inline]
+    fn insert(&mut self, line: u64, write: bool) -> Option<(u64, bool)> {
+        let s = (line % self.n_sets) as usize * self.assoc;
+        let set = &mut self.entries[s..s + self.assoc];
+        let victim = set[self.assoc - 1];
+        set.copy_within(0..self.assoc - 1, 1);
+        set[0] = (line, write);
+        (victim.0 != EMPTY).then_some(victim)
+    }
+}
+
+/// The simulator. Implements [`TraceSink`] so it can be fed directly from
+/// the affine interpreter.
+pub struct CacheSim {
+    levels: Vec<Level>,
+    line_bytes: u64,
+    base_addrs: Vec<u64>,
+    /// Statistics accumulated so far.
+    pub stats: SimStats,
+}
+
+impl std::fmt::Debug for CacheSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheSim")
+            .field("levels", &self.levels.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl CacheSim {
+    /// Builds a simulator for a program: arrays are laid out contiguously,
+    /// each padded to a line boundary (matching typical allocator
+    /// behavior).
+    pub fn new(hierarchy: &CacheHierarchy, program: &AffineProgram) -> Self {
+        let line = hierarchy.line_bytes();
+        let mut base_addrs = Vec::with_capacity(program.arrays.len());
+        let mut next = 0u64;
+        for a in &program.arrays {
+            base_addrs.push(next);
+            let sz = a.size_bytes() as u64;
+            next += sz.div_ceil(line) * line;
+        }
+        let levels = hierarchy
+            .levels
+            .iter()
+            .map(|l| Level::new(l.n_sets(), l.assoc as usize))
+            .collect::<Vec<_>>();
+        let n = levels.len();
+        CacheSim {
+            levels,
+            line_bytes: line,
+            base_addrs,
+            stats: SimStats {
+                hits: vec![0; n],
+                misses: vec![0; n],
+                ..SimStats::default()
+            },
+        }
+    }
+
+    /// The base address assigned to an array.
+    pub fn base_addr(&self, array: ArrayId) -> u64 {
+        self.base_addrs[array.0]
+    }
+
+    fn touch(&mut self, line: u64, write: bool) {
+        let n = self.levels.len();
+        for i in 0..n {
+            if self.levels[i].access(line, write && i == 0) {
+                self.stats.hits[i] += 1;
+                // Fill the line into the faster levels it missed in.
+                for j in (0..i).rev() {
+                    if let Some((ev, d)) = self.levels[j].insert(line, write && j == 0) {
+                        // A dirty eviction from a private level is absorbed
+                        // by the next level (write-back).
+                        if d && j + 1 < n {
+                            self.levels[j + 1].access(ev, true);
+                        }
+                    }
+                }
+                return;
+            }
+            self.stats.misses[i] += 1;
+        }
+        // Missed everywhere: fetch from DRAM, fill all levels.
+        self.stats.dram_line_fills += 1;
+        for j in (0..n).rev() {
+            if let Some((ev, d)) = self.levels[j].insert(line, write && j == 0) {
+                if d {
+                    if j + 1 < n {
+                        self.levels[j + 1].access(ev, true);
+                    } else {
+                        self.stats.dram_writebacks += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl TraceSink for CacheSim {
+    fn access(&mut self, ev: AccessEvent) {
+        let addr = self.base_addrs[ev.array.0] + ev.offset * ev.bytes as u64;
+        let line = addr / self.line_bytes;
+        self.stats.accesses += 1;
+        self.stats.bytes_requested += ev.bytes as u64;
+        self.touch(line, ev.is_write);
+    }
+
+    fn flops(&mut self, n: u64) {
+        self.stats.flops += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheLevelConfig;
+    use polyufc_ir::types::ElemType;
+
+    fn tiny_hierarchy(l1_lines: u64, assoc: u32) -> CacheHierarchy {
+        CacheHierarchy::new(vec![CacheLevelConfig {
+            size_bytes: l1_lines * 64,
+            line_bytes: 64,
+            assoc,
+            shared: false,
+        }])
+    }
+
+    fn program_one_array(elems: usize) -> AffineProgram {
+        let mut p = AffineProgram::new("t");
+        p.add_array("A", vec![elems], ElemType::F64);
+        p
+    }
+
+    fn ev(offset: u64, write: bool) -> AccessEvent {
+        AccessEvent { array: ArrayId(0), offset, bytes: 8, is_write: write }
+    }
+
+    #[test]
+    fn cold_misses_once_per_line() {
+        let p = program_one_array(64);
+        let mut sim = CacheSim::new(&tiny_hierarchy(16, 4), &p);
+        // 64 f64 = 8 lines; touch each element: 8 misses, 56 hits.
+        for o in 0..64 {
+            sim.access(ev(o, false));
+        }
+        assert_eq!(sim.stats.misses[0], 8);
+        assert_eq!(sim.stats.hits[0], 56);
+        assert_eq!(sim.stats.dram_line_fills, 8);
+    }
+
+    #[test]
+    fn capacity_misses_on_repeat_sweep() {
+        // Cache of 4 lines, working set 8 lines, two sweeps: all miss (LRU).
+        let p = program_one_array(64);
+        let mut sim = CacheSim::new(&tiny_hierarchy(4, 4), &p);
+        for _ in 0..2 {
+            for o in (0..64).step_by(8) {
+                sim.access(ev(o, false));
+            }
+        }
+        assert_eq!(sim.stats.misses[0], 16);
+        assert_eq!(sim.stats.hits[0], 0);
+    }
+
+    #[test]
+    fn lru_keeps_hot_line() {
+        let p = program_one_array(64);
+        let mut sim = CacheSim::new(&tiny_hierarchy(4, 4), &p);
+        // Touch line 0 repeatedly between other lines; it must stay.
+        sim.access(ev(0, false));
+        for o in [8u64, 16, 24] {
+            sim.access(ev(o, false));
+            sim.access(ev(0, false));
+        }
+        // line 0: 1 miss then hits.
+        assert_eq!(sim.stats.misses[0], 4);
+        assert_eq!(sim.stats.hits[0], 3);
+    }
+
+    #[test]
+    fn conflict_misses_with_low_assoc() {
+        // 4 sets, 1-way (direct-mapped), 4-line cache. Alternate two lines
+        // mapping to the same set: all misses.
+        let p = program_one_array(1024);
+        let mut sim = CacheSim::new(&tiny_hierarchy(4, 1), &p);
+        for _ in 0..4 {
+            sim.access(ev(0, false)); // line 0, set 0
+            sim.access(ev(32, false)); // line 4, set 0
+        }
+        assert_eq!(sim.stats.hits[0], 0);
+        assert_eq!(sim.stats.misses[0], 8);
+        // Fully associative would hit after the first round.
+        let mut sim2 = CacheSim::new(&tiny_hierarchy(4, 4), &p);
+        for _ in 0..4 {
+            sim2.access(ev(0, false));
+            sim2.access(ev(32, false));
+        }
+        assert_eq!(sim2.stats.misses[0], 2);
+        assert_eq!(sim2.stats.hits[0], 6);
+    }
+
+    #[test]
+    fn writebacks_counted() {
+        let p = program_one_array(1024);
+        let mut sim = CacheSim::new(&tiny_hierarchy(2, 2), &p);
+        // Write 2 lines (fills set), then touch 2 more lines to evict both.
+        sim.access(ev(0, true));
+        sim.access(ev(8, true));
+        sim.access(ev(16, false));
+        sim.access(ev(24, false));
+        assert_eq!(sim.stats.dram_writebacks, 2);
+        assert_eq!(sim.stats.dram_line_fills, 4);
+    }
+
+    #[test]
+    fn multi_level_hierarchy_fills() {
+        let h = CacheHierarchy::new(vec![
+            CacheLevelConfig { size_bytes: 2 * 64, line_bytes: 64, assoc: 2, shared: false },
+            CacheLevelConfig { size_bytes: 16 * 64, line_bytes: 64, assoc: 4, shared: true },
+        ]);
+        let p = program_one_array(1024);
+        let mut sim = CacheSim::new(&h, &p);
+        // Stream 8 lines: all miss both levels.
+        for o in (0..64).step_by(8) {
+            sim.access(ev(o, false));
+        }
+        assert_eq!(sim.stats.misses[0], 8);
+        assert_eq!(sim.stats.misses[1], 8);
+        // Second sweep: L1 (2 lines) misses, L2 (16 lines) hits.
+        for o in (0..64).step_by(8) {
+            sim.access(ev(o, false));
+        }
+        assert_eq!(sim.stats.misses[0], 16);
+        assert_eq!(sim.stats.hits[1], 8);
+        assert_eq!(sim.stats.dram_line_fills, 8);
+    }
+
+    #[test]
+    fn arrays_padded_to_lines() {
+        let mut p = AffineProgram::new("two");
+        p.add_array("A", vec![3], ElemType::F64); // 24 bytes -> pad to 64
+        p.add_array("B", vec![8], ElemType::F64);
+        let sim = CacheSim::new(&tiny_hierarchy(16, 4), &p);
+        assert_eq!(sim.base_addr(ArrayId(0)), 0);
+        assert_eq!(sim.base_addr(ArrayId(1)), 64);
+    }
+
+    #[test]
+    fn end_to_end_with_interpreter() {
+        use polyufc_ir::affine::{Access, AffineKernel, Loop, Statement};
+        use polyufc_presburger::LinExpr;
+        // Sum A[0..128]: 16 lines; one cold miss per line.
+        let mut p = AffineProgram::new("sum");
+        let a = p.add_array("A", vec![128], ElemType::F64);
+        p.kernels.push(AffineKernel {
+            name: "sum".into(),
+            loops: vec![Loop::range(128)],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![Access::read(a, vec![LinExpr::var(0)])],
+                flops: 1,
+            }],
+        });
+        let mut sim = CacheSim::new(&tiny_hierarchy(64, 8), &p);
+        polyufc_ir::interp::interpret_program(&p, &mut sim);
+        assert_eq!(sim.stats.misses[0], 16);
+        assert_eq!(sim.stats.hits[0], 112);
+        assert_eq!(sim.stats.flops, 128);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: the optimized cache simulator must agree exactly with
+//! a naive reference LRU implementation on random traces, and basic
+//! conservation laws must hold.
+
+use proptest::prelude::*;
+
+use polyufc_cache::{CacheHierarchy, CacheLevelConfig, CacheSim};
+use polyufc_ir::affine::AffineProgram;
+use polyufc_ir::interp::{AccessEvent, TraceSink};
+use polyufc_ir::types::{ArrayId, ElemType};
+
+/// A naive, obviously-correct single-level LRU set-associative cache.
+struct RefCache {
+    n_sets: u64,
+    assoc: usize,
+    sets: Vec<Vec<u64>>, // MRU first
+    hits: u64,
+    misses: u64,
+}
+
+impl RefCache {
+    fn new(n_sets: u64, assoc: usize) -> Self {
+        RefCache { n_sets, assoc, sets: vec![Vec::new(); n_sets as usize], hits: 0, misses: 0 }
+    }
+
+    fn access(&mut self, line: u64) {
+        let s = (line % self.n_sets) as usize;
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            set.insert(0, line);
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if set.len() == self.assoc {
+                set.pop();
+            }
+            set.insert(0, line);
+        }
+    }
+}
+
+fn one_level(n_sets: u64, assoc: u32) -> CacheHierarchy {
+    CacheHierarchy::new(vec![CacheLevelConfig {
+        size_bytes: n_sets * assoc as u64 * 64,
+        line_bytes: 64,
+        assoc,
+        shared: false,
+    }])
+}
+
+fn program(elems: usize) -> AffineProgram {
+    let mut p = AffineProgram::new("prop");
+    p.add_array("A", vec![elems], ElemType::F64);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulator_matches_reference_lru(
+        trace in proptest::collection::vec((0u64..512, any::<bool>()), 1..400),
+        n_sets in prop_oneof![Just(1u64), Just(2), Just(4), Just(8)],
+        assoc in 1u32..5,
+    ) {
+        let p = program(512);
+        let mut sim = CacheSim::new(&one_level(n_sets, assoc), &p);
+        let mut reference = RefCache::new(n_sets, assoc as usize);
+        for &(offset, write) in &trace {
+            sim.access(AccessEvent { array: ArrayId(0), offset, bytes: 8, is_write: write });
+            reference.access(offset * 8 / 64);
+        }
+        prop_assert_eq!(sim.stats.hits[0], reference.hits);
+        prop_assert_eq!(sim.stats.misses[0], reference.misses);
+    }
+
+    #[test]
+    fn conservation_laws(
+        trace in proptest::collection::vec((0u64..4096, any::<bool>()), 1..300),
+    ) {
+        let p = program(4096);
+        let h = CacheHierarchy::new(vec![
+            CacheLevelConfig { size_bytes: 8 * 64, line_bytes: 64, assoc: 2, shared: false },
+            CacheLevelConfig { size_bytes: 64 * 64, line_bytes: 64, assoc: 8, shared: true },
+        ]);
+        let mut sim = CacheSim::new(&h, &p);
+        for &(offset, write) in &trace {
+            sim.access(AccessEvent { array: ArrayId(0), offset, bytes: 8, is_write: write });
+        }
+        let st = &sim.stats;
+        // Every access either hits or misses L1.
+        prop_assert_eq!(st.hits[0] + st.misses[0], st.accesses);
+        // L2 sees exactly the L1 misses.
+        prop_assert_eq!(st.hits[1] + st.misses[1], st.misses[0]);
+        // DRAM fills = L2 misses; write-backs never exceed fills.
+        prop_assert_eq!(st.dram_line_fills, st.misses[1]);
+        prop_assert!(st.dram_writebacks <= st.dram_line_fills);
+        // Misses are at least the distinct lines touched... at L2 they are
+        // at least the compulsory count.
+        let distinct: std::collections::BTreeSet<u64> =
+            trace.iter().map(|&(o, _)| o * 8 / 64).collect();
+        prop_assert!(st.misses[1] as usize >= distinct.len());
+    }
+
+    #[test]
+    fn capacity_monotone_in_size(
+        trace in proptest::collection::vec(0u64..2048, 50..250),
+    ) {
+        // A bigger fully-indexed cache never misses more (same assoc &
+        // sets scale, LRU inclusion property per set).
+        let p = program(2048);
+        let mut small = CacheSim::new(&one_level(4, 4), &p);
+        let mut big = CacheSim::new(&one_level(4, 16), &p);
+        for &o in &trace {
+            let ev = AccessEvent { array: ArrayId(0), offset: o, bytes: 8, is_write: false };
+            small.access(ev);
+            big.access(ev);
+        }
+        prop_assert!(big.stats.misses[0] <= small.stats.misses[0]);
+    }
+}

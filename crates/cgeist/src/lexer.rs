@@ -1,0 +1,184 @@
+//! Tokenizer for the C subset.
+
+use std::fmt;
+
+/// A token of the C subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (`for`, `int`, `double`, array/scalar names).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal (only legal inside statement expressions).
+    Float(f64),
+    /// `#pragma scop` / `#pragma endscop` markers.
+    PragmaScop,
+    /// End of the SCoP region.
+    PragmaEndScop,
+    /// Single-character punctuation / operators.
+    Punct(char),
+    /// Two-character operators: `<=`, `>=`, `==`, `+=`, `-=`, `*=`, `++`, `--`.
+    Op2(&'static str),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::PragmaScop => write!(f, "#pragma scop"),
+            Token::PragmaEndScop => write!(f, "#pragma endscop"),
+            Token::Punct(c) => write!(f, "{c}"),
+            Token::Op2(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Tokenizes source text. Line (`//`) and block (`/* */`) comments are
+/// skipped; `#pragma scop` / `#pragma endscop` become dedicated tokens and
+/// any other pragma line is ignored.
+///
+/// # Errors
+///
+/// Returns a message for unexpected characters or malformed numbers.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, String> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        // Pragmas.
+        if c == '#' {
+            let mut j = i;
+            while j < bytes.len() && bytes[j] != '\n' {
+                j += 1;
+            }
+            let line: String = bytes[i..j].iter().collect();
+            let squished: String = line.split_whitespace().collect::<Vec<_>>().join(" ");
+            if squished == "#pragma scop" {
+                out.push(Token::PragmaScop);
+            } else if squished == "#pragma endscop" {
+                out.push(Token::PragmaEndScop);
+            }
+            i = j;
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                j += 1;
+            }
+            out.push(Token::Ident(bytes[i..j].iter().collect()));
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            let mut is_float = false;
+            while j < bytes.len()
+                && (bytes[j].is_ascii_digit()
+                    || bytes[j] == '.'
+                    || bytes[j] == 'e'
+                    || bytes[j] == 'E'
+                    || ((bytes[j] == '+' || bytes[j] == '-')
+                        && j > i
+                        && (bytes[j - 1] == 'e' || bytes[j - 1] == 'E')))
+            {
+                if bytes[j] == '.' || bytes[j] == 'e' || bytes[j] == 'E' {
+                    is_float = true;
+                }
+                j += 1;
+            }
+            let text: String = bytes[i..j].iter().collect();
+            if is_float {
+                let v: f64 = text.parse().map_err(|_| format!("bad float `{text}`"))?;
+                out.push(Token::Float(v));
+            } else {
+                let v: i64 = text.parse().map_err(|_| format!("bad integer `{text}`"))?;
+                out.push(Token::Int(v));
+            }
+            i = j;
+            continue;
+        }
+        // Two-char operators.
+        let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+        let op2 = match two.as_str() {
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "==" => Some("=="),
+            "+=" => Some("+="),
+            "-=" => Some("-="),
+            "*=" => Some("*="),
+            "++" => Some("++"),
+            "--" => Some("--"),
+            _ => None,
+        };
+        if let Some(op) = op2 {
+            out.push(Token::Op2(op));
+            i += 2;
+            continue;
+        }
+        // Single punctuation.
+        if "()[]{};,=<>+-*/".contains(c) {
+            out.push(Token::Punct(c));
+            i += 1;
+            continue;
+        }
+        return Err(format!("unexpected character `{c}`"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_loop_header() {
+        let t = tokenize("for (int i = 0; i < 64; i++)").unwrap();
+        assert_eq!(t[0], Token::Ident("for".into()));
+        assert!(t.contains(&Token::Op2("++")));
+        assert!(t.contains(&Token::Int(64)));
+    }
+
+    #[test]
+    fn pragmas_and_comments() {
+        let t = tokenize("// intro\n#pragma scop\n/* body */ x = 1; #pragma endscop").unwrap();
+        assert_eq!(t[0], Token::PragmaScop);
+        assert_eq!(*t.last().unwrap(), Token::PragmaEndScop);
+    }
+
+    #[test]
+    fn floats_and_compound_ops() {
+        let t = tokenize("C[i][j] += 0.5e-2 * A[i][k];").unwrap();
+        assert!(t.contains(&Token::Op2("+=")));
+        assert!(t.iter().any(|x| matches!(x, Token::Float(v) if (*v - 0.005).abs() < 1e-12)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("a @ b").is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! A C-subset frontend for affine kernels — the stand-in for Polygeist's
+//! `cgeist` (paper Fig. 2: "Input programs in C/C++ are compiled to MLIR
+//! modules using cgeist").
+//!
+//! The accepted subset is the static-control-part (SCoP) language of
+//! polyhedral compilation:
+//!
+//! ```c
+//! double A[512][512]; double B[512][512]; double C[512][512];
+//!
+//! #pragma scop
+//! for (int i = 0; i < 512; i++)
+//!   for (int j = 0; j < 512; j++)
+//!     for (int k = 0; k < 512; k++)
+//!       C[i][j] = C[i][j] + A[i][k] * B[k][j];
+//! #pragma endscop
+//! ```
+//!
+//! * array declarations: `double|float NAME[d0][d1]...;`
+//! * `for (int i = <affine>; i < <affine>; i++)` — bounds affine in the
+//!   enclosing iterators (also `<=`, and `min(a, b)` / `max(a, b)`)
+//! * innermost statements: `X[aff]...[aff] = <expr>;` (also `+=`, `-=`,
+//!   `*=`) where `<expr>` is built from array references, numeric
+//!   literals, scalar names, `+ - * /`, and parentheses
+//! * flops are counted per arithmetic operator (the paper's unitary flop
+//!   model, footnote 13); scalar names contribute no memory traffic
+//!
+//! The result is a [`polyufc_ir::AffineProgram`] ready for the PolyUFC
+//! pipeline. See [`parse_scop`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod lexer;
+mod parser;
+
+pub use lexer::{tokenize, Token};
+pub use parser::{parse_scop, ParseError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyufc_ir::interp::{interpret_program, TraceStats};
+
+    const GEMM: &str = r#"
+        double A[64][64]; double B[64][64]; double C[64][64];
+        #pragma scop
+        for (int i = 0; i < 64; i++)
+          for (int j = 0; j < 64; j++)
+            C[i][j] = C[i][j] * 0.5;
+        for (int i = 0; i < 64; i++)
+          for (int j = 0; j < 64; j++)
+            for (int k = 0; k < 64; k++)
+              C[i][j] = C[i][j] + A[i][k] * B[k][j];
+        #pragma endscop
+    "#;
+
+    #[test]
+    fn gemm_parses_and_traces() {
+        let p = parse_scop(GEMM, "gemm").unwrap();
+        assert_eq!(p.arrays.len(), 3);
+        assert_eq!(p.kernels.len(), 2);
+        assert!(p.validate().is_ok());
+        let mut st = TraceStats::default();
+        interpret_program(&p, &mut st);
+        // scale: 64²·(1 read + 1 write); main: 64³·(3 reads + 1 write).
+        assert_eq!(st.accesses, 64 * 64 * 2 + 64 * 64 * 64 * 4);
+        // flops: 64²·1 + 64³·2.
+        assert_eq!(st.flops, 64 * 64 + 2 * 64 * 64 * 64);
+    }
+
+    #[test]
+    fn matches_handwritten_builder() {
+        use polyufc_workloads_free::gemm_like;
+        let parsed = parse_scop(GEMM, "gemm").unwrap();
+        let built = gemm_like(64);
+        let mut a = TraceStats::default();
+        interpret_program(&parsed, &mut a);
+        let mut b = TraceStats::default();
+        interpret_program(&built, &mut b);
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.flops, b.flops);
+    }
+
+    /// Local stand-in to avoid a circular dev-dependency on workloads.
+    mod polyufc_workloads_free {
+        use polyufc_ir::affine::{Access, AffineKernel, AffineProgram, Loop, Statement};
+        use polyufc_ir::types::ElemType;
+        use polyufc_presburger::LinExpr;
+
+        pub fn gemm_like(n: usize) -> AffineProgram {
+            let mut p = AffineProgram::new("gemm");
+            let a = p.add_array("A", vec![n, n], ElemType::F64);
+            let b = p.add_array("B", vec![n, n], ElemType::F64);
+            let c = p.add_array("C", vec![n, n], ElemType::F64);
+            let (vi, vj, vk) = (LinExpr::var(0), LinExpr::var(1), LinExpr::var(2));
+            p.kernels.push(AffineKernel {
+                name: "s".into(),
+                loops: vec![Loop::range(n as i64), Loop::range(n as i64)],
+                statements: vec![Statement {
+                    name: "s".into(),
+                    accesses: vec![
+                        Access::read(c, vec![vi.clone(), vj.clone()]),
+                        Access::write(c, vec![vi.clone(), vj.clone()]),
+                    ],
+                    flops: 1,
+                }],
+            });
+            p.kernels.push(AffineKernel {
+                name: "m".into(),
+                loops: vec![Loop::range(n as i64); 3],
+                statements: vec![Statement {
+                    name: "m".into(),
+                    accesses: vec![
+                        Access::read(c, vec![vi.clone(), vj.clone()]),
+                        Access::read(a, vec![vi.clone(), vk.clone()]),
+                        Access::read(b, vec![vk, vj.clone()]),
+                        Access::write(c, vec![vi, vj]),
+                    ],
+                    flops: 2,
+                }],
+            });
+            p
+        }
+    }
+}

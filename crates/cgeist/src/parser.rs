@@ -1,0 +1,588 @@
+//! Recursive-descent parser: C subset → [`AffineProgram`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use polyufc_ir::affine::{Access, AffineKernel, AffineProgram, Bound, Loop, Statement};
+use polyufc_ir::types::{ArrayId, ElemType};
+use polyufc_presburger::LinExpr;
+
+use crate::lexer::{tokenize, Token};
+
+/// Parse failure with a human-readable message and the offending token
+/// position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Token index (for tooling; the message usually suffices).
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a C-subset source into an affine program.
+///
+/// Everything before `#pragma scop` may declare arrays; the region between
+/// the pragmas must consist of top-level perfectly nested loops.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for syntax errors, non-affine constructs,
+/// imperfect nests, undeclared arrays, or wrong access arity.
+pub fn parse_scop(src: &str, name: &str) -> Result<AffineProgram, ParseError> {
+    let tokens = tokenize(src).map_err(|m| ParseError { message: m, at: 0 })?;
+    let mut p = Parser { tokens, pos: 0, program: AffineProgram::new(name), arrays: HashMap::new() };
+    p.parse_program()?;
+    p.program.validate().map_err(|m| ParseError { message: m, at: p.pos })?;
+    Ok(p.program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    program: AffineProgram,
+    arrays: HashMap<String, ArrayId>,
+}
+
+/// A parsed loop-tree node, flattened into kernels afterwards.
+enum Node {
+    For { iter: String, lb: Bound, ub: Bound, body: Vec<Node> },
+    Stmt(Statement),
+}
+
+impl Parser {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: message.into(), at: self.pos })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Punct(x)) if x == c => Ok(()),
+            other => self.err(format!("expected `{c}`, found {other:?}")),
+        }
+    }
+
+    fn expect_ident(&mut self, word: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(ref s)) if s == word => Ok(()),
+            other => self.err(format!("expected `{word}`, found {other:?}")),
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<(), ParseError> {
+        // Declarations until `#pragma scop`.
+        loop {
+            match self.peek() {
+                Some(Token::PragmaScop) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::Ident(s)) if s == "double" || s == "float" => {
+                    self.parse_decl()?;
+                }
+                Some(_) => {
+                    // Skip prologue tokens we don't model (types, scalars).
+                    self.pos += 1;
+                }
+                None => return self.err("missing `#pragma scop`"),
+            }
+        }
+        // Top-level loop nests.
+        let mut stmt_counter = 0usize;
+        loop {
+            match self.peek() {
+                Some(Token::PragmaEndScop) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::Ident(s)) if s == "for" => {
+                    let node = self.parse_for(&mut Vec::new(), &mut stmt_counter)?;
+                    self.flatten(node, Vec::new())?;
+                }
+                other => return self.err(format!("expected `for` or `#pragma endscop`, found {other:?}")),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_decl(&mut self) -> Result<(), ParseError> {
+        let elem = match self.next() {
+            Some(Token::Ident(s)) if s == "double" => ElemType::F64,
+            Some(Token::Ident(s)) if s == "float" => ElemType::F32,
+            other => return self.err(format!("expected element type, found {other:?}")),
+        };
+        let name = match self.next() {
+            Some(Token::Ident(s)) => s,
+            other => return self.err(format!("expected array name, found {other:?}")),
+        };
+        let mut dims = Vec::new();
+        while self.peek() == Some(&Token::Punct('[')) {
+            self.pos += 1;
+            match self.next() {
+                Some(Token::Int(v)) if v > 0 => dims.push(v as usize),
+                other => return self.err(format!("expected dimension extent, found {other:?}")),
+            }
+            self.expect_punct(']')?;
+        }
+        self.expect_punct(';')?;
+        if dims.is_empty() {
+            // Scalar declaration: modeled as a name with no traffic.
+            return Ok(());
+        }
+        let id = self.program.add_array(name.clone(), dims, elem);
+        self.arrays.insert(name, id);
+        Ok(())
+    }
+
+    /// Parses `for (int i = lb; i <|<= ub; i++) body`.
+    fn parse_for(
+        &mut self,
+        scope: &mut Vec<String>,
+        stmt_counter: &mut usize,
+    ) -> Result<Node, ParseError> {
+        self.expect_ident("for")?;
+        self.expect_punct('(')?;
+        self.expect_ident("int")?;
+        let iter = match self.next() {
+            Some(Token::Ident(s)) => s,
+            other => return self.err(format!("expected iterator name, found {other:?}")),
+        };
+        match self.next() {
+            Some(Token::Punct('=')) => {}
+            other => return self.err(format!("expected `=`, found {other:?}")),
+        }
+        let lb = self.parse_bound(scope, true)?;
+        self.expect_punct(';')?;
+        match self.next() {
+            Some(Token::Ident(ref s)) if *s == iter => {}
+            other => return self.err(format!("loop condition must test `{iter}`, found {other:?}")),
+        }
+        let (strict, reversed) = match self.next() {
+            Some(Token::Punct('<')) => (true, false),
+            Some(Token::Op2("<=")) => (false, false),
+            other => return self.err(format!("expected `<` or `<=`, found {other:?}")),
+        };
+        let _ = reversed;
+        let mut ub = self.parse_bound(scope, false)?;
+        if !strict {
+            for e in &mut ub.exprs {
+                *e = e.clone() + LinExpr::constant(1);
+            }
+        }
+        self.expect_punct(';')?;
+        match self.next() {
+            Some(Token::Ident(ref s)) if *s == iter => {}
+            other => return self.err(format!("expected `{iter}++`, found {other:?}")),
+        }
+        match self.next() {
+            Some(Token::Op2("++")) => {}
+            other => return self.err(format!("only unit-stride `++` loops supported, found {other:?}")),
+        }
+        self.expect_punct(')')?;
+
+        scope.push(iter.clone());
+        let body = self.parse_body(scope, stmt_counter)?;
+        scope.pop();
+        Ok(Node::For { iter, lb, ub, body })
+    }
+
+    fn parse_body(
+        &mut self,
+        scope: &mut Vec<String>,
+        stmt_counter: &mut usize,
+    ) -> Result<Vec<Node>, ParseError> {
+        if self.peek() == Some(&Token::Punct('{')) {
+            self.pos += 1;
+            let mut items = Vec::new();
+            while self.peek() != Some(&Token::Punct('}')) {
+                items.push(self.parse_item(scope, stmt_counter)?);
+            }
+            self.pos += 1; // consume '}'
+            Ok(items)
+        } else {
+            Ok(vec![self.parse_item(scope, stmt_counter)?])
+        }
+    }
+
+    fn parse_item(
+        &mut self,
+        scope: &mut Vec<String>,
+        stmt_counter: &mut usize,
+    ) -> Result<Node, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s == "for" => self.parse_for(scope, stmt_counter),
+            Some(Token::Ident(_)) => {
+                let s = self.parse_statement(scope, stmt_counter)?;
+                Ok(Node::Stmt(s))
+            }
+            other => self.err(format!("expected statement or `for`, found {other:?}")),
+        }
+    }
+
+    /// A bound: an affine expression, or `min(a, b)` / `max(a, b)`.
+    fn parse_bound(&mut self, scope: &[String], is_lb: bool) -> Result<Bound, ParseError> {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s == "min" || s == "max" {
+                let is_min = s == "min";
+                if is_min == is_lb {
+                    return self.err("`min` is only valid in upper bounds, `max` in lower bounds");
+                }
+                self.pos += 1;
+                self.expect_punct('(')?;
+                let a = self.parse_affine(scope)?;
+                self.expect_punct(',')?;
+                let b = self.parse_affine(scope)?;
+                self.expect_punct(')')?;
+                return Ok(Bound { exprs: vec![a, b] });
+            }
+        }
+        Ok(Bound::expr(self.parse_affine(scope)?))
+    }
+
+    /// An affine expression over the in-scope iterators.
+    fn parse_affine(&mut self, scope: &[String]) -> Result<LinExpr, ParseError> {
+        let mut acc = self.parse_affine_term(scope)?;
+        loop {
+            match self.peek() {
+                Some(Token::Punct('+')) => {
+                    self.pos += 1;
+                    acc = acc + self.parse_affine_term(scope)?;
+                }
+                Some(Token::Punct('-')) => {
+                    self.pos += 1;
+                    acc = acc - self.parse_affine_term(scope)?;
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_affine_term(&mut self, scope: &[String]) -> Result<LinExpr, ParseError> {
+        // [Int '*'] Ident | Ident ['*' Int] | Int | '(' affine ')' | '-' term
+        match self.next() {
+            Some(Token::Punct('-')) => Ok(self.parse_affine_term(scope)? * -1),
+            Some(Token::Punct('(')) => {
+                let e = self.parse_affine(scope)?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Token::Int(v)) => {
+                if self.peek() == Some(&Token::Punct('*')) {
+                    self.pos += 1;
+                    let inner = self.parse_affine_term(scope)?;
+                    Ok(inner * v)
+                } else {
+                    Ok(LinExpr::constant(v))
+                }
+            }
+            Some(Token::Ident(name)) => {
+                let Some(idx) = scope.iter().position(|s| *s == name) else {
+                    return self.err(format!("`{name}` is not an enclosing iterator"));
+                };
+                let base = LinExpr::var(idx);
+                if self.peek() == Some(&Token::Punct('*')) {
+                    self.pos += 1;
+                    match self.next() {
+                        Some(Token::Int(v)) => Ok(base * v),
+                        other => self.err(format!("expected constant multiplier, found {other:?}")),
+                    }
+                } else {
+                    Ok(base)
+                }
+            }
+            other => self.err(format!("expected affine term, found {other:?}")),
+        }
+    }
+
+    /// A statement: `X[a]...[a] (=|+=|-=|*=) expr ;`.
+    fn parse_statement(
+        &mut self,
+        scope: &[String],
+        stmt_counter: &mut usize,
+    ) -> Result<Statement, ParseError> {
+        let (array, indices) = self.parse_array_ref(scope)?;
+        let op = match self.next() {
+            Some(Token::Punct('=')) => "=",
+            Some(Token::Op2("+=")) => "+=",
+            Some(Token::Op2("-=")) => "-=",
+            Some(Token::Op2("*=")) => "*=",
+            other => return self.err(format!("expected assignment, found {other:?}")),
+        };
+        let mut reads = Vec::new();
+        let mut flops = 0u64;
+        self.parse_rhs(scope, &mut reads, &mut flops, 0)?;
+        self.expect_punct(';')?;
+        if op != "=" {
+            flops += 1;
+            reads.insert(0, Access::read(array, indices.clone()));
+        }
+        let mut accesses = reads;
+        accesses.push(Access::write(array, indices));
+        let name = format!("S{}", *stmt_counter);
+        *stmt_counter += 1;
+        Ok(Statement { name, accesses, flops })
+    }
+
+    fn parse_array_ref(&mut self, scope: &[String]) -> Result<(ArrayId, Vec<LinExpr>), ParseError> {
+        let name = match self.next() {
+            Some(Token::Ident(s)) => s,
+            other => return self.err(format!("expected array name, found {other:?}")),
+        };
+        let Some(&id) = self.arrays.get(&name) else {
+            return self.err(format!("undeclared array `{name}`"));
+        };
+        let mut indices = Vec::new();
+        while self.peek() == Some(&Token::Punct('[')) {
+            self.pos += 1;
+            indices.push(self.parse_affine(scope)?);
+            self.expect_punct(']')?;
+        }
+        if indices.len() != self.program.array(id).dims.len() {
+            return self.err(format!(
+                "array `{name}` has {} dims, indexed with {}",
+                self.program.array(id).dims.len(),
+                indices.len()
+            ));
+        }
+        Ok((id, indices))
+    }
+
+    /// Parses the RHS expression: collects array reads (left to right) and
+    /// counts arithmetic operators as flops. Precedence is irrelevant for
+    /// trace purposes, but parentheses must balance.
+    fn parse_rhs(
+        &mut self,
+        scope: &[String],
+        reads: &mut Vec<Access>,
+        flops: &mut u64,
+        depth: usize,
+    ) -> Result<(), ParseError> {
+        if depth > 64 {
+            return self.err("expression too deeply nested");
+        }
+        self.parse_rhs_atom(scope, reads, flops, depth)?;
+        loop {
+            match self.peek() {
+                Some(Token::Punct(c)) if "+-*/".contains(*c) => {
+                    self.pos += 1;
+                    *flops += 1;
+                    self.parse_rhs_atom(scope, reads, flops, depth)?;
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn parse_rhs_atom(
+        &mut self,
+        scope: &[String],
+        reads: &mut Vec<Access>,
+        flops: &mut u64,
+        depth: usize,
+    ) -> Result<(), ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Punct('(')) => {
+                self.pos += 1;
+                self.parse_rhs(scope, reads, flops, depth + 1)?;
+                self.expect_punct(')')
+            }
+            Some(Token::Punct('-')) => {
+                self.pos += 1;
+                self.parse_rhs_atom(scope, reads, flops, depth)
+            }
+            Some(Token::Int(_)) | Some(Token::Float(_)) => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(Token::Ident(name)) => {
+                if self.arrays.contains_key(&name) {
+                    let (id, idx) = self.parse_array_ref(scope)?;
+                    reads.push(Access::read(id, idx));
+                    Ok(())
+                } else if self.tokens.get(self.pos + 1) == Some(&Token::Punct('[')) {
+                    self.err(format!("undeclared array `{name}`"))
+                } else {
+                    // Scalar parameter (alpha, beta, ...): no traffic.
+                    self.pos += 1;
+                    Ok(())
+                }
+            }
+            other => self.err(format!("expected expression atom, found {other:?}")),
+        }
+    }
+
+    /// Flattens a loop tree into perfect-nest kernels.
+    fn flatten(&mut self, node: Node, mut outer: Vec<(String, Bound, Bound)>) -> Result<(), ParseError> {
+        match node {
+            Node::For { iter, lb, ub, body } => {
+                outer.push((iter, lb, ub));
+                let has_stmt = body.iter().any(|n| matches!(n, Node::Stmt(_)));
+                let has_for = body.iter().any(|n| matches!(n, Node::For { .. }));
+                if has_stmt && has_for {
+                    return self.err(
+                        "imperfect nest: a loop body mixes statements and inner loops \
+                         (split it into separate top-level nests)",
+                    );
+                }
+                if has_for {
+                    for n in body {
+                        self.flatten(n, outer.clone())?;
+                    }
+                } else {
+                    // Innermost: emit one kernel with all statements.
+                    let loops: Vec<Loop> = outer
+                        .iter()
+                        .map(|(_, lb, ub)| Loop { lb: lb.clone(), ub: ub.clone(), parallel: false })
+                        .collect();
+                    let statements: Vec<Statement> = body
+                        .into_iter()
+                        .map(|n| match n {
+                            Node::Stmt(s) => s,
+                            Node::For { .. } => unreachable!("checked above"),
+                        })
+                        .collect();
+                    let kname = format!("{}_k{}", self.program.name, self.program.kernels.len());
+                    self.program.kernels.push(AffineKernel { name: kname, loops, statements });
+                }
+                Ok(())
+            }
+            Node::Stmt(_) => self.err("statements must be inside a loop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangular_and_min_bounds() {
+        let src = r#"
+            double L[32][32]; double x[32];
+            #pragma scop
+            for (int i = 0; i < 32; i++)
+              for (int j = 0; j <= i - 1; j++)
+                x[i] = x[i] - L[i][j] * x[j];
+            for (int t = 0; t < 4; t++)
+              for (int i = 2 * t; i < min(2 * t + 8, 32); i++)
+                x[i] = x[i] + 1.0;
+            #pragma endscop
+        "#;
+        let p = parse_scop(src, "tri").unwrap();
+        assert_eq!(p.kernels.len(), 2);
+        // Triangular: sum_{i} i = 496 points.
+        assert_eq!(p.kernels[0].domain_size().unwrap(), 496);
+        // min-bounded: 4 tiles of 8 = 32 points.
+        assert_eq!(p.kernels[1].domain_size().unwrap(), 32);
+        // Statement flops: sub+mul = 2.
+        assert_eq!(p.kernels[0].statements[0].flops, 2);
+    }
+
+    #[test]
+    fn compound_assignment_reads_lhs() {
+        let src = r#"
+            double A[8]; double B[8];
+            #pragma scop
+            for (int i = 0; i < 8; i++)
+              A[i] += B[i];
+            #pragma endscop
+        "#;
+        let p = parse_scop(src, "acc").unwrap();
+        let s = &p.kernels[0].statements[0];
+        // read A, read B, write A.
+        assert_eq!(s.accesses.len(), 3);
+        assert!(!s.accesses[0].is_write);
+        assert!(s.accesses[2].is_write);
+        assert_eq!(s.flops, 1);
+    }
+
+    #[test]
+    fn scalars_cost_nothing() {
+        let src = r#"
+            double A[8];
+            #pragma scop
+            for (int i = 0; i < 8; i++)
+              A[i] = alpha * A[i] + beta;
+            #pragma endscop
+        "#;
+        let p = parse_scop(src, "sc").unwrap();
+        let s = &p.kernels[0].statements[0];
+        assert_eq!(s.accesses.len(), 2); // read A, write A
+        assert_eq!(s.flops, 2); // mul + add
+    }
+
+    #[test]
+    fn rejects_imperfect_nests() {
+        let src = r#"
+            double A[8];
+            #pragma scop
+            for (int i = 0; i < 8; i++) {
+              A[i] = 0.0;
+              for (int j = 0; j < 8; j++)
+                A[i] = A[i] + 1.0;
+            }
+            #pragma endscop
+        "#;
+        let e = parse_scop(src, "bad").unwrap_err();
+        assert!(e.message.contains("imperfect"));
+    }
+
+    #[test]
+    fn rejects_non_affine_and_unknown_names() {
+        let bad_idx = r#"
+            double A[8][8];
+            #pragma scop
+            for (int i = 0; i < 8; i++)
+              A[i][i * i] = 1.0;
+            #pragma endscop
+        "#;
+        assert!(parse_scop(bad_idx, "x").is_err());
+        let undeclared = r#"
+            double A[8];
+            #pragma scop
+            for (int i = 0; i < 8; i++)
+              A[i] = Z[i];
+            #pragma endscop
+        "#;
+        // `Z[i]` without a declaration is an error (unknown array).
+        let e = parse_scop(undeclared, "x").unwrap_err();
+        assert!(e.message.contains("undeclared array"), "{}", e.message);
+    }
+
+    #[test]
+    fn multiple_statements_one_nest() {
+        let src = r#"
+            double A[16]; double B[16];
+            #pragma scop
+            for (int t = 0; t < 2; t++)
+              for (int i = 1; i < 15; i++) {
+                B[i] = A[i - 1] + A[i] + A[i + 1];
+                A[i] = B[i - 1] + B[i] + B[i + 1];
+              }
+            #pragma endscop
+        "#;
+        let p = parse_scop(src, "stencil").unwrap();
+        assert_eq!(p.kernels.len(), 1);
+        assert_eq!(p.kernels[0].statements.len(), 2);
+        assert_eq!(p.kernels[0].statements[0].flops, 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! `polyufc` — the command-line compiler driver.
+//!
+//! ```text
+//! polyufc compile <file.c> [--platform bdw|rpl] [--objective edp|energy|perf]
+//!                          [--epsilon 1e-3] [--assoc set|full] [--emit scf|affine|openscop]
+//! polyufc run     <file.c> [--platform ...] [--objective ...]   # compile + simulate vs baseline
+//! polyufc bench   <name>   [--platform ...]                     # built-in workload by name
+//! polyufc list                                                  # built-in workloads
+//! ```
+
+use std::process::ExitCode;
+
+use polyufc::{Objective, Pipeline, PipelineOutput};
+use polyufc_cache::AssocMode;
+use polyufc_cgeist::parse_scop;
+use polyufc_ir::affine::AffineProgram;
+use polyufc_ir::lower::lower_tensor_to_linalg;
+use polyufc_machine::{measure_kernel, ExecutionEngine, Platform, UfsDriver};
+use polyufc_workloads::{ml_suite, polybench_suite, PolybenchSize};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  polyufc compile <file.c|file.mlir> [--platform bdw|rpl] [--objective edp|energy|perf]
+                           [--epsilon <float>] [--assoc set|full]
+                           [--emit scf|affine|openscop]
+  polyufc run     <file.c> [options]      compile, then simulate vs the UFS baseline
+  polyufc bench   <name>   [options]      run a built-in workload (see `polyufc list`)
+  polyufc list                            list built-in workloads";
+
+struct Options {
+    platform: Platform,
+    objective: Objective,
+    epsilon: f64,
+    assoc: AssocMode,
+    emit: String,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        platform: Platform::broadwell(),
+        objective: Objective::Edp,
+        epsilon: 1e-3,
+        assoc: AssocMode::SetAssociative,
+        emit: "scf".into(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--platform" => {
+                o.platform = match value("--platform")?.as_str() {
+                    "bdw" | "BDW" => Platform::broadwell(),
+                    "rpl" | "RPL" => Platform::raptor_lake(),
+                    other => return Err(format!("unknown platform `{other}` (bdw|rpl)")),
+                }
+            }
+            "--objective" => {
+                o.objective = match value("--objective")?.as_str() {
+                    "edp" => Objective::Edp,
+                    "energy" => Objective::Energy,
+                    "perf" | "performance" => Objective::Performance,
+                    other => return Err(format!("unknown objective `{other}`")),
+                }
+            }
+            "--epsilon" => {
+                o.epsilon = value("--epsilon")?
+                    .parse()
+                    .map_err(|_| "epsilon must be a float".to_string())?;
+            }
+            "--assoc" => {
+                o.assoc = match value("--assoc")?.as_str() {
+                    "set" => AssocMode::SetAssociative,
+                    "full" => AssocMode::FullyAssociative,
+                    other => return Err(format!("unknown assoc mode `{other}` (set|full)")),
+                }
+            }
+            "--emit" => {
+                let v = value("--emit")?;
+                if !["scf", "affine", "openscop"].contains(&v.as_str()) {
+                    return Err(format!("unknown emit kind `{v}`"));
+                }
+                o.emit = v;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else { return Err("no command given".into()) };
+    match cmd.as_str() {
+        "list" => {
+            println!("PolyBench (use `polyufc bench <name>`):");
+            for w in polybench_suite(PolybenchSize::Small) {
+                println!("  {:<16} [{}]", w.name, w.category);
+            }
+            println!("ML kernels:");
+            for w in ml_suite() {
+                println!("  {:<20} [{} / {}]", w.name, w.source, w.domain);
+            }
+            Ok(())
+        }
+        "compile" | "run" => {
+            let path = args.get(1).ok_or("missing input file")?;
+            let opts = parse_options(&args[2..])?;
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let name = path
+                .rsplit('/')
+                .next()
+                .unwrap_or(path)
+                .trim_end_matches(".c")
+                .trim_end_matches(".mlir");
+            let program = if path.ends_with(".mlir") {
+                polyufc_ir::textual::parse_affine_program(&src).map_err(|e| e.to_string())?
+            } else {
+                parse_scop(&src, name).map_err(|e| e.to_string())?
+            };
+            let out = compile(&program, &opts)?;
+            report(&program, &out, &opts);
+            if cmd == "run" {
+                simulate(&out, &opts);
+            }
+            Ok(())
+        }
+        "bench" => {
+            let name = args.get(1).ok_or("missing workload name")?;
+            let opts = parse_options(&args[2..])?;
+            let program = find_workload(name).ok_or_else(|| {
+                format!("unknown workload `{name}` (try `polyufc list`)")
+            })?;
+            let out = compile(&program, &opts)?;
+            report(&program, &out, &opts);
+            simulate(&out, &opts);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn find_workload(name: &str) -> Option<AffineProgram> {
+    if let Some(w) = polybench_suite(PolybenchSize::Small).into_iter().find(|w| w.name == name) {
+        return Some(w.program);
+    }
+    ml_suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .map(|w| lower_tensor_to_linalg(&w.graph, w.elem).lower_to_affine())
+}
+
+fn compile(program: &AffineProgram, opts: &Options) -> Result<PipelineOutput, String> {
+    let mut pipe = Pipeline::new(opts.platform.clone())
+        .with_objective(opts.objective)
+        .with_assoc_mode(opts.assoc);
+    pipe.epsilon = opts.epsilon;
+    pipe.compile_affine(program).map_err(|e| e.to_string())
+}
+
+fn report(program: &AffineProgram, out: &PipelineOutput, opts: &Options) {
+    println!(
+        "== PolyUFC: `{}` for {} (objective {:?}, ε = {}) ==",
+        program.name, opts.platform.name, opts.objective, opts.epsilon
+    );
+    for ((ch, res), cap) in out.characterizations.iter().zip(&out.search).zip(&out.caps_ghz) {
+        println!(
+            "  {:<20} OI {:>9.3} FpB  {}  cap {:.1} GHz ({} evals)",
+            ch.kernel, ch.oi, ch.class, cap, res.steps
+        );
+    }
+    let r = &out.report;
+    println!(
+        "  compile: preprocess {} µs | pluto {} µs | polyufc-cm {} µs | steps 4-6 {} µs",
+        r.preprocess_us, r.pluto_us, r.polyufc_cm_us, r.steps_4_6_us
+    );
+    if !r.fallback_kernels.is_empty() {
+        println!("  analysis fallback (cap reset to max): {:?}", r.fallback_kernels);
+    }
+    match opts.emit.as_str() {
+        "affine" => println!("\n{}", out.optimized),
+        "openscop" => println!("\n{}", polyufc_ir::openscop::emit_program(&out.optimized)),
+        _ => println!("\n{}", out.scf),
+    }
+}
+
+fn simulate(out: &PipelineOutput, opts: &Options) {
+    let eng = ExecutionEngine::new(opts.platform.clone());
+    let counters: Vec<_> = out
+        .optimized
+        .kernels
+        .iter()
+        .map(|k| measure_kernel(&opts.platform, &out.optimized, k))
+        .collect();
+    let capped = eng.run_scf(&out.scf, &counters);
+    let baseline = UfsDriver::stock().run_baseline(&eng, &counters);
+    println!("== simulation vs stock UFS driver ==");
+    println!(
+        "  baseline: {:>10.4} ms  {:>9.4} J  EDP {:.4e}",
+        baseline.time_s * 1e3,
+        baseline.energy.total(),
+        baseline.edp()
+    );
+    println!(
+        "  capped  : {:>10.4} ms  {:>9.4} J  EDP {:.4e}",
+        capped.time_s * 1e3,
+        capped.energy.total(),
+        capped.edp()
+    );
+    println!(
+        "  Δtime {:+.2}%  Δenergy {:+.2}%  ΔEDP {:+.2}%",
+        (1.0 - capped.time_s / baseline.time_s) * 100.0,
+        (1.0 - capped.energy.total() / baseline.energy.total()) * 100.0,
+        (1.0 - capped.edp() / baseline.edp()) * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_defaults_and_overrides() {
+        let o = parse_options(&[]).unwrap();
+        assert_eq!(o.platform.name, "BDW");
+        let args: Vec<String> = ["--platform", "rpl", "--objective", "energy", "--epsilon", "0.01"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.platform.name, "RPL");
+        assert_eq!(o.objective, Objective::Energy);
+        assert!((o.epsilon - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        for bad in [
+            vec!["--platform".to_string(), "m1".to_string()],
+            vec!["--objective".to_string()],
+            vec!["--frobnicate".to_string()],
+        ] {
+            assert!(parse_options(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn builtin_workloads_resolve() {
+        assert!(find_workload("gemm").is_some());
+        assert!(find_workload("sdpa-bert").is_some());
+        assert!(find_workload("nope").is_none());
+    }
+
+    #[test]
+    fn list_and_compile_paths_work() {
+        assert!(run(&["list".to_string()]).is_ok());
+        assert!(run(&["bogus".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Kernel characterization against the performance and power rooflines
+//! (paper Sec. IV-D): the bound-and-bottleneck label plus the gaps to the
+//! hardware peaks that make the characterization "more than
+//! classification" (paper footnote 18).
+
+use polyufc_cache::KernelCacheStats;
+use polyufc_roofline::RooflineModel;
+use serde::{Deserialize, Serialize};
+
+/// Compute-bound or bandwidth-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Boundedness {
+    /// `I >= B^t_DRAM`: limited by compute throughput.
+    ComputeBound,
+    /// `I < B^t_DRAM`: limited by memory bandwidth.
+    BandwidthBound,
+}
+
+impl std::fmt::Display for Boundedness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Boundedness::ComputeBound => write!(f, "CB"),
+            Boundedness::BandwidthBound => write!(f, "BB"),
+        }
+    }
+}
+
+/// The full characterization of one kernel at a reference uncore
+/// frequency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Kernel name.
+    pub kernel: String,
+    /// Operational intensity `I` (flops/byte, Eqn. 1).
+    pub oi: f64,
+    /// Machine balance `B^t_DRAM` at the reference frequency.
+    pub balance: f64,
+    /// The label.
+    pub class: Boundedness,
+    /// Attainable performance at `I` (roofline ceiling), flops/s.
+    pub attainable_flops: f64,
+    /// Distance of `I` to the balance point, in flops/byte (positive =
+    /// reuse headroom beyond CB threshold; negative = missing reuse).
+    pub reuse_gap: f64,
+    /// Fraction of peak compute attainable at `I` (1.0 for CB kernels).
+    pub peak_fraction: f64,
+}
+
+/// Characterizes a kernel from its cache statistics at the reference
+/// (maximum) uncore frequency — the paper characterizes at max uncore.
+pub fn characterize_kernel(
+    name: &str,
+    stats: &KernelCacheStats,
+    roofline: &RooflineModel,
+    f_ref_ghz: f64,
+) -> Characterization {
+    let oi = stats.operational_intensity();
+    let balance = roofline.time_balance(f_ref_ghz);
+    let class = if oi >= balance {
+        Boundedness::ComputeBound
+    } else {
+        Boundedness::BandwidthBound
+    };
+    let attainable = roofline.attainable(oi, f_ref_ghz);
+    Characterization {
+        kernel: name.to_string(),
+        oi,
+        balance,
+        class,
+        attainable_flops: attainable,
+        reuse_gap: oi - balance,
+        peak_fraction: attainable / roofline.peak_flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyufc_cache::LevelStats;
+    use polyufc_machine::{ExecutionEngine, Platform};
+
+    fn stats(flops: f64, q_dram: f64) -> KernelCacheStats {
+        KernelCacheStats {
+            levels: vec![LevelStats { accesses: 0.0, hits: 0.0, misses: q_dram / 64.0, fit_level: 0 }],
+            cold_lines: q_dram / 64.0,
+            q_dram_bytes: q_dram,
+            flops,
+            total_accesses: 0.0,
+        }
+    }
+
+    #[test]
+    fn high_oi_is_cb_low_oi_is_bb() {
+        let rl = RooflineModel::calibrate(&ExecutionEngine::noiseless(Platform::raptor_lake()));
+        let f = 4.6;
+        let cb = characterize_kernel("k", &stats(1e12, 1e9), &rl, f); // OI = 1000
+        assert_eq!(cb.class, Boundedness::ComputeBound);
+        assert!((cb.peak_fraction - 1.0).abs() < 1e-9);
+        let bb = characterize_kernel("k", &stats(1e9, 1e10), &rl, f); // OI = 0.1
+        assert_eq!(bb.class, Boundedness::BandwidthBound);
+        assert!(bb.peak_fraction < 0.2);
+        assert!(bb.reuse_gap < 0.0 && cb.reuse_gap > 0.0);
+    }
+
+    #[test]
+    fn boundary_is_the_balance_point() {
+        let rl = RooflineModel::calibrate(&ExecutionEngine::noiseless(Platform::broadwell()));
+        let f = 2.8;
+        let b = rl.time_balance(f);
+        let just_cb = characterize_kernel("k", &stats(b * 1e9 * 1.01, 1e9), &rl, f);
+        let just_bb = characterize_kernel("k", &stats(b * 1e9 * 0.99, 1e9), &rl, f);
+        assert_eq!(just_cb.class, Boundedness::ComputeBound);
+        assert_eq!(just_bb.class, Boundedness::BandwidthBound);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Boundedness::ComputeBound.to_string(), "CB");
+        assert_eq!(Boundedness::BandwidthBound.to_string(), "BB");
+    }
+}

@@ -1,0 +1,316 @@
+//! POLYUFC-SEARCH (Sec. VI-C): selection of the best uncore frequency
+//! cap for a kernel, guided by its bottleneck characterization.
+//!
+//! The search space is the platform's 0.1 GHz frequency grid (≈39 steps
+//! on RPL). Because Eqns. 4 and 10 are non-linear in `f_c` and `I`, the
+//! objective is explored with a binary search over the grid (with a
+//! small local refinement, since the measured bandwidth table makes the
+//! objective only piecewise-smooth), plus the paper's ε trade-off rule:
+//! for CB kernels a lower frequency is admissible only while the
+//! performance loss does not exceed the bandwidth loss by more than ε;
+//! for BB kernels a higher frequency is admissible only while the
+//! performance gain tracks the bandwidth gain within ε.
+
+use serde::{Deserialize, Serialize};
+
+use crate::characterize::Boundedness;
+use crate::model::ParametricModel;
+
+/// What the search optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Performance-only: maximize `Perf(f_c)`; ties break toward lower
+    /// frequency (free energy savings).
+    Performance,
+    /// Energy-only: minimize `E(f_c)`.
+    Energy,
+    /// Energy-delay product (the paper's focus): minimize `E·T`.
+    Edp,
+}
+
+/// One evaluated frequency during the search.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SearchStep {
+    /// Evaluated frequency (GHz).
+    pub f_ghz: f64,
+    /// Relative performance vs. the reference (max) frequency.
+    pub delta_perf: f64,
+    /// Relative bandwidth vs. the reference frequency.
+    pub delta_bw: f64,
+    /// Relative EDP vs. the reference frequency.
+    pub delta_edp: f64,
+    /// Whether the ε rule admitted this frequency.
+    pub admissible: bool,
+}
+
+/// The outcome of POLYUFC-SEARCH for one kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Chosen cap (GHz).
+    pub f_ghz: f64,
+    /// Number of objective evaluations.
+    pub steps: usize,
+    /// Objective value at the chosen cap.
+    pub objective_value: f64,
+    /// The kernel's class (drives the search direction).
+    pub class: Boundedness,
+    /// Evaluation log.
+    pub log: Vec<SearchStep>,
+}
+
+/// Runs POLYUFC-SEARCH for one kernel over the platform frequency grid.
+///
+/// `freqs` must be the ascending 0.1 GHz grid; `epsilon` is the paper's
+/// tunable threshold (they evaluate with `1e-3`).
+///
+/// # Panics
+///
+/// Panics if `freqs` is empty.
+pub fn search_cap(
+    model: &ParametricModel<'_>,
+    freqs: &[f64],
+    objective: Objective,
+    epsilon: f64,
+) -> SearchResult {
+    assert!(!freqs.is_empty(), "empty frequency grid");
+    let f_ref = *freqs.last().expect("non-empty");
+    let class = model.class_at(f_ref);
+    let perf_ref = model.performance(f_ref);
+    let bw_ref = model.bandwidth(f_ref);
+    let edp_ref = model.edp(f_ref);
+
+    let mut log: Vec<SearchStep> = Vec::new();
+    let mut evals = 0usize;
+
+    let admissible = |f: f64, log: &mut Vec<SearchStep>, evals: &mut usize| -> (bool, f64) {
+        *evals += 1;
+        let dp = model.performance(f) / perf_ref;
+        let db = model.bandwidth(f) / bw_ref;
+        let de = model.edp(f) / edp_ref;
+        let ok = match class {
+            // CB: allow lower f while perf loss tracks bw loss within ε.
+            Boundedness::ComputeBound => (1.0 - dp) <= (1.0 - db) + epsilon,
+            // BB: allow a setting only when perf gains align with bw gains.
+            Boundedness::BandwidthBound => dp >= db - epsilon,
+        };
+        let value = match objective {
+            Objective::Performance => -model.performance(f),
+            Objective::Energy => model.energy(f),
+            Objective::Edp => model.edp(f),
+        };
+        log.push(SearchStep { f_ghz: f, delta_perf: dp, delta_bw: db, delta_edp: de, admissible: ok });
+        (ok, value)
+    };
+
+    let score = |f: f64, log: &mut Vec<SearchStep>, evals: &mut usize| -> f64 {
+        let (ok, v) = admissible(f, log, evals);
+        if ok {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Binary search for the grid minimizer (terminates when the interval
+    // collapses — "frequency stabilizes between iterations").
+    let (mut lo, mut hi) = (0usize, freqs.len() - 1);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let a = score(freqs[mid], &mut log, &mut evals);
+        let b = score(freqs[mid + 1], &mut log, &mut evals);
+        if a <= b {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Local refinement around the stabilization point (the measured
+    // bandwidth table is only piecewise-linear, so the objective can have
+    // small local plateaus the bisection may land next to).
+    let mut best_idx = lo;
+    let mut best_val = score(freqs[lo], &mut log, &mut evals);
+    let lo_r = lo.saturating_sub(3);
+    let hi_r = (lo + 3).min(freqs.len() - 1);
+    for i in lo_r..=hi_r {
+        let v = score(freqs[i], &mut log, &mut evals);
+        let better = v < best_val
+            || (objective == Objective::Performance
+                && (v - best_val).abs() <= epsilon * best_val.abs()
+                && freqs[i] < freqs[best_idx]);
+        if better {
+            best_idx = i;
+            best_val = v;
+        }
+    }
+    // Fall back to the reference frequency if nothing was admissible.
+    let (f_best, value) = if best_val.is_finite() {
+        (freqs[best_idx], best_val)
+    } else {
+        let v = match objective {
+            Objective::Performance => -model.performance(f_ref),
+            Objective::Energy => model.energy(f_ref),
+            Objective::Edp => model.edp(f_ref),
+        };
+        (f_ref, v)
+    };
+    SearchResult { f_ghz: f_best, steps: evals, objective_value: value, class, log }
+}
+
+/// Exhaustive 0.1 GHz scan (the ablation baseline for the binary search):
+/// returns the admissible grid minimizer and the number of evaluations.
+pub fn scan_cap(
+    model: &ParametricModel<'_>,
+    freqs: &[f64],
+    objective: Objective,
+    epsilon: f64,
+) -> SearchResult {
+    assert!(!freqs.is_empty(), "empty frequency grid");
+    let f_ref = *freqs.last().expect("non-empty");
+    let class = model.class_at(f_ref);
+    let perf_ref = model.performance(f_ref);
+    let bw_ref = model.bandwidth(f_ref);
+    let edp_ref = model.edp(f_ref);
+    let mut log = Vec::new();
+    let mut best: Option<(f64, f64)> = None;
+    for &f in freqs {
+        let dp = model.performance(f) / perf_ref;
+        let db = model.bandwidth(f) / bw_ref;
+        let de = model.edp(f) / edp_ref;
+        let ok = match class {
+            Boundedness::ComputeBound => (1.0 - dp) <= (1.0 - db) + epsilon,
+            Boundedness::BandwidthBound => dp >= db - epsilon,
+        };
+        log.push(SearchStep { f_ghz: f, delta_perf: dp, delta_bw: db, delta_edp: de, admissible: ok });
+        if !ok {
+            continue;
+        }
+        let v = match objective {
+            Objective::Performance => -model.performance(f),
+            Objective::Energy => model.energy(f),
+            Objective::Edp => model.edp(f),
+        };
+        let replace = match best {
+            None => true,
+            Some((_, bv)) => {
+                v < bv
+                    || (objective == Objective::Performance
+                        && (v - bv).abs() <= epsilon * bv.abs())
+            }
+        };
+        if replace {
+            best = Some((f, v));
+        }
+    }
+    let (f_best, value) = best.unwrap_or_else(|| {
+        let v = match objective {
+            Objective::Performance => -model.performance(f_ref),
+            Objective::Energy => model.energy(f_ref),
+            Objective::Edp => model.edp(f_ref),
+        };
+        (f_ref, v)
+    });
+    SearchResult { f_ghz: f_best, steps: freqs.len(), objective_value: value, class, log }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyufc_cache::{KernelCacheStats, LevelStats};
+    use polyufc_machine::{ExecutionEngine, Platform};
+    use polyufc_roofline::RooflineModel;
+
+    fn stats(flops: f64, q_dram: f64) -> KernelCacheStats {
+        KernelCacheStats {
+            levels: vec![LevelStats {
+                accesses: 0.0,
+                hits: 0.0,
+                misses: q_dram / 64.0,
+                fit_level: 0,
+            }],
+            cold_lines: q_dram / 64.0,
+            q_dram_bytes: q_dram,
+            flops,
+            total_accesses: 0.0,
+        }
+    }
+
+    fn setup() -> (Platform, RooflineModel) {
+        let p = Platform::broadwell();
+        let r = RooflineModel::calibrate(&ExecutionEngine::noiseless(p.clone()));
+        (p, r)
+    }
+
+    #[test]
+    fn cb_edp_search_picks_low_frequency() {
+        let (p, r) = setup();
+        let st = stats(1e12, 1e8); // deep CB
+        let m = ParametricModel::new(&r, &st, true, p.cores as f64);
+        let res = search_cap(&m, &p.uncore_freqs(), Objective::Edp, 1e-3);
+        assert_eq!(res.class, Boundedness::ComputeBound);
+        assert!(res.f_ghz <= 1.6, "deep CB should cap low, got {}", res.f_ghz);
+    }
+
+    #[test]
+    fn bb_edp_search_picks_high_frequency() {
+        let (p, r) = setup();
+        let st = stats(1e9, 3.2e10); // deep BB
+        let m = ParametricModel::new(&r, &st, true, p.cores as f64);
+        let res = search_cap(&m, &p.uncore_freqs(), Objective::Edp, 1e-3);
+        assert_eq!(res.class, Boundedness::BandwidthBound);
+        assert!(res.f_ghz >= 2.0, "deep BB should cap high, got {}", res.f_ghz);
+    }
+
+    #[test]
+    fn performance_objective_never_loses_much_perf() {
+        let (p, r) = setup();
+        for st in [stats(1e12, 1e8), stats(1e9, 3.2e10)] {
+            let m = ParametricModel::new(&r, &st, true, p.cores as f64);
+            let res = search_cap(&m, &p.uncore_freqs(), Objective::Performance, 1e-3);
+            let perf_at = m.performance(res.f_ghz);
+            let perf_max = m.performance(p.uncore_max_ghz);
+            assert!(perf_at >= perf_max * 0.99, "{} vs {}", perf_at, perf_max);
+        }
+    }
+
+    #[test]
+    fn binary_matches_scan() {
+        let (p, r) = setup();
+        for st in [stats(1e12, 1e8), stats(1e10, 1e9), stats(1e9, 3.2e10)] {
+            let m = ParametricModel::new(&r, &st, true, p.cores as f64);
+            let fast = search_cap(&m, &p.uncore_freqs(), Objective::Edp, 1e-3);
+            let slow = scan_cap(&m, &p.uncore_freqs(), Objective::Edp, 1e-3);
+            let ratio = m.edp(fast.f_ghz) / m.edp(slow.f_ghz);
+            assert!(
+                ratio <= 1.02,
+                "binary ({} GHz) must be near-optimal vs scan ({} GHz): {ratio}",
+                fast.f_ghz,
+                slow.f_ghz
+            );
+            assert!(fast.steps <= slow.steps, "binary must not evaluate more than the scan");
+        }
+    }
+
+    #[test]
+    fn search_stays_in_range() {
+        let (p, r) = setup();
+        let st = stats(1e10, 1e10);
+        let m = ParametricModel::new(&r, &st, true, p.cores as f64);
+        for obj in [Objective::Performance, Objective::Energy, Objective::Edp] {
+            let res = search_cap(&m, &p.uncore_freqs(), obj, 1e-3);
+            assert!(res.f_ghz >= p.uncore_min_ghz - 1e-9);
+            assert!(res.f_ghz <= p.uncore_max_ghz + 1e-9);
+            assert!(!res.log.is_empty());
+        }
+    }
+
+    #[test]
+    fn epsilon_controls_cb_aggressiveness() {
+        let (p, r) = setup();
+        // Moderate CB: perf slightly degrades at the lowest frequencies.
+        let st = stats(2e10, 1e9);
+        let m = ParametricModel::new(&r, &st, true, p.cores as f64);
+        let tight = scan_cap(&m, &p.uncore_freqs(), Objective::Energy, 1e-6);
+        let loose = scan_cap(&m, &p.uncore_freqs(), Objective::Energy, 0.5);
+        assert!(loose.f_ghz <= tight.f_ghz, "looser ε admits lower caps");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests of POLYUFC-SEARCH over random kernel signatures: the
+//! binary search must stay inside the grid, never beat physics, and track
+//! the exhaustive scan.
+
+use proptest::prelude::*;
+
+use polyufc::search::scan_cap;
+use polyufc::{search_cap, Objective, ParametricModel};
+use polyufc_cache::{KernelCacheStats, LevelStats};
+use polyufc_machine::{ExecutionEngine, Platform};
+use polyufc_roofline::RooflineModel;
+
+fn stats(flops: f64, q_dram: f64, llc_hits: f64) -> KernelCacheStats {
+    KernelCacheStats {
+        levels: vec![
+            LevelStats { accesses: 0.0, hits: 0.0, misses: q_dram / 64.0, fit_level: 0 },
+            LevelStats { accesses: 0.0, hits: llc_hits, misses: q_dram / 64.0, fit_level: 0 },
+        ],
+        cold_lines: q_dram / 64.0,
+        q_dram_bytes: q_dram,
+        flops,
+        total_accesses: 0.0,
+    }
+}
+
+fn roofline() -> &'static RooflineModel {
+    use std::sync::OnceLock;
+    static RL: OnceLock<RooflineModel> = OnceLock::new();
+    RL.get_or_init(|| {
+        RooflineModel::calibrate(&ExecutionEngine::noiseless(Platform::broadwell()))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn search_result_valid_and_near_scan(
+        flops_exp in 6.0f64..12.0,
+        q_exp in 5.0f64..10.5,
+        llc_exp in 0.0f64..7.0,
+        parallel in any::<bool>(),
+        obj_ix in 0usize..3,
+    ) {
+        let plat = Platform::broadwell();
+        let rl = roofline();
+        let st = stats(10f64.powf(flops_exp), 10f64.powf(q_exp), 10f64.powf(llc_exp));
+        let pm = ParametricModel::new(rl, &st, parallel, plat.cores as f64);
+        let obj = [Objective::Performance, Objective::Energy, Objective::Edp][obj_ix];
+        let freqs = plat.uncore_freqs();
+        let fast = search_cap(&pm, &freqs, obj, 1e-3);
+        let slow = scan_cap(&pm, &freqs, obj, 1e-3);
+
+        // In range and on the grid.
+        prop_assert!(freqs.iter().any(|&f| (f - fast.f_ghz).abs() < 1e-9));
+        // Binary search near-matches the exhaustive scan on its objective.
+        let val = |f: f64| match obj {
+            Objective::Performance => -pm.performance(f),
+            Objective::Energy => pm.energy(f),
+            Objective::Edp => pm.edp(f),
+        };
+        let (a, b) = (val(fast.f_ghz), val(slow.f_ghz));
+        prop_assert!(a <= b.abs() * 0.05 + b, "binary {a} vs scan {b} (obj {obj:?})");
+        // Fewer evaluations than the scan.
+        prop_assert!(fast.steps <= slow.steps);
+        // Logged steps are all real grid frequencies.
+        for s in &fast.log {
+            prop_assert!(freqs.iter().any(|&f| (f - s.f_ghz).abs() < 1e-9));
+        }
+    }
+
+    #[test]
+    fn deep_cb_caps_at_or_below_deep_bb(
+        scale in 1.0f64..100.0,
+    ) {
+        let plat = Platform::broadwell();
+        let rl = roofline();
+        let conc = plat.cores as f64;
+        let cb = stats(1e12 * scale, 1e8, 0.0);
+        let bb = stats(1e8, 1e10 * scale, 0.0);
+        let freqs = plat.uncore_freqs();
+        let f_cb = search_cap(&ParametricModel::new(rl, &cb, true, conc), &freqs, Objective::Edp, 1e-3).f_ghz;
+        let f_bb = search_cap(&ParametricModel::new(rl, &bb, true, conc), &freqs, Objective::Edp, 1e-3).f_ghz;
+        prop_assert!(f_cb <= f_bb + 1e-9, "CB cap {f_cb} should not exceed BB cap {f_bb}");
+    }
+
+    #[test]
+    fn model_quantities_positive_and_finite(
+        flops_exp in 5.0f64..12.0,
+        q_exp in 4.0f64..10.0,
+    ) {
+        let plat = Platform::broadwell();
+        let rl = roofline();
+        let st = stats(10f64.powf(flops_exp), 10f64.powf(q_exp), 1e4);
+        let pm = ParametricModel::new(rl, &st, true, plat.cores as f64);
+        for &f in &plat.uncore_freqs() {
+            for v in [pm.exec_time(f), pm.energy(f), pm.edp(f), pm.avg_power(f), pm.peak_power(f)] {
+                prop_assert!(v.is_finite() && v > 0.0, "non-physical value {v} at f={f}");
+            }
+            prop_assert!(pm.performance(f) > 0.0);
+        }
+    }
+}

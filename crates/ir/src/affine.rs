@@ -1,0 +1,526 @@
+//! The affine dialect: loop nests with affine bounds and affine array
+//! accesses. This is the representation PolyUFC's polyhedral analyses
+//! (iteration domains, access maps, cache model) run on.
+
+use std::fmt;
+
+use polyufc_presburger::{BasicMap, BasicSet, LinExpr, Set, Space};
+
+use crate::types::{ArrayId, ElemType};
+
+/// An affine loop bound: the max (for lower bounds) or min (for upper
+/// bounds) of a list of affine expressions over the enclosing loop
+/// iterators. Upper bounds are exclusive, matching `affine.for`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bound {
+    /// Component expressions; `max` of them for lower bounds, `min` for
+    /// upper bounds.
+    pub exprs: Vec<LinExpr>,
+}
+
+impl Bound {
+    /// A constant bound.
+    pub fn constant(v: i64) -> Self {
+        Bound { exprs: vec![LinExpr::constant(v)] }
+    }
+
+    /// A single-expression bound.
+    pub fn expr(e: LinExpr) -> Self {
+        Bound { exprs: vec![e] }
+    }
+
+    /// Evaluates as a lower bound (max of components).
+    pub fn eval_lb(&self, iters: &[i64]) -> i64 {
+        self.exprs.iter().map(|e| e.eval(iters)).max().expect("bound has components")
+    }
+
+    /// Evaluates as an upper bound (min of components).
+    pub fn eval_ub(&self, iters: &[i64]) -> i64 {
+        self.exprs.iter().map(|e| e.eval(iters)).min().expect("bound has components")
+    }
+}
+
+/// One affine loop of a kernel. The iterator of loop `d` is variable `d`
+/// in all contained expressions (0 = outermost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// Lower bound (inclusive, max of expressions).
+    pub lb: Bound,
+    /// Upper bound (exclusive, min of expressions).
+    pub ub: Bound,
+    /// Whether the loop carries no dependences and may run in parallel
+    /// (set by the Pluto substitute; consumed by the machine model).
+    pub parallel: bool,
+}
+
+impl Loop {
+    /// A sequential loop `for i in 0..n`.
+    pub fn range(n: i64) -> Self {
+        Loop { lb: Bound::constant(0), ub: Bound::constant(n), parallel: false }
+    }
+
+    /// A loop with affine bounds.
+    pub fn new(lb: Bound, ub: Bound) -> Self {
+        Loop { lb, ub, parallel: false }
+    }
+}
+
+/// An affine array access within a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// The accessed array.
+    pub array: ArrayId,
+    /// One affine index expression (over the loop iterators) per array
+    /// dimension.
+    pub indices: Vec<LinExpr>,
+    /// Whether the access writes (otherwise it reads).
+    pub is_write: bool,
+}
+
+impl Access {
+    /// A read access.
+    pub fn read(array: ArrayId, indices: Vec<LinExpr>) -> Self {
+        Access { array, indices, is_write: false }
+    }
+
+    /// A write access.
+    pub fn write(array: ArrayId, indices: Vec<LinExpr>) -> Self {
+        Access { array, indices, is_write: true }
+    }
+
+    /// The access relation `{ [iters] -> [array indices] }` restricted to
+    /// nothing (callers intersect with the iteration domain).
+    pub fn index_map(&self, depth: usize) -> BasicMap {
+        BasicMap::from_affine_exprs(0, depth, &self.indices)
+    }
+}
+
+/// A statement at the innermost level of a kernel's loop nest, with its
+/// array accesses and arithmetic work (`ω_s` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// Statement label (for diagnostics and schedules).
+    pub name: String,
+    /// Accesses in program order within one statement instance.
+    pub accesses: Vec<Access>,
+    /// Floating point operations per statement instance.
+    pub flops: u64,
+}
+
+/// A perfectly nested affine loop kernel: `loops[0]` is outermost; all
+/// statements execute (in order) at the innermost level.
+///
+/// Imperfect nests are represented as sequences of kernels in an
+/// [`AffineProgram`]; this mirrors the paper's setting where caps are
+/// applied per top-level `affine.for`/`linalg` op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineKernel {
+    /// Kernel name (usually the originating linalg op).
+    pub name: String,
+    /// The loop nest, outermost first.
+    pub loops: Vec<Loop>,
+    /// Statements at the innermost level.
+    pub statements: Vec<Statement>,
+}
+
+impl AffineKernel {
+    /// Nesting depth.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// The iteration domain as a Presburger set over the loop iterators.
+    pub fn domain(&self) -> Set {
+        let space = Space::set(0, self.depth());
+        let mut b = BasicSet::universe(space);
+        for (d, l) in self.loops.iter().enumerate() {
+            for e in &l.lb.exprs {
+                b.add_ge0(LinExpr::var(d) - e.clone());
+            }
+            for e in &l.ub.exprs {
+                b.add_ge0(e.clone() - LinExpr::var(d) - LinExpr::constant(1));
+            }
+        }
+        Set::from_basic(b)
+    }
+
+    /// Cardinality of the iteration domain (`|D_s|`, identical for every
+    /// statement of a perfect nest).
+    ///
+    /// # Errors
+    ///
+    /// Propagates counting errors from the Presburger layer.
+    pub fn domain_size(&self) -> polyufc_presburger::Result<i128> {
+        self.domain().count()
+    }
+
+    /// Total flops of the kernel: `Σ_s ω_s · |D_s|`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates counting errors.
+    pub fn total_flops(&self) -> polyufc_presburger::Result<i128> {
+        let d = self.domain_size()?;
+        let per_point: i128 = self.statements.iter().map(|s| s.flops as i128).sum();
+        Ok(d * per_point)
+    }
+
+    /// The outermost parallel loop index, if any.
+    pub fn outer_parallel(&self) -> Option<usize> {
+        self.loops.iter().position(|l| l.parallel)
+    }
+
+    /// Splits the kernel into `n_chunks` kernels covering contiguous
+    /// ranges of the outermost loop — the substrate for *intra-kernel*
+    /// capping (paper Sec. VII-F compares per-phase intra-kernel control
+    /// against PolyUFC's inter-kernel caps). The concatenated traces equal
+    /// the original's.
+    ///
+    /// Returns the original kernel unsplit if the outer range cannot be
+    /// bounded or has fewer than `n_chunks` iterations.
+    pub fn split_outer(&self, n_chunks: usize) -> Vec<AffineKernel> {
+        let fallback = || vec![self.clone()];
+        if n_chunks <= 1 || self.loops.is_empty() {
+            return fallback();
+        }
+        let Ok(Some(iv)) = self.domain().basics()[0].var_intervals() else {
+            return fallback();
+        };
+        let (Some(lo), Some(hi)) = iv[0] else { return fallback() };
+        let extent = hi - lo + 1;
+        if extent < n_chunks as i64 {
+            return fallback();
+        }
+        let mut out = Vec::with_capacity(n_chunks);
+        let step = extent / n_chunks as i64;
+        for c in 0..n_chunks as i64 {
+            let a = lo + c * step;
+            let b = if c == n_chunks as i64 - 1 { hi + 1 } else { lo + (c + 1) * step };
+            let mut k = self.clone();
+            k.name = format!("{}_part{}", self.name, c);
+            k.loops[0].lb.exprs.push(LinExpr::constant(a));
+            k.loops[0].ub.exprs.push(LinExpr::constant(b));
+            out.push(k);
+        }
+        out
+    }
+}
+
+/// An array declaration in a program's symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Array name.
+    pub name: String,
+    /// Dimension extents (row-major storage).
+    pub dims: Vec<usize>,
+    /// Element type.
+    pub elem: ElemType,
+}
+
+impl ArrayDecl {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * self.elem.size_bytes()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.dims.len()];
+        for d in (0..self.dims.len().saturating_sub(1)).rev() {
+            s[d] = s[d + 1] * self.dims[d + 1];
+        }
+        s
+    }
+}
+
+/// A sequence of affine kernels over a shared array symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct AffineProgram {
+    /// Program name.
+    pub name: String,
+    /// Array symbol table; [`ArrayId`] indexes into it.
+    pub arrays: Vec<ArrayDecl>,
+    /// Kernels in execution order.
+    pub kernels: Vec<AffineKernel>,
+}
+
+impl AffineProgram {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        AffineProgram { name: name.into(), arrays: Vec::new(), kernels: Vec::new() }
+    }
+
+    /// Declares an array and returns its id.
+    pub fn add_array(
+        &mut self,
+        name: impl Into<String>,
+        dims: Vec<usize>,
+        elem: ElemType,
+    ) -> ArrayId {
+        self.arrays.push(ArrayDecl { name: name.into(), dims, elem });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Looks up an array declaration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// Total footprint of all arrays in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.arrays.iter().map(ArrayDecl::size_bytes).sum()
+    }
+
+    /// Validates structural invariants: access arities match declarations,
+    /// bounds reference only enclosing iterators.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for k in &self.kernels {
+            for (d, l) in k.loops.iter().enumerate() {
+                for e in l.lb.exprs.iter().chain(&l.ub.exprs) {
+                    if e.terms().any(|(i, _)| i >= d) {
+                        return Err(format!(
+                            "kernel `{}`: bound of loop {d} references iterator {}",
+                            k.name,
+                            e.terms().map(|(i, _)| i).max().unwrap()
+                        ));
+                    }
+                }
+            }
+            for s in &k.statements {
+                for a in &s.accesses {
+                    if a.array.0 >= self.arrays.len() {
+                        return Err(format!(
+                            "kernel `{}`: statement `{}` references unknown array {}",
+                            k.name, s.name, a.array
+                        ));
+                    }
+                    let decl = self.array(a.array);
+                    if a.indices.len() != decl.dims.len() {
+                        return Err(format!(
+                            "kernel `{}`: access to `{}` has {} indices, array has {} dims",
+                            k.name,
+                            decl.name,
+                            a.indices.len(),
+                            decl.dims.len()
+                        ));
+                    }
+                    for e in &a.indices {
+                        if e.terms().any(|(i, _)| i >= k.depth()) {
+                            return Err(format!(
+                                "kernel `{}`: access to `{}` references iterator beyond depth {}",
+                                k.name,
+                                decl.name,
+                                k.depth()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AffineProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// affine program `{}`", self.name)?;
+        for a in &self.arrays {
+            writeln!(
+                f,
+                "memref %{} : {}x{}",
+                a.name,
+                a.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+                a.elem
+            )?;
+        }
+        for k in &self.kernels {
+            writeln!(f, "func @{} {{", k.name)?;
+            let iv = |i: usize| format!("i{i}");
+            for (d, l) in k.loops.iter().enumerate() {
+                let lb: Vec<String> =
+                    l.lb.exprs.iter().map(|e| e.display_with(iv).to_string()).collect();
+                let ub: Vec<String> =
+                    l.ub.exprs.iter().map(|e| e.display_with(iv).to_string()).collect();
+                let par = if l.parallel { "affine.parallel" } else { "affine.for" };
+                writeln!(
+                    f,
+                    "{}{} %i{} = max({}) to min({}) {{",
+                    "  ".repeat(d + 1),
+                    par,
+                    d,
+                    lb.join(", "),
+                    ub.join(", ")
+                )?;
+            }
+            let pad = "  ".repeat(k.depth() + 1);
+            for s in &k.statements {
+                let mut parts = Vec::new();
+                for a in &s.accesses {
+                    let idx: Vec<String> =
+                        a.indices.iter().map(|e| e.display_with(iv).to_string()).collect();
+                    let kind = if a.is_write { "store" } else { "load" };
+                    parts.push(format!(
+                        "{kind} %{}[{}]",
+                        self.array(a.array).name,
+                        idx.join(", ")
+                    ));
+                }
+                writeln!(f, "{pad}{}: {} // {} flops", s.name, parts.join("; "), s.flops)?;
+            }
+            for d in (0..k.depth()).rev() {
+                writeln!(f, "{}}}", "  ".repeat(d + 1))?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `for i in 0..4 { for j in 0..3 { S: C[i][j] = A[i][j] } }`.
+    fn copy_kernel() -> (AffineProgram, AffineKernel) {
+        let mut p = AffineProgram::new("copy");
+        let a = p.add_array("A", vec![4, 3], ElemType::F64);
+        let c = p.add_array("C", vec![4, 3], ElemType::F64);
+        let k = AffineKernel {
+            name: "copy".into(),
+            loops: vec![Loop::range(4), Loop::range(3)],
+            statements: vec![Statement {
+                name: "S0".into(),
+                accesses: vec![
+                    Access::read(a, vec![LinExpr::var(0), LinExpr::var(1)]),
+                    Access::write(c, vec![LinExpr::var(0), LinExpr::var(1)]),
+                ],
+                flops: 0,
+            }],
+        };
+        p.kernels.push(k.clone());
+        (p, k)
+    }
+
+    #[test]
+    fn domain_size_is_trip_count() {
+        let (_, k) = copy_kernel();
+        assert_eq!(k.domain_size().unwrap(), 12);
+    }
+
+    #[test]
+    fn triangular_domain() {
+        // for i in 0..6 { for j in 0..=i }  => ub j = i+1
+        let k = AffineKernel {
+            name: "tri".into(),
+            loops: vec![
+                Loop::range(6),
+                Loop::new(Bound::constant(0), Bound::expr(LinExpr::var(0) + LinExpr::constant(1))),
+            ],
+            statements: vec![],
+        };
+        assert_eq!(k.domain_size().unwrap(), 21);
+    }
+
+    #[test]
+    fn tiled_bounds_with_min() {
+        // for t in 0..4 { for i in 32t .. min(32t+32, 100) }
+        let k = AffineKernel {
+            name: "tiled".into(),
+            loops: vec![
+                Loop::range(4),
+                Loop::new(
+                    Bound::expr(LinExpr::var(0) * 32),
+                    Bound {
+                        exprs: vec![
+                            LinExpr::var(0) * 32 + LinExpr::constant(32),
+                            LinExpr::constant(100),
+                        ],
+                    },
+                ),
+            ],
+            statements: vec![],
+        };
+        assert_eq!(k.domain_size().unwrap(), 100);
+    }
+
+    #[test]
+    fn total_flops_scales_with_domain() {
+        let (_, mut k) = copy_kernel();
+        k.statements[0].flops = 2;
+        assert_eq!(k.total_flops().unwrap(), 24);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let d = ArrayDecl { name: "A".into(), dims: vec![2, 3, 4], elem: ElemType::F32 };
+        assert_eq!(d.strides(), vec![12, 4, 1]);
+        assert_eq!(d.size_bytes(), 96);
+    }
+
+    #[test]
+    fn validate_catches_arity() {
+        let (mut p, _) = copy_kernel();
+        p.kernels[0].statements[0].accesses[0].indices.pop();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_scope() {
+        let (mut p, _) = copy_kernel();
+        p.kernels[0].statements[0].accesses[0].indices[0] = LinExpr::var(5);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_contains_structure() {
+        let (p, _) = copy_kernel();
+        let s = p.to_string();
+        assert!(s.contains("affine.for"));
+        assert!(s.contains("load %A"));
+        assert!(s.contains("store %C"));
+    }
+
+    #[test]
+    fn split_outer_preserves_trace() {
+        use crate::interp::{interpret_kernel, TraceStats};
+        let (mut p, k) = copy_kernel();
+        let parts = k.split_outer(3);
+        assert_eq!(parts.len(), 3);
+        let mut whole = TraceStats::default();
+        interpret_kernel(&p, &k, &mut whole);
+        let mut sum = TraceStats::default();
+        for part in &parts {
+            p.kernels[0] = part.clone();
+            interpret_kernel(&p, part, &mut sum);
+        }
+        assert_eq!(whole, sum);
+        // Degenerate cases return the original.
+        assert_eq!(k.split_outer(1).len(), 1);
+        assert_eq!(k.split_outer(100).len(), 1);
+    }
+
+    #[test]
+    fn bound_eval_min_max() {
+        let b = Bound { exprs: vec![LinExpr::constant(5), LinExpr::var(0)] };
+        assert_eq!(b.eval_lb(&[9]), 9);
+        assert_eq!(b.eval_ub(&[9]), 5);
+    }
+}

@@ -1,0 +1,289 @@
+//! Interpretation of affine kernels at their concrete problem sizes,
+//! streaming memory-access and flop events. This is the trace source for
+//! both the exact cache simulator and the machine model — the stand-in for
+//! running the compiled binary on hardware.
+
+use crate::affine::{AffineKernel, AffineProgram};
+use crate::types::ArrayId;
+
+/// One memory access produced by interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Which array is accessed.
+    pub array: ArrayId,
+    /// Linear element offset within the array (row-major).
+    pub offset: u64,
+    /// Access width in bytes (the element size).
+    pub bytes: u32,
+    /// Whether the access is a store.
+    pub is_write: bool,
+}
+
+/// Consumer of an interpretation trace.
+pub trait TraceSink {
+    /// Called for every array access, in program order.
+    fn access(&mut self, ev: AccessEvent);
+    /// Called once per statement instance with its flop count.
+    fn flops(&mut self, n: u64);
+}
+
+/// A [`TraceSink`] that aggregates totals; useful for tests and for
+/// cross-checking static counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total reads.
+    pub reads: u64,
+    /// Total writes.
+    pub writes: u64,
+    /// Total flops.
+    pub flops: u64,
+    /// Total bytes touched (sum of access widths, not unique bytes).
+    pub bytes: u64,
+}
+
+impl TraceSink for TraceStats {
+    fn access(&mut self, ev: AccessEvent) {
+        self.accesses += 1;
+        if ev.is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+        self.bytes += ev.bytes as u64;
+    }
+
+    fn flops(&mut self, n: u64) {
+        self.flops += n;
+    }
+}
+
+/// A compiled access: linear offset as an affine function of the iterators.
+#[derive(Debug, Clone)]
+struct CompiledAccess {
+    array: ArrayId,
+    coeffs: Vec<i64>,
+    constant: i64,
+    bytes: u32,
+    is_write: bool,
+}
+
+/// Interprets one kernel, streaming events to `sink`.
+///
+/// # Panics
+///
+/// Panics if the kernel fails validation against `program`'s array table
+/// (indices out of declared arity) or has zero depth.
+pub fn interpret_kernel(program: &AffineProgram, kernel: &AffineKernel, sink: &mut impl TraceSink) {
+    let depth = kernel.depth();
+    assert!(depth > 0, "kernel `{}` has no loops", kernel.name);
+
+    // Compile accesses to linear offset functions over the iterators.
+    let mut stmts: Vec<(u64, Vec<CompiledAccess>)> = Vec::new();
+    for s in &kernel.statements {
+        let mut cas = Vec::with_capacity(s.accesses.len());
+        for a in &s.accesses {
+            let decl = program.array(a.array);
+            let strides = decl.strides();
+            assert_eq!(a.indices.len(), strides.len());
+            let mut coeffs = vec![0i64; depth];
+            let mut constant = 0i64;
+            for (idx_expr, &stride) in a.indices.iter().zip(&strides) {
+                constant += idx_expr.constant_term() * stride as i64;
+                for (v, c) in idx_expr.terms() {
+                    coeffs[v] += c * stride as i64;
+                }
+            }
+            cas.push(CompiledAccess {
+                array: a.array,
+                coeffs,
+                constant,
+                bytes: decl.elem.size_bytes() as u32,
+                is_write: a.is_write,
+            });
+        }
+        stmts.push((s.flops, cas));
+    }
+
+    let mut iters = vec![0i64; depth];
+    walk(kernel, &stmts, &mut iters, 0, sink);
+}
+
+fn walk(
+    kernel: &AffineKernel,
+    stmts: &[(u64, Vec<CompiledAccess>)],
+    iters: &mut [i64],
+    depth: usize,
+    sink: &mut impl TraceSink,
+) {
+    let l = &kernel.loops[depth];
+    let lb = l.lb.eval_lb(iters);
+    let ub = l.ub.eval_ub(iters);
+    if depth + 1 == kernel.depth() {
+        // Innermost level: precompute per-access base at iters[depth] = lb,
+        // then advance by the iterator's stride each step.
+        iters[depth] = lb;
+        let mut bases: Vec<Vec<i64>> = Vec::with_capacity(stmts.len());
+        for (_, cas) in stmts {
+            bases.push(
+                cas.iter()
+                    .map(|ca| {
+                        let mut o = ca.constant;
+                        for (v, &c) in ca.coeffs.iter().enumerate() {
+                            o += c * iters[v];
+                        }
+                        o
+                    })
+                    .collect(),
+            );
+        }
+        for step in 0..(ub - lb).max(0) {
+            for ((flops, cas), base) in stmts.iter().zip(&bases) {
+                if *flops > 0 {
+                    sink.flops(*flops);
+                }
+                for (ca, &b) in cas.iter().zip(base) {
+                    let off = b + ca.coeffs[depth] * step;
+                    debug_assert!(off >= 0, "negative offset in `{}`", kernel.name);
+                    sink.access(AccessEvent {
+                        array: ca.array,
+                        offset: off as u64,
+                        bytes: ca.bytes,
+                        is_write: ca.is_write,
+                    });
+                }
+            }
+        }
+    } else {
+        for i in lb..ub {
+            iters[depth] = i;
+            walk(kernel, stmts, iters, depth + 1, sink);
+        }
+    }
+}
+
+/// Interprets every kernel of a program in order.
+pub fn interpret_program(program: &AffineProgram, sink: &mut impl TraceSink) {
+    for k in &program.kernels {
+        interpret_kernel(program, k, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::{Access, AffineKernel, Bound, Loop, Statement};
+    use crate::types::ElemType;
+    use polyufc_presburger::LinExpr;
+
+    /// A recording sink for order-sensitive assertions.
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<AccessEvent>,
+        flops: u64,
+    }
+
+    impl TraceSink for Recorder {
+        fn access(&mut self, ev: AccessEvent) {
+            self.events.push(ev);
+        }
+        fn flops(&mut self, n: u64) {
+            self.flops += n;
+        }
+    }
+
+    fn matmul_program(m: usize, n: usize, k: usize) -> AffineProgram {
+        let mut p = AffineProgram::new("mm");
+        let a = p.add_array("A", vec![m, k], ElemType::F64);
+        let b = p.add_array("B", vec![k, n], ElemType::F64);
+        let c = p.add_array("C", vec![m, n], ElemType::F64);
+        let (vi, vj, vk) = (LinExpr::var(0), LinExpr::var(1), LinExpr::var(2));
+        p.kernels.push(AffineKernel {
+            name: "mm".into(),
+            loops: vec![Loop::range(m as i64), Loop::range(n as i64), Loop::range(k as i64)],
+            statements: vec![Statement {
+                name: "S0".into(),
+                accesses: vec![
+                    Access::read(a, vec![vi.clone(), vk.clone()]),
+                    Access::read(b, vec![vk, vj.clone()]),
+                    Access::read(c, vec![vi.clone(), vj.clone()]),
+                    Access::write(c, vec![vi, vj]),
+                ],
+                flops: 2,
+            }],
+        });
+        p
+    }
+
+    #[test]
+    fn matmul_event_counts() {
+        let p = matmul_program(3, 4, 5);
+        let mut st = TraceStats::default();
+        interpret_program(&p, &mut st);
+        let pts = 3 * 4 * 5u64;
+        assert_eq!(st.accesses, 4 * pts);
+        assert_eq!(st.reads, 3 * pts);
+        assert_eq!(st.writes, pts);
+        assert_eq!(st.flops, 2 * pts);
+        assert_eq!(st.bytes, 4 * pts * 8);
+    }
+
+    #[test]
+    fn offsets_are_row_major() {
+        let p = matmul_program(2, 2, 2);
+        let mut r = Recorder::default();
+        interpret_kernel(&p, &p.kernels[0], &mut r);
+        // First statement instance (i=0, j=0, k=0): A[0,0], B[0,0], C[0,0].
+        assert_eq!(r.events[0].offset, 0);
+        // Second instance (k=1): A[0,1] offset 1, B[1,0] offset 2.
+        assert_eq!(r.events[4].offset, 1);
+        assert_eq!(r.events[5].offset, 2);
+    }
+
+    #[test]
+    fn trace_matches_domain_size() {
+        let p = matmul_program(7, 3, 9);
+        let mut st = TraceStats::default();
+        interpret_program(&p, &mut st);
+        let dom = p.kernels[0].domain_size().unwrap() as u64;
+        assert_eq!(st.flops, 2 * dom);
+    }
+
+    #[test]
+    fn triangular_bounds_respected() {
+        // for i in 0..4 { for j in 0..=i { read A[i][j] } }
+        let mut p = AffineProgram::new("tri");
+        let a = p.add_array("A", vec![4, 4], ElemType::F32);
+        p.kernels.push(AffineKernel {
+            name: "tri".into(),
+            loops: vec![
+                Loop::range(4),
+                Loop::new(Bound::constant(0), Bound::expr(LinExpr::var(0) + LinExpr::constant(1))),
+            ],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![Access::read(a, vec![LinExpr::var(0), LinExpr::var(1)])],
+                flops: 1,
+            }],
+        });
+        let mut st = TraceStats::default();
+        interpret_program(&p, &mut st);
+        assert_eq!(st.accesses, 10);
+        assert_eq!(st.bytes, 40);
+    }
+
+    #[test]
+    fn empty_loop_produces_nothing() {
+        let mut p = AffineProgram::new("empty");
+        let _ = p.add_array("A", vec![1], ElemType::F64);
+        p.kernels.push(AffineKernel {
+            name: "e".into(),
+            loops: vec![Loop::range(0)],
+            statements: vec![Statement { name: "S".into(), accesses: vec![], flops: 1 }],
+        });
+        let mut st = TraceStats::default();
+        interpret_program(&p, &mut st);
+        assert_eq!(st.flops, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Dialect lowerings: tensor → linalg (the torch-mlir / polygeist stand-in)
+//! and the affine → scf finalization.
+//!
+//! The sdpa decomposition follows the phase structure the paper reports for
+//! BERT (Fig. 5): a compute-bound `Q·Kᵀ` matmul, a run of **seven**
+//! bandwidth-bound ops (row-max, broadcast, subtract, exp, row-sum,
+//! broadcast, divide), and a final compute-bound `P·V` matmul. The 1/√d
+//! scale is fused into the first matmul, matching common lowering practice.
+
+use crate::linalg::{LinalgOp, LinalgProgram};
+use crate::scf::{ScfOp, ScfProgram};
+use crate::tensor::{TensorGraph, TensorOpKind};
+use crate::types::ElemType;
+use crate::AffineProgram;
+
+/// Lowers a tensor graph to a linalg program.
+///
+/// Buffer shapes are derived from the op kinds; intermediate buffers are
+/// declared on first use. Outputs are assumed pre-zeroed (no `linalg.fill`
+/// ops are emitted for accumulator initialization).
+///
+/// # Panics
+///
+/// Panics if an op's buffer names collide with incompatible shapes.
+pub fn lower_tensor_to_linalg(graph: &TensorGraph, elem: ElemType) -> LinalgProgram {
+    let mut lp = LinalgProgram::new(graph.name.clone(), elem);
+    for op in &graph.ops {
+        match &op.kind {
+            TensorOpKind::MatMul { m, n, k } => {
+                let (a, b) = (&op.inputs[0], &op.inputs[1]);
+                lp.buffer(a, &[*m, *k]).buffer(b, &[*k, *n]).buffer(&op.output, &[*m, *n]);
+                lp.push(LinalgOp::matmul(op.name.clone(), a, b, &op.output, *m, *n, *k, false));
+            }
+            TensorOpKind::Conv2d { n, c, h, w, f, kh, kw, stride } => {
+                let (i, wts) = (&op.inputs[0], &op.inputs[1]);
+                let oh = (h - kh) / stride + 1;
+                let ow = (w - kw) / stride + 1;
+                lp.buffer(i, &[*n, *c, *h, *w])
+                    .buffer(wts, &[*f, *c, *kh, *kw])
+                    .buffer(&op.output, &[*n, *f, oh, ow]);
+                lp.push(LinalgOp::conv2d_nchw_fchw(
+                    op.name.clone(),
+                    i,
+                    wts,
+                    &op.output,
+                    *n,
+                    *c,
+                    *h,
+                    *w,
+                    *f,
+                    *kh,
+                    *kw,
+                    *stride,
+                ));
+            }
+            TensorOpKind::Softmax { dims } => {
+                let x = &op.inputs[0];
+                let red: Vec<usize> = dims[..dims.len() - 1].to_vec();
+                let mx = format!("{}_max", op.name);
+                let bmx = format!("{}_bmax", op.name);
+                let e = format!("{}_exp", op.name);
+                let z = format!("{}_sum", op.name);
+                let bz = format!("{}_bsum", op.name);
+                lp.buffer(x, dims)
+                    .buffer(&mx, &red)
+                    .buffer(&bmx, dims)
+                    .buffer(&e, dims)
+                    .buffer(&z, &red)
+                    .buffer(&bz, dims)
+                    .buffer(&op.output, dims);
+                lp.push(LinalgOp::reduce(format!("{}_rmax", op.name), x, &mx, dims));
+                lp.push(LinalgOp::broadcast(format!("{}_bcast_max", op.name), &mx, &bmx, dims));
+                lp.push(LinalgOp::elementwise(
+                    format!("{}_sub", op.name),
+                    &[x, &bmx],
+                    &e,
+                    dims,
+                    1,
+                ));
+                lp.push(LinalgOp::elementwise(format!("{}_exp", op.name), &[&e], &e, dims, 1));
+                lp.push(LinalgOp::reduce(format!("{}_rsum", op.name), &e, &z, dims));
+                lp.push(LinalgOp::broadcast(format!("{}_bcast_sum", op.name), &z, &bz, dims));
+                lp.push(LinalgOp::elementwise(
+                    format!("{}_div", op.name),
+                    &[&e, &bz],
+                    &op.output,
+                    dims,
+                    1,
+                ));
+            }
+            TensorOpKind::Sdpa { b, h, s, d } => {
+                let bh = b * h;
+                let (q, k, v) = (&op.inputs[0], &op.inputs[1], &op.inputs[2]);
+                let scores = format!("{}_scores", op.name);
+                let probs = format!("{}_probs", op.name);
+                lp.buffer(q, &[bh, *s, *d])
+                    .buffer(k, &[bh, *s, *d])
+                    .buffer(v, &[bh, *s, *d])
+                    .buffer(&scores, &[bh, *s, *s])
+                    .buffer(&probs, &[bh, *s, *s])
+                    .buffer(&op.output, &[bh, *s, *d]);
+                // CB: scaled Q·Kᵀ.
+                lp.push(LinalgOp::batch_matmul_bt(
+                    format!("{}_qk", op.name),
+                    q,
+                    k,
+                    &scores,
+                    bh,
+                    *s,
+                    *s,
+                    *d,
+                    true,
+                ));
+                // BB*: softmax over rows of the score matrix (7 ops).
+                let sm_dims = vec![bh, *s, *s];
+                let red: Vec<usize> = vec![bh, *s];
+                let mx = format!("{}_max", op.name);
+                let bmx = format!("{}_bmax", op.name);
+                let e = format!("{}_exp", op.name);
+                let z = format!("{}_sum", op.name);
+                let bz = format!("{}_bsum", op.name);
+                lp.buffer(&mx, &red)
+                    .buffer(&bmx, &sm_dims)
+                    .buffer(&e, &sm_dims)
+                    .buffer(&z, &red)
+                    .buffer(&bz, &sm_dims);
+                lp.push(LinalgOp::reduce(format!("{}_rmax", op.name), &scores, &mx, &sm_dims));
+                lp.push(LinalgOp::broadcast(format!("{}_bcast_max", op.name), &mx, &bmx, &sm_dims));
+                lp.push(LinalgOp::elementwise(
+                    format!("{}_sub", op.name),
+                    &[&scores, &bmx],
+                    &e,
+                    &sm_dims,
+                    1,
+                ));
+                lp.push(LinalgOp::elementwise(format!("{}_expf", op.name), &[&e], &e, &sm_dims, 1));
+                lp.push(LinalgOp::reduce(format!("{}_rsum", op.name), &e, &z, &sm_dims));
+                lp.push(LinalgOp::broadcast(format!("{}_bcast_sum", op.name), &z, &bz, &sm_dims));
+                lp.push(LinalgOp::elementwise(
+                    format!("{}_div", op.name),
+                    &[&e, &bz],
+                    &probs,
+                    &sm_dims,
+                    1,
+                ));
+                // CB: P·V.
+                lp.push(LinalgOp::batch_matmul(
+                    format!("{}_pv", op.name),
+                    &probs,
+                    v,
+                    &op.output,
+                    bh,
+                    *s,
+                    *d,
+                    *s,
+                    false,
+                ));
+            }
+            TensorOpKind::Add { dims } => {
+                let (a, b) = (&op.inputs[0], &op.inputs[1]);
+                lp.buffer(a, dims).buffer(b, dims).buffer(&op.output, dims);
+                lp.push(LinalgOp::elementwise(op.name.clone(), &[a, b], &op.output, dims, 1));
+            }
+            TensorOpKind::Relu { dims } => {
+                let a = &op.inputs[0];
+                lp.buffer(a, dims).buffer(&op.output, dims);
+                lp.push(LinalgOp::elementwise(op.name.clone(), &[a], &op.output, dims, 1));
+            }
+        }
+    }
+    lp
+}
+
+/// Final lowering: wraps an affine program as an scf program (kernels in
+/// order, no caps yet — PolyUFC's capping pass inserts them).
+pub fn lower_affine_to_scf(p: &AffineProgram) -> ScfProgram {
+    ScfProgram {
+        name: p.name.clone(),
+        arrays: p.arrays.clone(),
+        ops: p.kernels.iter().map(|k| ScfOp::Kernel(k.clone())).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::TensorOp;
+    use crate::LinalgKind;
+
+    fn sdpa_graph() -> TensorGraph {
+        let mut g = TensorGraph::new("bert_sdpa");
+        g.push(TensorOp {
+            name: "sdpa".into(),
+            kind: TensorOpKind::Sdpa { b: 2, h: 12, s: 128, d: 64 },
+            inputs: vec!["Q".into(), "K".into(), "V".into()],
+            output: "O".into(),
+        });
+        g
+    }
+
+    #[test]
+    fn sdpa_decomposes_cb_bb7_cb() {
+        let lp = lower_tensor_to_linalg(&sdpa_graph(), ElemType::F32);
+        assert_eq!(lp.ops.len(), 9, "matmul + 7 + matmul");
+        assert_eq!(lp.ops[0].kind, LinalgKind::BatchMatmul);
+        assert_eq!(lp.ops[8].kind, LinalgKind::BatchMatmul);
+        for mid in &lp.ops[1..8] {
+            assert_ne!(mid.kind, LinalgKind::BatchMatmul);
+        }
+    }
+
+    #[test]
+    fn sdpa_lowers_to_affine_validly() {
+        let lp = lower_tensor_to_linalg(&sdpa_graph(), ElemType::F32);
+        let ap = lp.lower_to_affine();
+        assert!(ap.validate().is_ok());
+        assert_eq!(ap.kernels.len(), 9);
+        // Q·Kᵀ flop count: bh*s*s*d*3 (scaled).
+        assert_eq!(ap.kernels[0].total_flops().unwrap(), 24 * 128 * 128 * 64 * 3);
+    }
+
+    #[test]
+    fn softmax_is_seven_ops() {
+        let mut g = TensorGraph::new("sm");
+        g.push(TensorOp {
+            name: "sm".into(),
+            kind: TensorOpKind::Softmax { dims: vec![8, 16] },
+            inputs: vec!["X".into()],
+            output: "Y".into(),
+        });
+        let lp = lower_tensor_to_linalg(&g, ElemType::F32);
+        assert_eq!(lp.ops.len(), 7);
+    }
+
+    #[test]
+    fn matmul_and_conv_lower() {
+        let mut g = TensorGraph::new("mix");
+        g.push(TensorOp {
+            name: "lm_head".into(),
+            kind: TensorOpKind::MatMul { m: 4, n: 50257, k: 768 },
+            inputs: vec!["X".into(), "W".into()],
+            output: "Y".into(),
+        });
+        g.push(TensorOp {
+            name: "conv1".into(),
+            kind: TensorOpKind::Conv2d { n: 1, c: 3, h: 224, w: 224, f: 64, kh: 11, kw: 11, stride: 4 },
+            inputs: vec!["I".into(), "F".into()],
+            output: "O".into(),
+        });
+        let lp = lower_tensor_to_linalg(&g, ElemType::F32);
+        assert_eq!(lp.ops.len(), 2);
+        let ap = lp.lower_to_affine();
+        assert!(ap.validate().is_ok());
+        let scf = lower_affine_to_scf(&ap);
+        assert_eq!(scf.ops.len(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! The scf dialect: the lowered output program — affine kernels
+//! interleaved with `set_uncore_cap` runtime calls, ready for "execution"
+//! on the machine model.
+
+use std::fmt;
+
+use crate::affine::{AffineKernel, ArrayDecl};
+
+/// One operation of an scf program.
+#[derive(Debug, Clone)]
+pub enum ScfOp {
+    /// Runtime call `func.call @set_uncore_cap(mhz)`. Uses MHz so the
+    /// paper's 0.1 GHz search granularity is exactly representable.
+    SetUncoreCap {
+        /// Requested uncore frequency cap in MHz.
+        mhz: u32,
+    },
+    /// Execution of one affine kernel.
+    Kernel(AffineKernel),
+}
+
+/// The lowered program: a sequence of cap calls and kernels over a shared
+/// array table.
+#[derive(Debug, Clone, Default)]
+pub struct ScfProgram {
+    /// Program name.
+    pub name: String,
+    /// Array symbol table (shared with the originating affine program).
+    pub arrays: Vec<ArrayDecl>,
+    /// Operations in execution order.
+    pub ops: Vec<ScfOp>,
+}
+
+impl ScfProgram {
+    /// Number of `set_uncore_cap` calls.
+    pub fn cap_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, ScfOp::SetUncoreCap { .. })).count()
+    }
+
+    /// Number of kernels.
+    pub fn kernel_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, ScfOp::Kernel(_))).count()
+    }
+
+    /// Iterator over `(cap in effect, kernel)` pairs, tracking the most
+    /// recent cap call (`None` before the first call).
+    pub fn kernels_with_caps(&self) -> Vec<(Option<u32>, &AffineKernel)> {
+        let mut cap = None;
+        let mut out = Vec::new();
+        for op in &self.ops {
+            match op {
+                ScfOp::SetUncoreCap { mhz } => cap = Some(*mhz),
+                ScfOp::Kernel(k) => out.push((cap, k)),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ScfProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// scf program `{}`", self.name)?;
+        for op in &self.ops {
+            match op {
+                ScfOp::SetUncoreCap { mhz } => {
+                    writeln!(f, "func.call @set_uncore_cap({mhz} : MHz)")?;
+                }
+                ScfOp::Kernel(k) => {
+                    writeln!(f, "scf.execute @{} // depth {}", k.name, k.depth())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Loop;
+
+    fn kernel(name: &str) -> AffineKernel {
+        AffineKernel { name: name.into(), loops: vec![Loop::range(4)], statements: vec![] }
+    }
+
+    #[test]
+    fn caps_track_kernels() {
+        let p = ScfProgram {
+            name: "t".into(),
+            arrays: vec![],
+            ops: vec![
+                ScfOp::SetUncoreCap { mhz: 1200 },
+                ScfOp::Kernel(kernel("a")),
+                ScfOp::Kernel(kernel("b")),
+                ScfOp::SetUncoreCap { mhz: 2800 },
+                ScfOp::Kernel(kernel("c")),
+            ],
+        };
+        assert_eq!(p.cap_count(), 2);
+        assert_eq!(p.kernel_count(), 3);
+        let kc = p.kernels_with_caps();
+        assert_eq!(kc[0].0, Some(1200));
+        assert_eq!(kc[1].0, Some(1200));
+        assert_eq!(kc[2].0, Some(2800));
+        assert!(p.to_string().contains("set_uncore_cap(1200"));
+    }
+}

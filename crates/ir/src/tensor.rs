@@ -1,0 +1,150 @@
+//! The tensor dialect: the torch stand-in. High-level ops on named
+//! tensors, lowered to linalg by [`crate::lower`].
+
+use std::fmt;
+
+/// High-level tensor operations with their shape parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorOpKind {
+    /// `C[m,n] = A[m,k] @ B[k,n]` — e.g. an LM-head matmul.
+    MatMul {
+        /// Rows of the output.
+        m: usize,
+        /// Columns of the output.
+        n: usize,
+        /// Contraction size.
+        k: usize,
+    },
+    /// 2-D convolution (nchw input, fchw weights, no padding).
+    Conv2d {
+        /// Batch.
+        n: usize,
+        /// Input channels.
+        c: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Output channels (filters).
+        f: usize,
+        /// Kernel height.
+        kh: usize,
+        /// Kernel width.
+        kw: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Softmax over the innermost axis.
+    Softmax {
+        /// Tensor shape.
+        dims: Vec<usize>,
+    },
+    /// Scaled dot-product attention over fused batch·heads.
+    Sdpa {
+        /// Batch size.
+        b: usize,
+        /// Number of heads.
+        h: usize,
+        /// Sequence length.
+        s: usize,
+        /// Head dimension.
+        d: usize,
+    },
+    /// Pointwise addition of two tensors.
+    Add {
+        /// Tensor shape.
+        dims: Vec<usize>,
+    },
+    /// Pointwise ReLU.
+    Relu {
+        /// Tensor shape.
+        dims: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorOpKind::MatMul { m, n, k } => write!(f, "torch.matmul({m}x{k}, {k}x{n})"),
+            TensorOpKind::Conv2d { n, c, h, w, f: fo, kh, kw, stride } => {
+                write!(f, "torch.conv2d({n}x{c}x{h}x{w}, {fo}x{c}x{kh}x{kw}, stride={stride})")
+            }
+            TensorOpKind::Softmax { dims } => write!(f, "torch.softmax(dims={dims:?})"),
+            TensorOpKind::Sdpa { b, h, s, d } => write!(f, "torch.sdpa({b}x{h}x{s}x{d})"),
+            TensorOpKind::Add { dims } => write!(f, "torch.add(dims={dims:?})"),
+            TensorOpKind::Relu { dims } => write!(f, "torch.relu(dims={dims:?})"),
+        }
+    }
+}
+
+/// One tensor-dialect operation instance. Input/output buffer names tie
+/// ops together; shapes are implied by the kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorOp {
+    /// Instance name.
+    pub name: String,
+    /// Operation and shapes.
+    pub kind: TensorOpKind,
+    /// Input buffer names (arity depends on the kind).
+    pub inputs: Vec<String>,
+    /// Output buffer name.
+    pub output: String,
+}
+
+/// A straight-line graph of tensor ops (the torch-level module).
+#[derive(Debug, Clone, Default)]
+pub struct TensorGraph {
+    /// Graph name (e.g. the model it came from).
+    pub name: String,
+    /// Ops in execution order.
+    pub ops: Vec<TensorOp>,
+}
+
+impl TensorGraph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        TensorGraph { name: name.into(), ops: Vec::new() }
+    }
+
+    /// Appends an op.
+    pub fn push(&mut self, op: TensorOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+}
+
+impl fmt::Display for TensorGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// tensor graph `{}`", self.name)?;
+        for op in &self.ops {
+            writeln!(
+                f,
+                "%{} = {} ({}) -> %{}",
+                op.name,
+                op.kind,
+                op.inputs.join(", "),
+                op.output
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_builds_and_prints() {
+        let mut g = TensorGraph::new("demo");
+        g.push(TensorOp {
+            name: "mm".into(),
+            kind: TensorOpKind::MatMul { m: 4, n: 5, k: 6 },
+            inputs: vec!["A".into(), "B".into()],
+            output: "C".into(),
+        });
+        let s = g.to_string();
+        assert!(s.contains("torch.matmul"));
+        assert_eq!(g.ops.len(), 1);
+    }
+}

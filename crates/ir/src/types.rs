@@ -1,0 +1,65 @@
+//! Shared element and identifier types.
+
+use std::fmt;
+
+/// Scalar element type of an array or tensor.
+///
+/// PolyUFC uses a unitary flop model (paper footnote 13): all arithmetic
+/// ops count as one flop regardless of type; the element type only affects
+/// byte traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ElemType {
+    /// 32-bit float.
+    F32,
+    /// 64-bit float (the PolyBench default).
+    #[default]
+    F64,
+}
+
+impl ElemType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            ElemType::F32 => 4,
+            ElemType::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemType::F32 => write!(f, "f32"),
+            ElemType::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+/// Identifier of an array within an [`crate::AffineProgram`]'s symbol
+/// table (index into the declaration list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_sizes() {
+        assert_eq!(ElemType::F32.size_bytes(), 4);
+        assert_eq!(ElemType::F64.size_bytes(), 8);
+        assert_eq!(ElemType::default(), ElemType::F64);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ElemType::F32.to_string(), "f32");
+        assert_eq!(ArrayId(3).to_string(), "@3");
+    }
+}

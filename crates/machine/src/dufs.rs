@@ -1,0 +1,177 @@
+//! A dynamic uncore frequency scaling (DUFS) governor — the reactive
+//! runtime alternative PolyUFC is compared against conceptually (duf,
+//! UPScavenger, and the OS governors of the related work, Sec. VIII).
+//!
+//! The governor samples memory utilization once per control period and
+//! steps the uncore frequency up when the memory subsystem is saturated,
+//! down when it idles. Its weakness is exactly what the paper exploits:
+//! control-loop latency. Kernels shorter than a few periods finish before
+//! the governor converges, and phase changes are chased instead of
+//! anticipated — while PolyUFC sets the right frequency *before* the
+//! kernel starts.
+
+use crate::exec::{ExecutionEngine, KernelCounters, RunResult};
+use crate::rapl::EnergyBreakdown;
+
+/// A reactive uncore governor.
+#[derive(Debug, Clone, Copy)]
+pub struct DufsGovernor {
+    /// Control-loop period in seconds (OS governors: milliseconds).
+    pub period_s: f64,
+    /// Frequency step per decision, GHz.
+    pub step_ghz: f64,
+    /// Raise the frequency when memory utilization exceeds this.
+    pub up_threshold: f64,
+    /// Lower it when utilization falls below this.
+    pub down_threshold: f64,
+}
+
+impl Default for DufsGovernor {
+    fn default() -> Self {
+        DufsGovernor { period_s: 2e-3, step_ghz: 0.2, up_threshold: 0.85, down_threshold: 0.45 }
+    }
+}
+
+impl DufsGovernor {
+    /// Runs a kernel sequence under the governor, starting from the given
+    /// uncore frequency (carried across kernels, like real hardware).
+    /// Returns the run result and the final frequency.
+    pub fn run(
+        &self,
+        engine: &ExecutionEngine,
+        counters: &[KernelCounters],
+        start_ghz: f64,
+    ) -> (RunResult, f64) {
+        let plat = &engine.platform;
+        let mut f = plat.clamp_uncore(start_ghz);
+        let mut time = 0.0;
+        let mut energy = EnergyBreakdown::default();
+        let mut weighted_f = 0.0;
+        for c in counters {
+            // Work is divisible: at frequency f the kernel proceeds at
+            // rate 1/time(f) per second. Each control period consumes a
+            // slice and may change f.
+            let mut remaining = 1.0f64;
+            let mut guard = 0;
+            while remaining > 1e-12 && guard < 100_000 {
+                guard += 1;
+                let full = engine.run_kernel(c, f);
+                let slice = (self.period_s / full.time_s).min(remaining);
+                let dt = slice * full.time_s;
+                time += dt;
+                weighted_f += f * dt;
+                let scale = dt / full.time_s;
+                energy.static_j += full.energy.static_j * scale;
+                energy.core_j += full.energy.core_j * scale;
+                energy.uncore_j += full.energy.uncore_j * scale;
+                energy.dram_j += full.energy.dram_j * scale;
+                remaining -= slice;
+                if remaining <= 1e-12 {
+                    break;
+                }
+                // Utilization estimate the governor would see: memory time
+                // share at the current frequency.
+                let util = memory_utilization(engine, c, f);
+                if util > self.up_threshold {
+                    f = plat.clamp_uncore(f + self.step_ghz);
+                } else if util < self.down_threshold {
+                    f = plat.clamp_uncore(f - self.step_ghz);
+                }
+            }
+        }
+        (
+            RunResult {
+                time_s: time,
+                energy,
+                avg_power_w: energy.total() / time.max(1e-12),
+                uncore_ghz: if time > 0.0 { weighted_f / time } else { f },
+            },
+            f,
+        )
+    }
+}
+
+/// Memory-time share of a kernel at a frequency (what an uncore governor
+/// infers from its occupancy counters).
+fn memory_utilization(engine: &ExecutionEngine, c: &KernelCounters, f: f64) -> f64 {
+    let p = &engine.platform;
+    let cores = if c.parallel { p.cores } else { 1 };
+    let t_comp = c.flops as f64 / p.peak_flops(cores).max(1.0);
+    let dram_bytes = (c.dram_fills + c.dram_writebacks) as f64 * c.line_bytes as f64;
+    let t_bw = dram_bytes / p.dram_bandwidth(f);
+    let n = c.hits.len();
+    let llc_hits = if n >= 1 { c.hits[n - 1] as f64 } else { 0.0 };
+    let t_lat = (c.dram_fills as f64 * p.dram_latency_s(f) + llc_hits * p.llc_latency_s(f))
+        / (p.mlp * cores as f64);
+    let t_mem = t_bw.max(t_lat);
+    (t_mem / t_comp.max(t_mem).max(1e-15)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::measure_kernel;
+    use crate::platform::Platform;
+    use polyufc_ir::affine::{Access, AffineKernel, AffineProgram, Loop, Statement};
+    use polyufc_ir::types::ElemType;
+    use polyufc_presburger::LinExpr;
+
+    fn stream(n: usize) -> (AffineProgram, AffineKernel) {
+        let mut p = AffineProgram::new("s");
+        let a = p.add_array("A", vec![n], ElemType::F64);
+        let b = p.add_array("B", vec![n], ElemType::F64);
+        let mut l = Loop::range(n as i64);
+        l.parallel = true;
+        let k = AffineKernel {
+            name: "s".into(),
+            loops: vec![l],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![
+                    Access::read(a, vec![LinExpr::var(0)]),
+                    Access::write(b, vec![LinExpr::var(0)]),
+                ],
+                flops: 1,
+            }],
+        };
+        p.kernels.push(k.clone());
+        (p, k)
+    }
+
+    #[test]
+    fn governor_ramps_up_for_bandwidth_bound_work() {
+        let (p, k) = stream(8_000_000);
+        let plat = Platform::broadwell();
+        let c = measure_kernel(&plat, &p, &k);
+        let eng = ExecutionEngine::noiseless(plat.clone());
+        let gov = DufsGovernor { period_s: 1e-4, ..Default::default() };
+        let (_, f_end) = gov.run(&eng, std::slice::from_ref(&c), plat.uncore_min_ghz);
+        assert!(f_end > plat.uncore_min_ghz + 0.3, "governor should ramp up, ended at {f_end}");
+    }
+
+    #[test]
+    fn short_kernels_suffer_control_latency() {
+        // A kernel much shorter than the control period runs entirely at
+        // the stale starting frequency.
+        let (p, k) = stream(100_000);
+        let plat = Platform::broadwell();
+        let c = measure_kernel(&plat, &p, &k);
+        let eng = ExecutionEngine::noiseless(plat.clone());
+        let gov = DufsGovernor::default(); // 2 ms period
+        let (run, f_end) = gov.run(&eng, std::slice::from_ref(&c), plat.uncore_min_ghz);
+        let fast = eng.run_kernel(&c, plat.uncore_max_ghz);
+        assert!((f_end - plat.uncore_min_ghz).abs() < 1e-9, "no time to react");
+        assert!(run.time_s > fast.time_s * 1.5, "stale frequency must cost time");
+    }
+
+    #[test]
+    fn energy_accounting_consistent() {
+        let (p, k) = stream(2_000_000);
+        let plat = Platform::broadwell();
+        let c = measure_kernel(&plat, &p, &k);
+        let eng = ExecutionEngine::noiseless(plat.clone());
+        let (run, _) = DufsGovernor::default().run(&eng, std::slice::from_ref(&c), 2.0);
+        assert!(run.energy.total() > 0.0);
+        assert!((run.avg_power_w - run.energy.total() / run.time_s).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! RAPL-style energy accounting with per-zone readings.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy consumed by one run, split into RAPL-like zones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Static/constant energy (`p_con · T`).
+    pub static_j: f64,
+    /// Core dynamic energy (flops plus active-core power).
+    pub core_j: f64,
+    /// Uncore energy (LLC, memory controller, interconnect).
+    pub uncore_j: f64,
+    /// DRAM energy.
+    pub dram_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total package + DRAM energy.
+    pub fn total(&self) -> f64 {
+        self.static_j + self.core_j + self.uncore_j + self.dram_j
+    }
+
+    /// What a RAPL read reports on a platform: `(package, uncore zone)` —
+    /// the uncore zone is `None` when the platform does not expose one
+    /// (BDW, paper footnote 15), in which case only total package energy
+    /// is observable.
+    pub fn rapl_read(&self, has_uncore_zone: bool) -> (f64, Option<f64>) {
+        let pkg = self.total();
+        (pkg, has_uncore_zone.then_some(self.uncore_j))
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            static_j: self.static_j + other.static_j,
+            core_j: self.core_j + other.core_j,
+            uncore_j: self.uncore_j + other.uncore_j,
+            dram_j: self.dram_j + other.dram_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_zones() {
+        let e = EnergyBreakdown { static_j: 1.0, core_j: 2.0, uncore_j: 3.0, dram_j: 4.0 };
+        assert_eq!(e.total(), 10.0);
+        assert_eq!(e.rapl_read(true), (10.0, Some(3.0)));
+        assert_eq!(e.rapl_read(false), (10.0, None));
+        let s = e.add(&e);
+        assert_eq!(s.total(), 20.0);
+    }
+}

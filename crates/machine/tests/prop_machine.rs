@@ -1,0 +1,98 @@
+//! Property tests of the machine model: physical sanity of time/energy
+//! across the uncore range for arbitrary counter signatures.
+
+use proptest::prelude::*;
+
+use polyufc_machine::{ExecutionEngine, KernelCounters, Platform};
+
+fn arb_counters() -> impl Strategy<Value = KernelCounters> {
+    (
+        1u64..10_000_000_000,
+        0u64..100_000_000,
+        0u64..50_000_000,
+        0u64..10_000_000,
+        any::<bool>(),
+    )
+        .prop_map(|(flops, l1_hits, llc_hits, fills, parallel)| KernelCounters {
+            name: "prop".into(),
+            flops,
+            accesses: l1_hits + llc_hits + fills,
+            hits: vec![l1_hits, 0, llc_hits],
+            misses: vec![llc_hits + fills, llc_hits + fills, fills],
+            dram_fills: fills,
+            dram_writebacks: fills / 4,
+            line_bytes: 64,
+            parallel,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn time_never_increases_with_uncore_frequency(c in arb_counters()) {
+        for plat in Platform::all() {
+            let eng = ExecutionEngine::noiseless(plat.clone());
+            let freqs = plat.uncore_freqs();
+            let mut prev = f64::INFINITY;
+            for &f in &freqs {
+                let t = eng.run_kernel(&c, f).time_s;
+                prop_assert!(t <= prev * (1.0 + 1e-9), "time rose from {prev} to {t} at {f}");
+                prop_assert!(t > 0.0);
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn energy_and_power_positive_and_consistent(c in arb_counters()) {
+        let plat = Platform::broadwell();
+        let eng = ExecutionEngine::noiseless(plat.clone());
+        for &f in &[1.2, 2.0, 2.8] {
+            let r = eng.run_kernel(&c, f);
+            prop_assert!(r.energy.total() > 0.0);
+            prop_assert!(r.avg_power_w > 0.0);
+            let p = r.energy.total() / r.time_s;
+            prop_assert!((p - r.avg_power_w).abs() / p < 1e-9);
+            // Package power within physical bounds of the platform.
+            prop_assert!(r.avg_power_w < 500.0, "implausible power {}", r.avg_power_w);
+            // EDP = E * T.
+            prop_assert!((r.edp() - r.energy.total() * r.time_s).abs() <= r.edp() * 1e-12);
+        }
+    }
+
+    #[test]
+    fn uncore_energy_rises_with_frequency_when_time_is_flat(flops in 1u64..1_000_000_000) {
+        // A pure-compute kernel: time is uncore-independent, so uncore
+        // energy must be strictly increasing in f.
+        let c = KernelCounters {
+            name: "flops".into(),
+            flops,
+            accesses: 0,
+            hits: vec![0, 0, 0],
+            misses: vec![0, 0, 0],
+            dram_fills: 0,
+            dram_writebacks: 0,
+            line_bytes: 64,
+            parallel: true,
+        };
+        let plat = Platform::raptor_lake();
+        let eng = ExecutionEngine::noiseless(plat.clone());
+        let lo = eng.run_kernel(&c, plat.uncore_min_ghz);
+        let hi = eng.run_kernel(&c, plat.uncore_max_ghz);
+        prop_assert!((lo.time_s - hi.time_s).abs() < lo.time_s * 1e-9);
+        prop_assert!(hi.energy.uncore_j > lo.energy.uncore_j);
+    }
+
+    #[test]
+    fn clamping_total(f in -5.0f64..20.0) {
+        for plat in Platform::all() {
+            let g = plat.clamp_uncore(f);
+            prop_assert!(g >= plat.uncore_min_ghz - 1e-9);
+            prop_assert!(g <= plat.uncore_max_ghz + 1e-9);
+            // Quantized to the step grid.
+            let steps = g / plat.uncore_step_ghz;
+            prop_assert!((steps - steps.round()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Polyhedral dependence analysis: dependence relations between accesses
+//! of a kernel, their distance (delta) sets, and the permutability /
+//! parallelism queries that drive tiling and parallelization.
+
+use polyufc_ir::affine::AffineKernel;
+use polyufc_presburger::{BasicMap, BasicSet, LinExpr, Map, Set, Space};
+
+/// The delta (dependence distance) sets of one kernel, with convenience
+/// queries. All queries are conservative under solver-budget exhaustion:
+/// an undecidable query is treated as "dependence present".
+#[derive(Debug, Clone)]
+pub struct DepSummary {
+    depth: usize,
+    /// One delta set per dependent access pair (possibly unioned pieces).
+    pub deltas: Vec<Set>,
+    /// Whether any query hit the solver budget (results then conservative).
+    pub budget_exceeded: bool,
+}
+
+/// Builds the dependence summary of a kernel: for every pair of accesses to
+/// the same array with at least one write, the set of iteration-space
+/// distance vectors `i' - i` over pairs `i ≺ i'` (or `i ⪯ i'` when the
+/// source statement precedes the destination statement textually) touching
+/// the same element.
+pub fn analyze_kernel(kernel: &AffineKernel) -> DepSummary {
+    let depth = kernel.depth();
+    let mut summary = DepSummary { depth, deltas: Vec::new(), budget_exceeded: false };
+    if depth == 0 {
+        return summary;
+    }
+    let domain = kernel.domain();
+    let dom_basic = &domain.basics()[0];
+
+    let accesses: Vec<(usize, usize)> = kernel
+        .statements
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| (0..s.accesses.len()).map(move |ai| (si, ai)))
+        .collect();
+
+    for &(si, ai) in &accesses {
+        for &(sj, aj) in &accesses {
+            let a1 = &kernel.statements[si].accesses[ai];
+            let a2 = &kernel.statements[sj].accesses[aj];
+            if a1.array != a2.array || (!a1.is_write && !a2.is_write) {
+                continue;
+            }
+            // Equal-element relation { i -> i' : A1(i) == A2(i') }.
+            let mut rel = BasicMap::universe(Space::map(0, depth, depth));
+            for (e1, e2) in a1.indices.iter().zip(&a2.indices) {
+                // e1 over in-dims (vars 0..depth), e2 shifted to out-dims.
+                let e2s = e2.shift_vars(0, depth);
+                rel.basic_set_mut().add_eq(e2s - e1.clone());
+            }
+            let rel = match rel.intersect_domain(dom_basic).and_then(|r| r.intersect_range(dom_basic))
+            {
+                Ok(r) => r,
+                Err(_) => {
+                    summary.budget_exceeded = true;
+                    continue;
+                }
+            };
+            // Order: strict lexicographic, plus equality when the source
+            // statement textually precedes the destination.
+            let mut order_pieces = polyufc_presburger::lex_lt_map(0, depth);
+            if si < sj {
+                let id = BasicMap::identity(0, depth);
+                order_pieces =
+                    order_pieces.union_disjoint(&Map::from_basic(id)).expect("same space");
+            }
+            for piece in order_pieces.basics() {
+                let combined = match intersect_maps(&rel, piece) {
+                    Some(c) => c,
+                    None => {
+                        summary.budget_exceeded = true;
+                        continue;
+                    }
+                };
+                let delta = combined.deltas();
+                match prune_empty(&delta) {
+                    Some(true) => {}
+                    Some(false) => summary.deltas.push(Set::from_basic(delta)),
+                    None => {
+                        summary.budget_exceeded = true;
+                        summary.deltas.push(Set::from_basic(delta));
+                    }
+                }
+            }
+        }
+    }
+    summary
+}
+
+/// Intersects two basic maps over the same space by merging constraints.
+fn intersect_maps(a: &BasicMap, b: &BasicMap) -> Option<BasicMap> {
+    a.as_basic_set()
+        .intersect(b.as_basic_set())
+        .ok()
+        .map(BasicMap::from_basic_set)
+}
+
+/// `Some(is_empty)` or `None` if undecidable within budget.
+fn prune_empty(b: &BasicSet) -> Option<bool> {
+    b.is_empty().ok()
+}
+
+impl DepSummary {
+    /// Nesting depth of the analyzed kernel.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Whether the kernel carries no dependences at all.
+    pub fn is_dependence_free(&self) -> bool {
+        self.deltas.is_empty() && !self.budget_exceeded
+    }
+
+    /// Whether a delta with `δ_level <= -1` exists in any dependence
+    /// (conservatively `true` on solver failure).
+    pub fn can_be_negative_at(&self, level: usize) -> bool {
+        for s in &self.deltas {
+            let mut probe = BasicSet::universe(s.space().clone());
+            probe.add_ge0(-LinExpr::var(level) - LinExpr::constant(1));
+            match s.intersect(&Set::from_basic(probe)).and_then(|x| x.is_empty()) {
+                Ok(true) => {}
+                _ => return true,
+            }
+        }
+        false
+    }
+
+    /// Whether the full band `0..depth` is fully permutable: every delta is
+    /// component-wise non-negative.
+    pub fn fully_permutable(&self) -> bool {
+        (0..self.depth).all(|d| !self.can_be_negative_at(d))
+    }
+
+    /// Whether loop `level` is parallel: no dependence has
+    /// `δ_0 = .. = δ_{level-1} = 0` and `δ_level != 0`.
+    pub fn loop_parallel(&self, level: usize) -> bool {
+        for s in &self.deltas {
+            for sign in [1i64, -1] {
+                let mut probe = BasicSet::universe(s.space().clone());
+                for d in 0..level {
+                    probe.add_eq(LinExpr::var(d));
+                }
+                probe.add_ge0(LinExpr::var(level) * sign - LinExpr::constant(1));
+                match s.intersect(&Set::from_basic(probe)).and_then(|x| x.is_empty()) {
+                    Ok(true) => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// The most negative value `δ_level` can take, probed down to `-limit`
+    /// (`Some(0)` if it cannot be negative). Returns `None` if undecidable
+    /// or below the probe limit — callers should then give up on skewing.
+    pub fn min_delta_at(&self, level: usize, limit: i64) -> Option<i64> {
+        let mut worst = 0i64;
+        for s in &self.deltas {
+            let mut k = 0i64;
+            loop {
+                let mut probe = BasicSet::universe(s.space().clone());
+                probe.add_ge0(-LinExpr::var(level) - LinExpr::constant(k + 1));
+                match s.intersect(&Set::from_basic(probe)).and_then(|x| x.is_empty()) {
+                    Ok(true) => break,
+                    Ok(false) => {
+                        k += 1;
+                        if k > limit {
+                            return None;
+                        }
+                    }
+                    Err(_) => return None,
+                }
+            }
+            worst = worst.max(k);
+        }
+        Some(-worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyufc_ir::affine::{Access, AffineKernel, AffineProgram, Loop, Statement};
+    use polyufc_ir::types::ElemType;
+
+    fn matmul_kernel() -> AffineKernel {
+        let mut p = AffineProgram::new("mm");
+        let a = p.add_array("A", vec![8, 8], ElemType::F64);
+        let b = p.add_array("B", vec![8, 8], ElemType::F64);
+        let c = p.add_array("C", vec![8, 8], ElemType::F64);
+        let (vi, vj, vk) = (LinExpr::var(0), LinExpr::var(1), LinExpr::var(2));
+        AffineKernel {
+            name: "mm".into(),
+            loops: vec![Loop::range(8), Loop::range(8), Loop::range(8)],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![
+                    Access::read(a, vec![vi.clone(), vk.clone()]),
+                    Access::read(b, vec![vk, vj.clone()]),
+                    Access::read(c, vec![vi.clone(), vj.clone()]),
+                    Access::write(c, vec![vi, vj]),
+                ],
+                flops: 2,
+            }],
+        }
+    }
+
+    /// jacobi-1d-style: `for t { for i { A[i] = f(A[i-1], A[i], A[i+1]) } }`
+    /// (in-place to create the classic (1,-1) dependence).
+    fn stencil_kernel() -> AffineKernel {
+        let mut p = AffineProgram::new("st");
+        let a = p.add_array("A", vec![16], ElemType::F64);
+        let vi = LinExpr::var(1);
+        AffineKernel {
+            name: "st".into(),
+            loops: vec![
+                Loop::range(4),
+                Loop::new(
+                    polyufc_ir::affine::Bound::constant(1),
+                    polyufc_ir::affine::Bound::constant(15),
+                ),
+            ],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![
+                    Access::read(a, vec![vi.clone() - LinExpr::constant(1)]),
+                    Access::read(a, vec![vi.clone()]),
+                    Access::read(a, vec![vi.clone() + LinExpr::constant(1)]),
+                    Access::write(a, vec![vi]),
+                ],
+                flops: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn matmul_permutable_and_parallel() {
+        let d = analyze_kernel(&matmul_kernel());
+        assert!(!d.is_dependence_free()); // C[i][j] reduction on k
+        assert!(d.fully_permutable());
+        assert!(d.loop_parallel(0));
+        assert!(d.loop_parallel(1));
+        assert!(!d.loop_parallel(2)); // reduction loop
+    }
+
+    #[test]
+    fn stencil_not_permutable_needs_skew() {
+        let d = analyze_kernel(&stencil_kernel());
+        assert!(!d.fully_permutable());
+        assert!(d.can_be_negative_at(1));
+        assert!(!d.loop_parallel(0));
+        assert!(!d.loop_parallel(1));
+        assert_eq!(d.min_delta_at(1, 4), Some(-1));
+    }
+
+    #[test]
+    fn independent_copy_is_dependence_free() {
+        let mut p = AffineProgram::new("cp");
+        let a = p.add_array("A", vec![8], ElemType::F64);
+        let b = p.add_array("B", vec![8], ElemType::F64);
+        let k = AffineKernel {
+            name: "cp".into(),
+            loops: vec![Loop::range(8)],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![
+                    Access::read(a, vec![LinExpr::var(0)]),
+                    Access::write(b, vec![LinExpr::var(0)]),
+                ],
+                flops: 0,
+            }],
+        };
+        let d = analyze_kernel(&k);
+        assert!(d.is_dependence_free());
+        assert!(d.loop_parallel(0));
+        assert!(d.fully_permutable());
+    }
+}

@@ -1,0 +1,245 @@
+//! The Pluto-style driver: per-kernel dependence analysis, optional
+//! skewing, legality-checked tiling, and parallel-loop marking.
+
+use std::time::Instant;
+
+use polyufc_ir::affine::{AffineKernel, AffineProgram};
+
+use crate::deps::analyze_kernel;
+use crate::transform::{skew_loop, tile_kernel};
+
+/// Configuration of the optimizer. Defaults match the paper's baseline:
+/// Pluto v0.11.4 with tile size 32, tiling and parallelization on.
+#[derive(Debug, Clone)]
+pub struct PlutoOptimizer {
+    /// Rectangular tile size.
+    pub tile_size: i64,
+    /// Whether to tile permutable bands.
+    pub enable_tiling: bool,
+    /// Whether to mark parallel loops.
+    pub enable_parallel: bool,
+    /// Skip tiling for kernels whose iteration domain is smaller than
+    /// this (tiling tiny kernels only adds loop overhead).
+    pub min_points_to_tile: i128,
+}
+
+impl Default for PlutoOptimizer {
+    fn default() -> Self {
+        PlutoOptimizer {
+            tile_size: 32,
+            enable_tiling: true,
+            enable_parallel: true,
+            min_points_to_tile: 4096,
+        }
+    }
+}
+
+/// What the optimizer did to one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelDecision {
+    /// Kernel name.
+    pub name: String,
+    /// Whether a skew was applied (outer, inner, factor).
+    pub skewed: Option<(usize, usize, i64)>,
+    /// Whether the kernel was tiled.
+    pub tiled: bool,
+    /// Parallel loop indices (in the transformed kernel).
+    pub parallel_loops: Vec<usize>,
+    /// Whether dependence analysis hit its budget (conservative fallback).
+    pub analysis_conservative: bool,
+    /// Wall-clock time spent on this kernel, in microseconds.
+    pub micros: u128,
+}
+
+/// Per-program optimization report (feeds the Table IV compile-time
+/// breakdown).
+#[derive(Debug, Clone, Default)]
+pub struct PlutoReport {
+    /// One decision per kernel, in program order.
+    pub decisions: Vec<KernelDecision>,
+}
+
+impl PlutoReport {
+    /// Total optimizer time in microseconds.
+    pub fn total_micros(&self) -> u128 {
+        self.decisions.iter().map(|d| d.micros).sum()
+    }
+}
+
+impl PlutoOptimizer {
+    /// Optimizes every kernel of a program, returning the transformed
+    /// program and a report of the decisions taken.
+    pub fn optimize(&self, program: &AffineProgram) -> (AffineProgram, PlutoReport) {
+        let mut out = program.clone();
+        let mut report = PlutoReport::default();
+        for k in &mut out.kernels {
+            let started = Instant::now();
+            let (nk, mut dec) = self.optimize_kernel(k);
+            *k = nk;
+            dec.micros = started.elapsed().as_micros();
+            report.decisions.push(dec);
+        }
+        debug_assert_eq!(out.validate(), Ok(()));
+        (out, report)
+    }
+
+    /// Optimizes a single kernel.
+    pub fn optimize_kernel(&self, kernel: &AffineKernel) -> (AffineKernel, KernelDecision) {
+        let mut dec = KernelDecision {
+            name: kernel.name.clone(),
+            skewed: None,
+            tiled: false,
+            parallel_loops: Vec::new(),
+            analysis_conservative: false,
+            micros: 0,
+        };
+        let mut k = kernel.clone();
+        // Clear any pre-existing parallel marks; we recompute from deps.
+        for l in &mut k.loops {
+            l.parallel = false;
+        }
+        let mut deps = analyze_kernel(&k);
+        dec.analysis_conservative = deps.budget_exceeded;
+
+        // Skew to enable tiling if some inner level can be negative.
+        if !deps.fully_permutable() && k.depth() >= 2 {
+            for inner in 1..k.depth() {
+                if deps.can_be_negative_at(inner) {
+                    if let Some(min_d) = deps.min_delta_at(inner, 8) {
+                        if min_d < 0 {
+                            let factor = -min_d;
+                            k = skew_loop(&k, 0, inner, factor);
+                            dec.skewed = Some((0, inner, factor));
+                        }
+                    }
+                }
+            }
+            deps = analyze_kernel(&k);
+            dec.analysis_conservative |= deps.budget_exceeded;
+        }
+
+        // Mark parallel loops on the (possibly skewed) kernel.
+        let parallel: Vec<bool> =
+            (0..k.depth()).map(|d| self.enable_parallel && deps.loop_parallel(d)).collect();
+        for (l, &p) in k.loops.iter_mut().zip(&parallel) {
+            l.parallel = p;
+        }
+
+        // Tile fully permutable bands.
+        let big_enough = k
+            .domain_size()
+            .map(|s| s >= self.min_points_to_tile)
+            .unwrap_or(false);
+        if self.enable_tiling && k.depth() >= 2 && big_enough && deps.fully_permutable() {
+            if let Some(tiled) = tile_kernel(&k, self.tile_size) {
+                k = tiled;
+                dec.tiled = true;
+            }
+        }
+        dec.parallel_loops =
+            k.loops.iter().enumerate().filter(|(_, l)| l.parallel).map(|(i, _)| i).collect();
+        (k, dec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyufc_ir::affine::{Access, Bound, Loop, Statement};
+    use polyufc_ir::types::ElemType;
+    use polyufc_presburger::LinExpr;
+
+    fn matmul_program(n: usize) -> AffineProgram {
+        let mut p = AffineProgram::new("mm");
+        let a = p.add_array("A", vec![n, n], ElemType::F64);
+        let b = p.add_array("B", vec![n, n], ElemType::F64);
+        let c = p.add_array("C", vec![n, n], ElemType::F64);
+        let (vi, vj, vk) = (LinExpr::var(0), LinExpr::var(1), LinExpr::var(2));
+        p.kernels.push(AffineKernel {
+            name: "mm".into(),
+            loops: vec![Loop::range(n as i64); 3],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![
+                    Access::read(a, vec![vi.clone(), vk.clone()]),
+                    Access::read(b, vec![vk, vj.clone()]),
+                    Access::read(c, vec![vi.clone(), vj.clone()]),
+                    Access::write(c, vec![vi, vj]),
+                ],
+                flops: 2,
+            }],
+        });
+        p
+    }
+
+    #[test]
+    fn matmul_gets_tiled_and_parallel() {
+        let p = matmul_program(64);
+        let (opt, report) = PlutoOptimizer::default().optimize(&p);
+        let d = &report.decisions[0];
+        assert!(d.tiled);
+        assert!(d.skewed.is_none());
+        let k = &opt.kernels[0];
+        assert_eq!(k.depth(), 6);
+        // Tile loops for i and j are parallel, k is not.
+        assert!(k.loops[0].parallel && k.loops[1].parallel && !k.loops[2].parallel);
+        // Domain preserved.
+        assert_eq!(k.domain_size().unwrap(), 64 * 64 * 64);
+    }
+
+    #[test]
+    fn small_kernels_left_untiled() {
+        let p = matmul_program(8);
+        let (opt, report) = PlutoOptimizer::default().optimize(&p);
+        assert!(!report.decisions[0].tiled);
+        assert_eq!(opt.kernels[0].depth(), 3);
+    }
+
+    #[test]
+    fn stencil_skewed_then_tiled() {
+        let mut p = AffineProgram::new("j1d");
+        let a = p.add_array("A", vec![128], ElemType::F64);
+        let vi = LinExpr::var(1);
+        p.kernels.push(AffineKernel {
+            name: "j1d".into(),
+            loops: vec![Loop::range(64), Loop::new(Bound::constant(1), Bound::constant(127))],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![
+                    Access::read(a, vec![vi.clone() - LinExpr::constant(1)]),
+                    Access::read(a, vec![vi.clone()]),
+                    Access::read(a, vec![vi.clone() + LinExpr::constant(1)]),
+                    Access::write(a, vec![vi]),
+                ],
+                flops: 3,
+            }],
+        });
+        let (opt, report) = PlutoOptimizer::default().optimize(&p);
+        let d = &report.decisions[0];
+        assert_eq!(d.skewed, Some((0, 1, 1)));
+        assert!(d.tiled);
+        assert_eq!(opt.kernels[0].domain_size().unwrap(), 64 * 126);
+    }
+
+    #[test]
+    fn tiling_can_be_disabled() {
+        let p = matmul_program(64);
+        let opt = PlutoOptimizer { enable_tiling: false, ..Default::default() };
+        let (out, report) = opt.optimize(&p);
+        assert!(!report.decisions[0].tiled);
+        assert_eq!(out.kernels[0].depth(), 3);
+        assert!(out.kernels[0].loops[0].parallel);
+    }
+
+    #[test]
+    fn optimized_trace_equals_original() {
+        use polyufc_ir::interp::{interpret_program, TraceStats};
+        let p = matmul_program(40);
+        let (opt, _) = PlutoOptimizer::default().optimize(&p);
+        let mut s1 = TraceStats::default();
+        interpret_program(&p, &mut s1);
+        let mut s2 = TraceStats::default();
+        interpret_program(&opt, &mut s2);
+        assert_eq!(s1, s2);
+    }
+}

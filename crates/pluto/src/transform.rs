@@ -1,0 +1,224 @@
+//! Loop transformations: skewing (to make stencil bands permutable) and
+//! rectangular tiling of fully permutable bands.
+
+use polyufc_ir::affine::{AffineKernel, Bound, Loop};
+use polyufc_presburger::LinExpr;
+
+/// Skews loop `inner` by `factor` with respect to loop `outer`
+/// (`i_inner' = i_inner + factor * i_outer`), rewriting bounds and accesses
+/// so the kernel's semantics are unchanged. Used to turn negative stencil
+/// dependence components non-negative before tiling.
+///
+/// # Panics
+///
+/// Panics if `outer >= inner` does not hold or the indices are out of
+/// range.
+pub fn skew_loop(kernel: &AffineKernel, outer: usize, inner: usize, factor: i64) -> AffineKernel {
+    assert!(outer < inner && inner < kernel.depth(), "skew requires outer < inner < depth");
+    let mut k = kernel.clone();
+    // Old iterator: i_inner = i_inner' - factor * i_outer.
+    let replacement = LinExpr::var(inner) - LinExpr::var(outer) * factor;
+
+    // Rewrite accesses of all statements.
+    for s in &mut k.statements {
+        for a in &mut s.accesses {
+            for e in &mut a.indices {
+                *e = e.substitute(inner, &replacement);
+            }
+        }
+    }
+    // Rewrite bounds of loops deeper than `inner` that reference it.
+    for l in k.loops.iter_mut().skip(inner + 1) {
+        for e in l.lb.exprs.iter_mut().chain(l.ub.exprs.iter_mut()) {
+            *e = e.substitute(inner, &replacement);
+        }
+    }
+    // The skewed loop's own bounds shift by factor * i_outer. (Its bounds
+    // reference only iterators < inner, which are unchanged.)
+    let shift = LinExpr::var(outer) * factor;
+    for e in k.loops[inner].lb.exprs.iter_mut() {
+        *e = e.clone() + shift.clone();
+    }
+    for e in k.loops[inner].ub.exprs.iter_mut() {
+        *e = e.clone() + shift.clone();
+    }
+    k
+}
+
+/// Rectangularly tiles all loops of a (fully permutable) band with a single
+/// tile size, producing a `2n`-deep kernel: `n` tile loops followed by `n`
+/// point loops (Pluto's default shape, tile size 32).
+///
+/// Tile-loop ranges are derived from the per-iterator interval of the
+/// iteration domain; point loops carry the original (rewritten) bounds
+/// intersected with their tile, so non-rectangular domains remain exact.
+///
+/// Returns `None` if the iteration domain's per-iterator intervals cannot
+/// be bounded (empty or unbounded domain).
+pub fn tile_kernel(kernel: &AffineKernel, tile: i64) -> Option<AffineKernel> {
+    assert!(tile >= 2, "tile size must be at least 2");
+    let n = kernel.depth();
+    if n == 0 {
+        return None;
+    }
+    // Per-iterator intervals from the domain.
+    let domain = kernel.domain();
+    let basic = &domain.basics()[0];
+    let iv = basic.var_intervals().ok().flatten()?;
+    let mut ranges = Vec::with_capacity(n);
+    for v in iv.iter().take(n) {
+        match v {
+            (Some(lo), Some(hi)) if lo <= hi => ranges.push((*lo, *hi)),
+            _ => return None,
+        }
+    }
+
+    let mut k = AffineKernel {
+        name: kernel.name.clone(),
+        loops: Vec::with_capacity(2 * n),
+        statements: kernel.statements.clone(),
+    };
+    // Remap original iterator d -> point variable n + d.
+    let remap = |e: &LinExpr| e.shift_vars(0, n);
+
+    // Tile loops.
+    for (d, &(lo, hi)) in ranges.iter().enumerate() {
+        let t_lo = lo.div_euclid(tile);
+        let t_hi = hi.div_euclid(tile) + 1; // exclusive
+        let mut l = Loop::range(0);
+        l.lb = Bound::constant(t_lo);
+        l.ub = Bound::constant(t_hi);
+        l.parallel = kernel.loops[d].parallel;
+        k.loops.push(l);
+    }
+    // Point loops.
+    for (d, orig) in kernel.loops.iter().enumerate() {
+        let mut lb: Vec<LinExpr> = orig.lb.exprs.iter().map(remap).collect();
+        lb.push(LinExpr::var(d) * tile);
+        let mut ub: Vec<LinExpr> = orig.ub.exprs.iter().map(remap).collect();
+        ub.push(LinExpr::var(d) * tile + LinExpr::constant(tile));
+        k.loops.push(Loop { lb: Bound { exprs: lb }, ub: Bound { exprs: ub }, parallel: false });
+    }
+    // Remap statement accesses.
+    for s in &mut k.statements {
+        for a in &mut s.accesses {
+            for e in &mut a.indices {
+                *e = remap(e);
+            }
+        }
+    }
+    Some(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyufc_ir::affine::{Access, AffineProgram, Statement};
+    use polyufc_ir::types::ElemType;
+
+    fn square_kernel(n: i64) -> (AffineProgram, AffineKernel) {
+        let mut p = AffineProgram::new("sq");
+        let a = p.add_array("A", vec![n as usize, n as usize], ElemType::F64);
+        let k = AffineKernel {
+            name: "sq".into(),
+            loops: vec![Loop::range(n), Loop::range(n)],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![Access::write(a, vec![LinExpr::var(0), LinExpr::var(1)])],
+                flops: 1,
+            }],
+        };
+        p.kernels.push(k.clone());
+        (p, k)
+    }
+
+    #[test]
+    fn tiling_preserves_domain_size() {
+        let (_, k) = square_kernel(100);
+        let t = tile_kernel(&k, 32).unwrap();
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.domain_size().unwrap(), 100 * 100);
+    }
+
+    #[test]
+    fn tiling_preserves_trace_multiset() {
+        use polyufc_ir::interp::{interpret_kernel, TraceStats};
+        let (mut p, k) = square_kernel(50);
+        let t = tile_kernel(&k, 32).unwrap();
+        let mut s1 = TraceStats::default();
+        interpret_kernel(&p, &k, &mut s1);
+        p.kernels[0] = t.clone();
+        let mut s2 = TraceStats::default();
+        interpret_kernel(&p, &t, &mut s2);
+        assert_eq!(s1.accesses, s2.accesses);
+        assert_eq!(s1.flops, s2.flops);
+        assert_eq!(s1.bytes, s2.bytes);
+    }
+
+    #[test]
+    fn tiling_triangular_domain_exact() {
+        // for i in 0..40 { for j in 0..=i } — 820 points.
+        let k = AffineKernel {
+            name: "tri".into(),
+            loops: vec![
+                Loop::range(40),
+                Loop::new(Bound::constant(0), Bound::expr(LinExpr::var(0) + LinExpr::constant(1))),
+            ],
+            statements: vec![],
+        };
+        let t = tile_kernel(&k, 16).unwrap();
+        assert_eq!(t.domain_size().unwrap(), 820);
+    }
+
+    #[test]
+    fn skew_preserves_points_and_accesses() {
+        use polyufc_ir::interp::{interpret_kernel, TraceStats};
+        // Stencil-shaped: for t in 0..4, i in 1..15: A[i-1], A[i], A[i+1], write A[i].
+        let mut p = AffineProgram::new("st");
+        let a = p.add_array("A", vec![16], ElemType::F64);
+        let vi = LinExpr::var(1);
+        let k = AffineKernel {
+            name: "st".into(),
+            loops: vec![Loop::range(4), Loop::new(Bound::constant(1), Bound::constant(15))],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![
+                    Access::read(a, vec![vi.clone() - LinExpr::constant(1)]),
+                    Access::read(a, vec![vi.clone()]),
+                    Access::read(a, vec![vi.clone() + LinExpr::constant(1)]),
+                    Access::write(a, vec![vi]),
+                ],
+                flops: 3,
+            }],
+        };
+        let sk = skew_loop(&k, 0, 1, 1);
+        assert_eq!(sk.domain_size().unwrap(), k.domain_size().unwrap());
+        p.kernels.push(k.clone());
+        let mut s1 = TraceStats::default();
+        interpret_kernel(&p, &k, &mut s1);
+        let mut s2 = TraceStats::default();
+        interpret_kernel(&p, &sk, &mut s2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn skew_then_tile_is_exact() {
+        let k = AffineKernel {
+            name: "st".into(),
+            loops: vec![Loop::range(8), Loop::new(Bound::constant(1), Bound::constant(31))],
+            statements: vec![],
+        };
+        let sk = skew_loop(&k, 0, 1, 1);
+        let t = tile_kernel(&sk, 8).unwrap();
+        assert_eq!(t.domain_size().unwrap(), 8 * 30);
+    }
+
+    #[test]
+    fn tile_keeps_parallel_marks_on_tile_loops() {
+        let (_, mut k) = square_kernel(64);
+        k.loops[0].parallel = true;
+        let t = tile_kernel(&k, 32).unwrap();
+        assert!(t.loops[0].parallel);
+        assert!(!t.loops[2].parallel);
+    }
+}

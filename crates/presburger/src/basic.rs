@@ -1,0 +1,1003 @@
+//! Basic sets: conjunctions of affine constraints with div variables, and
+//! the integer feasibility solver shared by emptiness, sampling, counting
+//! and enumeration.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::linexpr::LinExpr;
+use crate::space::Space;
+use crate::{Constraint, ConstraintKind};
+
+/// An existentially quantified variable of a [`BasicSet`].
+///
+/// A div is *determined* when it carries a definition `q = floor(num /
+/// denom)`: its value is then a function of the other variables, which makes
+/// constraint negation (and hence set subtraction) sound, and lets point
+/// containment be checked directly. Divs introduced by projection or
+/// relation composition have no definition and are genuine existentials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Div {
+    /// `Some((num, denom))` when the div is `floor(num / denom)`, with
+    /// `denom > 0` and `num` an expression over earlier variables.
+    pub def: Option<(LinExpr, i64)>,
+}
+
+impl Div {
+    /// Whether the div's value is determined by the other variables.
+    pub fn is_determined(&self) -> bool {
+        self.def.is_some()
+    }
+}
+
+/// A conjunction of affine constraints over `params ++ dims ++ divs`,
+/// describing a set (or, via [`crate::BasicMap`], a relation) of integer
+/// points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicSet {
+    space: Space,
+    divs: Vec<Div>,
+    constraints: Vec<Constraint>,
+}
+
+impl BasicSet {
+    /// The universe set of a space (no constraints).
+    pub fn universe(space: Space) -> Self {
+        BasicSet { space, divs: Vec::new(), constraints: Vec::new() }
+    }
+
+    /// The space of this set.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The div variables.
+    pub fn divs(&self) -> &[Div] {
+        &self.divs
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Total number of variables including divs.
+    pub fn n_total(&self) -> usize {
+        self.space.n_var() + self.divs.len()
+    }
+
+    /// Whether every div is determined (a function of the other variables).
+    pub fn all_divs_determined(&self) -> bool {
+        self.divs.iter().all(Div::is_determined)
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        debug_assert!(c.expr.len() <= self.n_total(), "constraint references unknown variable");
+        self.constraints.push(c);
+    }
+
+    /// Adds the constraint `expr == 0`.
+    pub fn add_eq(&mut self, expr: LinExpr) {
+        self.add_constraint(Constraint::eq(expr));
+    }
+
+    /// Adds the constraint `expr >= 0`.
+    pub fn add_ge0(&mut self, expr: LinExpr) {
+        self.add_constraint(Constraint::ge0(expr));
+    }
+
+    /// Adds the constraint `lo <= var_idx <= hi` (inclusive bounds).
+    pub fn add_range(&mut self, var_idx: usize, lo: i64, hi: i64) {
+        self.add_ge0(LinExpr::var(var_idx) - LinExpr::constant(lo));
+        self.add_ge0(LinExpr::constant(hi) - LinExpr::var(var_idx));
+    }
+
+    /// Introduces a determined div `q = floor(num / denom)` and returns its
+    /// variable index in the flat layout.
+    ///
+    /// The defining constraints `0 <= num - denom*q <= denom - 1` are added
+    /// automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom <= 0`.
+    pub fn add_div(&mut self, num: LinExpr, denom: i64) -> usize {
+        assert!(denom > 0, "div denominator must be positive");
+        let idx = self.n_total();
+        self.divs.push(Div { def: Some((num.clone(), denom)) });
+        let rem = num.clone() - LinExpr::var(idx) * denom;
+        self.add_ge0(rem.clone());
+        self.add_ge0(LinExpr::constant(denom - 1) - rem);
+        idx
+    }
+
+    /// Introduces an undetermined existential variable and returns its
+    /// index. Negation-based operations will refuse sets containing these.
+    pub fn add_undetermined_div(&mut self) -> usize {
+        let idx = self.n_total();
+        self.divs.push(Div { def: None });
+        idx
+    }
+
+    /// Appends a div without adding defining constraints (used by
+    /// subtraction and composition, which add constraints explicitly).
+    pub(crate) fn push_div_raw(&mut self, d: Div) {
+        self.divs.push(d);
+    }
+
+    /// Fixes variable `idx` to `value` by adding an equality.
+    pub fn fix_var(&mut self, idx: usize, value: i64) {
+        self.add_eq(LinExpr::var(idx) - LinExpr::constant(value));
+    }
+
+    /// Intersects with another basic set over the same space, merging div
+    /// variables (the other set's divs are renumbered after ours).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SpaceMismatch`] if the spaces differ.
+    pub fn intersect(&self, other: &BasicSet) -> Result<BasicSet> {
+        if self.space != other.space {
+            return Err(Error::SpaceMismatch {
+                expected: self.space.to_string(),
+                found: other.space.to_string(),
+            });
+        }
+        let mut out = self.clone();
+        let shift = self.divs.len();
+        let at = self.space.n_var();
+        for d in &other.divs {
+            out.divs.push(Div {
+                def: d.def.as_ref().map(|(n, den)| (n.shift_vars(at, shift), *den)),
+            });
+        }
+        for c in &other.constraints {
+            out.constraints
+                .push(Constraint { expr: c.expr.shift_vars(at, shift), kind: c.kind });
+        }
+        Ok(out)
+    }
+
+    /// Checks whether a point (dims only, parameters prepended if any)
+    /// belongs to the set. The slice must contain `n_param + n_dim` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UndeterminedDivs`] if the set has undetermined
+    /// existentials (containment would require a search).
+    pub fn contains(&self, point: &[i64]) -> Result<bool> {
+        assert_eq!(point.len(), self.space.n_var(), "point arity mismatch");
+        let mut values = point.to_vec();
+        for d in &self.divs {
+            match &d.def {
+                Some((num, den)) => {
+                    let n = num.eval(&values);
+                    values.push(n.div_euclid(*den));
+                }
+                None => return Err(Error::UndeterminedDivs { operation: "contains" }),
+            }
+        }
+        Ok(self.constraints.iter().all(|c| c.holds(&values)))
+    }
+
+    /// Simplifies constraints in place: drops trivially true constraints,
+    /// normalizes by the gcd of coefficients, and deduplicates. Returns
+    /// `false` if a trivially false constraint was found (set is empty).
+    pub fn simplify(&mut self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        let drained = std::mem::take(&mut self.constraints);
+        let mut out = Vec::with_capacity(drained.len());
+        for c in drained {
+            let mut c = c;
+            if c.expr.is_constant() {
+                let k = c.expr.constant_term();
+                let ok = match c.kind {
+                    ConstraintKind::Eq => k == 0,
+                    ConstraintKind::GeZero => k >= 0,
+                };
+                if ok {
+                    continue;
+                }
+                self.constraints = vec![Constraint::ge0(LinExpr::constant(-1))];
+                return false;
+            }
+            let g = c.expr.coeff_gcd();
+            if g > 1 {
+                match c.kind {
+                    ConstraintKind::Eq => {
+                        if c.expr.constant_term() % g != 0 {
+                            self.constraints = vec![Constraint::ge0(LinExpr::constant(-1))];
+                            return false;
+                        }
+                        c.expr = divide_expr(&c.expr, g);
+                    }
+                    ConstraintKind::GeZero => {
+                        // a*x + k >= 0  <=>  x' + floor(k/g) >= 0 with x' = a/g * x
+                        let k = c.expr.constant_term();
+                        c.expr = divide_expr_floor(&c.expr, g, k);
+                    }
+                }
+            }
+            if seen.insert((format!("{:?}", c.expr), c.kind)) {
+                out.push(c);
+            }
+        }
+        self.constraints = out;
+        true
+    }
+
+    /// Builds the solver system for this set (all variables, including
+    /// params and divs, are solver variables).
+    pub(crate) fn system(&self) -> System {
+        System::new(self.n_total(), self.constraints.clone())
+    }
+
+    /// Per-variable `(lower, upper)` bounds derived by interval
+    /// propagation (`None` endpoints are unbounded). Returns `Ok(None)` if
+    /// propagation already proves the set empty. Bounds are valid for
+    /// every point of the set but not necessarily tight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver budget errors.
+    #[allow(clippy::type_complexity)]
+    pub fn var_intervals(&self) -> Result<Option<Vec<(Option<i64>, Option<i64>)>>> {
+        let sys = self.system();
+        let iv = sys.propagate(&mut Budget::default())?;
+        Ok(iv.map(|v| v.into_iter().map(|i| (i.lo, i.hi)).collect()))
+    }
+
+    /// Whether the set contains no integer points.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the search budget is exceeded or a variable is
+    /// unbounded.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(!self.system().is_feasible(&mut Budget::default())?)
+    }
+
+    /// Finds an integer point in the set (full assignment over
+    /// `params ++ dims ++ divs`), or `None` if the set is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the search budget is exceeded or a variable is
+    /// unbounded with constraints that prevent a decision.
+    pub fn sample(&self) -> Result<Option<Vec<i64>>> {
+        self.system().sample(&mut Budget::default())
+    }
+
+    /// Renames this set into a different space with the same total variable
+    /// counts (e.g. set <-> map reinterpretation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn recast(mut self, space: Space) -> BasicSet {
+        assert_eq!(self.space.n_var(), space.n_var(), "recast requires equal variable counts");
+        assert_eq!(self.space.n_param(), space.n_param(), "recast keeps parameters");
+        self.space = space;
+        self
+    }
+
+    /// Applies a variable permutation to all constraints and div
+    /// definitions, then switches to `new_space`. `perm[i]` is the new index
+    /// of old variable `i`; it must cover all `n_total` variables and keep
+    /// divs after tuple variables.
+    pub(crate) fn permute(mut self, perm: &[usize], new_space: Space) -> BasicSet {
+        for c in &mut self.constraints {
+            c.expr = c.expr.permute_vars(perm);
+        }
+        for d in &mut self.divs {
+            if let Some((n, _)) = &mut d.def {
+                *n = n.permute_vars(perm);
+            }
+        }
+        self.space = new_space;
+        self
+    }
+
+    /// Converts tuple dimensions `range` (indices relative to the first
+    /// dim) into undetermined divs, producing a set with fewer dimensions.
+    /// This is exact projection with the existential kept symbolic.
+    pub fn project_dims_out(&self, first: usize, count: usize) -> BasicSet {
+        let np = self.space.n_param();
+        let nd = self.space.n_dim();
+        assert!(first + count <= nd, "projection range out of bounds");
+        debug_assert!(self.space.is_set(), "project_dims_out expects a set space");
+        let new_space = Space::set(np, nd - count);
+        let n_total = self.n_total();
+        // New layout: params, dims-before, dims-after, old divs, projected dims.
+        let mut perm = vec![0usize; n_total];
+        let mut next = 0;
+        for (i, p) in perm.iter_mut().enumerate().take(np) {
+            let _ = i;
+            *p = next;
+            next += 1;
+        }
+        for i in 0..nd {
+            if i < first || i >= first + count {
+                perm[np + i] = next;
+                next += 1;
+            }
+        }
+        let div_base = next;
+        for i in 0..self.divs.len() {
+            perm[np + nd + i] = next + i;
+        }
+        next += self.divs.len();
+        for i in first..first + count {
+            perm[np + i] = next;
+            next += 1;
+        }
+        let _ = div_base;
+        let mut out = self.clone().permute(perm.as_slice(), new_space);
+        for _ in 0..count {
+            out.divs.push(Div { def: None });
+        }
+        // Old determined divs may now reference later variables (projected
+        // dims moved after them); definitions remain valid expressions, but
+        // a definition referencing an undetermined div is itself effectively
+        // undetermined for `contains`. Demote such defs.
+        let first_undet = np + (nd - count) + self.divs.len();
+        for d in &mut out.divs {
+            let demote = match &d.def {
+                Some((n, _)) => n.terms().any(|(i, _)| i >= first_undet),
+                None => false,
+            };
+            if demote {
+                d.def = None;
+            }
+        }
+        out
+    }
+
+    /// Pretty-prints with the space's default variable names.
+    pub fn display(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for c in &self.constraints {
+            let e = c.expr.display_with(|i| self.space.var_name(i));
+            let op = match c.kind {
+                ConstraintKind::Eq => "= 0",
+                ConstraintKind::GeZero => ">= 0",
+            };
+            parts.push(format!("{e} {op}"));
+        }
+        let dims: Vec<String> =
+            (0..self.space.n_dim()).map(|i| self.space.var_name(self.space.in_offset() + i)).collect();
+        format!("{{ [{}] : {} }}", dims.join(", "), parts.join(" and "))
+    }
+}
+
+impl fmt::Display for BasicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+fn divide_expr(e: &LinExpr, g: i64) -> LinExpr {
+    let mut out = LinExpr::constant(e.constant_term() / g);
+    for (i, c) in e.terms() {
+        out.set_coeff(i, c / g);
+    }
+    out
+}
+
+fn divide_expr_floor(e: &LinExpr, g: i64, k: i64) -> LinExpr {
+    let mut out = LinExpr::constant(k.div_euclid(g));
+    for (i, c) in e.terms() {
+        out.set_coeff(i, c / g);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Integer feasibility solver
+// ---------------------------------------------------------------------------
+
+/// Integer division rounding toward negative infinity.
+pub(crate) fn floor_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b != 0);
+    a.div_euclid(b)
+}
+
+/// Integer division rounding toward positive infinity.
+pub(crate) fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b != 0);
+    -(-a).div_euclid(b)
+}
+
+/// Work budget for branch-and-bound searches.
+#[derive(Debug, Clone)]
+pub(crate) struct Budget {
+    pub steps: u64,
+    pub limit: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { steps: 0, limit: 50_000_000 }
+    }
+}
+
+impl Budget {
+    pub fn with_limit(limit: u64) -> Self {
+        Budget { steps: 0, limit }
+    }
+
+    pub fn tick(&mut self, n: u64) -> Result<()> {
+        self.steps += n;
+        if self.steps > self.limit {
+            Err(Error::SearchBudgetExceeded { budget: self.limit })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Variable interval with optional (unbounded) endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interval {
+    pub lo: Option<i64>,
+    pub hi: Option<i64>,
+}
+
+impl Interval {
+    pub fn full() -> Self {
+        Interval { lo: None, hi: None }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
+    }
+
+    pub fn singleton(&self) -> Option<i64> {
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) if l == h => Some(l),
+            _ => None,
+        }
+    }
+
+    pub fn width(&self) -> Option<i64> {
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) => Some(h.saturating_sub(l)),
+            _ => None,
+        }
+    }
+}
+
+/// A constraint system over `n` integer variables, used by emptiness,
+/// sampling, counting, and enumeration.
+#[derive(Debug, Clone)]
+pub(crate) struct System {
+    pub n: usize,
+    pub constraints: Vec<Constraint>,
+}
+
+impl System {
+    pub fn new(n: usize, constraints: Vec<Constraint>) -> Self {
+        System { n, constraints }
+    }
+
+    /// Substitutes away equality-defined variables (Gaussian elimination on
+    /// unit-coefficient equalities). Eliminated variables are functions of
+    /// the rest, so feasibility and point counts over the remaining
+    /// variables are unchanged. Removes eliminated variables from `active`.
+    pub fn gauss_eliminate(&mut self, active: &mut Vec<usize>) {
+        loop {
+            let mut target: Option<(usize, LinExpr)> = None;
+            'scan: for c in &self.constraints {
+                if c.kind != ConstraintKind::Eq {
+                    continue;
+                }
+                for (v, coef) in c.expr.terms() {
+                    if (coef == 1 || coef == -1) && active.contains(&v) {
+                        // v = -(expr - coef*v)/coef
+                        let mut rest = c.expr.clone();
+                        rest.set_coeff(v, 0);
+                        let replacement = if coef == 1 { -rest } else { rest };
+                        target = Some((v, replacement));
+                        break 'scan;
+                    }
+                }
+            }
+            let Some((v, replacement)) = target else { break };
+            for c in &mut self.constraints {
+                c.expr = c.expr.substitute(v, &replacement);
+            }
+            self.constraints.retain(|c| {
+                !(c.expr.is_constant()
+                    && match c.kind {
+                        ConstraintKind::Eq => c.expr.constant_term() == 0,
+                        ConstraintKind::GeZero => c.expr.constant_term() >= 0,
+                    })
+            });
+            active.retain(|&x| x != v);
+        }
+    }
+
+    /// Detects contradictions between pairs of inequalities with exactly
+    /// negated variable parts (`e >= 0` and `-e + k >= 0` with `k` too
+    /// small), which interval propagation cannot see. Returns `false` on
+    /// contradiction.
+    pub fn negated_pair_consistent(&self) -> bool {
+        use std::collections::HashMap;
+        // Normalized var-part -> max constant seen with that part.
+        let mut best: HashMap<Vec<(usize, i64)>, i64> = HashMap::new();
+        let mut exprs: Vec<LinExpr> = Vec::new();
+        for c in &self.constraints {
+            match c.kind {
+                ConstraintKind::GeZero => exprs.push(c.expr.clone()),
+                ConstraintKind::Eq => {
+                    exprs.push(c.expr.clone());
+                    exprs.push(c.expr.clone() * -1);
+                }
+            }
+        }
+        for e in exprs {
+            if e.is_constant() {
+                if e.constant_term() < 0 {
+                    return false;
+                }
+                continue;
+            }
+            let part: Vec<(usize, i64)> = e.terms().collect();
+            let neg: Vec<(usize, i64)> = part.iter().map(|&(v, c)| (v, -c)).collect();
+            if let Some(&kneg) = best.get(&neg) {
+                // part·x + k >= 0 and -part·x + kneg >= 0 => k + kneg >= 0.
+                if e.constant_term() + kneg < 0 {
+                    return false;
+                }
+            }
+            let entry = best.entry(part).or_insert(i64::MIN);
+            *entry = (*entry).max(e.constant_term());
+        }
+        true
+    }
+
+    /// Decides feasibility without producing a sample: eliminates
+    /// equalities first, which lets the interval/negated-pair machinery
+    /// refute systems with long equality chains (dependence-analysis
+    /// queries) cheaply.
+    pub fn is_feasible(&self, budget: &mut Budget) -> Result<bool> {
+        let mut sys = self.clone();
+        let mut active: Vec<usize> = (0..self.n).collect();
+        sys.gauss_eliminate(&mut active);
+        if !sys.negated_pair_consistent() {
+            return Ok(false);
+        }
+        sys.feasible_rec(&active, budget)
+    }
+
+    fn feasible_rec(&self, active: &[usize], budget: &mut Budget) -> Result<bool> {
+        budget.tick(1)?;
+        let Some(iv) = self.propagate(budget)? else { return Ok(false) };
+        if !self.negated_pair_consistent() {
+            return Ok(false);
+        }
+        // Residual constraints after fixing singletons.
+        let mut sys = self.clone();
+        let mut remaining: Vec<usize> = Vec::new();
+        for &v in active {
+            if let Some(x) = iv[v].singleton() {
+                sys.substitute(v, x);
+            } else {
+                remaining.push(v);
+            }
+        }
+        for c in &sys.constraints {
+            if c.expr.is_constant() {
+                let k = c.expr.constant_term();
+                let ok = match c.kind {
+                    ConstraintKind::Eq => k == 0,
+                    ConstraintKind::GeZero => k >= 0,
+                };
+                if !ok {
+                    return Ok(false);
+                }
+            }
+        }
+        // Drop variables that no longer appear in any constraint.
+        remaining.retain(|&v| sys.constraints.iter().any(|c| c.expr.coeff(v) != 0));
+        if remaining.is_empty() {
+            return Ok(true);
+        }
+        let mut sub_active = remaining.clone();
+        sys.gauss_eliminate(&mut sub_active);
+        if !sys.negated_pair_consistent() {
+            return Ok(false);
+        }
+        sub_active.retain(|&v| sys.constraints.iter().any(|c| c.expr.coeff(v) != 0));
+        if sub_active.is_empty() {
+            // Only constant constraints can remain; re-check them.
+            return Ok(sys.constraints.iter().all(|c| {
+                !c.expr.is_constant()
+                    || match c.kind {
+                        ConstraintKind::Eq => c.expr.constant_term() == 0,
+                        ConstraintKind::GeZero => c.expr.constant_term() >= 0,
+                    }
+            }));
+        }
+        let Some(iv2) = sys.propagate(budget)? else { return Ok(false) };
+        // Branch on the narrowest-interval variable.
+        let mut best: Option<(usize, i64)> = None;
+        for &v in &sub_active {
+            if let Some(w) = iv2[v].width() {
+                if best.is_none_or(|(_, bw)| w < bw) {
+                    best = Some((v, w));
+                }
+            }
+        }
+        let Some((var, _)) = best else {
+            return Err(Error::Unbounded { var: sub_active[0] });
+        };
+        let (lo, hi) = (iv2[var].lo.unwrap(), iv2[var].hi.unwrap());
+        let rest: Vec<usize> = sub_active.iter().copied().filter(|&v| v != var).collect();
+        for x in lo..=hi {
+            budget.tick(1)?;
+            let mut s = sys.clone();
+            s.substitute(var, x);
+            if s.feasible_rec(&rest, budget)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Interval propagation to (bounded) fixpoint. Returns `None` if a
+    /// contradiction is detected.
+    pub fn propagate(&self, budget: &mut Budget) -> Result<Option<Vec<Interval>>> {
+        let mut iv = vec![Interval::full(); self.n];
+        // Round-robin until fixpoint or iteration cap.
+        let max_rounds = 4 + 2 * self.n.max(4);
+        for _ in 0..max_rounds {
+            budget.tick(self.constraints.len() as u64)?;
+            let mut changed = false;
+            for c in &self.constraints {
+                match c.kind {
+                    ConstraintKind::GeZero => {
+                        if !tighten_ge0(&c.expr, &mut iv, &mut changed) {
+                            return Ok(None);
+                        }
+                    }
+                    ConstraintKind::Eq => {
+                        if !tighten_ge0(&c.expr, &mut iv, &mut changed) {
+                            return Ok(None);
+                        }
+                        let neg = c.expr.clone() * -1;
+                        if !tighten_ge0(&neg, &mut iv, &mut changed) {
+                            return Ok(None);
+                        }
+                    }
+                }
+            }
+            if iv.iter().any(Interval::is_empty) {
+                return Ok(None);
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(Some(iv))
+    }
+
+    /// Substitutes variable `idx` with a constant, removing it from all
+    /// constraints (its coefficient becomes zero).
+    pub fn substitute(&mut self, idx: usize, value: i64) {
+        for c in &mut self.constraints {
+            c.expr = c.expr.substitute_const(idx, value);
+        }
+    }
+
+    /// Checks whether a full assignment satisfies all constraints.
+    pub fn check(&self, values: &[i64]) -> bool {
+        self.constraints.iter().all(|c| c.holds(values))
+    }
+
+    /// Finds one integer solution or proves emptiness.
+    #[allow(clippy::type_complexity)]
+    pub fn sample(&self, budget: &mut Budget) -> Result<Option<Vec<i64>>> {
+        let mut values = vec![None; self.n];
+        if self.sample_rec(&mut values, budget)? {
+            Ok(Some(values.into_iter().map(|v| v.unwrap_or(0)).collect()))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn sample_rec(&self, values: &mut Vec<Option<i64>>, budget: &mut Budget) -> Result<bool> {
+        budget.tick(1)?;
+        // Build the residual system with known values substituted.
+        let mut sys = self.clone();
+        for (i, v) in values.iter().enumerate() {
+            if let Some(v) = *v {
+                sys.substitute(i, v);
+            }
+        }
+        let Some(iv) = sys.propagate(budget)? else { return Ok(false) };
+        // Assign all singletons.
+        let mut fixed = Vec::new();
+        for i in 0..self.n {
+            if values[i].is_none() {
+                if let Some(v) = iv[i].singleton() {
+                    values[i] = Some(v);
+                    fixed.push(i);
+                }
+            }
+        }
+        // Find the unassigned variable with the smallest finite range.
+        let mut best: Option<(usize, i64)> = None;
+        let mut unbounded_free = None;
+        for i in 0..self.n {
+            if values[i].is_some() {
+                continue;
+            }
+            match iv[i].width() {
+                Some(w) => {
+                    if best.is_none_or(|(_, bw)| w < bw) {
+                        best = Some((i, w));
+                    }
+                }
+                None => unbounded_free = Some(i),
+            }
+        }
+        match best {
+            None => {
+                let mut trial = values.clone();
+                if let Some(u) = unbounded_free {
+                    // Try anchoring each half-bounded variable at its finite
+                    // endpoint (covers common one-sided cases like `i >= 0`);
+                    // fully free variables get 0.
+                    for (i, v) in trial.iter_mut().enumerate() {
+                        if v.is_none() {
+                            *v = Some(iv[i].lo.or(iv[i].hi).unwrap_or(0));
+                        }
+                    }
+                    let full: Vec<i64> = trial.iter().map(|v| v.unwrap()).collect();
+                    if self.check(&full) {
+                        *values = trial;
+                        return Ok(true);
+                    }
+                    // Residual constraints still mention a free variable and
+                    // the anchor failed: we cannot decide without an
+                    // unbounded search.
+                    let mut sys2 = self.clone();
+                    for (i, v) in values.iter().enumerate() {
+                        if let Some(v) = *v {
+                            sys2.substitute(i, v);
+                        }
+                    }
+                    let residual_mentions_free = sys2
+                        .constraints
+                        .iter()
+                        .any(|c| c.expr.terms().any(|(i, _)| values[i].is_none()));
+                    if residual_mentions_free {
+                        return Err(Error::Unbounded { var: u });
+                    }
+                }
+                let full: Vec<i64> = values.iter().map(|v| v.unwrap_or(0)).collect();
+                if self.check(&full) {
+                    for (i, v) in values.iter_mut().enumerate() {
+                        if v.is_none() {
+                            *v = Some(full[i]);
+                        }
+                    }
+                    Ok(true)
+                } else {
+                    for i in fixed {
+                        values[i] = None;
+                    }
+                    Ok(false)
+                }
+            }
+            Some((var, _)) => {
+                let (lo, hi) = (iv[var].lo.unwrap(), iv[var].hi.unwrap());
+                for v in lo..=hi {
+                    budget.tick(1)?;
+                    values[var] = Some(v);
+                    if self.sample_rec(values, budget)? {
+                        return Ok(true);
+                    }
+                }
+                values[var] = None;
+                for i in fixed {
+                    values[i] = None;
+                }
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// Tightens intervals using `expr >= 0`. Returns false on contradiction.
+fn tighten_ge0(expr: &LinExpr, iv: &mut [Interval], changed: &mut bool) -> bool {
+    // max over box of expr; None = +infinity.
+    let mut smax: Option<i64> = Some(expr.constant_term());
+    for (i, c) in expr.terms() {
+        let contrib = if c > 0 { iv[i].hi.map(|h| c.saturating_mul(h)) } else { iv[i].lo.map(|l| c.saturating_mul(l)) };
+        match (smax, contrib) {
+            (Some(s), Some(x)) => smax = Some(s.saturating_add(x)),
+            _ => smax = None,
+        }
+    }
+    if let Some(s) = smax {
+        if s < 0 {
+            return false;
+        }
+    }
+    // Tighten each variable: a_j * v_j >= -(expr - a_j v_j) over the box.
+    for (j, a) in expr.terms() {
+        // rest_max = max over box of (expr - a_j * v_j)
+        let mut rest_max: Option<i64> = Some(expr.constant_term());
+        for (i, c) in expr.terms() {
+            if i == j {
+                continue;
+            }
+            let contrib =
+                if c > 0 { iv[i].hi.map(|h| c.saturating_mul(h)) } else { iv[i].lo.map(|l| c.saturating_mul(l)) };
+            match (rest_max, contrib) {
+                (Some(s), Some(x)) => rest_max = Some(s.saturating_add(x)),
+                _ => rest_max = None,
+            }
+        }
+        let Some(rm) = rest_max else { continue };
+        if a > 0 {
+            // v_j >= ceil(-rm / a)
+            let bound = ceil_div(-rm, a);
+            if iv[j].lo.is_none_or(|l| bound > l) {
+                iv[j].lo = Some(bound);
+                *changed = true;
+            }
+        } else {
+            // v_j <= floor(-rm / a)  (a negative: flips)
+            let bound = floor_div(rm, -a);
+            if iv[j].hi.is_none_or(|h| bound < h) {
+                iv[j].hi = Some(bound);
+                *changed = true;
+            }
+        }
+        if iv[j].is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn box2(n: i64, m: i64) -> BasicSet {
+        // { [i,j] : 0 <= i < n, 0 <= j < m }
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, n - 1);
+        b.add_range(1, 0, m - 1);
+        b
+    }
+
+    #[test]
+    fn universe_and_contains() {
+        let b = box2(4, 3);
+        assert!(b.contains(&[0, 0]).unwrap());
+        assert!(b.contains(&[3, 2]).unwrap());
+        assert!(!b.contains(&[4, 0]).unwrap());
+        assert!(!b.contains(&[-1, 0]).unwrap());
+    }
+
+    #[test]
+    fn sample_and_emptiness() {
+        let b = box2(4, 3);
+        assert!(!b.is_empty().unwrap());
+        let p = b.sample().unwrap().unwrap();
+        assert!(b.contains(&p[..2]).unwrap());
+
+        let mut e = box2(4, 3);
+        e.add_ge0(LinExpr::var(0) - LinExpr::constant(10)); // i >= 10: empty
+        assert!(e.is_empty().unwrap());
+    }
+
+    #[test]
+    fn equality_constraints() {
+        let mut b = box2(10, 10);
+        // i + j == 7, i - j == 1  =>  i=4, j=3
+        b.add_eq(LinExpr::var(0) + LinExpr::var(1) - LinExpr::constant(7));
+        b.add_eq(LinExpr::var(0) - LinExpr::var(1) - LinExpr::constant(1));
+        let p = b.sample().unwrap().unwrap();
+        assert_eq!(&p[..2], &[4, 3]);
+    }
+
+    #[test]
+    fn div_semantics() {
+        // { [i] : 0 <= i < 16, q = floor(i/4), q == 2 }  =>  i in 8..12
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_range(0, 0, 15);
+        let q = b.add_div(LinExpr::var(0), 4);
+        b.add_eq(LinExpr::var(q) - LinExpr::constant(2));
+        assert!(b.contains(&[8]).unwrap());
+        assert!(b.contains(&[11]).unwrap());
+        assert!(!b.contains(&[7]).unwrap());
+        assert!(!b.contains(&[12]).unwrap());
+        assert!(b.all_divs_determined());
+    }
+
+    #[test]
+    fn modulo_via_divs() {
+        // { [i] : 0 <= i < 12, i mod 3 == 1 } => 1,4,7,10
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_range(0, 0, 11);
+        let q = b.add_div(LinExpr::var(0), 3);
+        // i - 3q == 1
+        b.add_eq(LinExpr::var(0) - LinExpr::var(q) * 3 - LinExpr::constant(1));
+        let members: Vec<i64> = (0..12).filter(|&i| b.contains(&[i]).unwrap()).collect();
+        assert_eq!(members, vec![1, 4, 7, 10]);
+    }
+
+    #[test]
+    fn intersect_merges_divs() {
+        let mut a = BasicSet::universe(Space::set(0, 1));
+        a.add_range(0, 0, 15);
+        let qa = a.add_div(LinExpr::var(0), 4);
+        a.add_eq(LinExpr::var(qa) - LinExpr::constant(2));
+
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_range(0, 0, 15);
+        let qb = b.add_div(LinExpr::var(0), 2);
+        // i even: i - 2*floor(i/2) == 0
+        b.add_eq(LinExpr::var(0) - LinExpr::var(qb) * 2);
+
+        let c = a.intersect(&b).unwrap();
+        let members: Vec<i64> = (0..16).filter(|&i| c.contains(&[i]).unwrap()).collect();
+        assert_eq!(members, vec![8, 10]);
+    }
+
+    #[test]
+    fn projection_keeps_points() {
+        // { [i,j] : 0<=i<4, j == 2i } project j out => { [i] : 0<=i<4 }
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 3);
+        b.add_eq(LinExpr::var(1) - LinExpr::var(0) * 2);
+        let p = b.project_dims_out(1, 1);
+        assert_eq!(p.space().n_dim(), 1);
+        assert!(!p.all_divs_determined());
+        // Sampling still works (existential found by search).
+        let s = p.sample().unwrap().unwrap();
+        assert!((0..4).contains(&s[0]));
+    }
+
+    #[test]
+    fn simplify_normalizes() {
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_ge0(LinExpr::var(0) * 2 - LinExpr::constant(3)); // 2i >= 3 => i >= 2
+        assert!(b.simplify());
+        assert_eq!(b.constraints().len(), 1);
+        assert!(b.contains(&[2]).unwrap());
+        assert!(!b.contains(&[1]).unwrap());
+    }
+
+    #[test]
+    fn simplify_detects_trivial_emptiness() {
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_ge0(LinExpr::constant(-5));
+        assert!(!b.simplify());
+        assert!(b.is_empty().unwrap());
+    }
+
+    #[test]
+    fn unbounded_reported() {
+        // { [i] : i >= 0 } with a genuine search need is unbounded-but-satisfiable:
+        // sampling should still succeed because propagation leaves residual
+        // constraints mentioning the free var... i >= 0 gives lo bound but no hi.
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_ge0(LinExpr::var(0));
+        // i >= 0 alone: propagation gives lo=0, no hi; no other constraints
+        // mention i after substitution... the constraint itself mentions i.
+        // The solver reports Unbounded in this case, which is acceptable.
+        match b.sample() {
+            Ok(Some(p)) => assert!(p[0] >= 0),
+            Err(Error::Unbounded { .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

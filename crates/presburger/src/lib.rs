@@ -1,0 +1,103 @@
+//! A small Presburger-arithmetic library: integer sets and relations bounded
+//! by affine constraints, in the spirit of [isl] with [barvinok]-style
+//! point counting.
+//!
+//! This crate is the polyhedral substrate of the PolyUFC reproduction. It
+//! provides:
+//!
+//! * [`Space`] — the signature of a set or relation (parameters, input and
+//!   output dimensions).
+//! * [`LinExpr`] — affine expressions over the variables of a space.
+//! * [`BasicSet`] / [`Set`] — conjunctions (resp. finite unions of
+//!   conjunctions) of affine constraints, with optional existentially
+//!   quantified *div* variables for integer division and modulo.
+//! * [`BasicMap`] / [`Map`] — binary integer relations with the same
+//!   constraint language, supporting composition, inversion, and
+//!   domain/range operations.
+//! * Lexicographic order helpers and [`Map::lexmin_explicit`].
+//! * Integer point counting ([`Set::count`]) by recursive bound
+//!   decomposition with connected-component factoring, plus an exhaustive
+//!   enumerator for validation.
+//!
+//! Unlike isl, parametric contexts are expected to be *instantiated*: the
+//! PolyUFC pipeline fixes problem sizes before the heavy cache-model
+//! queries, so counting returns plain integers rather than quasi-polynomials
+//! (see DESIGN.md for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use polyufc_presburger::{Space, Set};
+//!
+//! // { [i, j] : 0 <= i < 8, 0 <= j <= i }
+//! let space = Space::set(0, 2);
+//! let set = Set::from_constraint_strs(space, &["i >= 0", "7 - i >= 0", "j >= 0", "i - j >= 0"])
+//!     .unwrap();
+//! assert_eq!(set.count().unwrap(), 36);
+//! ```
+//!
+//! [isl]: https://libisl.sourceforge.io/
+//! [barvinok]: https://barvinok.sourceforge.io/
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod basic;
+mod count;
+mod enumerate;
+mod error;
+mod lexorder;
+mod linexpr;
+mod map;
+mod parse;
+mod set;
+mod space;
+
+pub use basic::{BasicSet, Div};
+pub use count::CountLimit;
+pub use error::{Error, Result};
+pub use lexorder::{lex_ge_map, lex_gt_map, lex_le_map, lex_lt_map};
+pub use linexpr::LinExpr;
+pub use map::{BasicMap, Map};
+pub use set::Set;
+pub use space::{Space, VarKind};
+
+/// A constraint over the variables of a [`Space`]: an affine expression
+/// required to be `== 0` or `>= 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// The affine expression constrained by [`Constraint::kind`].
+    pub expr: LinExpr,
+    /// Whether the expression must equal zero or be non-negative.
+    pub kind: ConstraintKind,
+}
+
+/// The relation a [`Constraint`] imposes on its expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// `expr == 0`.
+    Eq,
+    /// `expr >= 0`.
+    GeZero,
+}
+
+impl Constraint {
+    /// Builds an equality constraint `expr == 0`.
+    pub fn eq(expr: LinExpr) -> Self {
+        Constraint { expr, kind: ConstraintKind::Eq }
+    }
+
+    /// Builds an inequality constraint `expr >= 0`.
+    pub fn ge0(expr: LinExpr) -> Self {
+        Constraint { expr, kind: ConstraintKind::GeZero }
+    }
+
+    /// Evaluates the constraint on a full variable assignment.
+    pub fn holds(&self, values: &[i64]) -> bool {
+        let v = self.expr.eval(values);
+        match self.kind {
+            ConstraintKind::Eq => v == 0,
+            ConstraintKind::GeZero => v >= 0,
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! A tiny textual syntax for constraints, used in tests and doc examples.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! constraint := expr (">=" | "<=" | "==" | "=" | ">" | "<") expr
+//! expr       := term (("+" | "-") term)*
+//! term       := int | int? var
+//! var        := dim alias (i j k l m) | "d<N>" | param alias (n p q) | "p<N>"
+//! ```
+//!
+//! Dim aliases `i..m` map to dims 0..4; param aliases `n`, `q` map to
+//! params 0 and 1 (`p` would be ambiguous with `p<N>` and is not an alias).
+
+use crate::error::{Error, Result};
+use crate::linexpr::LinExpr;
+use crate::space::Space;
+use crate::{Constraint, ConstraintKind};
+
+/// Parses one constraint over the given space.
+pub(crate) fn parse_constraint(s: &str, space: &Space) -> Result<Constraint> {
+    let (lhs, op, rhs) = split_relation(s)?;
+    let l = parse_expr(lhs, space)?;
+    let r = parse_expr(rhs, space)?;
+    let (expr, kind) = match op {
+        ">=" => (l - r, ConstraintKind::GeZero),
+        "<=" => (r - l, ConstraintKind::GeZero),
+        ">" => (l - r - LinExpr::constant(1), ConstraintKind::GeZero),
+        "<" => (r - l - LinExpr::constant(1), ConstraintKind::GeZero),
+        "==" | "=" => (l - r, ConstraintKind::Eq),
+        _ => unreachable!(),
+    };
+    Ok(Constraint { expr, kind })
+}
+
+fn split_relation(s: &str) -> Result<(&str, &'static str, &str)> {
+    for op in [">=", "<=", "==", ">", "<", "="] {
+        if let Some(pos) = s.find(op) {
+            return Ok((&s[..pos], op, &s[pos + op.len()..]));
+        }
+    }
+    Err(Error::Parse(format!("no relational operator in `{s}`")))
+}
+
+fn var_index(name: &str, space: &Space) -> Result<usize> {
+    let dim_aliases = ["i", "j", "k", "l", "m"];
+    if let Some(pos) = dim_aliases.iter().position(|&a| a == name) {
+        if pos < space.n_dim() {
+            return Ok(space.in_offset() + pos);
+        }
+        return Err(Error::Parse(format!("dim alias `{name}` out of range")));
+    }
+    if name == "n" || name == "q" {
+        let idx = if name == "n" { 0 } else { 1 };
+        if idx < space.n_param() {
+            return Ok(idx);
+        }
+        return Err(Error::Parse(format!("param alias `{name}` out of range")));
+    }
+    if let Some(num) = name.strip_prefix('d') {
+        let k: usize =
+            num.parse().map_err(|_| Error::Parse(format!("bad dim `{name}`")))?;
+        if k < space.n_dim() {
+            return Ok(space.in_offset() + k);
+        }
+        return Err(Error::Parse(format!("dim `{name}` out of range")));
+    }
+    if let Some(num) = name.strip_prefix('p') {
+        let k: usize =
+            num.parse().map_err(|_| Error::Parse(format!("bad param `{name}`")))?;
+        if k < space.n_param() {
+            return Ok(k);
+        }
+        return Err(Error::Parse(format!("param `{name}` out of range")));
+    }
+    Err(Error::Parse(format!("unknown variable `{name}`")))
+}
+
+fn parse_expr(s: &str, space: &Space) -> Result<LinExpr> {
+    let mut expr = LinExpr::zero();
+    let bytes: Vec<char> = s.chars().filter(|c| !c.is_whitespace()).collect();
+    let mut i = 0;
+    let mut sign = 1i64;
+    let mut first = true;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '+' {
+            sign = 1;
+            i += 1;
+            continue;
+        }
+        if c == '-' {
+            sign = -1;
+            i += 1;
+            continue;
+        }
+        if !first && !matches!(bytes.get(i.wrapping_sub(1)), Some('+') | Some('-')) {
+            // term boundary handled by sign tokens; fallthrough
+        }
+        // Parse optional integer.
+        let mut num: Option<i64> = None;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            num = Some(num.unwrap_or(0) * 10 + (bytes[i] as i64 - '0' as i64));
+            i += 1;
+        }
+        // Optional '*' between coefficient and variable.
+        if i < bytes.len() && bytes[i] == '*' {
+            i += 1;
+        }
+        // Parse optional variable name (letter followed by digits).
+        let mut name = String::new();
+        if i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+            name.push(bytes[i]);
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                name.push(bytes[i]);
+                i += 1;
+            }
+        }
+        let coeff = sign * num.unwrap_or(1);
+        if name.is_empty() {
+            match num {
+                Some(_) => expr.add_constant(coeff),
+                None => return Err(Error::Parse(format!("dangling token in `{s}`"))),
+            }
+        } else {
+            let idx = var_index(&name, space)?;
+            expr.set_coeff(idx, expr.coeff(idx) + coeff);
+        }
+        sign = 1;
+        first = false;
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bounds() {
+        let sp = Space::set(1, 2);
+        let c = parse_constraint("n - i - 1 >= 0", &sp).unwrap();
+        assert_eq!(c.kind, ConstraintKind::GeZero);
+        // n=10, i=9 satisfies; i=10 does not.
+        assert!(c.holds(&[10, 9, 0]));
+        assert!(!c.holds(&[10, 10, 0]));
+    }
+
+    #[test]
+    fn parse_roundtrip_examples() {
+        let sp = Space::set(1, 2);
+        for (s, point, expect) in [
+            ("i >= 0", vec![9i64, 0, 0], true),
+            ("i < n", vec![9, 8, 0], true),
+            ("i < n", vec![9, 9, 0], false),
+            ("2i + 3j <= 12", vec![0, 3, 2], true),
+            ("2i + 3j <= 12", vec![0, 3, 3], false),
+            ("i == j", vec![0, 4, 4], true),
+            ("i - j = 1", vec![0, 5, 4], true),
+            ("i > j", vec![0, 5, 5], false),
+        ] {
+            let c = parse_constraint(s, &sp).unwrap();
+            assert_eq!(c.holds(&point), expect, "constraint `{s}` on {point:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        let sp = Space::set(0, 1);
+        assert!(parse_constraint("z >= 0", &sp).is_err());
+        assert!(parse_constraint("i ~ 0", &sp).is_err());
+        assert!(parse_constraint("n >= 0", &sp).is_err()); // no params
+    }
+
+    #[test]
+    fn explicit_indices() {
+        let sp = Space::set(2, 6);
+        let c = parse_constraint("d5 - p1 >= 0", &sp).unwrap();
+        // layout: p0 p1 d0..d5 ; d5 is index 7.
+        let mut pt = vec![0i64; 8];
+        pt[1] = 3;
+        pt[7] = 3;
+        assert!(c.holds(&pt));
+        pt[7] = 2;
+        assert!(!c.holds(&pt));
+    }
+}

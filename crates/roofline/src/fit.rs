@@ -1,0 +1,156 @@
+//! Least-squares curve fitting: polynomial (normal equations + Gaussian
+//! elimination), linear, and the reciprocal `a/x + b` form used for DRAM
+//! miss penalties.
+
+/// Fits a polynomial of the given degree, returning coefficients
+/// `[c0, c1, ...]` for `c0 + c1·x + c2·x² + ...`.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` differ in length or there are fewer points
+/// than coefficients.
+pub fn poly_fit(xs: &[f64], ys: &[f64], degree: usize) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    let n = degree + 1;
+    assert!(xs.len() >= n, "need at least degree+1 points");
+    // Normal equations A^T A c = A^T y with A the Vandermonde matrix.
+    let mut ata = vec![vec![0.0; n]; n];
+    let mut aty = vec![0.0; n];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut powers = vec![1.0; 2 * n - 1];
+        for i in 1..2 * n - 1 {
+            powers[i] = powers[i - 1] * x;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                ata[i][j] += powers[i + j];
+            }
+            aty[i] += powers[i] * y;
+        }
+    }
+    solve(&mut ata, &mut aty)
+}
+
+/// Linear fit `y = slope·x + intercept`, returned as `(slope, intercept)`.
+///
+/// # Panics
+///
+/// Panics with fewer than two points.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    let c = poly_fit(xs, ys, 1);
+    (c[1], c[0])
+}
+
+/// Fits `y = a/x + b`, returned as `(a, b)` — the paper's DRAM miss
+/// penalty shape `M^t(f) = a/f + b`.
+///
+/// # Panics
+///
+/// Panics if any `x` is zero or fewer than two points are given.
+pub fn reciprocal_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert!(xs.iter().all(|&x| x != 0.0), "reciprocal fit needs nonzero x");
+    let inv: Vec<f64> = xs.iter().map(|&x| 1.0 / x).collect();
+    let (a, b) = linear_fit(&inv, ys);
+    (a, b)
+}
+
+/// Coefficient of determination `R²` of a prediction.
+pub fn r_squared(ys: &[f64], preds: &[f64]) -> f64 {
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+    let ss_res: f64 = ys.iter().zip(preds).map(|(y, p)| (y - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Evaluates a polynomial (coefficients low-order first).
+pub fn poly_eval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivoting.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        assert!(d.abs() > 1e-12, "singular normal equations");
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let factor = a[r][col] / d;
+            let pivot_row = a[col].clone();
+            for (c, pv) in pivot_row.iter().enumerate().skip(col) {
+                a[r][c] -= factor * pv;
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    (0..n).map(|i| b[i] / a[i][i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let xs: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x - 2.0).collect();
+        let (s, i) = linear_fit(&xs, &ys);
+        assert!((s - 3.5).abs() < 1e-9);
+        assert!((i + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_quadratic() {
+        let xs: Vec<f64> = (0..20).map(|x| x as f64 / 2.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x + 0.5 * x * x).collect();
+        let c = poly_fit(&xs, &ys, 2);
+        assert!((c[0] - 1.0).abs() < 1e-6);
+        assert!((c[1] - 2.0).abs() < 1e-6);
+        assert!((c[2] - 0.5).abs() < 1e-6);
+        assert!((poly_eval(&c, 3.0) - (1.0 + 6.0 + 4.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_reciprocal() {
+        let xs = [1.0, 1.5, 2.0, 2.5, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 40.0 / x + 7.0).collect();
+        let (a, b) = reciprocal_fit(&xs, &ys);
+        assert!((a - 40.0).abs() < 1e-9);
+        assert!((b - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn r2_of_perfect_fit_is_one() {
+        let ys = [1.0, 2.0, 3.0];
+        assert!((r_squared(&ys, &ys) - 1.0).abs() < 1e-12);
+        let preds = [2.0, 2.0, 2.0];
+        assert!(r_squared(&ys, &preds) < 0.01);
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let xs: Vec<f64> = (1..=40).map(|x| x as f64 / 4.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 5.0 * x + 1.0 + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let (s, i) = linear_fit(&xs, &ys);
+        assert!((s - 5.0).abs() < 0.02);
+        assert!((i - 1.0).abs() < 0.1);
+    }
+}

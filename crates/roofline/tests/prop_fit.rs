@@ -1,0 +1,60 @@
+//! Property tests of the curve-fitting layer: exact recovery of noiseless
+//! synthetic curves and stability under bounded noise.
+
+use proptest::prelude::*;
+
+use polyufc_roofline::fit::{poly_eval, r_squared};
+use polyufc_roofline::{linear_fit, poly_fit, reciprocal_fit};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn linear_recovery(slope in -50.0f64..50.0, intercept in -100.0f64..100.0) {
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 * 0.7 + 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let (s, i) = linear_fit(&xs, &ys);
+        prop_assert!((s - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((i - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn quadratic_recovery(c0 in -10.0f64..10.0, c1 in -10.0f64..10.0, c2 in -5.0f64..5.0) {
+        let xs: Vec<f64> = (0..16).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| c0 + c1 * x + c2 * x * x).collect();
+        let c = poly_fit(&xs, &ys, 2);
+        for (got, want) in c.iter().zip([c0, c1, c2]) {
+            prop_assert!((got - want).abs() < 1e-5 * (1.0 + want.abs()), "{got} vs {want}");
+        }
+        // Evaluation agrees with the source polynomial on fresh points.
+        let x = 9.25;
+        prop_assert!((poly_eval(&c, x) - (c0 + c1 * x + c2 * x * x)).abs() < 1e-4 * (1.0 + c0.abs() + c1.abs() + c2.abs()));
+    }
+
+    #[test]
+    fn reciprocal_recovery(a in 0.1f64..100.0, b in -10.0f64..10.0) {
+        let xs: Vec<f64> = (1..12).map(|i| i as f64 * 0.4).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| a / x + b).collect();
+        let (ga, gb) = reciprocal_fit(&xs, &ys);
+        prop_assert!((ga - a).abs() < 1e-6 * (1.0 + a));
+        prop_assert!((gb - b).abs() < 1e-6 * (1.0 + b.abs()));
+    }
+
+    #[test]
+    fn noisy_linear_r2_high(slope in 0.5f64..20.0, noise_seed in 0u64..1000) {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25 + 0.5).collect();
+        // Deterministic pseudo-noise bounded at ±1% of the signal scale.
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let n = (((i as u64 * 2654435761 + noise_seed) % 200) as f64 / 100.0 - 1.0) * 0.01;
+                slope * x * (1.0 + n) + 3.0
+            })
+            .collect();
+        let (s, i) = linear_fit(&xs, &ys);
+        let preds: Vec<f64> = xs.iter().map(|&x| s * x + i).collect();
+        prop_assert!(r_squared(&ys, &preds) > 0.99);
+        prop_assert!((s - slope).abs() / slope < 0.05);
+    }
+}

@@ -1,0 +1,22 @@
+//! The evaluation workloads of the paper (Table II): the PolyBench suite
+//! and the selected ML kernels (conv2d from AlexNet / ConvNeXt /
+//! WideResNet, lm-head matmul from GPT-2 / LLaMA-2, and sdpa from BERT /
+//! Gemma-2), expressed as IR builders.
+//!
+//! PolyBench kernels are sequences of perfect affine nests (imperfect
+//! nests are split; phase-interleaved stencil updates become multiple
+//! statements of one nest, which is trace-equivalent at cache-line
+//! granularity). Problem sizes are scaled so that trace-driven simulation
+//! of every (kernel × frequency × platform) point is tractable while
+//! preserving each kernel's CB/BB class — see DESIGN.md.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ml;
+pub mod polybench;
+pub mod sizes;
+
+pub use ml::{ml_suite, MlWorkload};
+pub use polybench::{polybench_suite, Workload};
+pub use sizes::PolybenchSize;

@@ -1,0 +1,68 @@
+//! Roofline characterization of the PolyBench suite: operational
+//! intensity from PolyUFC-CM vs. machine counters, and the CB/BB split,
+//! on both simulated platforms (the Fig. 6 view in miniature).
+//!
+//! Run with: `cargo run --release --example characterize_suite [mini|small]`
+
+use polyufc::{characterize_kernel, Pipeline};
+use polyufc_machine::{measure_kernel, Platform};
+use polyufc_workloads::{polybench_suite, PolybenchSize};
+
+fn main() {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("mini") => PolybenchSize::Mini,
+        _ => PolybenchSize::Small,
+    };
+    for platform in Platform::all() {
+        let pipeline = Pipeline::new(platform.clone());
+        let f_ref = platform.uncore_max_ghz;
+        println!(
+            "\n=== {} (balance {:.2} FpB at {:.1} GHz) ===",
+            platform.name,
+            pipeline.roofline.time_balance(f_ref),
+            f_ref
+        );
+        println!("{:<14} {:>10} {:>10} {:>6} {:>10}", "kernel", "OI est", "OI meas", "class", "peak frac");
+        let (mut cb, mut bb) = (0, 0);
+        for w in polybench_suite(size) {
+            let out = match pipeline.compile_affine(&w.program) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("  {}: analysis failed: {e}", w.name);
+                    continue;
+                }
+            };
+            // Program-level OI: aggregate over kernels.
+            let omega: f64 = out.cache_stats.iter().map(|s| s.flops).sum();
+            let q: f64 = out.cache_stats.iter().map(|s| s.q_dram_bytes).sum();
+            let mut meas_omega = 0.0;
+            let mut meas_q = 0.0;
+            for k in &out.optimized.kernels {
+                let c = measure_kernel(&platform, &out.optimized, k);
+                meas_omega += c.flops as f64;
+                meas_q += (c.dram_fills * c.line_bytes) as f64;
+            }
+            let agg = polyufc_cache::KernelCacheStats {
+                levels: out.cache_stats[0].levels.clone(),
+                cold_lines: 0.0,
+                q_dram_bytes: q,
+                flops: omega,
+                total_accesses: 0.0,
+            };
+            let ch = characterize_kernel(w.name, &agg, &pipeline.roofline, f_ref);
+            match ch.class {
+                polyufc::Boundedness::ComputeBound => cb += 1,
+                polyufc::Boundedness::BandwidthBound => bb += 1,
+            }
+            println!(
+                "{:<14} {:>10.2} {:>10.2} {:>6} {:>9.0}%",
+                w.name,
+                ch.oi,
+                meas_omega / meas_q.max(1.0),
+                ch.class,
+                ch.peak_fraction * 100.0
+            );
+        }
+        println!("split: {cb} CB / {bb} BB");
+    }
+}

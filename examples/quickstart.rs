@@ -1,0 +1,63 @@
+//! Quickstart: compile a GEMM with PolyUFC for the simulated Broadwell
+//! platform, inspect the characterization and the chosen uncore cap, and
+//! compare the capped "run" against the stock UFS driver baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use polyufc::{Objective, Pipeline};
+use polyufc_machine::{measure_kernel, ExecutionEngine, Platform, UfsDriver};
+use polyufc_workloads::polybench;
+
+fn main() {
+    // 1. Pick a platform; pipeline construction calibrates the performance
+    //    and power rooflines by one-time microbenchmarking.
+    let platform = Platform::broadwell();
+    let pipeline = Pipeline::new(platform.clone()).with_objective(Objective::Edp);
+    println!("calibrated {}: peak {:.0} Gflop/s, balance {:.1} FpB at {:.1} GHz",
+        platform.name,
+        pipeline.roofline.peak_flops / 1e9,
+        pipeline.roofline.time_balance(platform.uncore_max_ghz),
+        platform.uncore_max_ghz);
+
+    // 2. Compile: Pluto tiling/parallelization, PolyUFC-CM cache analysis,
+    //    roofline characterization, POLYUFC-SEARCH, cap insertion.
+    let program = polybench::gemm(512);
+    let out = pipeline.compile_affine(&program).expect("analysis succeeds");
+    for (ch, res) in out.characterizations.iter().zip(&out.search) {
+        println!(
+            "kernel {:<12} OI {:>8.2} FpB  class {}  cap {:.1} GHz ({} search steps)",
+            ch.kernel, ch.oi, ch.class, res.f_ghz, res.steps
+        );
+    }
+    println!("\ncompile-time breakdown: preprocess {} µs, Pluto {} µs, PolyUFC-CM {} µs, steps 4-6 {} µs",
+        out.report.preprocess_us, out.report.pluto_us, out.report.polyufc_cm_us, out.report.steps_4_6_us);
+    println!("\ngenerated scf program:\n{}", out.scf);
+
+    // 3. "Run" on the machine model and compare with the stock driver.
+    let engine = ExecutionEngine::new(platform.clone());
+    let counters: Vec<_> = out
+        .optimized
+        .kernels
+        .iter()
+        .map(|k| measure_kernel(&platform, &out.optimized, k))
+        .collect();
+    let capped = engine.run_scf(&out.scf, &counters);
+    let baseline = UfsDriver::stock().run_baseline(&engine, &counters);
+    println!(
+        "baseline (UFS @ {:.1} GHz): {:.3} ms, {:.3} J, EDP {:.3e}",
+        baseline.uncore_ghz,
+        baseline.time_s * 1e3,
+        baseline.energy.total(),
+        baseline.edp()
+    );
+    println!(
+        "PolyUFC capped:             {:.3} ms, {:.3} J, EDP {:.3e}",
+        capped.time_s * 1e3,
+        capped.energy.total(),
+        capped.edp()
+    );
+    println!(
+        "EDP improvement: {:+.1}%",
+        (1.0 - capped.edp() / baseline.edp()) * 100.0
+    );
+}

@@ -1,0 +1,52 @@
+//! ML-PolyUFC on a transformer attention block: multi-level CB/BB phase
+//! analysis (Fig. 5) and cap application at tensor vs. linalg granularity
+//! (Sec. VI-B), for BERT-shaped scaled dot-product attention.
+//!
+//! Run with: `cargo run --release --example sdpa_phases`
+
+use polyufc::{CapGranularity, MlPolyUfc, PhaseReport, Pipeline};
+use polyufc_machine::{measure_kernel, ExecutionEngine, Platform};
+use polyufc_workloads::ml::sdpa_bert;
+
+fn main() {
+    let platform = Platform::raptor_lake();
+    let w = sdpa_bert();
+    let ml = MlPolyUfc::new(Pipeline::new(platform.clone()));
+
+    // Multi-level phase report: one torch op hides a CB -> BB* -> CB
+    // structure that only the linalg/affine levels expose.
+    let phases = ml.phase_report(&w.graph, w.elem).expect("analysis");
+    println!("torch  level phases: {}", PhaseReport::phase_string(&phases.tensor));
+    println!("linalg level phases: {}", PhaseReport::phase_string(&phases.linalg));
+    println!("affine level phases: {}", PhaseReport::phase_string(&phases.affine));
+
+    // Cap application granularity trade-off.
+    let engine = ExecutionEngine::new(platform.clone());
+    for gran in [CapGranularity::Tensor, CapGranularity::Linalg] {
+        let mut ml = MlPolyUfc::new(Pipeline::new(platform.clone()));
+        ml.granularity = gran;
+        let out = ml.compile(&w.graph, w.elem).expect("analysis");
+        let counters: Vec<_> = out
+            .optimized
+            .kernels
+            .iter()
+            .map(|k| measure_kernel(&platform, &out.optimized, k))
+            .collect();
+        let run = engine.run_scf(&out.scf, &counters);
+        println!(
+            "\n{:?} granularity: {} cap calls over {} kernels",
+            gran,
+            out.scf.cap_count(),
+            out.scf.kernel_count()
+        );
+        for (cap, k) in out.scf.kernels_with_caps() {
+            println!("  {:>4} MHz  {}", cap.unwrap_or(0), k.name);
+        }
+        println!(
+            "  run: {:.3} ms, {:.3} J, EDP {:.3e}",
+            run.time_s * 1e3,
+            run.energy.total(),
+            run.edp()
+        );
+    }
+}

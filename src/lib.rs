@@ -1,0 +1,42 @@
+//! Umbrella crate of the PolyUFC reproduction: re-exports the whole stack
+//! and hosts the integration tests (`tests/`) and examples (`examples/`).
+//!
+//! The typical end-to-end use:
+//!
+//! ```
+//! use polyufc::Pipeline;
+//! use polyufc_machine::Platform;
+//! use polyufc_workloads::polybench;
+//!
+//! // Calibrate rooflines for a platform and compile a kernel.
+//! let pipeline = Pipeline::new(Platform::broadwell());
+//! let out = pipeline.compile_affine(&polybench::gemm(64)).unwrap();
+//! assert_eq!(out.scf.kernel_count(), 2);
+//! for cap in &out.caps_ghz {
+//!     assert!(*cap >= 1.2 && *cap <= 2.8);
+//! }
+//! ```
+//!
+//! Or from C source through the `cgeist` stand-in:
+//!
+//! ```
+//! use polyufc_cgeist::parse_scop;
+//!
+//! let program = parse_scop(
+//!     "double A[8]; #pragma scop\n\
+//!      for (int i = 0; i < 8; i++) A[i] = A[i] * 2.0;\n\
+//!      #pragma endscop",
+//!     "scale",
+//! ).unwrap();
+//! assert_eq!(program.kernels.len(), 1);
+//! ```
+
+pub use polyufc as core;
+pub use polyufc_cache as cache;
+pub use polyufc_cgeist as cgeist;
+pub use polyufc_ir as ir;
+pub use polyufc_machine as machine;
+pub use polyufc_pluto as pluto;
+pub use polyufc_presburger as presburger;
+pub use polyufc_roofline as roofline;
+pub use polyufc_workloads as workloads;

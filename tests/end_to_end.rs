@@ -1,0 +1,153 @@
+//! Integration tests: the whole flow, from workload builders through
+//! Pluto, PolyUFC-CM, the search, code generation, and execution on the
+//! machine model.
+
+use polyufc::{Objective, Pipeline};
+use polyufc_ir::scf::ScfOp;
+use polyufc_machine::{measure_kernel, ExecutionEngine, Platform, UfsDriver};
+use polyufc_workloads::{ml_suite, polybench_suite, PolybenchSize};
+
+/// Every PolyBench program compiles end-to-end on both platforms, with
+/// caps inside the platform range and structure preserved.
+#[test]
+fn full_suite_compiles_on_both_platforms() {
+    for plat in Platform::all() {
+        let pipe = Pipeline::new(plat.clone());
+        for w in polybench_suite(PolybenchSize::Mini) {
+            let out = pipe
+                .compile_affine(&w.program)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, plat.name));
+            assert_eq!(
+                out.scf.kernel_count(),
+                w.program.kernels.len(),
+                "{}: kernels preserved",
+                w.name
+            );
+            for &f in &out.caps_ghz {
+                assert!(
+                    f >= plat.uncore_min_ghz - 1e-9 && f <= plat.uncore_max_ghz + 1e-9,
+                    "{}: cap {f} out of range",
+                    w.name
+                );
+            }
+            // Redundant-cap rewrite: consecutive kernels never get two
+            // identical consecutive caps.
+            let mut last = None;
+            for op in &out.scf.ops {
+                if let ScfOp::SetUncoreCap { mhz } = op {
+                    assert_ne!(last, Some(*mhz), "{}: redundant cap left behind", w.name);
+                    last = Some(*mhz);
+                }
+            }
+        }
+    }
+}
+
+/// The ML suite lowers and compiles end-to-end.
+#[test]
+fn ml_suite_compiles() {
+    let pipe = Pipeline::new(Platform::raptor_lake());
+    for w in ml_suite() {
+        let out = pipe.compile_tensor(&w.graph, w.elem).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(!out.caps_ghz.is_empty(), "{}", w.name);
+    }
+}
+
+/// Capped execution must never be meaningfully worse than the UFS
+/// baseline in EDP (the deployable guarantee the switch guard provides),
+/// checked noiselessly over the small suite.
+#[test]
+fn capped_never_worse_than_baseline() {
+    for plat in Platform::all() {
+        let pipe = Pipeline::new(plat.clone());
+        let eng = ExecutionEngine::noiseless(plat.clone());
+        for w in polybench_suite(PolybenchSize::Small) {
+            let out = match pipe.compile_affine(&w.program) {
+                Ok(o) => o,
+                Err(_) => continue,
+            };
+            let counters: Vec<_> = out
+                .optimized
+                .kernels
+                .iter()
+                .map(|k| measure_kernel(&plat, &out.optimized, k))
+                .collect();
+            let capped = eng.run_scf(&out.scf, &counters);
+            let baseline = UfsDriver::stock().run_baseline(&eng, &counters);
+            assert!(
+                capped.edp() <= baseline.edp() * 1.05,
+                "{} on {}: capped EDP {:.3e} vs baseline {:.3e}",
+                w.name,
+                plat.name,
+                capped.edp(),
+                baseline.edp()
+            );
+        }
+    }
+}
+
+/// Objectives behave as documented: the performance objective never
+/// sacrifices time; the energy objective never uses more energy than the
+/// EDP objective's pick (steady state, one CB and one BB kernel).
+#[test]
+fn objectives_order_sensibly() {
+    let plat = Platform::broadwell();
+    let eng = ExecutionEngine::noiseless(plat.clone());
+    for w in polybench_suite(PolybenchSize::Small)
+        .into_iter()
+        .filter(|w| w.name == "gemm" || w.name == "mvt")
+    {
+        let mut results = Vec::new();
+        for obj in [Objective::Performance, Objective::Energy, Objective::Edp] {
+            let mut pipe = Pipeline::new(plat.clone()).with_objective(obj);
+            pipe.cap_switch_guard = 0.0;
+            let out = pipe.compile_affine(&w.program).unwrap();
+            let counters: Vec<_> = out
+                .optimized
+                .kernels
+                .iter()
+                .map(|k| measure_kernel(&plat, &out.optimized, k))
+                .collect();
+            // Steady-state: per-kernel runs at the chosen caps.
+            let mut time = 0.0;
+            let mut energy = 0.0;
+            for (c, &f) in counters.iter().zip(&out.caps_ghz) {
+                let r = eng.run_kernel(c, f);
+                time += r.time_s;
+                energy += r.energy.total();
+            }
+            results.push((obj, time, energy));
+        }
+        let perf = results[0];
+        let en = results[1];
+        // Performance objective: within a whisker of the fastest.
+        let fastest = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+        assert!(perf.1 <= fastest * 1.03, "{}: perf objective too slow", w.name);
+        // Energy objective: no other objective strictly beats it on energy.
+        let least = results.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+        assert!(en.2 <= least * 1.05, "{}: energy objective wasteful", w.name);
+    }
+}
+
+/// Determinism: compiling twice produces identical caps; the machine's
+/// noise is seeded and reproducible.
+#[test]
+fn compilation_and_measurement_deterministic() {
+    let plat = Platform::raptor_lake();
+    let pipe = Pipeline::new(plat.clone());
+    let w = &polybench_suite(PolybenchSize::Mini)[0];
+    let a = pipe.compile_affine(&w.program).unwrap();
+    let b = pipe.compile_affine(&w.program).unwrap();
+    assert_eq!(a.caps_ghz, b.caps_ghz);
+    let eng = ExecutionEngine::new(plat.clone());
+    let counters: Vec<_> = a
+        .optimized
+        .kernels
+        .iter()
+        .map(|k| measure_kernel(&plat, &a.optimized, k))
+        .collect();
+    let r1 = eng.run_scf(&a.scf, &counters);
+    let r2 = eng.run_scf(&b.scf, &counters);
+    assert_eq!(r1.time_s, r2.time_s);
+    assert_eq!(r1.energy.total(), r2.energy.total());
+}

@@ -1,0 +1,99 @@
+//! Fidelity tests against facts the paper states explicitly: kernel
+//! classifications (Sec. VII-D), search-space sizes (Sec. VII-F), the
+//! sdpa phase structure (Fig. 5), and the cap-direction rules.
+
+use polyufc::{Boundedness, Pipeline};
+use polyufc_machine::Platform;
+use polyufc_workloads::{polybench_suite, PolybenchSize};
+
+/// Sec. VII-D / Fig. 6: the kernels the paper names as CB or BB on RPL
+/// must classify identically here at the evaluation sizes. (Flop-weighted
+/// program-level class, like the harnesses.)
+#[test]
+fn named_kernels_classify_like_the_paper() {
+    let pipe = Pipeline::new(Platform::raptor_lake());
+    let mut failures = Vec::new();
+    for w in polybench_suite(PolybenchSize::Large) {
+        let Some(expected) = w.paper_class else { continue };
+        let out = match pipe.compile_affine(&w.program) {
+            Ok(o) => o,
+            Err(e) => {
+                failures.push(format!("{}: analysis failed: {e}", w.name));
+                continue;
+            }
+        };
+        let (mut cb, mut bb) = (0.0, 0.0);
+        for (ch, st) in out.characterizations.iter().zip(&out.cache_stats) {
+            match ch.class {
+                Boundedness::ComputeBound => cb += st.flops,
+                Boundedness::BandwidthBound => bb += st.flops,
+            }
+        }
+        let got = if cb >= bb { "CB" } else { "BB" };
+        if got != expected {
+            failures.push(format!("{}: paper says {expected}, we say {got}", w.name));
+        }
+    }
+    assert!(failures.is_empty(), "classification mismatches:\n{}", failures.join("\n"));
+}
+
+/// Sec. VII-F: 100 MHz precision gives ≈39 search steps on RPL.
+#[test]
+fn search_space_sizes_match_table3() {
+    assert_eq!(Platform::raptor_lake().uncore_freqs().len(), 39);
+    assert_eq!(Platform::broadwell().uncore_freqs().len(), 17);
+}
+
+/// The cap-direction rule of Sec. VI-C: a deep-CB kernel (gemm at the
+/// evaluation size) receives a cap no higher than a deep-BB kernel (mvt),
+/// on both platforms (unguarded steady-state plan).
+#[test]
+fn cb_caps_below_bb_caps() {
+    use polyufc_workloads::polybench;
+    for plat in Platform::all() {
+        let mut pipe = Pipeline::new(plat.clone());
+        pipe.cap_switch_guard = 0.0;
+        let gemm = pipe.compile_affine(&polybench::gemm(512)).unwrap();
+        let mvt = pipe.compile_affine(&polybench::mvt(2000)).unwrap();
+        // The matmul nest is kernel 1; both mvt nests are BB.
+        let cb_cap = gemm.caps_ghz[1];
+        let bb_cap = mvt.caps_ghz.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            cb_cap <= bb_cap + 1e-9,
+            "{}: gemm cap {cb_cap} must not exceed mvt cap {bb_cap}",
+            plat.name
+        );
+        // And the deep-CB cap must actually be low on its platform.
+        let span = plat.uncore_max_ghz - plat.uncore_min_ghz;
+        assert!(
+            cb_cap <= plat.uncore_min_ghz + span * 0.45,
+            "{}: deep-CB cap {cb_cap} should be in the lower half",
+            plat.name
+        );
+    }
+}
+
+/// The motivating Fig. 1 facts on BDW: BB kernels' caps land at the
+/// bandwidth knee (≈2.5 GHz on our BDW), not at the extremes.
+#[test]
+fn bb_caps_land_at_the_bandwidth_knee() {
+    let mut pipe = Pipeline::new(Platform::broadwell());
+    pipe.cap_switch_guard = 0.0;
+    for w in polybench_suite(PolybenchSize::Small) {
+        if w.name != "mvt" && w.name != "gemver" {
+            continue;
+        }
+        let out = pipe.compile_affine(&w.program).unwrap();
+        for (k_idx, &cap) in out.caps_ghz.iter().enumerate() {
+            let st = &out.cache_stats[k_idx];
+            if st.flops < 1e5 {
+                continue;
+            }
+            assert!(
+                (2.2..=2.8).contains(&cap),
+                "{} kernel {k_idx}: BB cap {cap} should sit at/near the 2.5 GHz knee",
+                w.name
+            );
+        }
+    }
+}
