@@ -35,7 +35,11 @@ fn bench_cache_model(c: &mut Criterion) {
     let (opt, _) = PlutoOptimizer::default().optimize(&program);
     let model = CacheModel::new(plat.hierarchy.clone(), AssocMode::SetAssociative);
     c.bench_function("polyufc_cm/gemm256_tiled", |bench| {
-        bench.iter(|| model.analyze_kernel(black_box(&opt), &opt.kernels[1]).unwrap())
+        bench.iter(|| {
+            model
+                .analyze_kernel(black_box(&opt), &opt.kernels[1])
+                .unwrap()
+        })
     });
 }
 
@@ -110,8 +114,12 @@ fn bench_exact_cache(c: &mut Criterion) {
     use polyufc_cache::exact::analyze_exact;
     use polyufc_cache::CacheLevelConfig;
     let program = polybench::jacobi_1d(4, 256);
-    let level =
-        CacheLevelConfig { size_bytes: 64 * 64, line_bytes: 64, assoc: 8, shared: false };
+    let level = CacheLevelConfig {
+        size_bytes: 64 * 64,
+        line_bytes: 64,
+        assoc: 8,
+        shared: false,
+    };
     c.bench_function("exact/jacobi1d_reuse_maps", |bench| {
         bench.iter(|| {
             analyze_exact(black_box(&program), &program.kernels[0], &level, 100_000).unwrap()

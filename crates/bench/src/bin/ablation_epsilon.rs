@@ -11,7 +11,10 @@ fn main() {
     let plat = Platform::broadwell();
     let eng = ExecutionEngine::noiseless(plat.clone());
     let kernels = ["gemm", "mvt", "jacobi-2d", "trisolv"];
-    println!("# Ablation — ε sensitivity on {} (paper sets ε = 1e-3)", plat.name);
+    println!(
+        "# Ablation — ε sensitivity on {} (paper sets ε = 1e-3)",
+        plat.name
+    );
     let mut rows = Vec::new();
     for eps in [1e-6, 1e-3, 1e-2, 0.1] {
         for name in kernels {
@@ -25,8 +28,11 @@ fn main() {
                 Ok(e) => e,
                 Err(_) => continue,
             };
-            let caps: Vec<String> =
-                e.steady_caps_ghz.iter().map(|f| format!("{f:.1}")).collect();
+            let caps: Vec<String> = e
+                .steady_caps_ghz
+                .iter()
+                .map(|f| format!("{f:.1}"))
+                .collect();
             rows.push(vec![
                 format!("{eps:.0e}"),
                 name.to_string(),

@@ -11,7 +11,10 @@ fn main() {
     let size = size_from_args();
     for plat in Platform::all() {
         let pipe = Pipeline::new(plat.clone());
-        println!("\n# Ablation — binary search vs exhaustive scan on {}", plat.name);
+        println!(
+            "\n# Ablation — binary search vs exhaustive scan on {}",
+            plat.name
+        );
         let mut rows = Vec::new();
         let mut agree = 0;
         let mut total = 0;
@@ -22,7 +25,8 @@ fn main() {
                 Err(_) => continue,
             };
             for (k, st) in out.optimized.kernels.iter().zip(&out.cache_stats) {
-                let pm = ParametricModel::new(&pipe.roofline, st, k.outer_parallel().is_some(), conc);
+                let pm =
+                    ParametricModel::new(&pipe.roofline, st, k.outer_parallel().is_some(), conc);
                 let fast = search_cap(&pm, &plat.uncore_freqs(), Objective::Edp, 1e-3);
                 let slow = scan_cap(&pm, &plat.uncore_freqs(), Objective::Edp, 1e-3);
                 total += 1;
@@ -41,7 +45,14 @@ fn main() {
             }
         }
         print_table(
-            &["kernel", "binary cap", "scan cap", "binary evals", "scan evals", "EDP ratio"],
+            &[
+                "kernel",
+                "binary cap",
+                "scan cap",
+                "binary evals",
+                "scan evals",
+                "EDP ratio",
+            ],
             &rows,
         );
         println!("\nnear-optimal (≤0.5% EDP loss): {agree}/{total} kernels");

@@ -15,7 +15,10 @@ fn main() {
     let conc = plat.cores as f64;
     let f = plat.uncore_max_ghz;
 
-    println!("# Ablation — additive (paper Eqn. 2) vs overlap time model on {}", plat.name);
+    println!(
+        "# Ablation — additive (paper Eqn. 2) vs overlap time model on {}",
+        plat.name
+    );
     let mut rows = Vec::new();
     let mut err_add = Vec::new();
     let mut err_ovl = Vec::new();
@@ -47,7 +50,11 @@ fn main() {
     }
     print_table(&["kernel", "t machine", "t additive", "t overlap"], &rows);
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("\nmean |error|: additive {:.1}%, overlap {:.1}%", mean(&err_add) * 100.0, mean(&err_ovl) * 100.0);
+    println!(
+        "\nmean |error|: additive {:.1}%, overlap {:.1}%",
+        mean(&err_add) * 100.0,
+        mean(&err_ovl) * 100.0
+    );
     println!("(the overlap model is the default; the additive Eqn. 2 over-penalizes CB kernels");
     println!(" at low uncore frequencies and biases the search toward higher caps)");
 }

@@ -7,7 +7,7 @@
 use polyufc::Pipeline;
 use polyufc_bench::{pct, print_table, size_from_args};
 use polyufc_ir::lower::lower_tensor_to_linalg;
-use polyufc_machine::{measure_kernel, DufsGovernor, ExecutionEngine, Platform, UfsDriver};
+use polyufc_machine::{measure_program, DufsGovernor, ExecutionEngine, Platform, UfsDriver};
 use polyufc_workloads::ml::sdpa_bert;
 use polyufc_workloads::polybench;
 
@@ -27,22 +27,27 @@ fn main() {
         ("sdpa-bert (phases)", sdpa),
     ];
 
-    println!("# PolyUFC vs DUFS governor vs stock driver on {}", plat.name);
+    println!(
+        "# PolyUFC vs DUFS governor vs stock driver on {}",
+        plat.name
+    );
     let mut rows = Vec::new();
-    for (name, program) in programs {
-        let out = match pipe.compile_affine(&program) {
-            Ok(o) => o,
+    // Compile + trace-measure each workload in parallel; the governor
+    // comparisons below consume the input-ordered results sequentially.
+    let prepared = polyufc_par::par_map(&programs, |(_, program)| {
+        pipe.compile_affine(program).map(|out| {
+            let counters = measure_program(&plat, &out.optimized);
+            (out, counters)
+        })
+    });
+    for ((name, _), result) in programs.iter().zip(prepared) {
+        let (out, counters) = match result {
+            Ok(oc) => oc,
             Err(e) => {
                 eprintln!("skipping {name}: {e}");
                 continue;
             }
         };
-        let counters: Vec<_> = out
-            .optimized
-            .kernels
-            .iter()
-            .map(|k| measure_kernel(&plat, &out.optimized, k))
-            .collect();
         let stock = UfsDriver::stock().run_baseline(&eng, &counters);
         let capped = eng.run_scf(&out.scf, &counters);
         // The governor starts from its previous steady state — assume a
@@ -52,11 +57,27 @@ fn main() {
         rows.push(vec![
             name.to_string(),
             format!("{:.3e}", stock.edp()),
-            format!("{:.3e} ({})", dufs.edp(), pct(1.0 - dufs.edp() / stock.edp())),
-            format!("{:.3e} ({})", capped.edp(), pct(1.0 - capped.edp() / stock.edp())),
+            format!(
+                "{:.3e} ({})",
+                dufs.edp(),
+                pct(1.0 - dufs.edp() / stock.edp())
+            ),
+            format!(
+                "{:.3e} ({})",
+                capped.edp(),
+                pct(1.0 - capped.edp() / stock.edp())
+            ),
         ]);
     }
-    print_table(&["workload", "stock EDP", "DUFS EDP (vs stock)", "PolyUFC EDP (vs stock)"], &rows);
+    print_table(
+        &[
+            "workload",
+            "stock EDP",
+            "DUFS EDP (vs stock)",
+            "PolyUFC EDP (vs stock)",
+        ],
+        &rows,
+    );
     println!("\n(DUFS pays control-loop latency on every phase change; PolyUFC sets the");
     println!(" frequency before each kernel starts — the Sec. VII-F argument.)");
 }

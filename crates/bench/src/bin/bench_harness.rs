@@ -1,0 +1,99 @@
+//! Meta-harness: runs the figure/table harness binaries, times each one,
+//! and emits `BENCH_harness.json` with per-harness wall-clock so the
+//! suite's performance trajectory is tracked PR-over-PR in CI.
+//!
+//! Usage: `bench_harness [mini|small|large] [out.json]` — the size preset
+//! is forwarded to every harness (CI uses `mini` to stay fast).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+/// The harnesses whose end-to-end wall-clock the perf trajectory tracks —
+/// the parallel-evaluation suite of this PR.
+const HARNESSES: &[&str] = &[
+    "fig1_freq_sweep",
+    "fig6_characterization",
+    "fig7_edp",
+    "table4_compile_time",
+    "baseline_dufs",
+];
+
+fn main() {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("mini") | None => "mini",
+        Some("small") => "small",
+        Some("large") => "large",
+        Some(other) => {
+            eprintln!("unknown size '{other}' (expected mini|small|large)");
+            std::process::exit(2);
+        }
+    };
+    let out_path = std::env::args()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| "BENCH_harness.json".into());
+
+    // Sibling binaries live next to this one in target/<profile>/.
+    let bin_dir: PathBuf = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let mut entries = Vec::new();
+    let t_suite = Instant::now();
+    for name in HARNESSES {
+        let bin = bin_dir.join(name);
+        if !bin.exists() {
+            eprintln!("{name}: missing (build with `cargo build --release` first)");
+            entries.push((name.to_string(), 0.0, "missing".to_string()));
+            continue;
+        }
+        let t0 = Instant::now();
+        let status = Command::new(&bin)
+            .arg(size)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .status();
+        let wall = t0.elapsed().as_secs_f64();
+        let status = match status {
+            Ok(s) if s.success() => "ok".to_string(),
+            Ok(s) => format!("exit {}", s.code().unwrap_or(-1)),
+            Err(e) => format!("spawn failed: {e}"),
+        };
+        println!("{name:<24} {wall:>8.2}s  {status}");
+        entries.push((name.to_string(), wall, status));
+    }
+    let total = t_suite.elapsed().as_secs_f64();
+
+    // Hand-rolled JSON: the offline serde stand-in has no serializer, and
+    // the schema is flat enough not to need one.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"polyufc-bench-harness/1\",\n");
+    json.push_str(&format!("  \"size\": \"{size}\",\n"));
+    json.push_str(&format!(
+        "  \"threads\": {},\n",
+        polyufc_par::worker_count()
+    ));
+    json.push_str(&format!("  \"total_wall_s\": {total:.3},\n"));
+    json.push_str("  \"harnesses\": [\n");
+    for (i, (name, wall, status)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"wall_s\": {wall:.3}, \"status\": \"{status}\"}}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut f = std::fs::File::create(&out_path).expect("create BENCH_harness.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_harness.json");
+    println!("\nwrote {} ({total:.2}s total)", out_path.display());
+
+    if entries.iter().any(|(_, _, s)| s != "ok" && s != "missing") {
+        std::process::exit(1);
+    }
+}

@@ -42,8 +42,19 @@ fn main() {
         .zip(out.characterizations.iter().zip(&out.search))
     {
         let c = measure_kernel(&plat, &out.optimized, k);
-        println!("\n=== kernel {} (depth {}, parallel {:?}) ===", k.name, k.depth(), k.outer_parallel());
-        println!("class {} OI est {:.3} meas {:.3}  cap {:.1} GHz", ch.class, st.operational_intensity(), c.measured_oi(), res.f_ghz);
+        println!(
+            "\n=== kernel {} (depth {}, parallel {:?}) ===",
+            k.name,
+            k.depth(),
+            k.outer_parallel()
+        );
+        println!(
+            "class {} OI est {:.3} meas {:.3}  cap {:.1} GHz",
+            ch.class,
+            st.operational_intensity(),
+            c.measured_oi(),
+            res.f_ghz
+        );
         for (i, l) in st.levels.iter().enumerate() {
             println!(
                 "  L{}: est acc {:.3e} miss {:.3e} (fit {})   sim hit {:.3e} miss {:.3e}",
@@ -55,17 +66,34 @@ fn main() {
                 c.misses[i] as f64
             );
         }
-        println!("  est Q_DRAM {:.3e}  sim fills {:.3e} wb {:.3e}", st.q_dram_bytes, (c.dram_fills * 64) as f64, (c.dram_writebacks * 64) as f64);
+        println!(
+            "  est Q_DRAM {:.3e}  sim fills {:.3e} wb {:.3e}",
+            st.q_dram_bytes,
+            (c.dram_fills * 64) as f64,
+            (c.dram_writebacks * 64) as f64
+        );
         let pm = ParametricModel::new(&pipe.roofline, st, k.outer_parallel().is_some(), conc);
         if std::env::args().nth(4).as_deref() == Some("grid") {
             for f in plat.uncore_freqs() {
-                println!("    grid f={f:.1}: t {:.4e} E {:.4e} EDP {:.4e}", pm.exec_time(f), pm.energy(f), pm.edp(f));
+                println!(
+                    "    grid f={f:.1}: t {:.4e} E {:.4e} EDP {:.4e}",
+                    pm.exec_time(f),
+                    pm.energy(f),
+                    pm.edp(f)
+                );
             }
             for s in &res.log {
-                println!("    search step f={:.1} dp {:.4} db {:.4} dedp {:.4} adm {}", s.f_ghz, s.delta_perf, s.delta_bw, s.delta_edp, s.admissible);
+                println!(
+                    "    search step f={:.1} dp {:.4} db {:.4} dedp {:.4} adm {}",
+                    s.f_ghz, s.delta_perf, s.delta_bw, s.delta_edp, s.admissible
+                );
             }
         }
-        for f in [plat.uncore_min_ghz, (plat.uncore_min_ghz + plat.uncore_max_ghz) / 2.0, plat.uncore_max_ghz] {
+        for f in [
+            plat.uncore_min_ghz,
+            (plat.uncore_min_ghz + plat.uncore_max_ghz) / 2.0,
+            plat.uncore_max_ghz,
+        ] {
             let f = plat.clamp_uncore(f);
             let hw = eng.run_kernel(&c, f);
             println!(

@@ -16,7 +16,10 @@ fn main() {
 
 fn run_case(w: &polyufc_workloads::MlWorkload) {
     for plat in Platform::all() {
-        println!("\n# Sec. VII-F — cap overheads for {} on {}", w.name, plat.name);
+        println!(
+            "\n# Sec. VII-F — cap overheads for {} on {}",
+            w.name, plat.name
+        );
         println!("per-switch cost: {:.0} µs", plat.cap_switch_us);
         let eng = ExecutionEngine::new(plat.clone());
         for gran in [CapGranularity::Linalg, CapGranularity::Tensor] {

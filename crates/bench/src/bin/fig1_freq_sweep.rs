@@ -5,7 +5,7 @@
 use polyufc::Pipeline;
 use polyufc_bench::size_from_args;
 use polyufc_ir::lower::lower_tensor_to_linalg;
-use polyufc_machine::{measure_kernel, ExecutionEngine, Platform};
+use polyufc_machine::{measure_program, ExecutionEngine, Platform};
 use polyufc_workloads::ml::conv2d_convnext;
 use polyufc_workloads::polybench;
 
@@ -26,17 +26,23 @@ fn main() {
         ("mvt", polybench::mvt(size.n2())),
     ];
 
-    println!("# Fig. 1 — time / energy / EDP vs uncore frequency cap ({})", plat.name);
-    for (name, program) in programs {
-        let out = pipe.compile_affine(&program).expect("analysis");
-        let counters: Vec<_> = out
-            .optimized
-            .kernels
-            .iter()
-            .map(|k| measure_kernel(&plat, &out.optimized, k))
-            .collect();
+    println!(
+        "# Fig. 1 — time / energy / EDP vs uncore frequency cap ({})",
+        plat.name
+    );
+    // Compile + trace-measure the four kernels in parallel; the frequency
+    // sweeps below print from the input-ordered results.
+    let prepared = polyufc_par::par_map(&programs, |(_, program)| {
+        let out = pipe.compile_affine(program).expect("analysis");
+        let counters = measure_program(&plat, &out.optimized);
+        (out, counters)
+    });
+    for ((name, _), (_out, counters)) in programs.iter().zip(prepared) {
         println!("\n## {name}");
-        println!("{:>6} {:>12} {:>12} {:>14}", "f/GHz", "time/s", "energy/J", "EDP/Js");
+        println!(
+            "{:>6} {:>12} {:>12} {:>14}",
+            "f/GHz", "time/s", "energy/J", "EDP/Js"
+        );
         let mut series = Vec::new();
         for f in plat.uncore_freqs() {
             let mut time = 0.0;
@@ -50,9 +56,18 @@ fn main() {
             println!("{f:>6.1} {time:>12.6} {energy:>12.4} {edp:>14.6e}");
             series.push((f, time, energy, edp));
         }
-        let tmin = series.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
-        let emin = series.iter().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
-        let dmin = series.iter().min_by(|a, b| a.3.partial_cmp(&b.3).unwrap()).unwrap();
+        let tmin = series
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let emin = series
+            .iter()
+            .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+            .unwrap();
+        let dmin = series
+            .iter()
+            .min_by(|a, b| a.3.partial_cmp(&b.3).unwrap())
+            .unwrap();
         let fmax = series.last().unwrap();
         println!(
             "min time @ {:.1} GHz; min energy @ {:.1} GHz ({} vs max-f); min EDP @ {:.1} GHz ({} vs max-f)",

@@ -34,7 +34,12 @@ fn main() {
         ],
     });
 
-    let level = CacheLevelConfig { size_bytes: 4 * 64, line_bytes: 64, assoc: 2, shared: false };
+    let level = CacheLevelConfig {
+        size_bytes: 4 * 64,
+        line_bytes: 64,
+        assoc: 2,
+        shared: false,
+    };
     println!("# Fig. 4 — exact reuse analysis of the example program");
     println!("cache level: {level}");
     println!("\naccess relation {{ (d, pos) -> (line, set) }}:");
@@ -61,6 +66,10 @@ fn main() {
     let mut sim = CacheSim::new(&h, &p);
     polyufc_ir::interp::interpret_program(&p, &mut sim);
     println!("\ntrace simulator   = {} misses", sim.stats.misses[0]);
-    assert_eq!(ex.total_misses(), sim.stats.misses[0], "exact model must match simulation");
+    assert_eq!(
+        ex.total_misses(),
+        sim.stats.misses[0],
+        "exact model must match simulation"
+    );
     println!("exact formulation matches the simulator. ✓");
 }

@@ -18,17 +18,34 @@ fn main() {
         println!("\n# Fig. 6 — characterization on {}", plat.name);
         println!("## Table I constants (calibrated rooflines)");
         let r = &pipe.roofline;
-        println!("t_FPU        = {:.3e} s/flop (peak {:.1} Gflop/s)", r.t_fpu(), r.peak_flops / 1e9);
+        println!(
+            "t_FPU        = {:.3e} s/flop (peak {:.1} Gflop/s)",
+            r.t_fpu(),
+            r.peak_flops / 1e9
+        );
         println!(
             "B^t_DRAM     = {:.2} FpB at f_max, {:.2} FpB at f_min",
             r.time_balance(plat.uncore_max_ghz),
             r.time_balance(plat.uncore_min_ghz)
         );
-        println!("e_FPU        = {:.3e} J/flop; p̂_FPU = {:.1} W", r.e_fpu, r.p_hat_fpu);
+        println!(
+            "e_FPU        = {:.3e} J/flop; p̂_FPU = {:.1} W",
+            r.e_fpu, r.p_hat_fpu
+        );
         println!("p_con        = {:.1} W", r.p_con);
-        println!("P̂_DRAM(f)    = {:.2}·f + {:.2} W", r.p_dram_fit.0, r.p_dram_fit.1);
-        println!("M^t(f)       = {:.2}/f + {:.2} ns", r.miss_t_fit.0 * 1e9, r.miss_t_fit.1 * 1e9);
-        println!("M^p(f)       = {:.3e}·f + {:.3e} J/B", r.miss_p_fit.0, r.miss_p_fit.1);
+        println!(
+            "P̂_DRAM(f)    = {:.2}·f + {:.2} W",
+            r.p_dram_fit.0, r.p_dram_fit.1
+        );
+        println!(
+            "M^t(f)       = {:.2}/f + {:.2} ns",
+            r.miss_t_fit.0 * 1e9,
+            r.miss_t_fit.1 * 1e9
+        );
+        println!(
+            "M^p(f)       = {:.3e}·f + {:.3e} J/B",
+            r.miss_p_fit.0, r.miss_p_fit.1
+        );
 
         let mut rows = Vec::new();
         let mut cb = 0;
@@ -48,8 +65,14 @@ fn main() {
             ));
         }
 
-        for (name, program) in &programs {
-            let e = match evaluate(&pipe, &eng, program, name) {
+        // Every (workload) point is independent: fan the evaluations out
+        // and render the table sequentially from the input-ordered
+        // results, so the output is byte-identical to a serial run.
+        let evals = polyufc_par::par_map(&programs, |(name, program)| {
+            evaluate(&pipe, &eng, program, name)
+        });
+        for ((name, _), result) in programs.iter().zip(evals) {
+            let e = match result {
                 Ok(e) => e,
                 Err(err) => {
                     eprintln!("skipping {name}: {err}");
@@ -66,7 +89,8 @@ fn main() {
             let mut e_est = 0.0;
             let mut p_peak: f64 = 0.0;
             for (k, st) in e.out.optimized.kernels.iter().zip(&e.out.cache_stats) {
-                let pm = ParametricModel::new(&pipe.roofline, st, k.outer_parallel().is_some(), conc);
+                let pm =
+                    ParametricModel::new(&pipe.roofline, st, k.outer_parallel().is_some(), conc);
                 t_est += pm.exec_time(f_max);
                 e_est += pm.energy(f_max);
                 p_peak = p_peak.max(pm.peak_power(f_max));

@@ -14,7 +14,10 @@ fn main() {
     for plat in Platform::all() {
         let pipe = Pipeline::new(plat.clone());
         let eng = ExecutionEngine::new(plat.clone());
-        println!("\n# Fig. 7 — vs. Intel UFS baseline on {} (ε = 1e-3)", plat.name);
+        println!(
+            "\n# Fig. 7 — vs. Intel UFS baseline on {} (ε = 1e-3)",
+            plat.name
+        );
 
         let mut rows = Vec::new();
         let mut pb_edp_ratio = Vec::new();
@@ -33,16 +36,25 @@ fn main() {
             ));
         }
 
-        for (name, is_pb, program) in &programs {
-            let e = match evaluate(&pipe, &eng, program, name) {
+        // Independent evaluation points: fan out, then build rows from the
+        // input-ordered results so the table is byte-identical to a serial
+        // run.
+        let evals = polyufc_par::par_map(&programs, |(name, _, program)| {
+            evaluate(&pipe, &eng, program, name)
+        });
+        for ((name, is_pb, _), result) in programs.iter().zip(evals) {
+            let e = match result {
                 Ok(e) => e,
                 Err(err) => {
                     eprintln!("skipping {name}: {err}");
                     continue;
                 }
             };
-            let caps: Vec<String> =
-                e.steady_caps_ghz.iter().map(|f| format!("{f:.1}")).collect();
+            let caps: Vec<String> = e
+                .steady_caps_ghz
+                .iter()
+                .map(|f| format!("{f:.1}"))
+                .collect();
             let edp_impr = e.steady_edp_improvement();
             if *is_pb {
                 pb_edp_ratio.push(e.steady.edp() / e.baseline.edp());
@@ -68,7 +80,15 @@ fn main() {
             ]);
         }
         print_table(
-            &["kernel", "class", "caps (GHz)", "Δtime", "Δenergy", "ΔEDP", "ΔEDP(deploy)"],
+            &[
+                "kernel",
+                "class",
+                "caps (GHz)",
+                "Δtime",
+                "Δenergy",
+                "ΔEDP",
+                "ΔEDP(deploy)",
+            ],
             &rows,
         );
         println!(
@@ -87,6 +107,10 @@ fn summarize_caps(caps: &[String]) -> String {
         caps.join(",")
     } else {
         let uniq: std::collections::BTreeSet<_> = caps.iter().collect();
-        format!("{} kernels, caps {{{}}}", caps.len(), uniq.into_iter().cloned().collect::<Vec<_>>().join(","))
+        format!(
+            "{} kernels, caps {{{}}}",
+            caps.len(),
+            uniq.into_iter().cloned().collect::<Vec<_>>().join(",")
+        )
     }
 }

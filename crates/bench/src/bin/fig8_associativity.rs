@@ -15,14 +15,21 @@ fn main() {
         ("2mm", Platform::raptor_lake(), polybench::two_mm(size.n3())),
     ];
     for (name, plat, program) in cases {
-        println!("\n# Fig. 8 — {} on {}: EDP, set- vs fully-associative model vs HW", name, plat.name);
+        println!(
+            "\n# Fig. 8 — {} on {}: EDP, set- vs fully-associative model vs HW",
+            name, plat.name
+        );
         let eng = ExecutionEngine::new(plat.clone());
         let conc = plat.cores as f64;
 
         let pipe_sa = Pipeline::new(plat.clone()).with_assoc_mode(AssocMode::SetAssociative);
         let pipe_fa = Pipeline::new(plat.clone()).with_assoc_mode(AssocMode::FullyAssociative);
-        let out_sa = pipe_sa.compile_affine(&program).expect("set-assoc analysis");
-        let out_fa = pipe_fa.compile_affine(&program).expect("fully-assoc analysis");
+        let out_sa = pipe_sa
+            .compile_affine(&program)
+            .expect("set-assoc analysis");
+        let out_fa = pipe_fa
+            .compile_affine(&program)
+            .expect("fully-assoc analysis");
         let counters: Vec<_> = out_sa
             .optimized
             .kernels
@@ -30,7 +37,10 @@ fn main() {
             .map(|k| measure_kernel(&plat, &out_sa.optimized, k))
             .collect();
 
-        println!("{:>6} {:>14} {:>14} {:>14}", "f/GHz", "EDP set-assoc", "EDP full-assoc", "EDP HW");
+        println!(
+            "{:>6} {:>14} {:>14} {:>14}",
+            "f/GHz", "EDP set-assoc", "EDP full-assoc", "EDP HW"
+        );
         let mut rows = Vec::new();
         for f in plat.uncore_freqs() {
             let edp = |out: &polyufc::PipelineOutput| {
@@ -55,19 +65,34 @@ fn main() {
                 e_hw += r.energy.total();
             }
             let row = (f, edp(&out_sa), edp(&out_fa), e_hw * t_hw);
-            println!("{:>6.1} {:>14.4e} {:>14.4e} {:>14.4e}", row.0, row.1, row.2, row.3);
+            println!(
+                "{:>6.1} {:>14.4e} {:>14.4e} {:>14.4e}",
+                row.0, row.1, row.2, row.3
+            );
             rows.push(row);
         }
         let best = |sel: fn(&(f64, f64, f64, f64)) -> f64| {
-            rows.iter().min_by(|a, b| sel(a).partial_cmp(&sel(b)).unwrap()).unwrap().0
+            rows.iter()
+                .min_by(|a, b| sel(a).partial_cmp(&sel(b)).unwrap())
+                .unwrap()
+                .0
         };
         let f_sa = best(|r| r.1);
         let f_fa = best(|r| r.2);
         let f_hw = best(|r| r.3);
         let hw_at = |f: f64| rows.iter().find(|r| (r.0 - f).abs() < 1e-9).unwrap().3;
         let hw_max = rows.last().unwrap().3;
-        println!("set-assoc model optimum:   {f_sa:.1} GHz -> HW EDP gain {}", pct(1.0 - hw_at(f_sa) / hw_max));
-        println!("fully-assoc model optimum: {f_fa:.1} GHz -> HW EDP gain {}", pct(1.0 - hw_at(f_fa) / hw_max));
-        println!("HW optimum:                {f_hw:.1} GHz -> HW EDP gain {}", pct(1.0 - hw_at(f_hw) / hw_max));
+        println!(
+            "set-assoc model optimum:   {f_sa:.1} GHz -> HW EDP gain {}",
+            pct(1.0 - hw_at(f_sa) / hw_max)
+        );
+        println!(
+            "fully-assoc model optimum: {f_fa:.1} GHz -> HW EDP gain {}",
+            pct(1.0 - hw_at(f_fa) / hw_max)
+        );
+        println!(
+            "HW optimum:                {f_hw:.1} GHz -> HW EDP gain {}",
+            pct(1.0 - hw_at(f_hw) / hw_max)
+        );
     }
 }

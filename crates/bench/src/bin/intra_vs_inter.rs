@@ -30,12 +30,18 @@ fn main() {
     pipe.cap_switch_guard = 0.0;
     let eng = ExecutionEngine::new(plat.clone());
 
-    println!("# Sec. VII-F — inter-kernel caps vs intra-kernel (outer-loop chunk) caps on {}", plat.name);
+    println!(
+        "# Sec. VII-F — inter-kernel caps vs intra-kernel (outer-loop chunk) caps on {}",
+        plat.name
+    );
     let mut rows = Vec::new();
     for (name, program) in [
         ("gemm", polybench::gemm(size.n3())),
         ("mvt", polybench::mvt(size.n2())),
-        ("jacobi-2d", polybench::jacobi_2d(size.tsteps(), size.stencil_n())),
+        (
+            "jacobi-2d",
+            polybench::jacobi_2d(size.tsteps(), size.stencil_n()),
+        ),
     ] {
         // Steady-state comparison (switch costs reported separately; for
         // short chunks they dominate, which is itself the intra-kernel
@@ -55,21 +61,40 @@ fn main() {
                 time += r.time_s;
                 energy += r.energy.total();
             }
-            Some((1.0 - energy * time / baseline.edp(), out.scf.cap_count(), out.caps_ghz))
+            Some((
+                1.0 - energy * time / baseline.edp(),
+                out.scf.cap_count(),
+                out.caps_ghz,
+            ))
         };
-        let Some((inter_gain, inter_caps, _)) = run(&program) else { continue };
+        let Some((inter_gain, inter_caps, _)) = run(&program) else {
+            continue;
+        };
         let split = split_program(&program, 4);
-        let Some((intra_gain, intra_caps, intra_freqs)) = run(&split) else { continue };
+        let Some((intra_gain, intra_caps, intra_freqs)) = run(&split) else {
+            continue;
+        };
         let uniq: std::collections::BTreeSet<String> =
             intra_freqs.iter().map(|f| format!("{f:.1}")).collect();
         rows.push(vec![
             name.to_string(),
             format!("{inter_caps} caps, {}", pct(inter_gain)),
             format!("{intra_caps} caps, {}", pct(intra_gain)),
-            format!("chunk caps: {{{}}}", uniq.into_iter().collect::<Vec<_>>().join(",")),
+            format!(
+                "chunk caps: {{{}}}",
+                uniq.into_iter().collect::<Vec<_>>().join(",")
+            ),
         ]);
     }
-    print_table(&["kernel", "inter-kernel (PolyUFC)", "intra-kernel (4 chunks)", "chunk uniformity"], &rows);
+    print_table(
+        &[
+            "kernel",
+            "inter-kernel (PolyUFC)",
+            "intra-kernel (4 chunks)",
+            "chunk uniformity",
+        ],
+        &rows,
+    );
     println!("\nUniform chunk caps confirm single-phase nests gain nothing from finer");
     println!("control; intra-kernel capping only pays on genuine phase changes, which");
     println!("PolyUFC already separates at kernel/linalg granularity (Fig. 5).");

@@ -12,7 +12,10 @@ fn main() {
     let size = size_from_args();
     let plat = Platform::broadwell();
     let eng = ExecutionEngine::noiseless(plat.clone());
-    println!("# Multi-objective capping on {} (vs stock driver, steady state)", plat.name);
+    println!(
+        "# Multi-objective capping on {} (vs stock driver, steady state)",
+        plat.name
+    );
     let mut rows = Vec::new();
     for w in polybench_suite(size) {
         if !["gemm", "mvt", "gemver", "durbin", "jacobi-2d"].contains(&w.name) {
@@ -22,7 +25,9 @@ fn main() {
         for obj in [Objective::Performance, Objective::Energy, Objective::Edp] {
             let mut pipe = Pipeline::new(plat.clone()).with_objective(obj);
             pipe.cap_switch_guard = 0.0;
-            let Ok(out) = pipe.compile_affine(&w.program) else { continue };
+            let Ok(out) = pipe.compile_affine(&w.program) else {
+                continue;
+            };
             let counters: Vec<_> = out
                 .optimized
                 .kernels
@@ -46,7 +51,12 @@ fn main() {
         rows.push(cells);
     }
     print_table(
-        &["kernel", "perf objective (Δt ΔE)", "energy objective", "EDP objective"],
+        &[
+            "kernel",
+            "perf objective (Δt ΔE)",
+            "energy objective",
+            "EDP objective",
+        ],
         &rows,
     );
     println!("\nThe performance objective never sacrifices time; the energy objective");

@@ -13,7 +13,11 @@ fn main() {
     let mut rows = Vec::new();
     for w in ml_suite() {
         let ap = lower_tensor_to_linalg(&w.graph, w.elem).lower_to_affine();
-        let flops: i128 = ap.kernels.iter().map(|k| k.total_flops().unwrap_or(0)).sum();
+        let flops: i128 = ap
+            .kernels
+            .iter()
+            .map(|k| k.total_flops().unwrap_or(0))
+            .sum();
         rows.push(vec![
             w.name.to_string(),
             w.source.to_string(),
@@ -21,24 +25,56 @@ fn main() {
             format!("{}", ap.kernels.len()),
             format!("{:.1} MiB", ap.footprint_bytes() as f64 / (1 << 20) as f64),
             format!("{:.2} Gflop", flops as f64 / 1e9),
-            if w.scaled { "scaled".into() } else { "paper shape".into() },
+            if w.scaled {
+                "scaled".into()
+            } else {
+                "paper shape".into()
+            },
         ]);
     }
-    print_table(&["kernel", "source", "domain", "nests", "footprint", "flops", "shape"], &rows);
+    print_table(
+        &[
+            "kernel",
+            "source",
+            "domain",
+            "nests",
+            "footprint",
+            "flops",
+            "shape",
+        ],
+        &rows,
+    );
 
     println!("\n# Table II(b) — PolyBench suite (size preset: {size:?})");
     let mut rows = Vec::new();
     for w in polybench_suite(size) {
-        let flops: i128 =
-            w.program.kernels.iter().map(|k| k.total_flops().unwrap_or(0)).sum();
+        let flops: i128 = w
+            .program
+            .kernels
+            .iter()
+            .map(|k| k.total_flops().unwrap_or(0))
+            .sum();
         rows.push(vec![
             w.name.to_string(),
             w.category.to_string(),
             format!("{}", w.program.kernels.len()),
-            format!("{:.1} MiB", w.program.footprint_bytes() as f64 / (1 << 20) as f64),
+            format!(
+                "{:.1} MiB",
+                w.program.footprint_bytes() as f64 / (1 << 20) as f64
+            ),
             format!("{:.2} Gflop", flops as f64 / 1e9),
             w.paper_class.unwrap_or("-").to_string(),
         ]);
     }
-    print_table(&["kernel", "category", "nests", "footprint", "flops", "paper class"], &rows);
+    print_table(
+        &[
+            "kernel",
+            "category",
+            "nests",
+            "footprint",
+            "flops",
+            "paper class",
+        ],
+        &rows,
+    );
 }

@@ -20,11 +20,25 @@ fn main() {
             format!("{}", p.hierarchy.llc()),
             format!("{:.0} GB/s", p.dram_bw_peak_gbps),
             format!("{:.0} µs", p.cap_switch_us),
-            if p.has_uncore_rapl_zone { "yes".into() } else { "no (package only)".into() },
+            if p.has_uncore_rapl_zone {
+                "yes".into()
+            } else {
+                "no (package only)".into()
+            },
         ]);
     }
     print_table(
-        &["arch", "CPU", "cores", "core f", "uncore f", "LLC", "DRAM BW", "cap switch", "uncore RAPL"],
+        &[
+            "arch",
+            "CPU",
+            "cores",
+            "core f",
+            "uncore f",
+            "LLC",
+            "DRAM BW",
+            "cap switch",
+            "uncore RAPL",
+        ],
         &rows,
     );
     for p in Platform::all() {
@@ -32,6 +46,10 @@ fn main() {
         for (i, l) in p.hierarchy.levels.iter().enumerate() {
             println!("  L{}: {}", i + 1, l);
         }
-        println!("  uncore search space: {} steps of {:.1} GHz", p.uncore_freqs().len(), p.uncore_step_ghz);
+        println!(
+            "  uncore search space: {} steps of {:.1} GHz",
+            p.uncore_freqs().len(),
+            p.uncore_step_ghz
+        );
     }
 }

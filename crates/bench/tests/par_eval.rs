@@ -1,0 +1,57 @@
+//! Property test: the parallel evaluation fan-out must be invisible —
+//! running `evaluate` through the work pool returns results identical to
+//! the sequential path, bit for bit, because results are collected in
+//! input order and the simulator's noise is deterministic per
+//! (kernel, frequency).
+
+use proptest::prelude::*;
+
+use polyufc::Pipeline;
+use polyufc_bench::evaluate;
+use polyufc_machine::{ExecutionEngine, Platform};
+use polyufc_workloads::polybench;
+
+proptest! {
+    // evaluate() runs a full compile + trace simulation per case; a few
+    // random sizes exercise the property without dominating the suite.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn parallel_fanout_matches_sequential(n in 16usize..48, m in 16usize..48) {
+        let plat = Platform::broadwell();
+        let pipe = Pipeline::new(plat.clone());
+        let eng = ExecutionEngine::new(plat);
+        let programs = vec![
+            ("gemm".to_string(), polybench::gemm(n)),
+            ("mvt".to_string(), polybench::mvt(m)),
+            ("jacobi1d".to_string(), polybench::jacobi_1d(4, m)),
+        ];
+
+        // Forced-parallel fan-out (the pool still spawns real workers on a
+        // single-core host when POLYUFC_THREADS asks for them)...
+        std::env::set_var("POLYUFC_THREADS", "4");
+        let par = polyufc_par::par_map(&programs, |(name, p)| {
+            evaluate(&pipe, &eng, p, name).unwrap()
+        });
+        // ...versus the plain sequential path.
+        std::env::set_var("POLYUFC_THREADS", "1");
+        let seq: Vec<_> = programs
+            .iter()
+            .map(|(name, p)| evaluate(&pipe, &eng, p, name).unwrap())
+            .collect();
+        std::env::remove_var("POLYUFC_THREADS");
+
+        for (a, b) in par.iter().zip(&seq) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.counters, &b.counters);
+            prop_assert_eq!(&a.out.caps_ghz, &b.out.caps_ghz);
+            prop_assert_eq!(&a.steady_caps_ghz, &b.steady_caps_ghz);
+            // Exact float equality is the point: same inputs, same order,
+            // same results.
+            prop_assert_eq!(a.capped.time_s, b.capped.time_s);
+            prop_assert_eq!(a.capped.energy.total(), b.capped.energy.total());
+            prop_assert_eq!(a.steady.edp(), b.steady.edp());
+            prop_assert_eq!(a.baseline.edp(), b.baseline.edp());
+        }
+    }
+}

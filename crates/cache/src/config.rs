@@ -75,7 +75,10 @@ impl CacheHierarchy {
         let line = levels[0].line_bytes;
         for w in levels.windows(2) {
             assert_eq!(w[0].line_bytes, line, "uniform line size required");
-            assert!(w[0].size_bytes <= w[1].size_bytes, "capacities must be nested");
+            assert!(
+                w[0].size_bytes <= w[1].size_bytes,
+                "capacities must be nested"
+            );
         }
         CacheHierarchy { levels }
     }
@@ -102,7 +105,12 @@ mod tests {
 
     #[test]
     fn sets_and_lines() {
-        let l = CacheLevelConfig { size_bytes: 32 * 1024, line_bytes: 64, assoc: 8, shared: false };
+        let l = CacheLevelConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            assoc: 8,
+            shared: false,
+        };
         assert_eq!(l.n_sets(), 64);
         assert_eq!(l.n_lines(), 512);
     }
@@ -110,9 +118,24 @@ mod tests {
     #[test]
     fn hierarchy_accessors() {
         let h = CacheHierarchy::new(vec![
-            CacheLevelConfig { size_bytes: 32 << 10, line_bytes: 64, assoc: 8, shared: false },
-            CacheLevelConfig { size_bytes: 1 << 20, line_bytes: 64, assoc: 16, shared: false },
-            CacheLevelConfig { size_bytes: 15 << 20, line_bytes: 64, assoc: 20, shared: true },
+            CacheLevelConfig {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                assoc: 8,
+                shared: false,
+            },
+            CacheLevelConfig {
+                size_bytes: 1 << 20,
+                line_bytes: 64,
+                assoc: 16,
+                shared: false,
+            },
+            CacheLevelConfig {
+                size_bytes: 15 << 20,
+                line_bytes: 64,
+                assoc: 20,
+                shared: true,
+            },
         ]);
         assert_eq!(h.n_levels(), 3);
         assert!(h.llc().shared);
@@ -123,8 +146,18 @@ mod tests {
     #[should_panic(expected = "nested")]
     fn rejects_shrinking_levels() {
         CacheHierarchy::new(vec![
-            CacheLevelConfig { size_bytes: 1 << 20, line_bytes: 64, assoc: 8, shared: false },
-            CacheLevelConfig { size_bytes: 32 << 10, line_bytes: 64, assoc: 8, shared: false },
+            CacheLevelConfig {
+                size_bytes: 1 << 20,
+                line_bytes: 64,
+                assoc: 8,
+                shared: false,
+            },
+            CacheLevelConfig {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                assoc: 8,
+                shared: false,
+            },
         ]);
     }
 }

@@ -141,8 +141,10 @@ pub fn analyze_exact(
         last_seen.insert(*line, idx);
     }
     let cold_misses = last_seen.len() as u64;
-    let backward_pairs: Vec<(Vec<i64>, Vec<i64>)> =
-        forward_pairs.iter().map(|(a, b)| (b.clone(), a.clone())).collect();
+    let backward_pairs: Vec<(Vec<i64>, Vec<i64>)> = forward_pairs
+        .iter()
+        .map(|(a, b)| (b.clone(), a.clone()))
+        .collect();
 
     // Reuse distance per pair: distinct other lines in the same set
     // strictly between the endpoints. Hit iff distance < associativity.
@@ -179,7 +181,12 @@ mod tests {
     use polyufc_ir::types::ElemType;
 
     fn level(lines: u64, assoc: u32) -> CacheLevelConfig {
-        CacheLevelConfig { size_bytes: lines * 64, line_bytes: 64, assoc, shared: false }
+        CacheLevelConfig {
+            size_bytes: lines * 64,
+            line_bytes: 64,
+            assoc,
+            shared: false,
+        }
     }
 
     /// Fig. 4-style example: two statements over the same array.
@@ -197,7 +204,10 @@ mod tests {
                 },
                 Statement {
                     name: "s1".into(),
-                    accesses: vec![Access::write(b, vec![LinExpr::var(0) + LinExpr::constant(1)])],
+                    accesses: vec![Access::write(
+                        b,
+                        vec![LinExpr::var(0) + LinExpr::constant(1)],
+                    )],
                     flops: 1,
                 },
             ],
@@ -286,7 +296,7 @@ mod tests {
         polyufc_ir::interp::interpret_program(&p, &mut sim);
         assert_eq!(ex.total_misses(), sim.stats.misses[0]);
         assert_eq!(ex.total_misses(), 8); // all conflict
-        // A 2-way cache of the same size eliminates the conflicts.
+                                          // A 2-way cache of the same size eliminates the conflicts.
         let lv2 = level(4, 2);
         let ex2 = analyze_exact(&p, &k, &lv2, 10_000).unwrap();
         assert_eq!(ex2.total_misses(), 2);
@@ -322,6 +332,11 @@ mod tests {
         let model = CacheModel::new(CacheHierarchy::new(vec![lv]), AssocMode::SetAssociative);
         let st = model.analyze_kernel(&p, &k).unwrap();
         let ratio = st.levels[0].misses / ex.total_misses() as f64;
-        assert!((0.8..1.25).contains(&ratio), "model {} vs exact {}", st.levels[0].misses, ex.total_misses());
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "model {} vs exact {}",
+            st.levels[0].misses,
+            ex.total_misses()
+        );
     }
 }

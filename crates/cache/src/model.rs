@@ -34,7 +34,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use polyufc_ir::affine::{AffineKernel, AffineProgram};
-use polyufc_presburger::{BasicSet, LinExpr, Set, Space};
+use polyufc_presburger::{BasicSet, CountCache, LinExpr, Set, Space};
 
 use crate::config::{AssocMode, CacheHierarchy};
 
@@ -214,9 +214,34 @@ impl CacheModel {
         program: &AffineProgram,
         kernel: &AffineKernel,
     ) -> Result<KernelCacheStats, ModelError> {
+        self.analyze_kernel_cached(program, kernel, &mut CountCache::new())
+    }
+
+    /// [`CacheModel::analyze_kernel`] with an explicit Presburger counting
+    /// cache.
+    ///
+    /// The per-level/per-reference analysis below issues the same counting
+    /// query many times (`count_prefix_trips`/`count_outer` across
+    /// references and cache levels); memoizing on the canonical constraint
+    /// system answers the repeats directly. The caller may share one cache
+    /// across kernels of a program — iteration domains recur between
+    /// kernels of the same nest — and read hit/miss totals afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CacheModel::analyze_kernel`].
+    pub fn analyze_kernel_cached(
+        &self,
+        program: &AffineProgram,
+        kernel: &AffineKernel,
+        count_cache: &mut CountCache,
+    ) -> Result<KernelCacheStats, ModelError> {
         let depth = kernel.depth();
         if depth == 0 {
-            return Err(ModelError::Malformed(format!("kernel `{}` has no loops", kernel.name)));
+            return Err(ModelError::Malformed(format!(
+                "kernel `{}` has no loops",
+                kernel.name
+            )));
         }
         let domain = kernel.domain();
         let dom_basic = domain.basics()[0].clone();
@@ -238,37 +263,53 @@ impl CacheModel {
         let mut mids: Vec<i64> = vec![0; depth];
         for d in 0..depth {
             let l = &kernel.loops[d];
-            let lo = l
-                .lb
-                .exprs
-                .iter()
-                .map(|e| eval_with(e, &mids))
-                .max()
-                .unwrap_or(bounds[d].0);
-            let hi = l
-                .ub
-                .exprs
-                .iter()
-                .map(|e| eval_with(e, &mids))
-                .min()
-                .unwrap_or(bounds[d].1 + 1)
-                - 1;
-            mids[d] = if hi >= lo { (lo + hi) / 2 } else { lo.min(bounds[d].1) };
+            let lo =
+                l.lb.exprs
+                    .iter()
+                    .map(|e| eval_with(e, &mids))
+                    .max()
+                    .unwrap_or(bounds[d].0);
+            let hi =
+                l.ub.exprs
+                    .iter()
+                    .map(|e| eval_with(e, &mids))
+                    .min()
+                    .unwrap_or(bounds[d].1 + 1)
+                    - 1;
+            mids[d] = if hi >= lo {
+                (lo + hi) / 2
+            } else {
+                lo.min(bounds[d].1)
+            };
         }
 
         let refs = collect_refs(program, kernel, depth)?;
-        let domain_size = domain.count()? as f64;
-        let per_point_accesses: f64 =
-            kernel.statements.iter().map(|s| s.accesses.len() as f64).sum();
+        let domain_size = domain.count_cached(count_cache)? as f64;
+        let per_point_accesses: f64 = kernel
+            .statements
+            .iter()
+            .map(|s| s.accesses.len() as f64)
+            .sum();
         let total_accesses = domain_size * per_point_accesses;
-        let flops = kernel.total_flops()? as f64;
+        // Same formula as `AffineKernel::total_flops`, reusing the domain
+        // count from above instead of re-issuing the query.
+        let per_point_flops: f64 = kernel.statements.iter().map(|s| s.flops as f64).sum();
+        let flops = domain_size * per_point_flops;
 
         // Compulsory misses: distinct lines per array (capped at the
         // array's own line count).
         let line = self.hierarchy.line_bytes() as f64;
         let mut cold_by_array: BTreeMap<usize, f64> = BTreeMap::new();
         for r in &refs {
-            let dl = distinct_lines(r, kernel, &bounds, &mids, 0, self.hierarchy.line_bytes())?;
+            let dl = distinct_lines(
+                r,
+                kernel,
+                &bounds,
+                &mids,
+                0,
+                self.hierarchy.line_bytes(),
+                count_cache,
+            )?;
             let e = cold_by_array.entry(r.array).or_insert(0.0);
             // References to the same array usually overlap heavily (shifted
             // stencil taps, read+write pairs after dedup): take the max,
@@ -291,8 +332,15 @@ impl CacheModel {
                 let mut per_set_load = 0.0;
                 let mut total_lines = 0.0;
                 for r in &refs {
-                    let dl =
-                        distinct_lines(r, kernel, &bounds, &mids, l, self.hierarchy.line_bytes())?;
+                    let dl = distinct_lines(
+                        r,
+                        kernel,
+                        &bounds,
+                        &mids,
+                        l,
+                        self.hierarchy.line_bytes(),
+                        count_cache,
+                    )?;
                     total_lines += dl.lines;
                     let sets = dl.set_coverage(lc.n_sets());
                     per_set_load += dl.lines / sets.max(1.0);
@@ -321,10 +369,18 @@ impl CacheModel {
                     &mids,
                     fit_level,
                     self.hierarchy.line_bytes(),
+                    count_cache,
                 )?;
-                let cold_r =
-                    distinct_lines(r, kernel, &bounds, &mids, 0, self.hierarchy.line_bytes())?
-                        .lines;
+                let cold_r = distinct_lines(
+                    r,
+                    kernel,
+                    &bounds,
+                    &mids,
+                    0,
+                    self.hierarchy.line_bytes(),
+                    count_cache,
+                )?
+                .lines;
                 let m = if fit_level == 0 {
                     cold_r
                 } else {
@@ -340,7 +396,7 @@ impl CacheModel {
                         //  - strided/sub-line footprints share lines at
                         //    cache-line granularity (`ℓ / (coef·e)`).
                         let mut c =
-                            count_prefix_trips(kernel, &bounds, fit_level)? as f64;
+                            count_prefix_trips(kernel, &bounds, fit_level, count_cache)? as f64;
                         let coef = r.coeffs[d_star].abs();
                         if coef > 0 {
                             let lb = self.hierarchy.line_bytes() as i64;
@@ -355,7 +411,7 @@ impl CacheModel {
                         }
                         c
                     } else {
-                        count_prefix_trips(kernel, &bounds, d_star)? as f64
+                        count_prefix_trips(kernel, &bounds, d_star, count_cache)? as f64
                     };
                     outer_count = outer_count.max(1.0);
                     (outer_count * body.lines).max(cold_r)
@@ -385,7 +441,13 @@ impl CacheModel {
         }
 
         let q_dram_bytes = levels.last().map(|l| l.misses).unwrap_or(0.0) * line;
-        Ok(KernelCacheStats { levels, cold_lines, q_dram_bytes, flops, total_accesses })
+        Ok(KernelCacheStats {
+            levels,
+            cold_lines,
+            q_dram_bytes,
+            flops,
+            total_accesses,
+        })
     }
 
     /// Analyzes every kernel of a program, returning `(kernel name, stats)`
@@ -450,7 +512,12 @@ fn collect_refs(
                     if !relevant[d] {
                         continue;
                     }
-                    for e in kernel.loops[d].lb.exprs.iter().chain(&kernel.loops[d].ub.exprs) {
+                    for e in kernel.loops[d]
+                        .lb
+                        .exprs
+                        .iter()
+                        .chain(&kernel.loops[d].ub.exprs)
+                    {
                         for (v, _) in e.terms() {
                             if !relevant[v] {
                                 relevant[v] = true;
@@ -512,7 +579,8 @@ impl DistinctLines {
             Some(s) => {
                 let g = gcd_u64(s % n_sets.max(1), n_sets).max(1);
                 let positions = (n_sets / g).max(1);
-                self.lines.min((positions.saturating_mul(self.run_lines.max(1))) as f64)
+                self.lines
+                    .min((positions.saturating_mul(self.run_lines.max(1))) as f64)
                     .min(n_sets as f64)
             }
         }
@@ -545,6 +613,7 @@ fn distinct_lines(
     mids: &[i64],
     level: usize,
     line_bytes: u64,
+    count_cache: &mut CountCache,
 ) -> Result<DistinctLines, ModelError> {
     let depth = kernel.depth();
     // Free iterators (>= level) with nonzero coefficient.
@@ -572,7 +641,12 @@ fn distinct_lines(
             if !in_closure[d] {
                 continue;
             }
-            for e in kernel.loops[d].lb.exprs.iter().chain(&kernel.loops[d].ub.exprs) {
+            for e in kernel.loops[d]
+                .lb
+                .exprs
+                .iter()
+                .chain(&kernel.loops[d].ub.exprs)
+            {
                 for (v, _) in e.terms() {
                     if v >= level && !in_closure[v] {
                         in_closure[v] = true;
@@ -585,8 +659,9 @@ fn distinct_lines(
             break;
         }
     }
-    let aux: Vec<usize> =
-        (level..depth).filter(|&d| in_closure[d] && !free.contains(&d)).collect();
+    let aux: Vec<usize> = (level..depth)
+        .filter(|&d| in_closure[d] && !free.contains(&d))
+        .collect();
 
     // Order free dims by |coeff| descending; find the dominating prefix.
     let mut order = free.clone();
@@ -615,11 +690,14 @@ fn distinct_lines(
     } else {
         let mut dims = prefix.clone();
         dims.extend(aux.iter().copied());
-        count_outer(kernel, bounds, mids, &sorted(&dims))? as f64
+        count_outer(kernel, bounds, mids, &sorted(&dims), count_cache)? as f64
     };
     // Dense width of the suffix, over union extents.
-    let suffix_width: i64 =
-        suffix.iter().map(|&d| r.coeffs[d].abs() * (ext[d] - 1).max(0)).sum::<i64>() + 1;
+    let suffix_width: i64 = suffix
+        .iter()
+        .map(|&d| r.coeffs[d].abs() * (ext[d] - 1).max(0))
+        .sum::<i64>()
+        + 1;
     let distinct_elems = prefix_count * suffix_width as f64;
 
     let min_stride = free.iter().map(|&d| r.coeffs[d].abs()).min().unwrap_or(0);
@@ -656,7 +734,9 @@ fn distinct_lines(
     let (run_lines, stride_lines) = if c0 * r.elem_bytes < lb {
         // Dense-ish runs along the smallest-stride dim.
         let run_elems = ext[by_stride[0]].max(1) * c0;
-        let run = ((run_elems * r.elem_bytes) as f64 / lb as f64).ceil().max(1.0) as u64;
+        let run = ((run_elems * r.elem_bytes) as f64 / lb as f64)
+            .ceil()
+            .max(1.0) as u64;
         let stride = by_stride.get(1).and_then(|&d1| {
             let span = r.coeffs[d1].abs() * r.elem_bytes;
             if span >= lb && span % lb == 0 {
@@ -669,13 +749,23 @@ fn distinct_lines(
     } else {
         // Every element its own line; the smallest stride separates them.
         let span = c0 * r.elem_bytes;
-        let stride = if span % lb == 0 { Some((span / lb) as u64) } else { None };
+        let stride = if span % lb == 0 {
+            Some((span / lb) as u64)
+        } else {
+            None
+        };
         (1u64, stride)
     };
     // A stride no larger than the run means the runs tile contiguously.
     let stride_lines = stride_lines.filter(|&s| s > run_lines);
 
-    Ok(DistinctLines { lines, span_elems: distinct_elems, dense, run_lines, stride_lines })
+    Ok(DistinctLines {
+        lines,
+        span_elems: distinct_elems,
+        dense,
+        run_lines,
+        stride_lines,
+    })
 }
 
 fn sorted(v: &[usize]) -> Vec<usize> {
@@ -703,33 +793,30 @@ fn restricted_extents(
     }
     for d in level..depth {
         let l = &kernel.loops[d];
-        let refs_free = l
-            .lb
-            .exprs
-            .iter()
-            .chain(&l.ub.exprs)
-            .any(|e| e.terms().any(|(v, _)| v >= level));
+        let refs_free =
+            l.lb.exprs
+                .iter()
+                .chain(&l.ub.exprs)
+                .any(|e| e.terms().any(|(v, _)| v >= level));
         if refs_free {
             // Union over the free parents: global propagated interval.
             ext[d] = (bounds[d].1 - bounds[d].0 + 1).max(0);
             rep[d] = (bounds[d].0 + bounds[d].1) / 2;
             continue;
         }
-        let lo = l
-            .lb
-            .exprs
-            .iter()
-            .map(|e| eval_with(e, &rep))
-            .max()
-            .unwrap_or(bounds[d].0);
-        let hi = l
-            .ub
-            .exprs
-            .iter()
-            .map(|e| eval_with(e, &rep))
-            .min()
-            .unwrap_or(bounds[d].1 + 1)
-            - 1;
+        let lo =
+            l.lb.exprs
+                .iter()
+                .map(|e| eval_with(e, &rep))
+                .max()
+                .unwrap_or(bounds[d].0);
+        let hi =
+            l.ub.exprs
+                .iter()
+                .map(|e| eval_with(e, &rep))
+                .min()
+                .unwrap_or(bounds[d].1 + 1)
+                - 1;
         ext[d] = (hi - lo + 1).max(0);
         rep[d] = (lo + hi) / 2;
     }
@@ -750,12 +837,13 @@ fn count_prefix_trips(
     kernel: &AffineKernel,
     bounds: &[(i64, i64)],
     prefix: usize,
+    count_cache: &mut CountCache,
 ) -> Result<i128, ModelError> {
     if prefix == 0 {
         return Ok(1);
     }
     let dims: Vec<usize> = (0..prefix).collect();
-    count_outer(kernel, bounds, &vec![0; kernel.depth()], &dims)
+    count_outer(kernel, bounds, &vec![0; kernel.depth()], &dims, count_cache)
 }
 
 /// Counts the number of distinct value combinations of the given iterator
@@ -766,6 +854,7 @@ fn count_outer(
     bounds: &[(i64, i64)],
     mids: &[i64],
     dims: &[usize],
+    count_cache: &mut CountCache,
 ) -> Result<i128, ModelError> {
     debug_assert!(dims.windows(2).all(|w| w[0] < w[1]));
     let _ = bounds;
@@ -785,16 +874,12 @@ fn count_outer(
         }
     }
     let set = Set::from_basic(b);
-    Ok(set.count()?)
+    Ok(set.count_cached(count_cache)?)
 }
 
 /// Remaps an expression over original iterators to the compact dim space,
 /// substituting midpoints for iterators not in the compact set.
-fn remap_expr(
-    e: &LinExpr,
-    pos: &impl Fn(usize) -> Option<usize>,
-    mids: &[i64],
-) -> LinExpr {
+fn remap_expr(e: &LinExpr, pos: &impl Fn(usize) -> Option<usize>, mids: &[i64]) -> LinExpr {
     let mut out = LinExpr::constant(e.constant_term());
     for (v, c) in e.terms() {
         match pos(v) {
@@ -814,8 +899,18 @@ mod tests {
 
     fn hierarchy(l1_kib: u64, llc_kib: u64) -> CacheHierarchy {
         CacheHierarchy::new(vec![
-            CacheLevelConfig { size_bytes: l1_kib << 10, line_bytes: 64, assoc: 8, shared: false },
-            CacheLevelConfig { size_bytes: llc_kib << 10, line_bytes: 64, assoc: 16, shared: true },
+            CacheLevelConfig {
+                size_bytes: l1_kib << 10,
+                line_bytes: 64,
+                assoc: 8,
+                shared: false,
+            },
+            CacheLevelConfig {
+                size_bytes: llc_kib << 10,
+                line_bytes: 64,
+                assoc: 16,
+                shared: true,
+            },
         ])
     }
 
@@ -851,7 +946,12 @@ mod tests {
         let st = m.analyze_kernel(&p, &k).unwrap();
         let llc = st.levels.last().unwrap();
         let cold = 3.0 * (64.0 * 64.0 * 8.0 / 64.0);
-        assert!((llc.misses - cold).abs() < cold * 0.05, "misses {} vs cold {}", llc.misses, cold);
+        assert!(
+            (llc.misses - cold).abs() < cold * 0.05,
+            "misses {} vs cold {}",
+            llc.misses,
+            cold
+        );
         // OI of cold-only matmul = 2n³ / (3n²·8) = n/12 ≈ 5.3 for n = 64.
         let oi = st.operational_intensity();
         assert!((4.0..7.0).contains(&oi), "OI {oi}");
@@ -959,7 +1059,9 @@ mod tests {
         let full = CacheModel::new(h.clone(), AssocMode::FullyAssociative)
             .analyze_kernel(&p, &k)
             .unwrap();
-        let sa = CacheModel::new(h, AssocMode::SetAssociative).analyze_kernel(&p, &k).unwrap();
+        let sa = CacheModel::new(h, AssocMode::SetAssociative)
+            .analyze_kernel(&p, &k)
+            .unwrap();
         assert!(
             sa.levels[0].misses > full.levels[0].misses * 2.0,
             "set-assoc {} vs full {}",

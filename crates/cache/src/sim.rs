@@ -63,7 +63,11 @@ const EMPTY: u64 = u64::MAX;
 
 impl Level {
     fn new(n_sets: u64, assoc: usize) -> Self {
-        Level { n_sets, assoc, entries: vec![(EMPTY, false); n_sets as usize * assoc] }
+        Level {
+            n_sets,
+            assoc,
+            entries: vec![(EMPTY, false); n_sets as usize * assoc],
+        }
     }
 
     /// Returns `true` on hit; updates LRU order and dirtiness.
@@ -220,7 +224,12 @@ mod tests {
     }
 
     fn ev(offset: u64, write: bool) -> AccessEvent {
-        AccessEvent { array: ArrayId(0), offset, bytes: 8, is_write: write }
+        AccessEvent {
+            array: ArrayId(0),
+            offset,
+            bytes: 8,
+            is_write: write,
+        }
     }
 
     #[test]
@@ -303,8 +312,18 @@ mod tests {
     #[test]
     fn multi_level_hierarchy_fills() {
         let h = CacheHierarchy::new(vec![
-            CacheLevelConfig { size_bytes: 2 * 64, line_bytes: 64, assoc: 2, shared: false },
-            CacheLevelConfig { size_bytes: 16 * 64, line_bytes: 64, assoc: 4, shared: true },
+            CacheLevelConfig {
+                size_bytes: 2 * 64,
+                line_bytes: 64,
+                assoc: 2,
+                shared: false,
+            },
+            CacheLevelConfig {
+                size_bytes: 16 * 64,
+                line_bytes: 64,
+                assoc: 4,
+                shared: true,
+            },
         ]);
         let p = program_one_array(1024);
         let mut sim = CacheSim::new(&h, &p);

@@ -20,7 +20,13 @@ struct RefCache {
 
 impl RefCache {
     fn new(n_sets: u64, assoc: usize) -> Self {
-        RefCache { n_sets, assoc, sets: vec![Vec::new(); n_sets as usize], hits: 0, misses: 0 }
+        RefCache {
+            n_sets,
+            assoc,
+            sets: vec![Vec::new(); n_sets as usize],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn access(&mut self, line: u64) {

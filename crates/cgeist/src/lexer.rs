@@ -174,7 +174,9 @@ mod tests {
     fn floats_and_compound_ops() {
         let t = tokenize("C[i][j] += 0.5e-2 * A[i][k];").unwrap();
         assert!(t.contains(&Token::Op2("+=")));
-        assert!(t.iter().any(|x| matches!(x, Token::Float(v) if (*v - 0.005).abs() < 1e-12)));
+        assert!(t
+            .iter()
+            .any(|x| matches!(x, Token::Float(v) if (*v - 0.005).abs() < 1e-12)));
     }
 
     #[test]

@@ -38,9 +38,17 @@ impl std::error::Error for ParseError {}
 /// imperfect nests, undeclared arrays, or wrong access arity.
 pub fn parse_scop(src: &str, name: &str) -> Result<AffineProgram, ParseError> {
     let tokens = tokenize(src).map_err(|m| ParseError { message: m, at: 0 })?;
-    let mut p = Parser { tokens, pos: 0, program: AffineProgram::new(name), arrays: HashMap::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        program: AffineProgram::new(name),
+        arrays: HashMap::new(),
+    };
     p.parse_program()?;
-    p.program.validate().map_err(|m| ParseError { message: m, at: p.pos })?;
+    p.program.validate().map_err(|m| ParseError {
+        message: m,
+        at: p.pos,
+    })?;
     Ok(p.program)
 }
 
@@ -53,13 +61,21 @@ struct Parser {
 
 /// A parsed loop-tree node, flattened into kernels afterwards.
 enum Node {
-    For { iter: String, lb: Bound, ub: Bound, body: Vec<Node> },
+    For {
+        iter: String,
+        lb: Bound,
+        ub: Bound,
+        body: Vec<Node>,
+    },
     Stmt(Statement),
 }
 
 impl Parser {
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), at: self.pos })
+        Err(ParseError {
+            message: message.into(),
+            at: self.pos,
+        })
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -118,7 +134,11 @@ impl Parser {
                     let node = self.parse_for(&mut Vec::new(), &mut stmt_counter)?;
                     self.flatten(node, Vec::new())?;
                 }
-                other => return self.err(format!("expected `for` or `#pragma endscop`, found {other:?}")),
+                other => {
+                    return self.err(format!(
+                        "expected `for` or `#pragma endscop`, found {other:?}"
+                    ))
+                }
             }
         }
         Ok(())
@@ -174,7 +194,11 @@ impl Parser {
         self.expect_punct(';')?;
         match self.next() {
             Some(Token::Ident(ref s)) if *s == iter => {}
-            other => return self.err(format!("loop condition must test `{iter}`, found {other:?}")),
+            other => {
+                return self.err(format!(
+                    "loop condition must test `{iter}`, found {other:?}"
+                ))
+            }
         }
         let (strict, reversed) = match self.next() {
             Some(Token::Punct('<')) => (true, false),
@@ -195,7 +219,11 @@ impl Parser {
         }
         match self.next() {
             Some(Token::Op2("++")) => {}
-            other => return self.err(format!("only unit-stride `++` loops supported, found {other:?}")),
+            other => {
+                return self.err(format!(
+                    "only unit-stride `++` loops supported, found {other:?}"
+                ))
+            }
         }
         self.expect_punct(')')?;
 
@@ -339,7 +367,11 @@ impl Parser {
         accesses.push(Access::write(array, indices));
         let name = format!("S{}", *stmt_counter);
         *stmt_counter += 1;
-        Ok(Statement { name, accesses, flops })
+        Ok(Statement {
+            name,
+            accesses,
+            flops,
+        })
     }
 
     fn parse_array_ref(&mut self, scope: &[String]) -> Result<(ArrayId, Vec<LinExpr>), ParseError> {
@@ -431,7 +463,11 @@ impl Parser {
     }
 
     /// Flattens a loop tree into perfect-nest kernels.
-    fn flatten(&mut self, node: Node, mut outer: Vec<(String, Bound, Bound)>) -> Result<(), ParseError> {
+    fn flatten(
+        &mut self,
+        node: Node,
+        mut outer: Vec<(String, Bound, Bound)>,
+    ) -> Result<(), ParseError> {
         match node {
             Node::For { iter, lb, ub, body } => {
                 outer.push((iter, lb, ub));
@@ -451,7 +487,11 @@ impl Parser {
                     // Innermost: emit one kernel with all statements.
                     let loops: Vec<Loop> = outer
                         .iter()
-                        .map(|(_, lb, ub)| Loop { lb: lb.clone(), ub: ub.clone(), parallel: false })
+                        .map(|(_, lb, ub)| Loop {
+                            lb: lb.clone(),
+                            ub: ub.clone(),
+                            parallel: false,
+                        })
                         .collect();
                     let statements: Vec<Statement> = body
                         .into_iter()
@@ -461,7 +501,11 @@ impl Parser {
                         })
                         .collect();
                     let kname = format!("{}_k{}", self.program.name, self.program.kernels.len());
-                    self.program.kernels.push(AffineKernel { name: kname, loops, statements });
+                    self.program.kernels.push(AffineKernel {
+                        name: kname,
+                        loops,
+                        statements,
+                    });
                 }
                 Ok(())
             }

@@ -58,7 +58,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("missing value for {name}"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match a.as_str() {
             "--platform" => {
@@ -102,7 +104,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let Some(cmd) = args.first() else { return Err("no command given".into()) };
+    let Some(cmd) = args.first() else {
+        return Err("no command given".into());
+    };
     match cmd.as_str() {
         "list" => {
             println!("PolyBench (use `polyufc bench <name>`):");
@@ -118,8 +122,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "compile" | "run" => {
             let path = args.get(1).ok_or("missing input file")?;
             let opts = parse_options(&args[2..])?;
-            let src = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let name = path
                 .rsplit('/')
                 .next()
@@ -141,9 +145,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "bench" => {
             let name = args.get(1).ok_or("missing workload name")?;
             let opts = parse_options(&args[2..])?;
-            let program = find_workload(name).ok_or_else(|| {
-                format!("unknown workload `{name}` (try `polyufc list`)")
-            })?;
+            let program = find_workload(name)
+                .ok_or_else(|| format!("unknown workload `{name}` (try `polyufc list`)"))?;
             let out = compile(&program, &opts)?;
             report(&program, &out, &opts);
             simulate(&out, &opts);
@@ -154,7 +157,10 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn find_workload(name: &str) -> Option<AffineProgram> {
-    if let Some(w) = polybench_suite(PolybenchSize::Small).into_iter().find(|w| w.name == name) {
+    if let Some(w) = polybench_suite(PolybenchSize::Small)
+        .into_iter()
+        .find(|w| w.name == name)
+    {
         return Some(w.program);
     }
     ml_suite()
@@ -176,7 +182,12 @@ fn report(program: &AffineProgram, out: &PipelineOutput, opts: &Options) {
         "== PolyUFC: `{}` for {} (objective {:?}, ε = {}) ==",
         program.name, opts.platform.name, opts.objective, opts.epsilon
     );
-    for ((ch, res), cap) in out.characterizations.iter().zip(&out.search).zip(&out.caps_ghz) {
+    for ((ch, res), cap) in out
+        .characterizations
+        .iter()
+        .zip(&out.search)
+        .zip(&out.caps_ghz)
+    {
         println!(
             "  {:<20} OI {:>9.3} FpB  {}  cap {:.1} GHz ({} evals)",
             ch.kernel, ch.oi, ch.class, cap, res.steps
@@ -188,7 +199,10 @@ fn report(program: &AffineProgram, out: &PipelineOutput, opts: &Options) {
         r.preprocess_us, r.pluto_us, r.polyufc_cm_us, r.steps_4_6_us
     );
     if !r.fallback_kernels.is_empty() {
-        println!("  analysis fallback (cap reset to max): {:?}", r.fallback_kernels);
+        println!(
+            "  analysis fallback (cap reset to max): {:?}",
+            r.fallback_kernels
+        );
     }
     match opts.emit.as_str() {
         "affine" => println!("\n{}", out.optimized),
@@ -236,10 +250,17 @@ mod tests {
     fn options_defaults_and_overrides() {
         let o = parse_options(&[]).unwrap();
         assert_eq!(o.platform.name, "BDW");
-        let args: Vec<String> = ["--platform", "rpl", "--objective", "energy", "--epsilon", "0.01"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> = [
+            "--platform",
+            "rpl",
+            "--objective",
+            "energy",
+            "--epsilon",
+            "0.01",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = parse_options(&args).unwrap();
         assert_eq!(o.platform.name, "RPL");
         assert_eq!(o.objective, Objective::Energy);

@@ -44,7 +44,11 @@ pub fn insert_caps(program: &AffineProgram, plan: &CapPlan) -> ScfProgram {
         ops.push(ScfOp::SetUncoreCap { mhz: *mhz });
         ops.push(ScfOp::Kernel(k.clone()));
     }
-    ScfProgram { name: program.name.clone(), arrays: program.arrays.clone(), ops }
+    ScfProgram {
+        name: program.name.clone(),
+        arrays: program.arrays.clone(),
+        ops,
+    }
 }
 
 /// The redundant-cap rewrite: drops a cap call when the requested
@@ -71,7 +75,11 @@ pub fn remove_redundant_caps(scf: &ScfProgram) -> ScfProgram {
         }
     }
     // A trailing cap with no kernel after it is dead; drop it.
-    ScfProgram { name: scf.name.clone(), arrays: scf.arrays.clone(), ops: out }
+    ScfProgram {
+        name: scf.name.clone(),
+        arrays: scf.arrays.clone(),
+        ops: out,
+    }
 }
 
 #[cfg(test)]
@@ -80,7 +88,11 @@ mod tests {
     use polyufc_ir::affine::{AffineKernel, Loop};
 
     fn kernel(name: &str) -> AffineKernel {
-        AffineKernel { name: name.into(), loops: vec![Loop::range(4)], statements: vec![] }
+        AffineKernel {
+            name: name.into(),
+            loops: vec![Loop::range(4)],
+            statements: vec![],
+        }
     }
 
     fn program(names: &[&str]) -> AffineProgram {

@@ -81,7 +81,12 @@ mod tests {
 
     fn stats(flops: f64, q_dram: f64) -> KernelCacheStats {
         KernelCacheStats {
-            levels: vec![LevelStats { accesses: 0.0, hits: 0.0, misses: q_dram / 64.0, fit_level: 0 }],
+            levels: vec![LevelStats {
+                accesses: 0.0,
+                hits: 0.0,
+                misses: q_dram / 64.0,
+                fit_level: 0,
+            }],
             cold_lines: q_dram / 64.0,
             q_dram_bytes: q_dram,
             flops,

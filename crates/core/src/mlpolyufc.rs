@@ -51,7 +51,11 @@ pub struct PhaseReport {
 impl PhaseReport {
     /// Renders a compact phase string like `"CB BB BB ... CB"`.
     pub fn phase_string(level: &[(String, Boundedness)]) -> String {
-        level.iter().map(|(_, c)| c.to_string()).collect::<Vec<_>>().join(" ")
+        level
+            .iter()
+            .map(|(_, c)| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -67,7 +71,10 @@ pub struct MlPolyUfc {
 impl MlPolyUfc {
     /// Creates a driver with the paper's default (linalg) granularity.
     pub fn new(pipeline: Pipeline) -> Self {
-        MlPolyUfc { pipeline, granularity: CapGranularity::Linalg }
+        MlPolyUfc {
+            pipeline,
+            granularity: CapGranularity::Linalg,
+        }
     }
 
     /// Compiles a tensor graph with caps applied at the configured
@@ -76,7 +83,11 @@ impl MlPolyUfc {
     /// # Errors
     ///
     /// Returns [`ModelError`] if a kernel cannot be analyzed.
-    pub fn compile(&self, graph: &TensorGraph, elem: ElemType) -> Result<PipelineOutput, ModelError> {
+    pub fn compile(
+        &self,
+        graph: &TensorGraph,
+        elem: ElemType,
+    ) -> Result<PipelineOutput, ModelError> {
         let mut out = self.pipeline.compile_tensor(graph, elem)?;
         match self.granularity {
             CapGranularity::Linalg | CapGranularity::Affine => Ok(out),
@@ -127,11 +138,18 @@ impl MlPolyUfc {
     /// # Errors
     ///
     /// Returns [`ModelError`] if a kernel cannot be analyzed.
-    pub fn phase_report(&self, graph: &TensorGraph, elem: ElemType) -> Result<PhaseReport, ModelError> {
+    pub fn phase_report(
+        &self,
+        graph: &TensorGraph,
+        elem: ElemType,
+    ) -> Result<PhaseReport, ModelError> {
         let out = self.pipeline.compile_tensor(graph, elem)?;
         let f_ref = self.pipeline.platform.uncore_max_ghz;
-        let linalg: Vec<(String, Boundedness)> =
-            out.characterizations.iter().map(|c| (c.kernel.clone(), c.class)).collect();
+        let linalg: Vec<(String, Boundedness)> = out
+            .characterizations
+            .iter()
+            .map(|c| (c.kernel.clone(), c.class))
+            .collect();
         // Affine level: identical kernel set here, but re-derived from the
         // per-kernel stats to keep the level distinction explicit.
         let affine = linalg.clone();
@@ -151,16 +169,17 @@ impl MlPolyUfc {
                 tensor.push((op.name.clone(), class));
             }
         }
-        Ok(PhaseReport { tensor, linalg, affine })
+        Ok(PhaseReport {
+            tensor,
+            linalg,
+            affine,
+        })
     }
 }
 
 /// Groups kernel indices by the tensor op whose lowering produced them
 /// (name-prefix convention of the lowering: `<tensor op>_<suffix>`).
-fn group_by_tensor_op(
-    graph: &TensorGraph,
-    out: &PipelineOutput,
-) -> BTreeMap<String, Vec<usize>> {
+fn group_by_tensor_op(graph: &TensorGraph, out: &PipelineOutput) -> BTreeMap<String, Vec<usize>> {
     let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (i, k) in out.optimized.kernels.iter().enumerate() {
         let owner = graph
@@ -186,7 +205,12 @@ mod tests {
         let mut g = TensorGraph::new("bert");
         g.push(TensorOp {
             name: "sdpa".into(),
-            kind: TensorOpKind::Sdpa { b: 2, h: 12, s: 128, d: 64 },
+            kind: TensorOpKind::Sdpa {
+                b: 2,
+                h: 12,
+                s: 128,
+                d: 64,
+            },
             inputs: vec!["Q".into(), "K".into(), "V".into()],
             output: "O".into(),
         });
@@ -198,14 +222,21 @@ mod tests {
         let ml = MlPolyUfc::new(Pipeline::new(Platform::raptor_lake()));
         let rep = ml.phase_report(&sdpa_graph(), ElemType::F32).unwrap();
         assert_eq!(rep.linalg.len(), 9);
-        assert_eq!(rep.linalg[0].1, Boundedness::ComputeBound, "Q·Kᵀ must be CB");
+        assert_eq!(
+            rep.linalg[0].1,
+            Boundedness::ComputeBound,
+            "Q·Kᵀ must be CB"
+        );
         assert_eq!(rep.linalg[8].1, Boundedness::ComputeBound, "P·V must be CB");
         // The middle seven ops form the BB* region.
         let middle_bb = rep.linalg[1..8]
             .iter()
             .filter(|(_, c)| *c == Boundedness::BandwidthBound)
             .count();
-        assert!(middle_bb >= 5, "most of the softmax chain must be BB, got {middle_bb}/7");
+        assert!(
+            middle_bb >= 5,
+            "most of the softmax chain must be BB, got {middle_bb}/7"
+        );
         // At tensor level the whole op collapses into a single phase.
         assert_eq!(rep.tensor.len(), 1);
     }
@@ -229,13 +260,21 @@ mod tests {
         let mut g = TensorGraph::new("pfx");
         g.push(TensorOp {
             name: "mm".into(),
-            kind: TensorOpKind::MatMul { m: 16, n: 16, k: 16 },
+            kind: TensorOpKind::MatMul {
+                m: 16,
+                n: 16,
+                k: 16,
+            },
             inputs: vec!["A".into(), "B".into()],
             output: "C".into(),
         });
         g.push(TensorOp {
             name: "mm_big".into(),
-            kind: TensorOpKind::MatMul { m: 32, n: 32, k: 32 },
+            kind: TensorOpKind::MatMul {
+                m: 32,
+                n: 32,
+                k: 32,
+            },
             inputs: vec!["D".into(), "E".into()],
             output: "F".into(),
         });

@@ -51,7 +51,12 @@ impl<'a> ParametricModel<'a> {
         parallel: bool,
         concurrency: f64,
     ) -> Self {
-        ParametricModel { roofline, stats, parallel, concurrency: concurrency.max(1.0) }
+        ParametricModel {
+            roofline,
+            stats,
+            parallel,
+            concurrency: concurrency.max(1.0),
+        }
     }
 
     /// Operational intensity `I`.
@@ -74,7 +79,11 @@ impl<'a> ParametricModel<'a> {
     /// below by the bandwidth roof.
     pub fn memory_time(&self, f_c: f64) -> f64 {
         let n = self.stats.levels.len();
-        let llc_hits = if n >= 1 { self.stats.levels[n - 1].hits } else { 0.0 };
+        let llc_hits = if n >= 1 {
+            self.stats.levels[n - 1].hits
+        } else {
+            0.0
+        };
         let dram_misses = self.stats.levels.last().map(|l| l.misses).unwrap_or(0.0);
         let serial = llc_hits * self.roofline.llc_hit_latency(f_c)
             + dram_misses * self.roofline.miss_penalty_t(f_c);
@@ -193,8 +202,18 @@ mod tests {
     fn stats(flops: f64, q_dram: f64, llc_hits: f64) -> KernelCacheStats {
         KernelCacheStats {
             levels: vec![
-                LevelStats { accesses: 0.0, hits: 0.0, misses: q_dram / 64.0, fit_level: 0 },
-                LevelStats { accesses: 0.0, hits: llc_hits, misses: q_dram / 64.0, fit_level: 0 },
+                LevelStats {
+                    accesses: 0.0,
+                    hits: 0.0,
+                    misses: q_dram / 64.0,
+                    fit_level: 0,
+                },
+                LevelStats {
+                    accesses: 0.0,
+                    hits: llc_hits,
+                    misses: q_dram / 64.0,
+                    fit_level: 0,
+                },
             ],
             cold_lines: q_dram / 64.0,
             q_dram_bytes: q_dram,
@@ -214,7 +233,10 @@ mod tests {
         let m = ParametricModel::new(&r, &st, true, 96.0);
         let t_lo = m.exec_time(1.2);
         let t_hi = m.exec_time(2.8);
-        assert!((t_lo - t_hi).abs() / t_hi < 0.1, "CB time nearly flat: {t_lo} vs {t_hi}");
+        assert!(
+            (t_lo - t_hi).abs() / t_hi < 0.1,
+            "CB time nearly flat: {t_lo} vs {t_hi}"
+        );
     }
 
     #[test]
@@ -263,7 +285,10 @@ mod tests {
             .copied()
             .min_by(|a, b| m.edp(*a).partial_cmp(&m.edp(*b)).unwrap())
             .unwrap();
-        assert!(best >= 1.8, "BB EDP optimum should be at higher f, got {best}");
+        assert!(
+            best >= 1.8,
+            "BB EDP optimum should be at higher f, got {best}"
+        );
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct CompileReport {
     pub polyufc_cm_us: u128,
     /// Stages 4–6 (characterization, search, code generation).
     pub steps_4_6_us: u128,
+    /// Presburger counting queries answered from the memoization cache
+    /// during PolyUFC-CM analysis (Table IV compile-time saving).
+    pub count_cache_hits: u64,
+    /// Presburger counting queries that had to run the full counter.
+    pub count_cache_misses: u64,
 }
 
 impl CompileReport {
@@ -125,8 +130,12 @@ pub struct Pipeline {
 impl Pipeline {
     /// Creates a pipeline for a platform, calibrating the rooflines by
     /// one-time microbenchmarking on its (noiseless) machine model.
+    /// Calibration is cached per platform, so sweeps constructing many
+    /// pipelines (one per evaluation point) microbenchmark each platform
+    /// only once per process.
     pub fn new(platform: Platform) -> Self {
-        let roofline = RooflineModel::calibrate(&ExecutionEngine::noiseless(platform.clone()));
+        let roofline =
+            RooflineModel::calibrate_cached(&ExecutionEngine::noiseless(platform.clone()));
         Pipeline {
             platform,
             roofline,
@@ -159,9 +168,7 @@ impl Pipeline {
     pub fn compile_affine(&self, input: &AffineProgram) -> Result<PipelineOutput, ModelError> {
         // Stage 2a: preprocessing (validation / extraction).
         let t0 = Instant::now();
-        input
-            .validate()
-            .map_err(ModelError::Malformed)?;
+        input.validate().map_err(ModelError::Malformed)?;
         let preprocess_us = t0.elapsed().as_micros();
 
         // Stage 2b: Pluto.
@@ -174,8 +181,11 @@ impl Pipeline {
         let cm = CacheModel::new(self.platform.hierarchy.clone(), self.assoc_mode);
         let mut cache_stats = Vec::with_capacity(optimized.kernels.len());
         let mut fallback_kernels = Vec::new();
+        // One counting cache across all kernels: iteration-domain queries
+        // recur heavily between references, levels, and sibling kernels.
+        let mut count_cache = polyufc_presburger::CountCache::new();
         for k in &optimized.kernels {
-            let mut st = match cm.analyze_kernel(&optimized, k) {
+            let mut st = match cm.analyze_kernel_cached(&optimized, k, &mut count_cache) {
                 Ok(st) => st,
                 Err(ModelError::Presburger(_)) => {
                     // Solver budget exceeded (the paper's timeout case):
@@ -206,12 +216,15 @@ impl Pipeline {
         // already in effect is free.
         let switch_s = self.platform.cap_switch_us * 1e-6;
         let mut current = self.platform.uncore_max_ghz;
+        // Membership probe built once: the per-kernel `Vec::contains` scan
+        // was O(kernels²) on ML graphs with hundreds of kernels.
+        let fallback_set: std::collections::HashSet<&str> =
+            fallback_kernels.iter().map(String::as_str).collect();
         for (k, st) in optimized.kernels.iter().zip(&cache_stats) {
             characterizations.push(characterize_kernel(&k.name, st, &self.roofline, f_ref));
-            let pm =
-                ParametricModel::new(&self.roofline, st, k.outer_parallel().is_some(), conc);
+            let pm = ParametricModel::new(&self.roofline, st, k.outer_parallel().is_some(), conc);
             let mut res = search_cap(&pm, &freqs, self.objective, self.epsilon);
-            if fallback_kernels.contains(&k.name) {
+            if fallback_set.contains(k.name.as_str()) {
                 // Paper Sec. VII-F: kernels that overshoot the analysis
                 // budget keep the maximum uncore frequency.
                 res.f_ghz = self.platform.uncore_max_ghz;
@@ -231,7 +244,11 @@ impl Pipeline {
             search.push(res);
         }
         let plan = CapPlan::from_ghz(
-            optimized.kernels.iter().zip(&caps_ghz).map(|(k, &f)| (k.name.clone(), f)),
+            optimized
+                .kernels
+                .iter()
+                .zip(&caps_ghz)
+                .map(|(k, &f)| (k.name.clone(), f)),
         );
         let scf = remove_redundant_caps(&insert_caps(&optimized, &plan));
         let steps_4_6_us = t3.elapsed().as_micros();
@@ -249,6 +266,8 @@ impl Pipeline {
                 pluto_us,
                 polyufc_cm_us,
                 steps_4_6_us,
+                count_cache_hits: count_cache.hits(),
+                count_cache_misses: count_cache.misses(),
             },
             pluto_report,
         })
@@ -271,7 +290,6 @@ impl Pipeline {
     }
 }
 
-
 /// Conservative per-kernel statistics used when the full PolyUFC-CM
 /// analysis exceeds its solver budget: trip counts from interval bounds,
 /// compulsory misses assumed equal to the touched arrays' footprints.
@@ -288,8 +306,11 @@ fn fallback_stats(
             }
         }
     }
-    let per_point_accesses: f64 =
-        kernel.statements.iter().map(|s| s.accesses.len() as f64).sum();
+    let per_point_accesses: f64 = kernel
+        .statements
+        .iter()
+        .map(|s| s.accesses.len() as f64)
+        .sum();
     let per_point_flops: f64 = kernel.statements.iter().map(|s| s.flops as f64).sum();
     let mut arrays: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     for s in &kernel.statements {
@@ -297,8 +318,10 @@ fn fallback_stats(
             arrays.insert(a.array.0);
         }
     }
-    let cold_bytes: f64 =
-        arrays.iter().map(|&a| program.arrays[a].size_bytes() as f64).sum();
+    let cold_bytes: f64 = arrays
+        .iter()
+        .map(|&a| program.arrays[a].size_bytes() as f64)
+        .sum();
     let cold_lines = (cold_bytes / 64.0).ceil();
     let total_accesses = points * per_point_accesses;
     let mut levels = Vec::with_capacity(n_levels);
@@ -415,7 +438,12 @@ mod tests {
         let mut g = TensorGraph::new("bert_sdpa");
         g.push(TensorOp {
             name: "sdpa".into(),
-            kind: TensorOpKind::Sdpa { b: 1, h: 4, s: 64, d: 32 },
+            kind: TensorOpKind::Sdpa {
+                b: 1,
+                h: 4,
+                s: 64,
+                d: 32,
+            },
             inputs: vec!["Q".into(), "K".into(), "V".into()],
             output: "O".into(),
         });

@@ -98,7 +98,13 @@ pub fn search_cap(
             Objective::Energy => model.energy(f),
             Objective::Edp => model.edp(f),
         };
-        log.push(SearchStep { f_ghz: f, delta_perf: dp, delta_bw: db, delta_edp: de, admissible: ok });
+        log.push(SearchStep {
+            f_ghz: f,
+            delta_perf: dp,
+            delta_bw: db,
+            delta_edp: de,
+            admissible: ok,
+        });
         (ok, value)
     };
 
@@ -153,7 +159,13 @@ pub fn search_cap(
         };
         (f_ref, v)
     };
-    SearchResult { f_ghz: f_best, steps: evals, objective_value: value, class, log }
+    SearchResult {
+        f_ghz: f_best,
+        steps: evals,
+        objective_value: value,
+        class,
+        log,
+    }
 }
 
 /// Exhaustive 0.1 GHz scan (the ablation baseline for the binary search):
@@ -180,7 +192,13 @@ pub fn scan_cap(
             Boundedness::ComputeBound => (1.0 - dp) <= (1.0 - db) + epsilon,
             Boundedness::BandwidthBound => dp >= db - epsilon,
         };
-        log.push(SearchStep { f_ghz: f, delta_perf: dp, delta_bw: db, delta_edp: de, admissible: ok });
+        log.push(SearchStep {
+            f_ghz: f,
+            delta_perf: dp,
+            delta_bw: db,
+            delta_edp: de,
+            admissible: ok,
+        });
         if !ok {
             continue;
         }
@@ -193,8 +211,7 @@ pub fn scan_cap(
             None => true,
             Some((_, bv)) => {
                 v < bv
-                    || (objective == Objective::Performance
-                        && (v - bv).abs() <= epsilon * bv.abs())
+                    || (objective == Objective::Performance && (v - bv).abs() <= epsilon * bv.abs())
             }
         };
         if replace {
@@ -209,7 +226,13 @@ pub fn scan_cap(
         };
         (f_ref, v)
     });
-    SearchResult { f_ghz: f_best, steps: freqs.len(), objective_value: value, class, log }
+    SearchResult {
+        f_ghz: f_best,
+        steps: freqs.len(),
+        objective_value: value,
+        class,
+        log,
+    }
 }
 
 #[cfg(test)]
@@ -247,7 +270,11 @@ mod tests {
         let m = ParametricModel::new(&r, &st, true, p.cores as f64);
         let res = search_cap(&m, &p.uncore_freqs(), Objective::Edp, 1e-3);
         assert_eq!(res.class, Boundedness::ComputeBound);
-        assert!(res.f_ghz <= 1.6, "deep CB should cap low, got {}", res.f_ghz);
+        assert!(
+            res.f_ghz <= 1.6,
+            "deep CB should cap low, got {}",
+            res.f_ghz
+        );
     }
 
     #[test]
@@ -257,7 +284,11 @@ mod tests {
         let m = ParametricModel::new(&r, &st, true, p.cores as f64);
         let res = search_cap(&m, &p.uncore_freqs(), Objective::Edp, 1e-3);
         assert_eq!(res.class, Boundedness::BandwidthBound);
-        assert!(res.f_ghz >= 2.0, "deep BB should cap high, got {}", res.f_ghz);
+        assert!(
+            res.f_ghz >= 2.0,
+            "deep BB should cap high, got {}",
+            res.f_ghz
+        );
     }
 
     #[test]
@@ -286,7 +317,10 @@ mod tests {
                 fast.f_ghz,
                 slow.f_ghz
             );
-            assert!(fast.steps <= slow.steps, "binary must not evaluate more than the scan");
+            assert!(
+                fast.steps <= slow.steps,
+                "binary must not evaluate more than the scan"
+            );
         }
     }
 

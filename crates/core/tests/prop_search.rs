@@ -13,8 +13,18 @@ use polyufc_roofline::RooflineModel;
 fn stats(flops: f64, q_dram: f64, llc_hits: f64) -> KernelCacheStats {
     KernelCacheStats {
         levels: vec![
-            LevelStats { accesses: 0.0, hits: 0.0, misses: q_dram / 64.0, fit_level: 0 },
-            LevelStats { accesses: 0.0, hits: llc_hits, misses: q_dram / 64.0, fit_level: 0 },
+            LevelStats {
+                accesses: 0.0,
+                hits: 0.0,
+                misses: q_dram / 64.0,
+                fit_level: 0,
+            },
+            LevelStats {
+                accesses: 0.0,
+                hits: llc_hits,
+                misses: q_dram / 64.0,
+                fit_level: 0,
+            },
         ],
         cold_lines: q_dram / 64.0,
         q_dram_bytes: q_dram,
@@ -26,9 +36,7 @@ fn stats(flops: f64, q_dram: f64, llc_hits: f64) -> KernelCacheStats {
 fn roofline() -> &'static RooflineModel {
     use std::sync::OnceLock;
     static RL: OnceLock<RooflineModel> = OnceLock::new();
-    RL.get_or_init(|| {
-        RooflineModel::calibrate(&ExecutionEngine::noiseless(Platform::broadwell()))
-    })
+    RL.get_or_init(|| RooflineModel::calibrate(&ExecutionEngine::noiseless(Platform::broadwell())))
 }
 
 proptest! {

@@ -21,7 +21,9 @@ pub struct Bound {
 impl Bound {
     /// A constant bound.
     pub fn constant(v: i64) -> Self {
-        Bound { exprs: vec![LinExpr::constant(v)] }
+        Bound {
+            exprs: vec![LinExpr::constant(v)],
+        }
     }
 
     /// A single-expression bound.
@@ -31,12 +33,20 @@ impl Bound {
 
     /// Evaluates as a lower bound (max of components).
     pub fn eval_lb(&self, iters: &[i64]) -> i64 {
-        self.exprs.iter().map(|e| e.eval(iters)).max().expect("bound has components")
+        self.exprs
+            .iter()
+            .map(|e| e.eval(iters))
+            .max()
+            .expect("bound has components")
     }
 
     /// Evaluates as an upper bound (min of components).
     pub fn eval_ub(&self, iters: &[i64]) -> i64 {
-        self.exprs.iter().map(|e| e.eval(iters)).min().expect("bound has components")
+        self.exprs
+            .iter()
+            .map(|e| e.eval(iters))
+            .min()
+            .expect("bound has components")
     }
 }
 
@@ -56,12 +66,20 @@ pub struct Loop {
 impl Loop {
     /// A sequential loop `for i in 0..n`.
     pub fn range(n: i64) -> Self {
-        Loop { lb: Bound::constant(0), ub: Bound::constant(n), parallel: false }
+        Loop {
+            lb: Bound::constant(0),
+            ub: Bound::constant(n),
+            parallel: false,
+        }
     }
 
     /// A loop with affine bounds.
     pub fn new(lb: Bound, ub: Bound) -> Self {
-        Loop { lb, ub, parallel: false }
+        Loop {
+            lb,
+            ub,
+            parallel: false,
+        }
     }
 }
 
@@ -80,12 +98,20 @@ pub struct Access {
 impl Access {
     /// A read access.
     pub fn read(array: ArrayId, indices: Vec<LinExpr>) -> Self {
-        Access { array, indices, is_write: false }
+        Access {
+            array,
+            indices,
+            is_write: false,
+        }
     }
 
     /// A write access.
     pub fn write(array: ArrayId, indices: Vec<LinExpr>) -> Self {
-        Access { array, indices, is_write: true }
+        Access {
+            array,
+            indices,
+            is_write: true,
+        }
     }
 
     /// The access relation `{ [iters] -> [array indices] }` restricted to
@@ -186,7 +212,9 @@ impl AffineKernel {
         let Ok(Some(iv)) = self.domain().basics()[0].var_intervals() else {
             return fallback();
         };
-        let (Some(lo), Some(hi)) = iv[0] else { return fallback() };
+        let (Some(lo), Some(hi)) = iv[0] else {
+            return fallback();
+        };
         let extent = hi - lo + 1;
         if extent < n_chunks as i64 {
             return fallback();
@@ -195,7 +223,11 @@ impl AffineKernel {
         let step = extent / n_chunks as i64;
         for c in 0..n_chunks as i64 {
             let a = lo + c * step;
-            let b = if c == n_chunks as i64 - 1 { hi + 1 } else { lo + (c + 1) * step };
+            let b = if c == n_chunks as i64 - 1 {
+                hi + 1
+            } else {
+                lo + (c + 1) * step
+            };
             let mut k = self.clone();
             k.name = format!("{}_part{}", self.name, c);
             k.loops[0].lb.exprs.push(LinExpr::constant(a));
@@ -257,7 +289,11 @@ pub struct AffineProgram {
 impl AffineProgram {
     /// Creates an empty program.
     pub fn new(name: impl Into<String>) -> Self {
-        AffineProgram { name: name.into(), arrays: Vec::new(), kernels: Vec::new() }
+        AffineProgram {
+            name: name.into(),
+            arrays: Vec::new(),
+            kernels: Vec::new(),
+        }
     }
 
     /// Declares an array and returns its id.
@@ -267,7 +303,11 @@ impl AffineProgram {
         dims: Vec<usize>,
         elem: ElemType,
     ) -> ArrayId {
-        self.arrays.push(ArrayDecl { name: name.into(), dims, elem });
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims,
+            elem,
+        });
         ArrayId(self.arrays.len() - 1)
     }
 
@@ -347,7 +387,11 @@ impl fmt::Display for AffineProgram {
                 f,
                 "memref %{} : {}x{}",
                 a.name,
-                a.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+                a.dims
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x"),
                 a.elem
             )?;
         }
@@ -356,10 +400,20 @@ impl fmt::Display for AffineProgram {
             let iv = |i: usize| format!("i{i}");
             for (d, l) in k.loops.iter().enumerate() {
                 let lb: Vec<String> =
-                    l.lb.exprs.iter().map(|e| e.display_with(iv).to_string()).collect();
+                    l.lb.exprs
+                        .iter()
+                        .map(|e| e.display_with(iv).to_string())
+                        .collect();
                 let ub: Vec<String> =
-                    l.ub.exprs.iter().map(|e| e.display_with(iv).to_string()).collect();
-                let par = if l.parallel { "affine.parallel" } else { "affine.for" };
+                    l.ub.exprs
+                        .iter()
+                        .map(|e| e.display_with(iv).to_string())
+                        .collect();
+                let par = if l.parallel {
+                    "affine.parallel"
+                } else {
+                    "affine.for"
+                };
                 writeln!(
                     f,
                     "{}{} %i{} = max({}) to min({}) {{",
@@ -374,8 +428,11 @@ impl fmt::Display for AffineProgram {
             for s in &k.statements {
                 let mut parts = Vec::new();
                 for a in &s.accesses {
-                    let idx: Vec<String> =
-                        a.indices.iter().map(|e| e.display_with(iv).to_string()).collect();
+                    let idx: Vec<String> = a
+                        .indices
+                        .iter()
+                        .map(|e| e.display_with(iv).to_string())
+                        .collect();
                     let kind = if a.is_write { "store" } else { "load" };
                     parts.push(format!(
                         "{kind} %{}[{}]",
@@ -383,7 +440,13 @@ impl fmt::Display for AffineProgram {
                         idx.join(", ")
                     ));
                 }
-                writeln!(f, "{pad}{}: {} // {} flops", s.name, parts.join("; "), s.flops)?;
+                writeln!(
+                    f,
+                    "{pad}{}: {} // {} flops",
+                    s.name,
+                    parts.join("; "),
+                    s.flops
+                )?;
             }
             for d in (0..k.depth()).rev() {
                 writeln!(f, "{}}}", "  ".repeat(d + 1))?;
@@ -432,7 +495,10 @@ mod tests {
             name: "tri".into(),
             loops: vec![
                 Loop::range(6),
-                Loop::new(Bound::constant(0), Bound::expr(LinExpr::var(0) + LinExpr::constant(1))),
+                Loop::new(
+                    Bound::constant(0),
+                    Bound::expr(LinExpr::var(0) + LinExpr::constant(1)),
+                ),
             ],
             statements: vec![],
         };
@@ -470,7 +536,11 @@ mod tests {
 
     #[test]
     fn strides_row_major() {
-        let d = ArrayDecl { name: "A".into(), dims: vec![2, 3, 4], elem: ElemType::F32 };
+        let d = ArrayDecl {
+            name: "A".into(),
+            dims: vec![2, 3, 4],
+            elem: ElemType::F32,
+        };
         assert_eq!(d.strides(), vec![12, 4, 1]);
         assert_eq!(d.size_bytes(), 96);
     }
@@ -519,7 +589,9 @@ mod tests {
 
     #[test]
     fn bound_eval_min_max() {
-        let b = Bound { exprs: vec![LinExpr::constant(5), LinExpr::var(0)] };
+        let b = Bound {
+            exprs: vec![LinExpr::constant(5), LinExpr::var(0)],
+        };
         assert_eq!(b.eval_lb(&[9]), 9);
         assert_eq!(b.eval_ub(&[9]), 5);
     }

@@ -201,7 +201,11 @@ mod tests {
         let (vi, vj, vk) = (LinExpr::var(0), LinExpr::var(1), LinExpr::var(2));
         p.kernels.push(AffineKernel {
             name: "mm".into(),
-            loops: vec![Loop::range(m as i64), Loop::range(n as i64), Loop::range(k as i64)],
+            loops: vec![
+                Loop::range(m as i64),
+                Loop::range(n as i64),
+                Loop::range(k as i64),
+            ],
             statements: vec![Statement {
                 name: "S0".into(),
                 accesses: vec![
@@ -259,7 +263,10 @@ mod tests {
             name: "tri".into(),
             loops: vec![
                 Loop::range(4),
-                Loop::new(Bound::constant(0), Bound::expr(LinExpr::var(0) + LinExpr::constant(1))),
+                Loop::new(
+                    Bound::constant(0),
+                    Bound::expr(LinExpr::var(0) + LinExpr::constant(1)),
+                ),
             ],
             statements: vec![Statement {
                 name: "S".into(),
@@ -280,7 +287,11 @@ mod tests {
         p.kernels.push(AffineKernel {
             name: "e".into(),
             loops: vec![Loop::range(0)],
-            statements: vec![Statement { name: "S".into(), accesses: vec![], flops: 1 }],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![],
+                flops: 1,
+            }],
         });
         let mut st = TraceStats::default();
         interpret_program(&p, &mut st);

@@ -95,7 +95,16 @@ impl LinalgOp {
     /// `C[m,n] += A[m,k] * B[k,n]`, iteration space `[m, n, k]`.
     /// `scaled` adds one multiply per point (fused `α·(A·B)` as in sdpa).
     #[allow(clippy::too_many_arguments)]
-    pub fn matmul(name: impl Into<String>, a: &str, b: &str, c: &str, m: usize, n: usize, k: usize, scaled: bool) -> Self {
+    pub fn matmul(
+        name: impl Into<String>,
+        a: &str,
+        b: &str,
+        c: &str,
+        m: usize,
+        n: usize,
+        k: usize,
+        scaled: bool,
+    ) -> Self {
         let (vm, vn, vk) = (LinExpr::var(0), LinExpr::var(1), LinExpr::var(2));
         LinalgOp {
             name: name.into(),
@@ -103,10 +112,26 @@ impl LinalgOp {
             iter_dims: vec![m, n, k],
             reduction_dims: vec![2],
             accesses: vec![
-                LinalgAccess { buffer: a.into(), indices: vec![vm.clone(), vk.clone()], is_write: false },
-                LinalgAccess { buffer: b.into(), indices: vec![vk, vn.clone()], is_write: false },
-                LinalgAccess { buffer: c.into(), indices: vec![vm.clone(), vn.clone()], is_write: false },
-                LinalgAccess { buffer: c.into(), indices: vec![vm, vn], is_write: true },
+                LinalgAccess {
+                    buffer: a.into(),
+                    indices: vec![vm.clone(), vk.clone()],
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: b.into(),
+                    indices: vec![vk, vn.clone()],
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: c.into(),
+                    indices: vec![vm.clone(), vn.clone()],
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: c.into(),
+                    indices: vec![vm, vn],
+                    is_write: true,
+                },
             ],
             flops_per_point: if scaled { 3 } else { 2 },
         }
@@ -114,18 +139,49 @@ impl LinalgOp {
 
     /// Batched matmul `C[b,m,n] += A[b,m,k] * B[b,k,n]`.
     #[allow(clippy::too_many_arguments)]
-    pub fn batch_matmul(name: impl Into<String>, a: &str, bb: &str, c: &str, b: usize, m: usize, n: usize, k: usize, scaled: bool) -> Self {
-        let (vb, vm, vn, vk) = (LinExpr::var(0), LinExpr::var(1), LinExpr::var(2), LinExpr::var(3));
+    pub fn batch_matmul(
+        name: impl Into<String>,
+        a: &str,
+        bb: &str,
+        c: &str,
+        b: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+        scaled: bool,
+    ) -> Self {
+        let (vb, vm, vn, vk) = (
+            LinExpr::var(0),
+            LinExpr::var(1),
+            LinExpr::var(2),
+            LinExpr::var(3),
+        );
         LinalgOp {
             name: name.into(),
             kind: LinalgKind::BatchMatmul,
             iter_dims: vec![b, m, n, k],
             reduction_dims: vec![3],
             accesses: vec![
-                LinalgAccess { buffer: a.into(), indices: vec![vb.clone(), vm.clone(), vk.clone()], is_write: false },
-                LinalgAccess { buffer: bb.into(), indices: vec![vb.clone(), vk, vn.clone()], is_write: false },
-                LinalgAccess { buffer: c.into(), indices: vec![vb.clone(), vm.clone(), vn.clone()], is_write: false },
-                LinalgAccess { buffer: c.into(), indices: vec![vb, vm, vn], is_write: true },
+                LinalgAccess {
+                    buffer: a.into(),
+                    indices: vec![vb.clone(), vm.clone(), vk.clone()],
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: bb.into(),
+                    indices: vec![vb.clone(), vk, vn.clone()],
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: c.into(),
+                    indices: vec![vb.clone(), vm.clone(), vn.clone()],
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: c.into(),
+                    indices: vec![vb, vm, vn],
+                    is_write: true,
+                },
             ],
             flops_per_point: if scaled { 3 } else { 2 },
         }
@@ -196,9 +252,17 @@ impl LinalgOp {
         let idx: Vec<LinExpr> = (0..dims.len()).map(LinExpr::var).collect();
         let mut accesses: Vec<LinalgAccess> = inputs
             .iter()
-            .map(|b| LinalgAccess { buffer: (*b).into(), indices: idx.clone(), is_write: false })
+            .map(|b| LinalgAccess {
+                buffer: (*b).into(),
+                indices: idx.clone(),
+                is_write: false,
+            })
             .collect();
-        accesses.push(LinalgAccess { buffer: output.into(), indices: idx, is_write: true });
+        accesses.push(LinalgAccess {
+            buffer: output.into(),
+            indices: idx,
+            is_write: true,
+        });
         LinalgOp {
             name: name.into(),
             kind: LinalgKind::Elementwise,
@@ -220,9 +284,21 @@ impl LinalgOp {
             iter_dims: dims.to_vec(),
             reduction_dims: vec![dims.len() - 1],
             accesses: vec![
-                LinalgAccess { buffer: input.into(), indices: idx_in, is_write: false },
-                LinalgAccess { buffer: output.into(), indices: idx_out.clone(), is_write: false },
-                LinalgAccess { buffer: output.into(), indices: idx_out, is_write: true },
+                LinalgAccess {
+                    buffer: input.into(),
+                    indices: idx_in,
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: output.into(),
+                    indices: idx_out.clone(),
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: output.into(),
+                    indices: idx_out,
+                    is_write: true,
+                },
             ],
             flops_per_point: 1,
         }
@@ -245,9 +321,21 @@ impl LinalgOp {
             iter_dims: dims.to_vec(),
             reduction_dims: vec![],
             accesses: vec![
-                LinalgAccess { buffer: input.into(), indices: idx_full.clone(), is_write: false },
-                LinalgAccess { buffer: reduced.into(), indices: idx_red, is_write: false },
-                LinalgAccess { buffer: output.into(), indices: idx_full, is_write: true },
+                LinalgAccess {
+                    buffer: input.into(),
+                    indices: idx_full.clone(),
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: reduced.into(),
+                    indices: idx_red,
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: output.into(),
+                    indices: idx_full,
+                    is_write: true,
+                },
             ],
             flops_per_point: 1,
         }
@@ -267,8 +355,12 @@ impl LinalgOp {
         k: usize,
         scaled: bool,
     ) -> Self {
-        let (vb, vm, vn, vk) =
-            (LinExpr::var(0), LinExpr::var(1), LinExpr::var(2), LinExpr::var(3));
+        let (vb, vm, vn, vk) = (
+            LinExpr::var(0),
+            LinExpr::var(1),
+            LinExpr::var(2),
+            LinExpr::var(3),
+        );
         LinalgOp {
             name: name.into(),
             kind: LinalgKind::BatchMatmul,
@@ -290,7 +382,11 @@ impl LinalgOp {
                     indices: vec![vb.clone(), vm.clone(), vn.clone()],
                     is_write: false,
                 },
-                LinalgAccess { buffer: c.into(), indices: vec![vb, vm, vn], is_write: true },
+                LinalgAccess {
+                    buffer: c.into(),
+                    indices: vec![vb, vm, vn],
+                    is_write: true,
+                },
             ],
             flops_per_point: if scaled { 3 } else { 2 },
         }
@@ -306,8 +402,16 @@ impl LinalgOp {
             iter_dims: dims.to_vec(),
             reduction_dims: vec![],
             accesses: vec![
-                LinalgAccess { buffer: input.into(), indices: idx_red, is_write: false },
-                LinalgAccess { buffer: output.into(), indices: idx_full, is_write: true },
+                LinalgAccess {
+                    buffer: input.into(),
+                    indices: idx_red,
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: output.into(),
+                    indices: idx_full,
+                    is_write: true,
+                },
             ],
             flops_per_point: 0,
         }
@@ -327,8 +431,16 @@ impl LinalgOp {
             iter_dims: dims.to_vec(),
             reduction_dims: vec![],
             accesses: vec![
-                LinalgAccess { buffer: input.into(), indices: idx_in, is_write: false },
-                LinalgAccess { buffer: output.into(), indices: idx_out, is_write: true },
+                LinalgAccess {
+                    buffer: input.into(),
+                    indices: idx_in,
+                    is_write: false,
+                },
+                LinalgAccess {
+                    buffer: output.into(),
+                    indices: idx_out,
+                    is_write: true,
+                },
             ],
             flops_per_point: 0,
         }
@@ -342,7 +454,11 @@ impl LinalgOp {
             kind: LinalgKind::Fill,
             iter_dims: dims.to_vec(),
             reduction_dims: vec![],
-            accesses: vec![LinalgAccess { buffer: output.into(), indices: idx, is_write: true }],
+            accesses: vec![LinalgAccess {
+                buffer: output.into(),
+                indices: idx,
+                is_write: true,
+            }],
             flops_per_point: 0,
         }
     }
@@ -355,8 +471,16 @@ impl fmt::Display for LinalgOp {
             "%{} = {} dims=[{}] red=[{}] flops/pt={}",
             self.name,
             self.kind,
-            self.iter_dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(","),
-            self.reduction_dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(","),
+            self.iter_dims
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            self.reduction_dims
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
             self.flops_per_point
         )
     }
@@ -378,7 +502,12 @@ pub struct LinalgProgram {
 impl LinalgProgram {
     /// Creates an empty program.
     pub fn new(name: impl Into<String>, elem: ElemType) -> Self {
-        LinalgProgram { name: name.into(), buffers: BTreeMap::new(), elem, ops: Vec::new() }
+        LinalgProgram {
+            name: name.into(),
+            buffers: BTreeMap::new(),
+            elem,
+            ops: Vec::new(),
+        }
     }
 
     /// Declares (or re-declares, idempotently) a buffer.
@@ -388,7 +517,10 @@ impl LinalgProgram {
     /// Panics if the buffer exists with a different shape.
     pub fn buffer(&mut self, name: &str, dims: &[usize]) -> &mut Self {
         if let Some(prev) = self.buffers.get(name) {
-            assert_eq!(prev, dims, "buffer `{name}` re-declared with different shape");
+            assert_eq!(
+                prev, dims,
+                "buffer `{name}` re-declared with different shape"
+            );
         } else {
             self.buffers.insert(name.into(), dims.to_vec());
         }
@@ -474,7 +606,10 @@ impl fmt::Display for LinalgProgram {
                 f,
                 "buffer %{} : {}x{}",
                 n,
-                d.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("x"),
+                d.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join("x"),
                 self.elem
             )?;
         }
@@ -508,7 +643,9 @@ mod tests {
     #[test]
     fn lower_matmul_to_affine() {
         let mut lp = LinalgProgram::new("mm", ElemType::F64);
-        lp.buffer("A", &[4, 6]).buffer("B", &[6, 5]).buffer("C", &[4, 5]);
+        lp.buffer("A", &[4, 6])
+            .buffer("B", &[6, 5])
+            .buffer("C", &[4, 5]);
         lp.push(LinalgOp::matmul("mm0", "A", "B", "C", 4, 5, 6, false));
         let ap = lp.lower_to_affine();
         assert_eq!(ap.kernels.len(), 1);
@@ -530,7 +667,9 @@ mod tests {
     #[test]
     fn reduce_and_broadcast_arities() {
         let mut lp = LinalgProgram::new("softmaxish", ElemType::F32);
-        lp.buffer("X", &[2, 8]).buffer("M", &[2]).buffer("Y", &[2, 8]);
+        lp.buffer("X", &[2, 8])
+            .buffer("M", &[2])
+            .buffer("Y", &[2, 8]);
         lp.push(LinalgOp::reduce("max", "X", "M", &[2, 8]));
         lp.push(LinalgOp::broadcast_combine("sub", "X", "M", "Y", &[2, 8]));
         let ap = lp.lower_to_affine();

@@ -28,10 +28,30 @@ pub fn lower_tensor_to_linalg(graph: &TensorGraph, elem: ElemType) -> LinalgProg
         match &op.kind {
             TensorOpKind::MatMul { m, n, k } => {
                 let (a, b) = (&op.inputs[0], &op.inputs[1]);
-                lp.buffer(a, &[*m, *k]).buffer(b, &[*k, *n]).buffer(&op.output, &[*m, *n]);
-                lp.push(LinalgOp::matmul(op.name.clone(), a, b, &op.output, *m, *n, *k, false));
+                lp.buffer(a, &[*m, *k])
+                    .buffer(b, &[*k, *n])
+                    .buffer(&op.output, &[*m, *n]);
+                lp.push(LinalgOp::matmul(
+                    op.name.clone(),
+                    a,
+                    b,
+                    &op.output,
+                    *m,
+                    *n,
+                    *k,
+                    false,
+                ));
             }
-            TensorOpKind::Conv2d { n, c, h, w, f, kh, kw, stride } => {
+            TensorOpKind::Conv2d {
+                n,
+                c,
+                h,
+                w,
+                f,
+                kh,
+                kw,
+                stride,
+            } => {
                 let (i, wts) = (&op.inputs[0], &op.inputs[1]);
                 let oh = (h - kh) / stride + 1;
                 let ow = (w - kw) / stride + 1;
@@ -69,7 +89,12 @@ pub fn lower_tensor_to_linalg(graph: &TensorGraph, elem: ElemType) -> LinalgProg
                     .buffer(&bz, dims)
                     .buffer(&op.output, dims);
                 lp.push(LinalgOp::reduce(format!("{}_rmax", op.name), x, &mx, dims));
-                lp.push(LinalgOp::broadcast(format!("{}_bcast_max", op.name), &mx, &bmx, dims));
+                lp.push(LinalgOp::broadcast(
+                    format!("{}_bcast_max", op.name),
+                    &mx,
+                    &bmx,
+                    dims,
+                ));
                 lp.push(LinalgOp::elementwise(
                     format!("{}_sub", op.name),
                     &[x, &bmx],
@@ -77,9 +102,20 @@ pub fn lower_tensor_to_linalg(graph: &TensorGraph, elem: ElemType) -> LinalgProg
                     dims,
                     1,
                 ));
-                lp.push(LinalgOp::elementwise(format!("{}_exp", op.name), &[&e], &e, dims, 1));
+                lp.push(LinalgOp::elementwise(
+                    format!("{}_exp", op.name),
+                    &[&e],
+                    &e,
+                    dims,
+                    1,
+                ));
                 lp.push(LinalgOp::reduce(format!("{}_rsum", op.name), &e, &z, dims));
-                lp.push(LinalgOp::broadcast(format!("{}_bcast_sum", op.name), &z, &bz, dims));
+                lp.push(LinalgOp::broadcast(
+                    format!("{}_bcast_sum", op.name),
+                    &z,
+                    &bz,
+                    dims,
+                ));
                 lp.push(LinalgOp::elementwise(
                     format!("{}_div", op.name),
                     &[&e, &bz],
@@ -124,8 +160,18 @@ pub fn lower_tensor_to_linalg(graph: &TensorGraph, elem: ElemType) -> LinalgProg
                     .buffer(&e, &sm_dims)
                     .buffer(&z, &red)
                     .buffer(&bz, &sm_dims);
-                lp.push(LinalgOp::reduce(format!("{}_rmax", op.name), &scores, &mx, &sm_dims));
-                lp.push(LinalgOp::broadcast(format!("{}_bcast_max", op.name), &mx, &bmx, &sm_dims));
+                lp.push(LinalgOp::reduce(
+                    format!("{}_rmax", op.name),
+                    &scores,
+                    &mx,
+                    &sm_dims,
+                ));
+                lp.push(LinalgOp::broadcast(
+                    format!("{}_bcast_max", op.name),
+                    &mx,
+                    &bmx,
+                    &sm_dims,
+                ));
                 lp.push(LinalgOp::elementwise(
                     format!("{}_sub", op.name),
                     &[&scores, &bmx],
@@ -133,9 +179,25 @@ pub fn lower_tensor_to_linalg(graph: &TensorGraph, elem: ElemType) -> LinalgProg
                     &sm_dims,
                     1,
                 ));
-                lp.push(LinalgOp::elementwise(format!("{}_expf", op.name), &[&e], &e, &sm_dims, 1));
-                lp.push(LinalgOp::reduce(format!("{}_rsum", op.name), &e, &z, &sm_dims));
-                lp.push(LinalgOp::broadcast(format!("{}_bcast_sum", op.name), &z, &bz, &sm_dims));
+                lp.push(LinalgOp::elementwise(
+                    format!("{}_expf", op.name),
+                    &[&e],
+                    &e,
+                    &sm_dims,
+                    1,
+                ));
+                lp.push(LinalgOp::reduce(
+                    format!("{}_rsum", op.name),
+                    &e,
+                    &z,
+                    &sm_dims,
+                ));
+                lp.push(LinalgOp::broadcast(
+                    format!("{}_bcast_sum", op.name),
+                    &z,
+                    &bz,
+                    &sm_dims,
+                ));
                 lp.push(LinalgOp::elementwise(
                     format!("{}_div", op.name),
                     &[&e, &bz],
@@ -159,12 +221,24 @@ pub fn lower_tensor_to_linalg(graph: &TensorGraph, elem: ElemType) -> LinalgProg
             TensorOpKind::Add { dims } => {
                 let (a, b) = (&op.inputs[0], &op.inputs[1]);
                 lp.buffer(a, dims).buffer(b, dims).buffer(&op.output, dims);
-                lp.push(LinalgOp::elementwise(op.name.clone(), &[a, b], &op.output, dims, 1));
+                lp.push(LinalgOp::elementwise(
+                    op.name.clone(),
+                    &[a, b],
+                    &op.output,
+                    dims,
+                    1,
+                ));
             }
             TensorOpKind::Relu { dims } => {
                 let a = &op.inputs[0];
                 lp.buffer(a, dims).buffer(&op.output, dims);
-                lp.push(LinalgOp::elementwise(op.name.clone(), &[a], &op.output, dims, 1));
+                lp.push(LinalgOp::elementwise(
+                    op.name.clone(),
+                    &[a],
+                    &op.output,
+                    dims,
+                    1,
+                ));
             }
         }
     }
@@ -191,7 +265,12 @@ mod tests {
         let mut g = TensorGraph::new("bert_sdpa");
         g.push(TensorOp {
             name: "sdpa".into(),
-            kind: TensorOpKind::Sdpa { b: 2, h: 12, s: 128, d: 64 },
+            kind: TensorOpKind::Sdpa {
+                b: 2,
+                h: 12,
+                s: 128,
+                d: 64,
+            },
             inputs: vec!["Q".into(), "K".into(), "V".into()],
             output: "O".into(),
         });
@@ -216,7 +295,10 @@ mod tests {
         assert!(ap.validate().is_ok());
         assert_eq!(ap.kernels.len(), 9);
         // Q·Kᵀ flop count: bh*s*s*d*3 (scaled).
-        assert_eq!(ap.kernels[0].total_flops().unwrap(), 24 * 128 * 128 * 64 * 3);
+        assert_eq!(
+            ap.kernels[0].total_flops().unwrap(),
+            24 * 128 * 128 * 64 * 3
+        );
     }
 
     #[test]
@@ -237,13 +319,26 @@ mod tests {
         let mut g = TensorGraph::new("mix");
         g.push(TensorOp {
             name: "lm_head".into(),
-            kind: TensorOpKind::MatMul { m: 4, n: 50257, k: 768 },
+            kind: TensorOpKind::MatMul {
+                m: 4,
+                n: 50257,
+                k: 768,
+            },
             inputs: vec!["X".into(), "W".into()],
             output: "Y".into(),
         });
         g.push(TensorOp {
             name: "conv1".into(),
-            kind: TensorOpKind::Conv2d { n: 1, c: 3, h: 224, w: 224, f: 64, kh: 11, kw: 11, stride: 4 },
+            kind: TensorOpKind::Conv2d {
+                n: 1,
+                c: 3,
+                h: 224,
+                w: 224,
+                f: 64,
+                kh: 11,
+                kw: 11,
+                stride: 4,
+            },
             inputs: vec!["I".into(), "F".into()],
             output: "O".into(),
         });

@@ -23,7 +23,10 @@ pub fn emit_kernel(program: &AffineProgram, kernel: &AffineKernel) -> String {
     let depth = kernel.depth();
     let mut out = String::new();
     let _ = writeln!(out, "<OpenScop>");
-    let _ = writeln!(out, "# =============================================== Global");
+    let _ = writeln!(
+        out,
+        "# =============================================== Global"
+    );
     let _ = writeln!(out, "# Language\nC\n");
     let _ = writeln!(out, "# Context");
     let _ = writeln!(out, "CONTEXT\n0 2 0 0 0 0\n");
@@ -31,7 +34,11 @@ pub fn emit_kernel(program: &AffineProgram, kernel: &AffineKernel) -> String {
     let _ = writeln!(out, "# Number of statements\n{}\n", kernel.statements.len());
 
     for (si, s) in kernel.statements.iter().enumerate() {
-        let _ = writeln!(out, "# =============================================== Statement {}", si + 1);
+        let _ = writeln!(
+            out,
+            "# =============================================== Statement {}",
+            si + 1
+        );
         let _ = writeln!(out, "# Number of relations describing the statement:");
         let n_rel = 2 + s.accesses.len();
         let _ = writeln!(out, "{n_rel}\n");
@@ -113,7 +120,11 @@ pub fn emit_kernel(program: &AffineProgram, kernel: &AffineKernel) -> String {
         let iters: Vec<String> = (0..depth).map(|d| format!("i{d}")).collect();
         let _ = writeln!(out, "# Number of original iterators\n{depth}");
         let _ = writeln!(out, "# List of original iterators\n{}", iters.join(" "));
-        let _ = writeln!(out, "# Statement body expression\n{} // {} flops", s.name, s.flops);
+        let _ = writeln!(
+            out,
+            "# Statement body expression\n{} // {} flops",
+            s.name, s.flops
+        );
         let _ = writeln!(out, "</body>\n");
     }
     let _ = writeln!(out, "</OpenScop>");
@@ -166,7 +177,10 @@ mod tests {
             name: "tri".into(),
             loops: vec![
                 Loop::range(8),
-                Loop::new(Bound::constant(0), Bound::expr(LinExpr::var(0) + LinExpr::constant(1))),
+                Loop::new(
+                    Bound::constant(0),
+                    Bound::expr(LinExpr::var(0) + LinExpr::constant(1)),
+                ),
             ],
             statements: vec![Statement {
                 name: "S0".into(),

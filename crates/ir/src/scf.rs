@@ -34,12 +34,18 @@ pub struct ScfProgram {
 impl ScfProgram {
     /// Number of `set_uncore_cap` calls.
     pub fn cap_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, ScfOp::SetUncoreCap { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, ScfOp::SetUncoreCap { .. }))
+            .count()
     }
 
     /// Number of kernels.
     pub fn kernel_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, ScfOp::Kernel(_))).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, ScfOp::Kernel(_)))
+            .count()
     }
 
     /// Iterator over `(cap in effect, kernel)` pairs, tracking the most
@@ -80,7 +86,11 @@ mod tests {
     use crate::affine::Loop;
 
     fn kernel(name: &str) -> AffineKernel {
-        AffineKernel { name: name.into(), loops: vec![Loop::range(4)], statements: vec![] }
+        AffineKernel {
+            name: name.into(),
+            loops: vec![Loop::range(4)],
+            statements: vec![],
+        }
     }
 
     #[test]

@@ -66,8 +66,20 @@ impl fmt::Display for TensorOpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorOpKind::MatMul { m, n, k } => write!(f, "torch.matmul({m}x{k}, {k}x{n})"),
-            TensorOpKind::Conv2d { n, c, h, w, f: fo, kh, kw, stride } => {
-                write!(f, "torch.conv2d({n}x{c}x{h}x{w}, {fo}x{c}x{kh}x{kw}, stride={stride})")
+            TensorOpKind::Conv2d {
+                n,
+                c,
+                h,
+                w,
+                f: fo,
+                kh,
+                kw,
+                stride,
+            } => {
+                write!(
+                    f,
+                    "torch.conv2d({n}x{c}x{h}x{w}, {fo}x{c}x{kh}x{kw}, stride={stride})"
+                )
             }
             TensorOpKind::Softmax { dims } => write!(f, "torch.softmax(dims={dims:?})"),
             TensorOpKind::Sdpa { b, h, s, d } => write!(f, "torch.sdpa({b}x{h}x{s}x{d})"),
@@ -103,7 +115,10 @@ pub struct TensorGraph {
 impl TensorGraph {
     /// Creates an empty graph.
     pub fn new(name: impl Into<String>) -> Self {
-        TensorGraph { name: name.into(), ops: Vec::new() }
+        TensorGraph {
+            name: name.into(),
+            ops: Vec::new(),
+        }
     }
 
     /// Appends an op.

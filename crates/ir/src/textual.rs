@@ -49,7 +49,10 @@ pub fn parse_affine_program(src: &str) -> Result<AffineProgram, TextError> {
     let mut arrays: HashMap<String, ArrayId> = HashMap::new();
     let mut lines = src.lines().enumerate().peekable();
 
-    let err = |line: usize, m: String| TextError { line: line + 1, message: m };
+    let err = |line: usize, m: String| TextError {
+        line: line + 1,
+        message: m,
+    };
 
     while let Some((ln, raw)) = lines.next() {
         let line = raw.trim();
@@ -82,14 +85,16 @@ pub fn parse_affine_program(src: &str) -> Result<AffineProgram, TextError> {
         }
         if let Some(rest) = line.strip_prefix("func @") {
             let kname = rest.trim_end_matches('{').trim().to_string();
-            let kernel = parse_kernel(kname, &mut lines, &arrays)
-                .map_err(|(l, m)| err(l, m))?;
+            let kernel = parse_kernel(kname, &mut lines, &arrays).map_err(|(l, m)| err(l, m))?;
             p.kernels.push(kernel);
             continue;
         }
         return Err(err(ln, format!("unexpected line `{line}`")));
     }
-    p.validate().map_err(|m| TextError { line: 0, message: m })?;
+    p.validate().map_err(|m| TextError {
+        line: 0,
+        message: m,
+    })?;
     Ok(p)
 }
 
@@ -119,11 +124,19 @@ fn parse_kernel(
                     return Err((ln, "unexpected content after loop closers".into()));
                 }
                 if closers == loops.len() + 1 {
-                    return Ok(AffineKernel { name, loops, statements });
+                    return Ok(AffineKernel {
+                        name,
+                        loops,
+                        statements,
+                    });
                 }
             }
             if closers == loops.len() + 1 || loops.is_empty() {
-                return Ok(AffineKernel { name, loops, statements });
+                return Ok(AffineKernel {
+                    name,
+                    loops,
+                    statements,
+                });
             }
             return Err((ln, "unbalanced braces".into()));
         }
@@ -186,7 +199,11 @@ fn parse_kernel(
                     is_write,
                 });
             }
-            statements.push(Statement { name: sname.trim().to_string(), accesses, flops });
+            statements.push(Statement {
+                name: sname.trim().to_string(),
+                accesses,
+                flops,
+            });
             continue;
         }
         return Err((ln, format!("unexpected line in kernel: `{line}`")));
@@ -285,7 +302,10 @@ mod tests {
             name: "mvt_x1".into(),
             loops: vec![
                 l0,
-                Loop::new(Bound::constant(0), Bound::expr(vi.clone() + LinExpr::constant(1))),
+                Loop::new(
+                    Bound::constant(0),
+                    Bound::expr(vi.clone() + LinExpr::constant(1)),
+                ),
             ],
             statements: vec![Statement {
                 name: "S0".into(),

@@ -28,7 +28,12 @@ pub struct DufsGovernor {
 
 impl Default for DufsGovernor {
     fn default() -> Self {
-        DufsGovernor { period_s: 2e-3, step_ghz: 0.2, up_threshold: 0.85, down_threshold: 0.45 }
+        DufsGovernor {
+            period_s: 2e-3,
+            step_ghz: 0.2,
+            up_threshold: 0.85,
+            down_threshold: 0.45,
+        }
     }
 }
 
@@ -144,9 +149,15 @@ mod tests {
         let plat = Platform::broadwell();
         let c = measure_kernel(&plat, &p, &k);
         let eng = ExecutionEngine::noiseless(plat.clone());
-        let gov = DufsGovernor { period_s: 1e-4, ..Default::default() };
+        let gov = DufsGovernor {
+            period_s: 1e-4,
+            ..Default::default()
+        };
         let (_, f_end) = gov.run(&eng, std::slice::from_ref(&c), plat.uncore_min_ghz);
-        assert!(f_end > plat.uncore_min_ghz + 0.3, "governor should ramp up, ended at {f_end}");
+        assert!(
+            f_end > plat.uncore_min_ghz + 0.3,
+            "governor should ramp up, ended at {f_end}"
+        );
     }
 
     #[test]
@@ -160,8 +171,14 @@ mod tests {
         let gov = DufsGovernor::default(); // 2 ms period
         let (run, f_end) = gov.run(&eng, std::slice::from_ref(&c), plat.uncore_min_ghz);
         let fast = eng.run_kernel(&c, plat.uncore_max_ghz);
-        assert!((f_end - plat.uncore_min_ghz).abs() < 1e-9, "no time to react");
-        assert!(run.time_s > fast.time_s * 1.5, "stale frequency must cost time");
+        assert!(
+            (f_end - plat.uncore_min_ghz).abs() < 1e-9,
+            "no time to react"
+        );
+        assert!(
+            run.time_s > fast.time_s * 1.5,
+            "stale frequency must cost time"
+        );
     }
 
     #[test]

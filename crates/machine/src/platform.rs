@@ -63,6 +63,10 @@ pub struct Platform {
     pub has_uncore_rapl_zone: bool,
 }
 
+// Referenced by the `#[serde(default = "...")]` attribute above; the
+// vendored offline serde derive ignores helper attributes, so the
+// reference is invisible to dead-code analysis.
+#[allow(dead_code)]
 fn default_hierarchy() -> CacheHierarchy {
     Platform::broadwell().hierarchy
 }
@@ -80,8 +84,18 @@ impl Platform {
             uncore_max_ghz: 2.8,
             uncore_step_ghz: 0.1,
             hierarchy: CacheHierarchy::new(vec![
-                CacheLevelConfig { size_bytes: 32 << 10, line_bytes: 64, assoc: 8, shared: false },
-                CacheLevelConfig { size_bytes: 256 << 10, line_bytes: 64, assoc: 8, shared: false },
+                CacheLevelConfig {
+                    size_bytes: 32 << 10,
+                    line_bytes: 64,
+                    assoc: 8,
+                    shared: false,
+                },
+                CacheLevelConfig {
+                    size_bytes: 256 << 10,
+                    line_bytes: 64,
+                    assoc: 8,
+                    shared: false,
+                },
                 CacheLevelConfig {
                     size_bytes: 15 << 20,
                     line_bytes: 64,
@@ -120,8 +134,18 @@ impl Platform {
             uncore_max_ghz: 4.6,
             uncore_step_ghz: 0.1,
             hierarchy: CacheHierarchy::new(vec![
-                CacheLevelConfig { size_bytes: 48 << 10, line_bytes: 64, assoc: 12, shared: false },
-                CacheLevelConfig { size_bytes: 2 << 20, line_bytes: 64, assoc: 16, shared: false },
+                CacheLevelConfig {
+                    size_bytes: 48 << 10,
+                    line_bytes: 64,
+                    assoc: 12,
+                    shared: false,
+                },
+                CacheLevelConfig {
+                    size_bytes: 2 << 20,
+                    line_bytes: 64,
+                    assoc: 16,
+                    shared: false,
+                },
                 CacheLevelConfig {
                     size_bytes: 24 << 20,
                     line_bytes: 64,
@@ -196,7 +220,8 @@ impl Platform {
     /// Uncore power at frequency `f` with memory utilization `util` in
     /// `[0, 1]`, watts.
     pub fn uncore_power(&self, f_ghz: f64, util: f64) -> f64 {
-        self.uncore_gamma_w + self.uncore_alpha_w_per_ghz * f_ghz * (0.35 + 0.65 * util.clamp(0.0, 1.0))
+        self.uncore_gamma_w
+            + self.uncore_alpha_w_per_ghz * f_ghz * (0.35 + 0.65 * util.clamp(0.0, 1.0))
     }
 }
 
@@ -255,6 +280,10 @@ mod tests {
         assert!(p2 > p1);
         // ~30% of package power at max (paper's motivation).
         let pkg = bdw.p_static_w + bdw.core_dyn_w * 6.0 + p2;
-        assert!(p2 / pkg > 0.2 && p2 / pkg < 0.5, "uncore share {}", p2 / pkg);
+        assert!(
+            p2 / pkg > 0.2 && p2 / pkg < 0.5,
+            "uncore share {}",
+            p2 / pkg
+        );
     }
 }

@@ -47,7 +47,12 @@ mod tests {
 
     #[test]
     fn totals_and_zones() {
-        let e = EnergyBreakdown { static_j: 1.0, core_j: 2.0, uncore_j: 3.0, dram_j: 4.0 };
+        let e = EnergyBreakdown {
+            static_j: 1.0,
+            core_j: 2.0,
+            uncore_j: 3.0,
+            dram_j: 4.0,
+        };
         assert_eq!(e.total(), 10.0);
         assert_eq!(e.rapl_read(true), (10.0, Some(3.0)));
         assert_eq!(e.rapl_read(false), (10.0, None));

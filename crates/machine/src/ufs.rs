@@ -36,11 +36,7 @@ impl UfsDriver {
 
     /// Runs a program under the baseline driver: every kernel executes at
     /// the governor's settled frequency; no cap-switch overheads.
-    pub fn run_baseline(
-        &self,
-        engine: &ExecutionEngine,
-        counters: &[KernelCounters],
-    ) -> RunResult {
+    pub fn run_baseline(&self, engine: &ExecutionEngine, counters: &[KernelCounters]) -> RunResult {
         let f = self.effective_frequency(engine);
         let mut time = 0.0;
         let mut energy = crate::rapl::EnergyBreakdown::default();
@@ -49,7 +45,12 @@ impl UfsDriver {
             time += r.time_s;
             energy = energy.add(&r.energy);
         }
-        RunResult { time_s: time, energy, avg_power_w: energy.total() / time.max(1e-12), uncore_ghz: f }
+        RunResult {
+            time_s: time,
+            energy,
+            avg_power_w: energy.total() / time.max(1e-12),
+            uncore_ghz: f,
+        }
     }
 
     /// Convenience: baseline run of an scf program (caps ignored — the
@@ -100,7 +101,9 @@ mod tests {
     fn capped_driver_clamps() {
         let plat = Platform::broadwell();
         let eng = ExecutionEngine::noiseless(plat);
-        let d = UfsDriver { max_cap_ghz: Some(9.0) };
+        let d = UfsDriver {
+            max_cap_ghz: Some(9.0),
+        };
         assert_eq!(d.effective_frequency(&eng), 2.8);
     }
 

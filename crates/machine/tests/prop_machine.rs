@@ -13,17 +13,19 @@ fn arb_counters() -> impl Strategy<Value = KernelCounters> {
         0u64..10_000_000,
         any::<bool>(),
     )
-        .prop_map(|(flops, l1_hits, llc_hits, fills, parallel)| KernelCounters {
-            name: "prop".into(),
-            flops,
-            accesses: l1_hits + llc_hits + fills,
-            hits: vec![l1_hits, 0, llc_hits],
-            misses: vec![llc_hits + fills, llc_hits + fills, fills],
-            dram_fills: fills,
-            dram_writebacks: fills / 4,
-            line_bytes: 64,
-            parallel,
-        })
+        .prop_map(
+            |(flops, l1_hits, llc_hits, fills, parallel)| KernelCounters {
+                name: "prop".into(),
+                flops,
+                accesses: l1_hits + llc_hits + fills,
+                hits: vec![l1_hits, 0, llc_hits],
+                misses: vec![llc_hits + fills, llc_hits + fills, fills],
+                dram_fills: fills,
+                dram_writebacks: fills / 4,
+                line_bytes: 64,
+                parallel,
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,134 @@
+//! A minimal, dependency-free work pool for embarrassingly parallel
+//! sweeps, built on [`std::thread::scope`].
+//!
+//! The evaluation harnesses fan out independent (workload × platform ×
+//! frequency) points with [`par_map`]; results come back **in input
+//! order**, so a parallel sweep prints byte-identical tables to the
+//! sequential one. Work is distributed by an atomic cursor (dynamic
+//! self-scheduling), which keeps long-running items from serializing the
+//! tail the way static chunking would.
+//!
+//! Thread count defaults to the host parallelism and can be pinned with
+//! the `POLYUFC_THREADS` environment variable (`POLYUFC_THREADS=1` forces
+//! the sequential path, useful for A/B determinism checks).
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use: `POLYUFC_THREADS` if set to a positive
+/// integer, else [`std::thread::available_parallelism`], else 1.
+pub fn worker_count() -> usize {
+    std::env::var("POLYUFC_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every item, in parallel, returning results **in input
+/// order** (index `i` of the output is `f(&items[i])`).
+///
+/// Falls back to a plain sequential map when only one worker is available
+/// or there is at most one item, so single-core hosts pay no threading
+/// overhead. A panic in `f` propagates to the caller once all workers have
+/// stopped (scoped-thread join semantics).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = worker_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Like [`par_map`], but `f` also receives the item's index — handy when a
+/// stage needs to label results without threading the label through the
+/// item type.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let indexed: Vec<usize> = (0..items.len()).collect();
+    par_map(&indexed, |&i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_input_ordered() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn matches_sequential_map_with_uneven_work() {
+        // Items with wildly different costs must still land in order.
+        let items: Vec<u64> = (0..64).rev().collect();
+        let out = par_map(&items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, items[i]);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[42], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn indexed_variant_passes_indices() {
+        let items = ["a", "b", "c"];
+        let out = par_map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

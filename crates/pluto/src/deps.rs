@@ -24,7 +24,11 @@ pub struct DepSummary {
 /// the same element.
 pub fn analyze_kernel(kernel: &AffineKernel) -> DepSummary {
     let depth = kernel.depth();
-    let mut summary = DepSummary { depth, deltas: Vec::new(), budget_exceeded: false };
+    let mut summary = DepSummary {
+        depth,
+        deltas: Vec::new(),
+        budget_exceeded: false,
+    };
     if depth == 0 {
         return summary;
     }
@@ -52,7 +56,9 @@ pub fn analyze_kernel(kernel: &AffineKernel) -> DepSummary {
                 let e2s = e2.shift_vars(0, depth);
                 rel.basic_set_mut().add_eq(e2s - e1.clone());
             }
-            let rel = match rel.intersect_domain(dom_basic).and_then(|r| r.intersect_range(dom_basic))
+            let rel = match rel
+                .intersect_domain(dom_basic)
+                .and_then(|r| r.intersect_range(dom_basic))
             {
                 Ok(r) => r,
                 Err(_) => {
@@ -65,8 +71,9 @@ pub fn analyze_kernel(kernel: &AffineKernel) -> DepSummary {
             let mut order_pieces = polyufc_presburger::lex_lt_map(0, depth);
             if si < sj {
                 let id = BasicMap::identity(0, depth);
-                order_pieces =
-                    order_pieces.union_disjoint(&Map::from_basic(id)).expect("same space");
+                order_pieces = order_pieces
+                    .union_disjoint(&Map::from_basic(id))
+                    .expect("same space");
             }
             for piece in order_pieces.basics() {
                 let combined = match intersect_maps(&rel, piece) {
@@ -121,7 +128,10 @@ impl DepSummary {
         for s in &self.deltas {
             let mut probe = BasicSet::universe(s.space().clone());
             probe.add_ge0(-LinExpr::var(level) - LinExpr::constant(1));
-            match s.intersect(&Set::from_basic(probe)).and_then(|x| x.is_empty()) {
+            match s
+                .intersect(&Set::from_basic(probe))
+                .and_then(|x| x.is_empty())
+            {
                 Ok(true) => {}
                 _ => return true,
             }
@@ -145,7 +155,10 @@ impl DepSummary {
                     probe.add_eq(LinExpr::var(d));
                 }
                 probe.add_ge0(LinExpr::var(level) * sign - LinExpr::constant(1));
-                match s.intersect(&Set::from_basic(probe)).and_then(|x| x.is_empty()) {
+                match s
+                    .intersect(&Set::from_basic(probe))
+                    .and_then(|x| x.is_empty())
+                {
                     Ok(true) => {}
                     _ => return false,
                 }
@@ -164,7 +177,10 @@ impl DepSummary {
             loop {
                 let mut probe = BasicSet::universe(s.space().clone());
                 probe.add_ge0(-LinExpr::var(level) - LinExpr::constant(k + 1));
-                match s.intersect(&Set::from_basic(probe)).and_then(|x| x.is_empty()) {
+                match s
+                    .intersect(&Set::from_basic(probe))
+                    .and_then(|x| x.is_empty())
+                {
                     Ok(true) => break,
                     Ok(false) => {
                         k += 1;

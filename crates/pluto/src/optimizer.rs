@@ -119,8 +119,9 @@ impl PlutoOptimizer {
         }
 
         // Mark parallel loops on the (possibly skewed) kernel.
-        let parallel: Vec<bool> =
-            (0..k.depth()).map(|d| self.enable_parallel && deps.loop_parallel(d)).collect();
+        let parallel: Vec<bool> = (0..k.depth())
+            .map(|d| self.enable_parallel && deps.loop_parallel(d))
+            .collect();
         for (l, &p) in k.loops.iter_mut().zip(&parallel) {
             l.parallel = p;
         }
@@ -136,8 +137,13 @@ impl PlutoOptimizer {
                 dec.tiled = true;
             }
         }
-        dec.parallel_loops =
-            k.loops.iter().enumerate().filter(|(_, l)| l.parallel).map(|(i, _)| i).collect();
+        dec.parallel_loops = k
+            .loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.parallel)
+            .map(|(i, _)| i)
+            .collect();
         (k, dec)
     }
 }
@@ -202,7 +208,10 @@ mod tests {
         let vi = LinExpr::var(1);
         p.kernels.push(AffineKernel {
             name: "j1d".into(),
-            loops: vec![Loop::range(64), Loop::new(Bound::constant(1), Bound::constant(127))],
+            loops: vec![
+                Loop::range(64),
+                Loop::new(Bound::constant(1), Bound::constant(127)),
+            ],
             statements: vec![Statement {
                 name: "S".into(),
                 accesses: vec![
@@ -224,7 +233,10 @@ mod tests {
     #[test]
     fn tiling_can_be_disabled() {
         let p = matmul_program(64);
-        let opt = PlutoOptimizer { enable_tiling: false, ..Default::default() };
+        let opt = PlutoOptimizer {
+            enable_tiling: false,
+            ..Default::default()
+        };
         let (out, report) = opt.optimize(&p);
         assert!(!report.decisions[0].tiled);
         assert_eq!(out.kernels[0].depth(), 3);

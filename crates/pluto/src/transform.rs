@@ -14,7 +14,10 @@ use polyufc_presburger::LinExpr;
 /// Panics if `outer >= inner` does not hold or the indices are out of
 /// range.
 pub fn skew_loop(kernel: &AffineKernel, outer: usize, inner: usize, factor: i64) -> AffineKernel {
-    assert!(outer < inner && inner < kernel.depth(), "skew requires outer < inner < depth");
+    assert!(
+        outer < inner && inner < kernel.depth(),
+        "skew requires outer < inner < depth"
+    );
     let mut k = kernel.clone();
     // Old iterator: i_inner = i_inner' - factor * i_outer.
     let replacement = LinExpr::var(inner) - LinExpr::var(outer) * factor;
@@ -97,7 +100,11 @@ pub fn tile_kernel(kernel: &AffineKernel, tile: i64) -> Option<AffineKernel> {
         lb.push(LinExpr::var(d) * tile);
         let mut ub: Vec<LinExpr> = orig.ub.exprs.iter().map(remap).collect();
         ub.push(LinExpr::var(d) * tile + LinExpr::constant(tile));
-        k.loops.push(Loop { lb: Bound { exprs: lb }, ub: Bound { exprs: ub }, parallel: false });
+        k.loops.push(Loop {
+            lb: Bound { exprs: lb },
+            ub: Bound { exprs: ub },
+            parallel: false,
+        });
     }
     // Remap statement accesses.
     for s in &mut k.statements {
@@ -162,7 +169,10 @@ mod tests {
             name: "tri".into(),
             loops: vec![
                 Loop::range(40),
-                Loop::new(Bound::constant(0), Bound::expr(LinExpr::var(0) + LinExpr::constant(1))),
+                Loop::new(
+                    Bound::constant(0),
+                    Bound::expr(LinExpr::var(0) + LinExpr::constant(1)),
+                ),
             ],
             statements: vec![],
         };
@@ -179,7 +189,10 @@ mod tests {
         let vi = LinExpr::var(1);
         let k = AffineKernel {
             name: "st".into(),
-            loops: vec![Loop::range(4), Loop::new(Bound::constant(1), Bound::constant(15))],
+            loops: vec![
+                Loop::range(4),
+                Loop::new(Bound::constant(1), Bound::constant(15)),
+            ],
             statements: vec![Statement {
                 name: "S".into(),
                 accesses: vec![
@@ -205,7 +218,10 @@ mod tests {
     fn skew_then_tile_is_exact() {
         let k = AffineKernel {
             name: "st".into(),
-            loops: vec![Loop::range(8), Loop::new(Bound::constant(1), Bound::constant(31))],
+            loops: vec![
+                Loop::range(8),
+                Loop::new(Bound::constant(1), Bound::constant(31)),
+            ],
             statements: vec![],
         };
         let sk = skew_loop(&k, 0, 1, 1);

@@ -43,7 +43,11 @@ pub struct BasicSet {
 impl BasicSet {
     /// The universe set of a space (no constraints).
     pub fn universe(space: Space) -> Self {
-        BasicSet { space, divs: Vec::new(), constraints: Vec::new() }
+        BasicSet {
+            space,
+            divs: Vec::new(),
+            constraints: Vec::new(),
+        }
     }
 
     /// The space of this set.
@@ -73,7 +77,10 @@ impl BasicSet {
 
     /// Adds a constraint.
     pub fn add_constraint(&mut self, c: Constraint) {
-        debug_assert!(c.expr.len() <= self.n_total(), "constraint references unknown variable");
+        debug_assert!(
+            c.expr.len() <= self.n_total(),
+            "constraint references unknown variable"
+        );
         self.constraints.push(c);
     }
 
@@ -105,7 +112,9 @@ impl BasicSet {
     pub fn add_div(&mut self, num: LinExpr, denom: i64) -> usize {
         assert!(denom > 0, "div denominator must be positive");
         let idx = self.n_total();
-        self.divs.push(Div { def: Some((num.clone(), denom)) });
+        self.divs.push(Div {
+            def: Some((num.clone(), denom)),
+        });
         let rem = num.clone() - LinExpr::var(idx) * denom;
         self.add_ge0(rem.clone());
         self.add_ge0(LinExpr::constant(denom - 1) - rem);
@@ -149,12 +158,17 @@ impl BasicSet {
         let at = self.space.n_var();
         for d in &other.divs {
             out.divs.push(Div {
-                def: d.def.as_ref().map(|(n, den)| (n.shift_vars(at, shift), *den)),
+                def: d
+                    .def
+                    .as_ref()
+                    .map(|(n, den)| (n.shift_vars(at, shift), *den)),
             });
         }
         for c in &other.constraints {
-            out.constraints
-                .push(Constraint { expr: c.expr.shift_vars(at, shift), kind: c.kind });
+            out.constraints.push(Constraint {
+                expr: c.expr.shift_vars(at, shift),
+                kind: c.kind,
+            });
         }
         Ok(out)
     }
@@ -175,7 +189,11 @@ impl BasicSet {
                     let n = num.eval(&values);
                     values.push(n.div_euclid(*den));
                 }
-                None => return Err(Error::UndeterminedDivs { operation: "contains" }),
+                None => {
+                    return Err(Error::UndeterminedDivs {
+                        operation: "contains",
+                    })
+                }
             }
         }
         Ok(self.constraints.iter().all(|c| c.holds(&values)))
@@ -276,8 +294,16 @@ impl BasicSet {
     ///
     /// Panics if the variable counts differ.
     pub fn recast(mut self, space: Space) -> BasicSet {
-        assert_eq!(self.space.n_var(), space.n_var(), "recast requires equal variable counts");
-        assert_eq!(self.space.n_param(), space.n_param(), "recast keeps parameters");
+        assert_eq!(
+            self.space.n_var(),
+            space.n_var(),
+            "recast requires equal variable counts"
+        );
+        assert_eq!(
+            self.space.n_param(),
+            space.n_param(),
+            "recast keeps parameters"
+        );
         self.space = space;
         self
     }
@@ -365,8 +391,9 @@ impl BasicSet {
             };
             parts.push(format!("{e} {op}"));
         }
-        let dims: Vec<String> =
-            (0..self.space.n_dim()).map(|i| self.space.var_name(self.space.in_offset() + i)).collect();
+        let dims: Vec<String> = (0..self.space.n_dim())
+            .map(|i| self.space.var_name(self.space.in_offset() + i))
+            .collect();
         format!("{{ [{}] : {} }}", dims.join(", "), parts.join(" and "))
     }
 }
@@ -418,7 +445,10 @@ pub(crate) struct Budget {
 
 impl Default for Budget {
     fn default() -> Self {
-        Budget { steps: 0, limit: 50_000_000 }
+        Budget {
+            steps: 0,
+            limit: 50_000_000,
+        }
     }
 }
 
@@ -503,7 +533,9 @@ impl System {
                     }
                 }
             }
-            let Some((v, replacement)) = target else { break };
+            let Some((v, replacement)) = target else {
+                break;
+            };
             for c in &mut self.constraints {
                 c.expr = c.expr.substitute(v, &replacement);
             }
@@ -573,7 +605,9 @@ impl System {
 
     fn feasible_rec(&self, active: &[usize], budget: &mut Budget) -> Result<bool> {
         budget.tick(1)?;
-        let Some(iv) = self.propagate(budget)? else { return Ok(false) };
+        let Some(iv) = self.propagate(budget)? else {
+            return Ok(false);
+        };
         if !self.negated_pair_consistent() {
             return Ok(false);
         }
@@ -620,7 +654,9 @@ impl System {
                     }
             }));
         }
-        let Some(iv2) = sys.propagate(budget)? else { return Ok(false) };
+        let Some(iv2) = sys.propagate(budget)? else {
+            return Ok(false);
+        };
         // Branch on the narrowest-interval variable.
         let mut best: Option<(usize, i64)> = None;
         for &v in &sub_active {
@@ -716,7 +752,9 @@ impl System {
                 sys.substitute(i, v);
             }
         }
-        let Some(iv) = sys.propagate(budget)? else { return Ok(false) };
+        let Some(iv) = sys.propagate(budget)? else {
+            return Ok(false);
+        };
         // Assign all singletons.
         let mut fixed = Vec::new();
         for i in 0..self.n {
@@ -816,7 +854,11 @@ fn tighten_ge0(expr: &LinExpr, iv: &mut [Interval], changed: &mut bool) -> bool 
     // max over box of expr; None = +infinity.
     let mut smax: Option<i64> = Some(expr.constant_term());
     for (i, c) in expr.terms() {
-        let contrib = if c > 0 { iv[i].hi.map(|h| c.saturating_mul(h)) } else { iv[i].lo.map(|l| c.saturating_mul(l)) };
+        let contrib = if c > 0 {
+            iv[i].hi.map(|h| c.saturating_mul(h))
+        } else {
+            iv[i].lo.map(|l| c.saturating_mul(l))
+        };
         match (smax, contrib) {
             (Some(s), Some(x)) => smax = Some(s.saturating_add(x)),
             _ => smax = None,
@@ -835,8 +877,11 @@ fn tighten_ge0(expr: &LinExpr, iv: &mut [Interval], changed: &mut bool) -> bool 
             if i == j {
                 continue;
             }
-            let contrib =
-                if c > 0 { iv[i].hi.map(|h| c.saturating_mul(h)) } else { iv[i].lo.map(|l| c.saturating_mul(l)) };
+            let contrib = if c > 0 {
+                iv[i].hi.map(|h| c.saturating_mul(h))
+            } else {
+                iv[i].lo.map(|l| c.saturating_mul(l))
+            };
             match (rest_max, contrib) {
                 (Some(s), Some(x)) => rest_max = Some(s.saturating_add(x)),
                 _ => rest_max = None,

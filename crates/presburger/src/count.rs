@@ -9,8 +9,11 @@
 //! For the box-like and tile-shaped sets produced by affine loop nests this
 //! collapses to near-closed-form evaluation.
 
+use std::collections::HashMap;
+
 use crate::basic::{Budget, System};
 use crate::error::{Error, Result};
+use crate::{ConstraintKind, LinExpr};
 
 /// A work limit for counting, in solver steps.
 ///
@@ -33,9 +36,130 @@ pub(crate) fn count_system(sys: &System, limit: CountLimit) -> Result<i128> {
     count_rec(sys.clone(), &active, &mut budget)
 }
 
+/// Canonical form of one constraint: `(kind, constant, sorted terms)` with
+/// an equality's sign normalized so the first nonzero coefficient is
+/// positive (both signs describe the same hyperplane).
+type CanonConstraint = (u8, i64, Vec<(usize, i64)>);
+
+/// Canonical hash key of a [`System`]: variable count, the count limit, and
+/// the sorted canonical constraints. Two systems with the same key describe
+/// the same solution set, so their point counts can be shared.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CountKey {
+    n: usize,
+    limit: u64,
+    constraints: Vec<CanonConstraint>,
+}
+
+fn canonicalize_constraint(expr: &LinExpr, kind: ConstraintKind) -> CanonConstraint {
+    let mut terms: Vec<(usize, i64)> = expr.terms().collect();
+    terms.sort_unstable_by_key(|&(v, _)| v);
+    let mut k = expr.constant_term();
+    let tag = match kind {
+        ConstraintKind::Eq => {
+            // i - j = 0 and j - i = 0 are the same hyperplane.
+            if terms.first().is_some_and(|&(_, c)| c < 0) {
+                for t in &mut terms {
+                    t.1 = -t.1;
+                }
+                k = -k;
+            }
+            0u8
+        }
+        ConstraintKind::GeZero => 1u8,
+    };
+    (tag, k, terms)
+}
+
+pub(crate) fn count_key(sys: &System, limit: CountLimit) -> CountKey {
+    let mut constraints: Vec<CanonConstraint> = sys
+        .constraints
+        .iter()
+        .map(|c| canonicalize_constraint(&c.expr, c.kind))
+        .collect();
+    constraints.sort_unstable();
+    constraints.dedup();
+    CountKey {
+        n: sys.n,
+        limit: limit.0,
+        constraints,
+    }
+}
+
+/// Memoization cache for [`crate::Set::count_cached`].
+///
+/// The PolyUFC cache model issues the *same* Presburger counting query many
+/// times while analyzing one kernel — once per reference per cache level
+/// for the dominating-prefix and outer-trip counts. Keys are the canonical
+/// form of the solver system (sorted, sign-normalized constraints), so hits
+/// are exact: a cached count is returned only for a query whose solution
+/// set provably equals a previously answered one. Only successful counts
+/// are cached; errors (budget, unboundedness) are recomputed so their
+/// diagnostics stay accurate.
+#[derive(Debug, Clone, Default)]
+pub struct CountCache {
+    map: HashMap<CountKey, i128>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CountCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CountCache::default()
+    }
+
+    /// Queries answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Queries that had to run the counter.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct cached systems.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Folds another cache's hit/miss counters into this one (used when
+    /// per-kernel caches are aggregated into a compile report).
+    pub fn absorb_stats(&mut self, other: &CountCache) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Counts through the cache: canonical-key lookup first, full counter on a
+/// miss, successful results inserted.
+pub(crate) fn count_system_cached(
+    sys: &System,
+    limit: CountLimit,
+    cache: &mut CountCache,
+) -> Result<i128> {
+    let key = count_key(sys, limit);
+    if let Some(&c) = cache.map.get(&key) {
+        cache.hits += 1;
+        return Ok(c);
+    }
+    cache.misses += 1;
+    let c = count_system(sys, limit)?;
+    cache.map.insert(key, c);
+    Ok(c)
+}
+
 fn count_rec(mut sys: System, active: &[usize], budget: &mut Budget) -> Result<i128> {
     budget.tick(1)?;
-    let Some(iv) = sys.propagate(budget)? else { return Ok(0) };
+    let Some(iv) = sys.propagate(budget)? else {
+        return Ok(0);
+    };
 
     // Fix singleton variables.
     let mut remaining: Vec<usize> = Vec::with_capacity(active.len());
@@ -72,7 +196,9 @@ fn count_rec(mut sys: System, active: &[usize], budget: &mut Budget) -> Result<i
     if remaining.is_empty() {
         return Ok(1);
     }
-    let Some(iv) = sys.propagate(budget)? else { return Ok(0) };
+    let Some(iv) = sys.propagate(budget)? else {
+        return Ok(0);
+    };
 
     // Partition remaining variables into connected components.
     let components = connected_components(&sys, &remaining);

@@ -44,7 +44,9 @@ fn enum_rec(
             cur.substitute(i, v);
         }
     }
-    let Some(iv) = cur.propagate(budget)? else { return Ok(()) };
+    let Some(iv) = cur.propagate(budget)? else {
+        return Ok(());
+    };
 
     let mut fixed = Vec::new();
     for (i, v) in values.iter_mut().enumerate() {
@@ -114,7 +116,17 @@ mod tests {
         b.add_ge0(LinExpr::var(1));
         b.add_ge0(LinExpr::var(0) - LinExpr::var(1));
         let pts = enumerate_points(&b, 100).unwrap();
-        assert_eq!(pts, vec![vec![0, 0], vec![1, 0], vec![1, 1], vec![2, 0], vec![2, 1], vec![2, 2]]);
+        assert_eq!(
+            pts,
+            vec![
+                vec![0, 0],
+                vec![1, 0],
+                vec![1, 1],
+                vec![2, 0],
+                vec![2, 1],
+                vec![2, 2]
+            ]
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl fmt::Display for Error {
                 write!(f, "space mismatch: expected {expected}, found {found}")
             }
             Error::UndeterminedDivs { operation } => {
-                write!(f, "operation `{operation}` requires determined div variables")
+                write!(
+                    f,
+                    "operation `{operation}` requires determined div variables"
+                )
             }
             Error::SearchBudgetExceeded { budget } => {
                 write!(f, "integer search exceeded budget of {budget} steps")
@@ -68,8 +71,13 @@ mod tests {
     #[test]
     fn messages_are_lowercase_and_informative() {
         let cases: Vec<Error> = vec![
-            Error::SpaceMismatch { expected: "a".into(), found: "b".into() },
-            Error::UndeterminedDivs { operation: "subtract" },
+            Error::SpaceMismatch {
+                expected: "a".into(),
+                found: "b".into(),
+            },
+            Error::UndeterminedDivs {
+                operation: "subtract",
+            },
             Error::SearchBudgetExceeded { budget: 42 },
             Error::Unbounded { var: 3 },
             Error::Parse("bad token".into()),

@@ -77,7 +77,11 @@ mod tests {
         }
         let mut out = Map::empty(map.space().clone());
         for b in map.basics() {
-            let m = b.intersect_domain(&dom).unwrap().intersect_range(&dom).unwrap();
+            let m = b
+                .intersect_domain(&dom)
+                .unwrap()
+                .intersect_range(&dom)
+                .unwrap();
             out = out.union_disjoint(&Map::from_basic(m)).unwrap();
         }
         out
@@ -113,8 +117,12 @@ mod tests {
     fn lex_gt_is_reverse_of_lt() {
         let lt = bounded(lex_lt_map(0, 2), 0, 1);
         let gt = bounded(lex_gt_map(0, 2), 0, 1);
-        let ltp: std::collections::BTreeSet<_> =
-            lt.enumerate_pairs(100).unwrap().into_iter().map(|(x, y)| (y, x)).collect();
+        let ltp: std::collections::BTreeSet<_> = lt
+            .enumerate_pairs(100)
+            .unwrap()
+            .into_iter()
+            .map(|(x, y)| (y, x))
+            .collect();
         let gtp: std::collections::BTreeSet<_> =
             gt.enumerate_pairs(100).unwrap().into_iter().collect();
         assert_eq!(ltp, gtp);

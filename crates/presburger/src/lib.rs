@@ -54,7 +54,7 @@ mod set;
 mod space;
 
 pub use basic::{BasicSet, Div};
-pub use count::CountLimit;
+pub use count::{CountCache, CountLimit};
 pub use error::{Error, Result};
 pub use lexorder::{lex_ge_map, lex_gt_map, lex_le_map, lex_lt_map};
 pub use linexpr::LinExpr;
@@ -84,12 +84,18 @@ pub enum ConstraintKind {
 impl Constraint {
     /// Builds an equality constraint `expr == 0`.
     pub fn eq(expr: LinExpr) -> Self {
-        Constraint { expr, kind: ConstraintKind::Eq }
+        Constraint {
+            expr,
+            kind: ConstraintKind::Eq,
+        }
     }
 
     /// Builds an inequality constraint `expr >= 0`.
     pub fn ge0(expr: LinExpr) -> Self {
-        Constraint { expr, kind: ConstraintKind::GeZero }
+        Constraint {
+            expr,
+            kind: ConstraintKind::GeZero,
+        }
     }
 
     /// Evaluates the constraint on a full variable assignment.

@@ -22,14 +22,20 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(k: i64) -> Self {
-        LinExpr { coeffs: Vec::new(), constant: k }
+        LinExpr {
+            coeffs: Vec::new(),
+            constant: k,
+        }
     }
 
     /// The expression consisting of variable `idx` with coefficient 1.
     pub fn var(idx: usize) -> Self {
         let mut coeffs = vec![0; idx + 1];
         coeffs[idx] = 1;
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Builds an expression from explicit coefficients and a constant.
@@ -102,7 +108,11 @@ impl LinExpr {
     /// Iterator over `(var_index, coefficient)` pairs with nonzero
     /// coefficients.
     pub fn terms(&self) -> impl Iterator<Item = (usize, i64)> + '_ {
-        self.coeffs.iter().copied().enumerate().filter(|&(_, c)| c != 0)
+        self.coeffs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c != 0)
     }
 
     /// Evaluates the expression on a full variable assignment.
@@ -201,7 +211,10 @@ impl LinExpr {
         &'a self,
         name: impl Fn(usize) -> String + 'a,
     ) -> impl fmt::Display + 'a {
-        DisplayExpr { expr: self, name: Box::new(name) }
+        DisplayExpr {
+            expr: self,
+            name: Box::new(name),
+        }
     }
 }
 
@@ -292,7 +305,10 @@ impl Neg for LinExpr {
 impl Mul<i64> for LinExpr {
     type Output = LinExpr;
     fn mul(self, k: i64) -> LinExpr {
-        LinExpr::new(self.coeffs.iter().map(|&c| c * k).collect(), self.constant * k)
+        LinExpr::new(
+            self.coeffs.iter().map(|&c| c * k).collect(),
+            self.constant * k,
+        )
     }
 }
 

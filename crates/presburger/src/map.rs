@@ -25,7 +25,9 @@ impl BasicMap {
     /// Panics if `space` is a set space.
     pub fn universe(space: Space) -> Self {
         assert!(!space.is_set() || space.n_out() == 0, "map space expected");
-        BasicMap { inner: BasicSet::universe(space) }
+        BasicMap {
+            inner: BasicSet::universe(space),
+        }
     }
 
     /// Builds the map `{ [x] -> [y] : y_j == exprs[j](params, x) }`,
@@ -188,10 +190,16 @@ impl BasicMap {
             out.push_div_raw(Div { def: new_def });
         }
         for c in self.inner.constraints() {
-            out.add_constraint(Constraint { expr: c.expr.permute_vars(&perm_a), kind: c.kind });
+            out.add_constraint(Constraint {
+                expr: c.expr.permute_vars(&perm_a),
+                kind: c.kind,
+            });
         }
         for c in other.inner.constraints() {
-            out.add_constraint(Constraint { expr: c.expr.permute_vars(&perm_b), kind: c.kind });
+            out.add_constraint(Constraint {
+                expr: c.expr.permute_vars(&perm_b),
+                kind: c.kind,
+            });
         }
         Ok(BasicMap { inner: out })
     }
@@ -260,7 +268,10 @@ impl BasicMap {
             });
         }
         for c in s.constraints() {
-            out.add_constraint(Constraint { expr: c.expr.permute_vars(&perm), kind: c.kind });
+            out.add_constraint(Constraint {
+                expr: c.expr.permute_vars(&perm),
+                kind: c.kind,
+            });
         }
         Ok(BasicMap { inner: out })
     }
@@ -303,7 +314,10 @@ impl BasicMap {
             out.push_div_raw(Div { def });
         }
         for c in self.inner.constraints() {
-            out.add_constraint(Constraint { expr: c.expr.permute_vars(&perm), kind: c.kind });
+            out.add_constraint(Constraint {
+                expr: c.expr.permute_vars(&perm),
+                kind: c.kind,
+            });
         }
         for i in 0..d {
             // delta_i == y_i - x_i
@@ -333,12 +347,18 @@ pub struct Map {
 impl Map {
     /// The empty relation of a map space.
     pub fn empty(space: Space) -> Self {
-        Map { space, basics: Vec::new() }
+        Map {
+            space,
+            basics: Vec::new(),
+        }
     }
 
     /// Wraps a single basic map.
     pub fn from_basic(m: BasicMap) -> Self {
-        Map { space: m.space().clone(), basics: vec![m] }
+        Map {
+            space: m.space().clone(),
+            basics: vec![m],
+        }
     }
 
     /// The space.
@@ -366,7 +386,9 @@ impl Map {
         let basics = s
             .basics()
             .iter()
-            .map(|b| BasicMap { inner: b.clone().recast(space.clone()) })
+            .map(|b| BasicMap {
+                inner: b.clone().recast(space.clone()),
+            })
             .collect();
         Map { space, basics }
     }
@@ -395,7 +417,10 @@ impl Map {
         }
         let mut basics = self.basics.clone();
         basics.extend(other.basics.iter().cloned());
-        Ok(Map { space: self.space.clone(), basics })
+        Ok(Map {
+            space: self.space.clone(),
+            basics,
+        })
     }
 
     /// Intersection.
@@ -424,8 +449,7 @@ impl Map {
     ///
     /// See [`BasicMap::apply_range`].
     pub fn apply_range(&self, other: &Map) -> Result<Map> {
-        let space =
-            Space::map(self.space.n_param(), self.space.n_in(), other.space.n_out());
+        let space = Space::map(self.space.n_param(), self.space.n_in(), other.space.n_out());
         let mut out = Map::empty(space);
         for a in &self.basics {
             for b in &other.basics {
@@ -448,7 +472,9 @@ impl Map {
         let sp = Space::set(self.space.n_param(), self.space.n_in());
         let mut s = Set::empty(sp.clone());
         for b in &self.basics {
-            s = s.union_disjoint(&Set::from_basic(b.domain())).expect("same space");
+            s = s
+                .union_disjoint(&Set::from_basic(b.domain()))
+                .expect("same space");
         }
         s
     }
@@ -458,7 +484,9 @@ impl Map {
         let sp = Space::set(self.space.n_param(), self.space.n_out());
         let mut s = Set::empty(sp.clone());
         for b in &self.basics {
-            s = s.union_disjoint(&Set::from_basic(b.range())).expect("same space");
+            s = s
+                .union_disjoint(&Set::from_basic(b.range()))
+                .expect("same space");
         }
         s
     }
@@ -566,8 +594,12 @@ fn lexmin_out(bs: &BasicSet, base: usize, no: usize) -> Result<Option<Vec<i64>>>
         // Propagated lower bound, then ascend to the first feasible value.
         let sys = cur.system();
         let mut budget = crate::basic::Budget::default();
-        let Some(iv) = sys.propagate(&mut budget)? else { return Ok(None) };
-        let Some(lo) = iv[var].lo else { return Err(Error::Unbounded { var }) };
+        let Some(iv) = sys.propagate(&mut budget)? else {
+            return Ok(None);
+        };
+        let Some(lo) = iv[var].lo else {
+            return Err(Error::Unbounded { var });
+        };
         let hi = iv[var].hi.ok_or(Error::Unbounded { var })?;
         let mut found = None;
         for v in lo..=hi {
@@ -603,7 +635,8 @@ mod tests {
 
     /// `{ [i] -> [2i + 1] : 0 <= i < 10 }`
     fn affine_map() -> BasicMap {
-        let mut m = BasicMap::from_affine_exprs(0, 1, &[LinExpr::var(0) * 2 + LinExpr::constant(1)]);
+        let mut m =
+            BasicMap::from_affine_exprs(0, 1, &[LinExpr::var(0) * 2 + LinExpr::constant(1)]);
         m.basic_set_mut().add_range(0, 0, 9);
         m
     }
@@ -681,7 +714,8 @@ mod tests {
         let mut m = BasicMap::universe(Space::map(0, 1, 1));
         m.basic_set_mut().add_range(0, 0, 2);
         m.basic_set_mut().add_ge0(LinExpr::var(1) - LinExpr::var(0));
-        m.basic_set_mut().add_ge0(LinExpr::constant(4) - LinExpr::var(1));
+        m.basic_set_mut()
+            .add_ge0(LinExpr::constant(4) - LinExpr::var(1));
         let lm = Map::from_basic(m).lexmin_explicit(100).unwrap();
         assert_eq!(lm.len(), 3);
         for (x, y) in lm {
@@ -700,7 +734,9 @@ mod tests {
     fn subset_and_equal_relations() {
         let mut small = BasicMap::universe(Space::map(0, 1, 1));
         small.basic_set_mut().add_range(0, 0, 3);
-        small.basic_set_mut().add_eq(LinExpr::var(0) - LinExpr::var(1));
+        small
+            .basic_set_mut()
+            .add_eq(LinExpr::var(0) - LinExpr::var(1));
         let mut big = BasicMap::universe(Space::map(0, 1, 1));
         big.basic_set_mut().add_range(0, 0, 3);
         big.basic_set_mut().add_range(1, 0, 3);

@@ -58,16 +58,18 @@ fn var_index(name: &str, space: &Space) -> Result<usize> {
         return Err(Error::Parse(format!("param alias `{name}` out of range")));
     }
     if let Some(num) = name.strip_prefix('d') {
-        let k: usize =
-            num.parse().map_err(|_| Error::Parse(format!("bad dim `{name}`")))?;
+        let k: usize = num
+            .parse()
+            .map_err(|_| Error::Parse(format!("bad dim `{name}`")))?;
         if k < space.n_dim() {
             return Ok(space.in_offset() + k);
         }
         return Err(Error::Parse(format!("dim `{name}` out of range")));
     }
     if let Some(num) = name.strip_prefix('p') {
-        let k: usize =
-            num.parse().map_err(|_| Error::Parse(format!("bad param `{name}`")))?;
+        let k: usize = num
+            .parse()
+            .map_err(|_| Error::Parse(format!("bad param `{name}`")))?;
         if k < space.n_param() {
             return Ok(k);
         }

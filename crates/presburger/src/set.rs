@@ -3,7 +3,7 @@
 use std::fmt;
 
 use crate::basic::{BasicSet, Div};
-use crate::count::{count_system, CountLimit};
+use crate::count::{count_system, count_system_cached, CountCache, CountLimit};
 use crate::enumerate::enumerate_points;
 use crate::error::{Error, Result};
 use crate::linexpr::LinExpr;
@@ -26,17 +26,26 @@ pub struct Set {
 impl Set {
     /// The empty set of a space.
     pub fn empty(space: Space) -> Self {
-        Set { space, basics: Vec::new() }
+        Set {
+            space,
+            basics: Vec::new(),
+        }
     }
 
     /// The universe set of a space.
     pub fn universe(space: Space) -> Self {
-        Set { space: space.clone(), basics: vec![BasicSet::universe(space)] }
+        Set {
+            space: space.clone(),
+            basics: vec![BasicSet::universe(space)],
+        }
     }
 
     /// Wraps a single basic set.
     pub fn from_basic(basic: BasicSet) -> Self {
-        Set { space: basic.space().clone(), basics: vec![basic] }
+        Set {
+            space: basic.space().clone(),
+            basics: vec![basic],
+        }
     }
 
     /// Parses a conjunction of textual constraints into a single-disjunct
@@ -101,7 +110,10 @@ impl Set {
                 }
             }
         }
-        Ok(Set { space: self.space.clone(), basics })
+        Ok(Set {
+            space: self.space.clone(),
+            basics,
+        })
     }
 
     /// Union preserving the disjointness invariant: the incoming disjuncts
@@ -117,7 +129,10 @@ impl Set {
         let fresh = other.subtract(self)?;
         let mut basics = self.basics.clone();
         basics.extend(fresh.basics);
-        Ok(Set { space: self.space.clone(), basics })
+        Ok(Set {
+            space: self.space.clone(),
+            basics,
+        })
     }
 
     /// Union without a disjointness check. Counting will double-count any
@@ -126,7 +141,10 @@ impl Set {
         self.check_space(other)?;
         let mut basics = self.basics.clone();
         basics.extend(other.basics.iter().cloned());
-        Ok(Set { space: self.space.clone(), basics })
+        Ok(Set {
+            space: self.space.clone(),
+            basics,
+        })
     }
 
     /// Set difference `self \ other`.
@@ -156,7 +174,10 @@ impl Set {
                 _ => kept.push(p),
             }
         }
-        Ok(Set { space: self.space.clone(), basics: kept })
+        Ok(Set {
+            space: self.space.clone(),
+            basics: kept,
+        })
     }
 
     /// Whether the set is empty.
@@ -231,6 +252,31 @@ impl Set {
         Ok(total)
     }
 
+    /// Counts the integer points with the default limit, memoizing
+    /// per-disjunct solver queries in `cache`.
+    ///
+    /// Disjuncts that fall back to enumeration (undetermined divs) are not
+    /// cached; everything else is keyed on the canonicalized constraint
+    /// system, so repeated queries — e.g. the same iteration-domain prefix
+    /// counted for several array references — are answered from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Set::count`].
+    pub fn count_cached(&self, cache: &mut CountCache) -> Result<i128> {
+        let limit = CountLimit::default();
+        let mut total: i128 = 0;
+        for b in &self.basics {
+            let c = if b.all_divs_determined() {
+                count_system_cached(&b.system(), limit, cache)?
+            } else {
+                enumerate_points(b, limit.0)?.len() as i128
+            };
+            total = total.checked_add(c).ok_or(Error::Overflow)?;
+        }
+        Ok(total)
+    }
+
     /// Enumerates up to `max_points` points (dims only), merged and
     /// deduplicated across disjuncts, in lexicographic order.
     ///
@@ -253,15 +299,21 @@ impl Set {
     /// Projects out `count` dimensions starting at `first` from every
     /// disjunct (exact; introduces existentials).
     pub fn project_out(&self, first: usize, count: usize) -> Set {
-        let basics: Vec<BasicSet> =
-            self.basics.iter().map(|b| b.project_dims_out(first, count)).collect();
+        let basics: Vec<BasicSet> = self
+            .basics
+            .iter()
+            .map(|b| b.project_dims_out(first, count))
+            .collect();
         let space = Space::set(self.space.n_param(), self.space.n_dim() - count);
         Set { space, basics }
     }
 
     /// Fixes parameter `param_idx` to a concrete value in every disjunct.
     pub fn fix_param(&self, param_idx: usize, value: i64) -> Set {
-        assert!(param_idx < self.space.n_param(), "parameter index out of range");
+        assert!(
+            param_idx < self.space.n_param(),
+            "parameter index out of range"
+        );
         let mut out = self.clone();
         for b in &mut out.basics {
             b.fix_var(param_idx, value);
@@ -321,7 +373,9 @@ impl fmt::Display for Set {
 /// keeping the definitions pinned is sound.
 pub(crate) fn subtract_basic(a: &BasicSet, b: &BasicSet) -> Result<Vec<BasicSet>> {
     if !b.all_divs_determined() {
-        return Err(Error::UndeterminedDivs { operation: "subtract" });
+        return Err(Error::UndeterminedDivs {
+            operation: "subtract",
+        });
     }
     // Base: `a` extended with b's divs (renumbered) and their definitions.
     let shift_at = a.space().n_var();
@@ -332,7 +386,9 @@ pub(crate) fn subtract_basic(a: &BasicSet, b: &BasicSet) -> Result<Vec<BasicSet>
         let (num, den) = d.def.as_ref().expect("checked determined");
         let num = num.shift_vars(shift_at, div_shift);
         let q = base.n_total();
-        base.push_div_raw(Div { def: Some((num.clone(), *den)) });
+        base.push_div_raw(Div {
+            def: Some((num.clone(), *den)),
+        });
         let rem = num - LinExpr::var(q) * *den;
         base.add_ge0(rem.clone());
         base.add_ge0(LinExpr::constant(*den - 1) - rem.clone());
@@ -434,8 +490,8 @@ mod tests {
     #[test]
     fn parse_example() {
         let sp = Space::set(0, 2);
-        let s =
-            Set::from_constraint_strs(sp, &["i >= 0", "7 - i >= 0", "j >= 0", "i - j >= 0"]).unwrap();
+        let s = Set::from_constraint_strs(sp, &["i >= 0", "7 - i >= 0", "j >= 0", "i - j >= 0"])
+            .unwrap();
         assert_eq!(s.count().unwrap(), 36);
     }
 

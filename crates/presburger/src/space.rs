@@ -34,13 +34,21 @@ impl Space {
     /// Creates the space of a set with `n_param` parameters and `n_dim`
     /// tuple dimensions.
     pub fn set(n_param: usize, n_dim: usize) -> Self {
-        Space { n_param, n_in: n_dim, n_out: 0 }
+        Space {
+            n_param,
+            n_in: n_dim,
+            n_out: 0,
+        }
     }
 
     /// Creates the space of a relation with `n_param` parameters, `n_in`
     /// input dimensions and `n_out` output dimensions.
     pub fn map(n_param: usize, n_in: usize, n_out: usize) -> Self {
-        Space { n_param, n_in, n_out }
+        Space {
+            n_param,
+            n_in,
+            n_out,
+        }
     }
 
     /// Number of parameters.
@@ -85,7 +93,11 @@ impl Space {
 
     /// The space of the reversed relation (inputs and outputs swapped).
     pub fn reversed(&self) -> Space {
-        Space { n_param: self.n_param, n_in: self.n_out, n_out: self.n_in }
+        Space {
+            n_param: self.n_param,
+            n_in: self.n_out,
+            n_out: self.n_in,
+        }
     }
 
     /// The space of this relation's domain, as a set space.
@@ -123,7 +135,11 @@ impl fmt::Display for Space {
         if self.is_set() {
             write!(f, "[{} params] {{ [{} dims] }}", self.n_param, self.n_in)
         } else {
-            write!(f, "[{} params] {{ [{}] -> [{}] }}", self.n_param, self.n_in, self.n_out)
+            write!(
+                f,
+                "[{} params] {{ [{}] -> [{}] }}",
+                self.n_param, self.n_in, self.n_out
+            )
         }
     }
 }

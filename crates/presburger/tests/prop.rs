@@ -114,6 +114,26 @@ proptest! {
     }
 
     #[test]
+    fn cached_count_matches_uncached(a in arb_basic_set(), b in arb_basic_set()) {
+        // Memoized counting must be invisible: same results as the plain
+        // counter, repeat queries answered from the cache.
+        let mut cache = polyufc_presburger::CountCache::new();
+        let sa = Set::from_basic(a.clone());
+        let sb = Set::from_basic(b.clone());
+        let c1 = sa.count_cached(&mut cache).unwrap();
+        let c2 = sa.count_cached(&mut cache).unwrap();
+        let c3 = sb.count_cached(&mut cache).unwrap();
+        prop_assert_eq!(c1, sa.count().unwrap());
+        prop_assert_eq!(c1, brute_points(&a).len() as i128);
+        prop_assert_eq!(c2, c1);
+        prop_assert_eq!(c3, sb.count().unwrap());
+        // The second identical query must be a hit, and stats must add up.
+        prop_assert!(cache.hits() >= 1);
+        prop_assert!(cache.misses() >= 1);
+        prop_assert!(cache.len() as u64 <= cache.misses());
+    }
+
+    #[test]
     fn subset_relation_consistent(a in arb_basic_set(), b in arb_basic_set()) {
         let sa = Set::from_basic(a.clone());
         let sb = Set::from_basic(b.clone());
@@ -189,7 +209,11 @@ fn lex_lt_composition_semantics() {
     dom.add_range(1, 0, 2);
     let mut restricted = Map::empty(m.space().clone());
     for b in m.basics() {
-        let r = b.intersect_domain(&dom).unwrap().intersect_range(&dom).unwrap();
+        let r = b
+            .intersect_domain(&dom)
+            .unwrap()
+            .intersect_range(&dom)
+            .unwrap();
         restricted = restricted.union_disjoint(&Map::from_basic(r)).unwrap();
     }
     // 9 points, C(9,2) = 36 strictly ordered pairs.

@@ -48,7 +48,10 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
 ///
 /// Panics if any `x` is zero or fewer than two points are given.
 pub fn reciprocal_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
-    assert!(xs.iter().all(|&x| x != 0.0), "reciprocal fit needs nonzero x");
+    assert!(
+        xs.iter().all(|&x| x != 0.0),
+        "reciprocal fit needs nonzero x"
+    );
     let inv: Vec<f64> = xs.iter().map(|&x| 1.0 / x).collect();
     let (a, b) = linear_fit(&inv, ys);
     (a, b)

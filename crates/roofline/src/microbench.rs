@@ -89,7 +89,9 @@ pub fn mixed_microbench(oi: f64, bytes: u64, line_bytes: u64) -> KernelCounters 
 /// The Choi-style intensity sweep used for calibration: intensities from
 /// far below to far above any machine balance (the paper sweeps 0..10^6).
 pub fn intensity_sweep() -> Vec<f64> {
-    let mut v = vec![0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 256.0, 1024.0];
+    let mut v = vec![
+        0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 256.0, 1024.0,
+    ];
     v.push(1_000_000.0);
     v
 }
@@ -107,7 +109,10 @@ mod tests {
         let c = flop_microbench(1_000_000_000, 64);
         let r = eng.run_kernel(&c, 2.0);
         let achieved = c.flops as f64 / r.time_s;
-        assert!((achieved / peak - 1.0).abs() < 0.05, "achieved {achieved} vs peak {peak}");
+        assert!(
+            (achieved / peak - 1.0).abs() < 0.05,
+            "achieved {achieved} vs peak {peak}"
+        );
     }
 
     #[test]
@@ -119,7 +124,10 @@ mod tests {
             let r = eng.run_kernel(&c, f);
             let bw = (1u64 << 30) as f64 / r.time_s;
             let expect = plat.dram_bandwidth(f);
-            assert!((bw / expect - 1.0).abs() < 0.1, "bw {bw} vs {expect} at {f}");
+            assert!(
+                (bw / expect - 1.0).abs() < 0.1,
+                "bw {bw} vs {expect} at {f}"
+            );
         }
     }
 

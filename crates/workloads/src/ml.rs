@@ -28,11 +28,30 @@ pub struct MlWorkload {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn conv_graph(name: &str, n: usize, ch: usize, h: usize, w: usize, f: usize, kh: usize, kw: usize, stride: usize) -> TensorGraph {
+fn conv_graph(
+    name: &str,
+    n: usize,
+    ch: usize,
+    h: usize,
+    w: usize,
+    f: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> TensorGraph {
     let mut g = TensorGraph::new(name);
     g.push(TensorOp {
         name: "conv2d".into(),
-        kind: TensorOpKind::Conv2d { n, c: ch, h, w, f, kh, kw, stride },
+        kind: TensorOpKind::Conv2d {
+            n,
+            c: ch,
+            h,
+            w,
+            f,
+            kh,
+            kw,
+            stride,
+        },
         inputs: vec!["I".into(), "W".into()],
         output: "O".into(),
     });
@@ -173,7 +192,15 @@ mod tests {
         let s = ml_suite();
         assert_eq!(s.len(), 7);
         let sources: Vec<_> = s.iter().map(|w| w.source).collect();
-        for src in ["ALEXNET", "CONVNEXT", "WIDERESNET", "GPT2", "LLAMA2", "BERT", "GEMMA2"] {
+        for src in [
+            "ALEXNET",
+            "CONVNEXT",
+            "WIDERESNET",
+            "GPT2",
+            "LLAMA2",
+            "BERT",
+            "GEMMA2",
+        ] {
             assert!(sources.contains(&src), "missing {src}");
         }
     }

@@ -46,11 +46,19 @@ fn wr(a: ArrayId, idx: Vec<LinExpr>) -> Access {
 }
 
 fn stmt(name: &str, accesses: Vec<Access>, flops: u64) -> Statement {
-    Statement { name: name.into(), accesses, flops }
+    Statement {
+        name: name.into(),
+        accesses,
+        flops,
+    }
 }
 
 fn nest(name: &str, loops: Vec<Loop>, statements: Vec<Statement>) -> AffineKernel {
-    AffineKernel { name: name.into(), loops, statements }
+    AffineKernel {
+        name: name.into(),
+        loops,
+        statements,
+    }
 }
 
 /// `for d in lo..hi` with affine bounds.
@@ -75,7 +83,11 @@ pub fn gemm(n: usize) -> AffineProgram {
     p.kernels.push(nest(
         "gemm_scale",
         vec![r(n), r(n)],
-        vec![stmt("s0", vec![rd(cc, vec![v(0), v(1)]), wr(cc, vec![v(0), v(1)])], 1)],
+        vec![stmt(
+            "s0",
+            vec![rd(cc, vec![v(0), v(1)]), wr(cc, vec![v(0), v(1)])],
+            1,
+        )],
     ));
     p.kernels.push(nest(
         "gemm_main",
@@ -102,7 +114,11 @@ pub fn syrk(n: usize) -> AffineProgram {
     p.kernels.push(nest(
         "syrk_scale",
         vec![r(n), l(c(0), v(0) + c(1))],
-        vec![stmt("s0", vec![rd(cc, vec![v(0), v(1)]), wr(cc, vec![v(0), v(1)])], 1)],
+        vec![stmt(
+            "s0",
+            vec![rd(cc, vec![v(0), v(1)]), wr(cc, vec![v(0), v(1)])],
+            1,
+        )],
     ));
     p.kernels.push(nest(
         "syrk_main",
@@ -130,7 +146,11 @@ pub fn syr2k(n: usize) -> AffineProgram {
     p.kernels.push(nest(
         "syr2k_scale",
         vec![r(n), l(c(0), v(0) + c(1))],
-        vec![stmt("s0", vec![rd(cc, vec![v(0), v(1)]), wr(cc, vec![v(0), v(1)])], 1)],
+        vec![stmt(
+            "s0",
+            vec![rd(cc, vec![v(0), v(1)]), wr(cc, vec![v(0), v(1)])],
+            1,
+        )],
     ));
     p.kernels.push(nest(
         "syr2k_main",
@@ -211,7 +231,11 @@ pub fn trmm(n: usize) -> AffineProgram {
     p.kernels.push(nest(
         "trmm_scale",
         vec![r(n), r(n)],
-        vec![stmt("s1", vec![rd(b, vec![v(0), v(1)]), wr(b, vec![v(0), v(1)])], 1)],
+        vec![stmt(
+            "s1",
+            vec![rd(b, vec![v(0), v(1)]), wr(b, vec![v(0), v(1)])],
+            1,
+        )],
     ));
     p
 }
@@ -261,7 +285,11 @@ pub fn gemver(n: usize) -> AffineProgram {
     p.kernels.push(nest(
         "gemver_xz",
         vec![r(n)],
-        vec![stmt("s2", vec![rd(x, vec![v(0)]), rd(z, vec![v(0)]), wr(x, vec![v(0)])], 1)],
+        vec![stmt(
+            "s2",
+            vec![rd(x, vec![v(0)]), rd(z, vec![v(0)]), wr(x, vec![v(0)])],
+            1,
+        )],
     ));
     p.kernels.push(nest(
         "gemver_w",
@@ -339,7 +367,11 @@ pub fn two_mm(n: usize) -> AffineProgram {
     p.kernels.push(nest(
         "2mm_scale",
         vec![r(n), r(n)],
-        vec![stmt("s2", vec![rd(d, vec![v(0), v(1)]), wr(d, vec![v(0), v(1)])], 1)],
+        vec![stmt(
+            "s2",
+            vec![rd(d, vec![v(0), v(1)]), wr(d, vec![v(0), v(1)])],
+            1,
+        )],
     ));
     p.kernels.push(nest(
         "2mm_mm2",
@@ -362,8 +394,10 @@ pub fn two_mm(n: usize) -> AffineProgram {
 pub fn three_mm(n: usize) -> AffineProgram {
     let mut p = AffineProgram::new("3mm");
     let names = ["A", "B", "C", "D", "E", "F", "G"];
-    let ids: Vec<ArrayId> =
-        names.iter().map(|nm| p.add_array(*nm, vec![n, n], ElemType::F64)).collect();
+    let ids: Vec<ArrayId> = names
+        .iter()
+        .map(|nm| p.add_array(*nm, vec![n, n], ElemType::F64))
+        .collect();
     let (a, b, cc, d, e, f, g) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6]);
     for (dst, lhs, rhs, tag) in [(e, a, b, "1"), (f, cc, d, "2"), (g, e, f, "3")] {
         p.kernels.push(nest(
@@ -528,7 +562,11 @@ pub fn doitgen(nr: usize, nq: usize, np: usize) -> AffineProgram {
     p.kernels.push(nest(
         "doitgen_copy",
         vec![r(nr), r(nq), r(np)],
-        vec![stmt("s1", vec![rd(sum, vec![v(2)]), wr(a, vec![v(0), v(1), v(2)])], 0)],
+        vec![stmt(
+            "s1",
+            vec![rd(sum, vec![v(2)]), wr(a, vec![v(0), v(1), v(2)])],
+            0,
+        )],
     ));
     p
 }
@@ -567,7 +605,11 @@ pub fn trisolv(n: usize) -> AffineProgram {
         vec![r(n)],
         vec![stmt(
             "s2",
-            vec![rd(ll, vec![v(0), v(0)]), rd(x, vec![v(0)]), wr(x, vec![v(0)])],
+            vec![
+                rd(ll, vec![v(0), v(0)]),
+                rd(x, vec![v(0)]),
+                wr(x, vec![v(0)]),
+            ],
             1,
         )],
     ));
@@ -595,7 +637,11 @@ pub fn durbin(n: usize) -> AffineProgram {
         vec![
             stmt(
                 "s1",
-                vec![rd(y, vec![v(1)]), rd(y, vec![v(0) - v(1) - c(1)]), wr(z, vec![v(1)])],
+                vec![
+                    rd(y, vec![v(1)]),
+                    rd(y, vec![v(0) - v(1) - c(1)]),
+                    wr(z, vec![v(1)]),
+                ],
                 2,
             ),
             stmt("s2", vec![rd(z, vec![v(1)]), wr(y, vec![v(1)])], 0),
@@ -613,13 +659,21 @@ pub fn lu(n: usize) -> AffineProgram {
         vec![r(n), l(v(0) + c(1), c(n as i64))],
         vec![stmt(
             "s0",
-            vec![rd(a, vec![v(1), v(0)]), rd(a, vec![v(0), v(0)]), wr(a, vec![v(1), v(0)])],
+            vec![
+                rd(a, vec![v(1), v(0)]),
+                rd(a, vec![v(0), v(0)]),
+                wr(a, vec![v(1), v(0)]),
+            ],
             1,
         )],
     ));
     p.kernels.push(nest(
         "lu_update",
-        vec![r(n), l(v(0) + c(1), c(n as i64)), l(v(0) + c(1), c(n as i64))],
+        vec![
+            r(n),
+            l(v(0) + c(1), c(n as i64)),
+            l(v(0) + c(1), c(n as i64)),
+        ],
         vec![stmt(
             "s1",
             vec![
@@ -696,7 +750,11 @@ pub fn cholesky(n: usize) -> AffineProgram {
         vec![r(n), l(c(0), v(0))],
         vec![stmt(
             "s1",
-            vec![rd(a, vec![v(1), v(1)]), rd(a, vec![v(0), v(1)]), wr(a, vec![v(0), v(1)])],
+            vec![
+                rd(a, vec![v(1), v(1)]),
+                rd(a, vec![v(0), v(1)]),
+                wr(a, vec![v(0), v(1)]),
+            ],
             1,
         )],
     ));
@@ -705,7 +763,11 @@ pub fn cholesky(n: usize) -> AffineProgram {
         vec![r(n), l(c(0), v(0))],
         vec![stmt(
             "s2",
-            vec![rd(a, vec![v(0), v(1)]), rd(a, vec![v(0), v(0)]), wr(a, vec![v(0), v(0)])],
+            vec![
+                rd(a, vec![v(0), v(1)]),
+                rd(a, vec![v(0), v(0)]),
+                wr(a, vec![v(0), v(0)]),
+            ],
             2,
         )],
     ));
@@ -724,7 +786,11 @@ pub fn gramschmidt(n: usize) -> AffineProgram {
         vec![r(n), r(n)],
         vec![stmt(
             "s0",
-            vec![rd(a, vec![v(1), v(0)]), rd(nrm, vec![v(0)]), wr(nrm, vec![v(0)])],
+            vec![
+                rd(a, vec![v(1), v(0)]),
+                rd(nrm, vec![v(0)]),
+                wr(nrm, vec![v(0)]),
+            ],
             2,
         )],
     ));
@@ -733,7 +799,11 @@ pub fn gramschmidt(n: usize) -> AffineProgram {
         vec![r(n), r(n)],
         vec![stmt(
             "s1",
-            vec![rd(a, vec![v(1), v(0)]), rd(nrm, vec![v(0)]), wr(q, vec![v(1), v(0)])],
+            vec![
+                rd(a, vec![v(1), v(0)]),
+                rd(nrm, vec![v(0)]),
+                wr(q, vec![v(1), v(0)]),
+            ],
             1,
         )],
     ));
@@ -782,7 +852,11 @@ pub fn correlation(n: usize) -> AffineProgram {
         vec![r(n), r(n)],
         vec![stmt(
             "s0",
-            vec![rd(data, vec![v(1), v(0)]), rd(mean, vec![v(0)]), wr(mean, vec![v(0)])],
+            vec![
+                rd(data, vec![v(1), v(0)]),
+                rd(mean, vec![v(0)]),
+                wr(mean, vec![v(0)]),
+            ],
             1,
         )],
     ));
@@ -842,7 +916,11 @@ pub fn covariance(n: usize) -> AffineProgram {
         vec![r(n), r(n)],
         vec![stmt(
             "s0",
-            vec![rd(data, vec![v(1), v(0)]), rd(mean, vec![v(0)]), wr(mean, vec![v(0)])],
+            vec![
+                rd(data, vec![v(1), v(0)]),
+                rd(mean, vec![v(0)]),
+                wr(mean, vec![v(0)]),
+            ],
             1,
         )],
     ));
@@ -851,7 +929,11 @@ pub fn covariance(n: usize) -> AffineProgram {
         vec![r(n), r(n)],
         vec![stmt(
             "s1",
-            vec![rd(data, vec![v(0), v(1)]), rd(mean, vec![v(1)]), wr(data, vec![v(0), v(1)])],
+            vec![
+                rd(data, vec![v(0), v(1)]),
+                rd(mean, vec![v(1)]),
+                wr(data, vec![v(0), v(1)]),
+            ],
             1,
         )],
     ));
@@ -1135,7 +1217,6 @@ pub fn deriche(n: usize) -> AffineProgram {
     p
 }
 
-
 /// `floyd-warshall`: all-pairs shortest paths.
 pub fn floyd_warshall(n: usize) -> AffineProgram {
     let mut p = AffineProgram::new("floyd-warshall");
@@ -1217,36 +1298,186 @@ pub fn polybench_suite(size: PolybenchSize) -> Vec<Workload> {
     let ts = size.tsteps();
     let tri = size.n2() / 4; // triangular-solver extent
     vec![
-        Workload { name: "gemm", category: "blas", program: gemm(n3), paper_class: Some("CB") },
-        Workload { name: "2mm", category: "kernels", program: two_mm(n3), paper_class: Some("CB") },
-        Workload { name: "3mm", category: "kernels", program: three_mm(n3), paper_class: Some("CB") },
-        Workload { name: "syrk", category: "blas", program: syrk(n3), paper_class: None },
-        Workload { name: "syr2k", category: "blas", program: syr2k(n3), paper_class: None },
-        Workload { name: "symm", category: "blas", program: symm(n3), paper_class: None },
-        Workload { name: "trmm", category: "blas", program: trmm(n3), paper_class: None },
-        Workload { name: "gemver", category: "blas", program: gemver(n2), paper_class: Some("BB") },
-        Workload { name: "gesummv", category: "blas", program: gesummv(n2), paper_class: Some("BB") },
-        Workload { name: "atax", category: "kernels", program: atax(n2), paper_class: Some("BB") },
-        Workload { name: "bicg", category: "kernels", program: bicg(n2), paper_class: Some("BB") },
-        Workload { name: "mvt", category: "kernels", program: mvt(n2), paper_class: Some("BB") },
-        Workload { name: "doitgen", category: "kernels", program: doitgen(n3 / 8, n3 / 8, n3 / 4), paper_class: None },
-        Workload { name: "trisolv", category: "solvers", program: trisolv(n2), paper_class: Some("BB") },
-        Workload { name: "durbin", category: "solvers", program: durbin(tri), paper_class: Some("CB") },
-        Workload { name: "lu", category: "solvers", program: lu(tri), paper_class: None },
-        Workload { name: "ludcmp", category: "solvers", program: ludcmp(tri), paper_class: None },
-        Workload { name: "cholesky", category: "solvers", program: cholesky(tri), paper_class: None },
-        Workload { name: "gramschmidt", category: "solvers", program: gramschmidt(n3), paper_class: None },
-        Workload { name: "correlation", category: "datamining", program: correlation(dm), paper_class: Some("CB") },
-        Workload { name: "covariance", category: "datamining", program: covariance(dm), paper_class: Some("CB") },
-        Workload { name: "jacobi-1d", category: "stencils", program: jacobi_1d(ts * 2, size.n1()), paper_class: Some("CB") },
-        Workload { name: "jacobi-2d", category: "stencils", program: jacobi_2d(ts, st), paper_class: None },
-        Workload { name: "heat-3d", category: "stencils", program: heat_3d(ts, st3), paper_class: None },
-        Workload { name: "seidel-2d", category: "stencils", program: seidel_2d(ts, st), paper_class: None },
-        Workload { name: "fdtd-2d", category: "stencils", program: fdtd_2d(ts, st), paper_class: None },
-        Workload { name: "adi", category: "stencils", program: adi(ts, st), paper_class: Some("BB") },
-        Workload { name: "deriche", category: "medley", program: deriche(n2), paper_class: Some("BB") },
-        Workload { name: "floyd-warshall", category: "medley", program: floyd_warshall(tri), paper_class: None },
-        Workload { name: "nussinov", category: "medley", program: nussinov(tri), paper_class: None },
+        Workload {
+            name: "gemm",
+            category: "blas",
+            program: gemm(n3),
+            paper_class: Some("CB"),
+        },
+        Workload {
+            name: "2mm",
+            category: "kernels",
+            program: two_mm(n3),
+            paper_class: Some("CB"),
+        },
+        Workload {
+            name: "3mm",
+            category: "kernels",
+            program: three_mm(n3),
+            paper_class: Some("CB"),
+        },
+        Workload {
+            name: "syrk",
+            category: "blas",
+            program: syrk(n3),
+            paper_class: None,
+        },
+        Workload {
+            name: "syr2k",
+            category: "blas",
+            program: syr2k(n3),
+            paper_class: None,
+        },
+        Workload {
+            name: "symm",
+            category: "blas",
+            program: symm(n3),
+            paper_class: None,
+        },
+        Workload {
+            name: "trmm",
+            category: "blas",
+            program: trmm(n3),
+            paper_class: None,
+        },
+        Workload {
+            name: "gemver",
+            category: "blas",
+            program: gemver(n2),
+            paper_class: Some("BB"),
+        },
+        Workload {
+            name: "gesummv",
+            category: "blas",
+            program: gesummv(n2),
+            paper_class: Some("BB"),
+        },
+        Workload {
+            name: "atax",
+            category: "kernels",
+            program: atax(n2),
+            paper_class: Some("BB"),
+        },
+        Workload {
+            name: "bicg",
+            category: "kernels",
+            program: bicg(n2),
+            paper_class: Some("BB"),
+        },
+        Workload {
+            name: "mvt",
+            category: "kernels",
+            program: mvt(n2),
+            paper_class: Some("BB"),
+        },
+        Workload {
+            name: "doitgen",
+            category: "kernels",
+            program: doitgen(n3 / 8, n3 / 8, n3 / 4),
+            paper_class: None,
+        },
+        Workload {
+            name: "trisolv",
+            category: "solvers",
+            program: trisolv(n2),
+            paper_class: Some("BB"),
+        },
+        Workload {
+            name: "durbin",
+            category: "solvers",
+            program: durbin(tri),
+            paper_class: Some("CB"),
+        },
+        Workload {
+            name: "lu",
+            category: "solvers",
+            program: lu(tri),
+            paper_class: None,
+        },
+        Workload {
+            name: "ludcmp",
+            category: "solvers",
+            program: ludcmp(tri),
+            paper_class: None,
+        },
+        Workload {
+            name: "cholesky",
+            category: "solvers",
+            program: cholesky(tri),
+            paper_class: None,
+        },
+        Workload {
+            name: "gramschmidt",
+            category: "solvers",
+            program: gramschmidt(n3),
+            paper_class: None,
+        },
+        Workload {
+            name: "correlation",
+            category: "datamining",
+            program: correlation(dm),
+            paper_class: Some("CB"),
+        },
+        Workload {
+            name: "covariance",
+            category: "datamining",
+            program: covariance(dm),
+            paper_class: Some("CB"),
+        },
+        Workload {
+            name: "jacobi-1d",
+            category: "stencils",
+            program: jacobi_1d(ts * 2, size.n1()),
+            paper_class: Some("CB"),
+        },
+        Workload {
+            name: "jacobi-2d",
+            category: "stencils",
+            program: jacobi_2d(ts, st),
+            paper_class: None,
+        },
+        Workload {
+            name: "heat-3d",
+            category: "stencils",
+            program: heat_3d(ts, st3),
+            paper_class: None,
+        },
+        Workload {
+            name: "seidel-2d",
+            category: "stencils",
+            program: seidel_2d(ts, st),
+            paper_class: None,
+        },
+        Workload {
+            name: "fdtd-2d",
+            category: "stencils",
+            program: fdtd_2d(ts, st),
+            paper_class: None,
+        },
+        Workload {
+            name: "adi",
+            category: "stencils",
+            program: adi(ts, st),
+            paper_class: Some("BB"),
+        },
+        Workload {
+            name: "deriche",
+            category: "medley",
+            program: deriche(n2),
+            paper_class: Some("BB"),
+        },
+        Workload {
+            name: "floyd-warshall",
+            category: "medley",
+            program: floyd_warshall(tri),
+            paper_class: None,
+        },
+        Workload {
+            name: "nussinov",
+            category: "medley",
+            program: nussinov(tri),
+            paper_class: None,
+        },
     ]
 }
 
@@ -1265,9 +1496,20 @@ mod tests {
     #[test]
     fn suite_has_paper_scale() {
         let s = polybench_suite(PolybenchSize::Mini);
-        assert!(s.len() >= 22, "paper evaluates 22 PolyBench kernels, we have {}", s.len());
+        assert!(
+            s.len() >= 22,
+            "paper evaluates 22 PolyBench kernels, we have {}",
+            s.len()
+        );
         let cats: std::collections::BTreeSet<_> = s.iter().map(|w| w.category).collect();
-        for c in ["blas", "kernels", "solvers", "datamining", "stencils", "medley"] {
+        for c in [
+            "blas",
+            "kernels",
+            "solvers",
+            "datamining",
+            "stencils",
+            "medley",
+        ] {
             assert!(cats.contains(c), "missing category {c}");
         }
     }
@@ -1302,7 +1544,11 @@ mod tests {
             (atax(8), 2 * (n * n * 4), 2 * (n * n * 2)),
             (gesummv(8), n * n * 5, n * n * 4),
             // trisolv: init n*2 + sub (n(n-1)/2)*4 + div n*3
-            (trisolv(8), n * 2 + (n * (n - 1) / 2) * 4 + n * 3, (n * (n - 1) / 2) * 2 + n),
+            (
+                trisolv(8),
+                n * 2 + (n * (n - 1) / 2) * 4 + n * 3,
+                (n * (n - 1) / 2) * 2 + n,
+            ),
             // floyd-warshall: n^3 * 4 accesses, n^3 * 2 flops
             (floyd_warshall(8), n * n * n * 4, n * n * n * 2),
         ];
@@ -1318,8 +1564,14 @@ mod tests {
     fn symmetric_kernels_have_triangular_sizes() {
         // syrk main: sum_i (i+1) * n = n^2(n+1)/2 points.
         let n = 8i128;
-        assert_eq!(syrk(8).kernels[1].domain_size().unwrap(), n * n * (n + 1) / 2);
-        assert_eq!(syr2k(8).kernels[1].domain_size().unwrap(), n * n * (n + 1) / 2);
+        assert_eq!(
+            syrk(8).kernels[1].domain_size().unwrap(),
+            n * n * (n + 1) / 2
+        );
+        assert_eq!(
+            syr2k(8).kernels[1].domain_size().unwrap(),
+            n * n * (n + 1) / 2
+        );
         // cholesky update: sum_i sum_{j<i} j = n(n-1)(n-2)/6 points.
         assert_eq!(
             cholesky(8).kernels[0].domain_size().unwrap(),
@@ -1333,8 +1585,12 @@ mod tests {
     #[test]
     fn all_kernels_have_positive_flops_except_pure_copies() {
         for w in polybench_suite(PolybenchSize::Mini) {
-            let total: i128 =
-                w.program.kernels.iter().map(|k| k.total_flops().unwrap()).sum();
+            let total: i128 = w
+                .program
+                .kernels
+                .iter()
+                .map(|k| k.total_flops().unwrap())
+                .sum();
             assert!(total > 0, "{} must perform arithmetic", w.name);
         }
     }
@@ -1370,7 +1626,10 @@ mod tests {
         for w in polybench_suite(PolybenchSize::Mini) {
             let sizes: Vec<usize> = w.program.arrays.iter().map(|a| a.len()).collect();
             for k in &w.program.kernels {
-                let mut chk = BoundsCheck { sizes: &sizes, ok: true };
+                let mut chk = BoundsCheck {
+                    sizes: &sizes,
+                    ok: true,
+                };
                 interpret_kernel(&w.program, k, &mut chk);
                 assert!(chk.ok, "{}::{} accesses out of bounds", w.name, k.name);
             }

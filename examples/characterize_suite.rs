@@ -22,7 +22,10 @@ fn main() {
             pipeline.roofline.time_balance(f_ref),
             f_ref
         );
-        println!("{:<14} {:>10} {:>10} {:>6} {:>10}", "kernel", "OI est", "OI meas", "class", "peak frac");
+        println!(
+            "{:<14} {:>10} {:>10} {:>6} {:>10}",
+            "kernel", "OI est", "OI meas", "class", "peak frac"
+        );
         let (mut cb, mut bb) = (0, 0);
         for w in polybench_suite(size) {
             let out = match pipeline.compile_affine(&w.program) {

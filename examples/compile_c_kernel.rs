@@ -25,14 +25,21 @@ const SOURCE: &str = r#"
 
 fn main() {
     let program = parse_scop(SOURCE, "mvt").expect("valid SCoP");
-    println!("parsed `mvt` from C: {} arrays, {} loop nests\n", program.arrays.len(), program.kernels.len());
+    println!(
+        "parsed `mvt` from C: {} arrays, {} loop nests\n",
+        program.arrays.len(),
+        program.kernels.len()
+    );
     println!("{program}");
 
     let platform = Platform::broadwell();
     let pipeline = Pipeline::new(platform.clone());
     let out = pipeline.compile_affine(&program).expect("analysis");
     for (ch, cap) in out.characterizations.iter().zip(&out.caps_ghz) {
-        println!("kernel {:<10} OI {:>6.2} FpB  {}  cap {:.1} GHz", ch.kernel, ch.oi, ch.class, cap);
+        println!(
+            "kernel {:<10} OI {:>6.2} FpB  {}  cap {:.1} GHz",
+            ch.kernel, ch.oi, ch.class, cap
+        );
     }
 
     let engine = ExecutionEngine::new(platform.clone());

@@ -22,9 +22,24 @@ fn main() {
         uncore_max_ghz: 2.0,
         uncore_step_ghz: 0.1,
         hierarchy: CacheHierarchy::new(vec![
-            CacheLevelConfig { size_bytes: 32 << 10, line_bytes: 64, assoc: 8, shared: false },
-            CacheLevelConfig { size_bytes: 512 << 10, line_bytes: 64, assoc: 8, shared: false },
-            CacheLevelConfig { size_bytes: 4 << 20, line_bytes: 64, assoc: 16, shared: true },
+            CacheLevelConfig {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                assoc: 8,
+                shared: false,
+            },
+            CacheLevelConfig {
+                size_bytes: 512 << 10,
+                line_bytes: 64,
+                assoc: 8,
+                shared: false,
+            },
+            CacheLevelConfig {
+                size_bytes: 4 << 20,
+                line_bytes: 64,
+                assoc: 16,
+                shared: true,
+            },
         ]),
         flops_per_cycle: 8.0,
         private_hit_latency_ns: vec![1.5, 4.0],

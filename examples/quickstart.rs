@@ -13,16 +13,20 @@ fn main() {
     //    and power rooflines by one-time microbenchmarking.
     let platform = Platform::broadwell();
     let pipeline = Pipeline::new(platform.clone()).with_objective(Objective::Edp);
-    println!("calibrated {}: peak {:.0} Gflop/s, balance {:.1} FpB at {:.1} GHz",
+    println!(
+        "calibrated {}: peak {:.0} Gflop/s, balance {:.1} FpB at {:.1} GHz",
         platform.name,
         pipeline.roofline.peak_flops / 1e9,
         pipeline.roofline.time_balance(platform.uncore_max_ghz),
-        platform.uncore_max_ghz);
+        platform.uncore_max_ghz
+    );
 
     // 2. Compile: Pluto tiling/parallelization, PolyUFC-CM cache analysis,
     //    roofline characterization, POLYUFC-SEARCH, cap insertion.
     let program = polybench::gemm(512);
-    let out = pipeline.compile_affine(&program).expect("analysis succeeds");
+    let out = pipeline
+        .compile_affine(&program)
+        .expect("analysis succeeds");
     for (ch, res) in out.characterizations.iter().zip(&out.search) {
         println!(
             "kernel {:<12} OI {:>8.2} FpB  class {}  cap {:.1} GHz ({} search steps)",

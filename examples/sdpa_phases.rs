@@ -16,9 +16,18 @@ fn main() {
     // Multi-level phase report: one torch op hides a CB -> BB* -> CB
     // structure that only the linalg/affine levels expose.
     let phases = ml.phase_report(&w.graph, w.elem).expect("analysis");
-    println!("torch  level phases: {}", PhaseReport::phase_string(&phases.tensor));
-    println!("linalg level phases: {}", PhaseReport::phase_string(&phases.linalg));
-    println!("affine level phases: {}", PhaseReport::phase_string(&phases.affine));
+    println!(
+        "torch  level phases: {}",
+        PhaseReport::phase_string(&phases.tensor)
+    );
+    println!(
+        "linalg level phases: {}",
+        PhaseReport::phase_string(&phases.linalg)
+    );
+    println!(
+        "affine level phases: {}",
+        PhaseReport::phase_string(&phases.affine)
+    );
 
     // Cap application granularity trade-off.
     let engine = ExecutionEngine::new(platform.clone());

@@ -89,10 +89,19 @@ fn trisolv_c_matches_builder_trace() {
 fn c_source_gets_same_caps_as_builder() {
     let plat = Platform::broadwell();
     let pipe = Pipeline::new(plat);
-    let from_c = pipe.compile_affine(&parse_scop(MVT_C, "mvt").unwrap()).unwrap();
+    let from_c = pipe
+        .compile_affine(&parse_scop(MVT_C, "mvt").unwrap())
+        .unwrap();
     let native = pipe.compile_affine(&polybench::mvt(512)).unwrap();
-    assert_eq!(from_c.caps_ghz, native.caps_ghz, "frontend must not change decisions");
-    for (a, b) in from_c.characterizations.iter().zip(&native.characterizations) {
+    assert_eq!(
+        from_c.caps_ghz, native.caps_ghz,
+        "frontend must not change decisions"
+    );
+    for (a, b) in from_c
+        .characterizations
+        .iter()
+        .zip(&native.characterizations)
+    {
         assert_eq!(a.class, b.class);
         assert!((a.oi - b.oi).abs() < 1e-9 * (1.0 + a.oi.abs()));
     }
@@ -105,5 +114,8 @@ fn parsed_program_survives_pluto() {
     let (opt, report) = PlutoOptimizer::default().optimize(&p);
     assert!(report.decisions[1].tiled, "the matmul nest must tile");
     let (a, b) = (trace(&p), trace(&opt));
-    assert_eq!(a.accesses, b.accesses, "tiling must preserve the trace multiset");
+    assert_eq!(
+        a.accesses, b.accesses,
+        "tiling must preserve the trace multiset"
+    );
 }

@@ -48,7 +48,9 @@ fn full_suite_compiles_on_both_platforms() {
 fn ml_suite_compiles() {
     let pipe = Pipeline::new(Platform::raptor_lake());
     for w in ml_suite() {
-        let out = pipe.compile_tensor(&w.graph, w.elem).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let out = pipe
+            .compile_tensor(&w.graph, w.elem)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(!out.caps_ghz.is_empty(), "{}", w.name);
     }
 }
@@ -122,10 +124,18 @@ fn objectives_order_sensibly() {
         let en = results[1];
         // Performance objective: within a whisker of the fastest.
         let fastest = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
-        assert!(perf.1 <= fastest * 1.03, "{}: perf objective too slow", w.name);
+        assert!(
+            perf.1 <= fastest * 1.03,
+            "{}: perf objective too slow",
+            w.name
+        );
         // Energy objective: no other objective strictly beats it on energy.
         let least = results.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
-        assert!(en.2 <= least * 1.05, "{}: energy objective wasteful", w.name);
+        assert!(
+            en.2 <= least * 1.05,
+            "{}: energy objective wasteful",
+            w.name
+        );
     }
 }
 

@@ -23,7 +23,10 @@ fn bert_sdpa_reproduces_fig5_structure() {
         .iter()
         .filter(|(_, c)| *c == Boundedness::BandwidthBound)
         .count();
-    assert!(mid_bb >= 5, "middle region must be dominated by BB ops, got {mid_bb}/7");
+    assert!(
+        mid_bb >= 5,
+        "middle region must be dominated by BB ops, got {mid_bb}/7"
+    );
 }
 
 #[test]
@@ -31,7 +34,11 @@ fn granularity_controls_cap_count() {
     let w = sdpa_gemma2();
     let plat = Platform::broadwell();
     let mut caps_per_gran = Vec::new();
-    for gran in [CapGranularity::Tensor, CapGranularity::Linalg, CapGranularity::Affine] {
+    for gran in [
+        CapGranularity::Tensor,
+        CapGranularity::Linalg,
+        CapGranularity::Affine,
+    ] {
         let mut ml = MlPolyUfc::new(Pipeline::new(plat.clone()));
         ml.pipeline.cap_switch_guard = 0.0;
         ml.granularity = gran;
@@ -43,7 +50,10 @@ fn granularity_controls_cap_count() {
     // more (never fewer).
     assert_eq!(caps_per_gran[0], 1);
     assert!(caps_per_gran[1] >= caps_per_gran[0]);
-    assert_eq!(caps_per_gran[1], caps_per_gran[2], "linalg == affine for 1:1 lowering");
+    assert_eq!(
+        caps_per_gran[1], caps_per_gran[2],
+        "linalg == affine for 1:1 lowering"
+    );
 }
 
 #[test]
@@ -71,13 +81,22 @@ fn multi_op_graph_gets_per_op_groups() {
     let mut g = TensorGraph::new("two_ops");
     g.push(TensorOp {
         name: "attn".into(),
-        kind: TensorOpKind::Sdpa { b: 1, h: 2, s: 32, d: 16 },
+        kind: TensorOpKind::Sdpa {
+            b: 1,
+            h: 2,
+            s: 32,
+            d: 16,
+        },
         inputs: vec!["Q".into(), "K".into(), "V".into()],
         output: "attn_out".into(),
     });
     g.push(TensorOp {
         name: "proj".into(),
-        kind: TensorOpKind::MatMul { m: 64, n: 16, k: 16 },
+        kind: TensorOpKind::MatMul {
+            m: 64,
+            n: 16,
+            k: 16,
+        },
         inputs: vec!["attn_flat".into(), "W".into()],
         output: "Y".into(),
     });

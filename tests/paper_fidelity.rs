@@ -14,7 +14,9 @@ fn named_kernels_classify_like_the_paper() {
     let pipe = Pipeline::new(Platform::raptor_lake());
     let mut failures = Vec::new();
     for w in polybench_suite(PolybenchSize::Large) {
-        let Some(expected) = w.paper_class else { continue };
+        let Some(expected) = w.paper_class else {
+            continue;
+        };
         let out = match pipe.compile_affine(&w.program) {
             Ok(o) => o,
             Err(e) => {
@@ -34,7 +36,11 @@ fn named_kernels_classify_like_the_paper() {
             failures.push(format!("{}: paper says {expected}, we say {got}", w.name));
         }
     }
-    assert!(failures.is_empty(), "classification mismatches:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "classification mismatches:\n{}",
+        failures.join("\n")
+    );
 }
 
 /// Sec. VII-F: 100 MHz precision gives ≈39 search steps on RPL.

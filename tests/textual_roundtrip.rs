@@ -10,8 +10,8 @@ use polyufc_workloads::{ml_suite, polybench_suite, PolybenchSize};
 fn polybench_suite_roundtrips() {
     for w in polybench_suite(PolybenchSize::Mini) {
         let text = w.program.to_string();
-        let parsed = parse_affine_program(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}\n{text}", w.name));
+        let parsed =
+            parse_affine_program(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", w.name));
         assert_eq!(parsed.to_string(), text, "{} must round-trip", w.name);
         let mut a = TraceStats::default();
         interpret_program(&w.program, &mut a);
@@ -26,8 +26,7 @@ fn ml_suite_roundtrips() {
     for w in ml_suite() {
         let p = lower_tensor_to_linalg(&w.graph, w.elem).lower_to_affine();
         let text = p.to_string();
-        let parsed =
-            parse_affine_program(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let parsed = parse_affine_program(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(parsed.to_string(), text, "{} must round-trip", w.name);
     }
 }
@@ -42,7 +41,11 @@ fn tiled_programs_roundtrip() {
     let (opt, _) = PlutoOptimizer::default().optimize(&w.program);
     let text = opt.to_string();
     let parsed = parse_affine_program(&text).unwrap();
-    assert_eq!(parsed.to_string(), text, "tiled (min/max bounds) must round-trip");
+    assert_eq!(
+        parsed.to_string(),
+        text,
+        "tiled (min/max bounds) must round-trip"
+    );
     let mut a = TraceStats::default();
     interpret_program(&opt, &mut a);
     let mut b = TraceStats::default();

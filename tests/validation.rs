@@ -75,10 +75,17 @@ fn model_time_tracks_machine() {
             if ratio < 2.0 {
                 good += 1;
             }
-            assert!(ratio < 15.0, "{} at {f} GHz: est {t_est:.3e} vs hw {t_hw:.3e}", w.name);
+            assert!(
+                ratio < 15.0,
+                "{} at {f} GHz: est {t_est:.3e} vs hw {t_hw:.3e}",
+                w.name
+            );
         }
     }
-    assert!(good * 4 >= total * 3, "only {good}/{total} time estimates within 2x");
+    assert!(
+        good * 4 >= total * 3,
+        "only {good}/{total} time estimates within 2x"
+    );
 }
 
 /// PolyUFC-CM's LLC miss counts vs. the exact simulator across the suite:
@@ -111,7 +118,10 @@ fn cache_model_tracks_simulator() {
             );
         }
     }
-    assert!(close * 2 >= total, "only {close}/{total} kernels within 2x LLC misses");
+    assert!(
+        close * 2 >= total,
+        "only {close}/{total} kernels within 2x LLC misses"
+    );
 }
 
 /// The characterization threshold B^t(f) and the machine agree on deep
@@ -140,10 +150,18 @@ fn boundedness_matches_machine_behavior() {
         let oi = main.1.operational_intensity();
         let balance = pipe.roofline.time_balance(plat.uncore_max_ghz);
         if oi > 3.0 * balance {
-            assert!(t_lo < t_hi * 1.25, "{}: deep CB but uncore-sensitive", w.name);
+            assert!(
+                t_lo < t_hi * 1.25,
+                "{}: deep CB but uncore-sensitive",
+                w.name
+            );
         }
         if oi < balance / 3.0 {
-            assert!(t_hi < t_lo * 0.7, "{}: deep BB but uncore-insensitive", w.name);
+            assert!(
+                t_hi < t_lo * 0.7,
+                "{}: deep BB but uncore-insensitive",
+                w.name
+            );
         }
     }
 }

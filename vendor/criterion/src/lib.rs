@@ -1,0 +1,95 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! small harness exposing the `Criterion`/`Bencher` API the benches use.
+//! Instead of criterion's statistical machinery it runs a short warm-up,
+//! then times a fixed-duration measurement loop and prints mean
+//! time-per-iteration — enough to track performance PR-over-PR.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    measure: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: Duration::from_millis(600),
+            warmup: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` under a [`Bencher`] and prints the mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        println!("bench {id:<40} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Timing loop driver passed to the closure of `bench_function`.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the measurement budget is
+    /// spent, keeping each return value alive via a sink read.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run without recording.
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            std::hint::black_box(routine());
+        }
+        // Measurement.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Declares a benchmark group: a runner function invoking each benchmark
+/// with a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

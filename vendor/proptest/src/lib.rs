@@ -1,0 +1,427 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! minimal property-testing harness covering the surface this repo uses:
+//! the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, numeric range
+//! and tuple strategies, `Just`, `any::<T>()`, `prop_oneof!`, `prop_map`,
+//! and `collection::vec`.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports its inputs (via the assert
+//!   message) but is not minimized.
+//! - **Deterministic seeding.** Each test's RNG is seeded from the test
+//!   name, so failures reproduce exactly on every run and host.
+
+pub mod test_runner {
+    /// Per-test configuration (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG seeded directly from `seed`.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// RNG seeded from a test's name (FNV-1a), so every test gets an
+        /// independent but fully reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf29ce484222325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng::new(h)
+        }
+
+        /// Next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform double in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[lo, hi]` (inclusive), computed in i128 so
+        /// any primitive integer range is safe.
+        pub fn next_in_range(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo + 1) as u128;
+            lo + (self.next_u64() as u128 % span) as i128
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a strategy
+    /// simply samples from an RNG stream.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weightless union of boxed strategies; each sample picks one
+    /// uniformly. Built by the `prop_oneof!` macro.
+    pub struct Union<T> {
+        /// The alternative strategies to choose between.
+        pub options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let ix = rng.next_in_range(0, self.options.len() as i128 - 1) as usize;
+            self.options[ix].sample(rng)
+        }
+    }
+
+    /// Boxes a strategy as a trait object (helper for `prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.next_in_range(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.next_in_range(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.next_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $ix:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$ix.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draws an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy over every value of `T` (returned by [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.lo < self.size.hi, "empty size range");
+            let len = rng.next_in_range(self.size.lo as i128, self.size.hi as i128 - 1) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with the given element strategy and length range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases; `prop_assert*`
+/// failures report the case number and message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $(let $parm = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body; ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "property {} failed on case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, msg,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the current case with a
+/// formatted message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, with Debug output of both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), lhs, rhs,
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), lhs, rhs),
+            );
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, with Debug output of both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs,
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            options: vec![$($crate::strategy::boxed($s)),+],
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! minimal stub that provides the *names* the codebase relies on —
+//! `Serialize`/`Deserialize` marker traits and their derives — without any
+//! actual serialization machinery. The repo only uses the derives as
+//! forward-looking annotations (nothing serializes yet), so empty trait
+//! impls are sufficient and keep the tree building fully offline.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

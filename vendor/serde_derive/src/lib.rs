@@ -1,0 +1,55 @@
+//! No-op `Serialize`/`Deserialize` derives backing the offline serde stub.
+//!
+//! Emits empty marker-trait impls for the annotated type. Accepts (and
+//! ignores) `#[serde(...)]` helper attributes. Generic types are rejected
+//! with a clear error rather than silently miscompiled — none exist in
+//! this workspace today.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        Err(e) => e,
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        Err(e) => e,
+    }
+}
+
+/// Extracts the name of the struct/enum being derived for, rejecting
+/// generic types (the stub cannot reproduce serde's bound inference).
+fn type_name(input: TokenStream) -> Result<String, TokenStream> {
+    let err = |msg: &str| -> TokenStream { format!("compile_error!({msg:?});").parse().unwrap() };
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    _ => return Err(err("serde stub: expected a type name")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        return Err(err(
+                            "serde stub: generic types are not supported by the offline derive",
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err(err("serde stub: no struct or enum found in derive input"))
+}
