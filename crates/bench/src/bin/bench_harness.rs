@@ -2,8 +2,8 @@
 //! and emits `BENCH_harness.json` with per-harness wall-clock so the
 //! suite's performance trajectory is tracked PR-over-PR in CI.
 //!
-//! Usage: `bench_harness [mini|small|large] [out.json]` — the size preset
-//! is forwarded to every harness (CI uses `mini` to stay fast).
+//! Usage: `bench_harness [mini|small|large|xl] [out.json]` — the size
+//! preset is forwarded to every harness (CI uses `mini` to stay fast).
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -11,13 +11,14 @@ use std::process::{Command, Stdio};
 use std::time::Instant;
 
 /// The harnesses whose end-to-end wall-clock the perf trajectory tracks —
-/// the parallel-evaluation suite of this PR.
+/// the parallel-evaluation suite plus the cold-count microbenchmark.
 const HARNESSES: &[&str] = &[
     "fig1_freq_sweep",
     "fig6_characterization",
     "fig7_edp",
     "table4_compile_time",
     "baseline_dufs",
+    "count_microbench",
 ];
 
 fn main() {
@@ -25,8 +26,9 @@ fn main() {
         Some("mini") | None => "mini",
         Some("small") => "small",
         Some("large") => "large",
+        Some("xl") | Some("extralarge") => "xl",
         Some(other) => {
-            eprintln!("unknown size '{other}' (expected mini|small|large)");
+            eprintln!("unknown size '{other}' (expected mini|small|large|xl)");
             std::process::exit(2);
         }
     };

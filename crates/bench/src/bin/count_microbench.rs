@@ -1,0 +1,161 @@
+//! Cold-count microbenchmark: wall-clock of a single cache-miss Presburger
+//! count per shape class, comparing the production path (closed-form
+//! symbolic layer first) against the enumerating fallback it replaced.
+//!
+//! The shape classes mirror what the cache model feeds the counter —
+//! boxes, triangles (cholesky/lu/trisolv), bands (jacobi stencils), tiled
+//! domains with tails (Pluto output), and strided sets (div constraints).
+//! Extents follow the size preset, so `large` exercises the paper's
+//! triangular `N = 512` acceptance shape and `xl` the paper-scale
+//! `N >= 4000` domains.
+//!
+//! Usage: `count_microbench [mini|small|large|xl]`
+
+use std::time::Instant;
+
+use polyufc_bench::{print_table, size_from_args};
+use polyufc_presburger::{
+    count_basic_enumerative, symbolic_count, BasicSet, CountLimit, LinExpr, Set, Space,
+};
+use polyufc_workloads::PolybenchSize;
+
+/// One benchmark shape: a name and the set to count.
+struct Shape {
+    name: String,
+    set: BasicSet,
+}
+
+fn shapes(size: PolybenchSize) -> Vec<Shape> {
+    let n3 = size.n3() as i64;
+    let n2 = size.n2() as i64;
+    let n1 = size.n1() as i64;
+    let mut out = Vec::new();
+
+    // 3-D box (gemm-like rectangular domain).
+    let mut b = BasicSet::universe(Space::set(0, 3));
+    for d in 0..3 {
+        b.add_range(d, 0, n3 - 1);
+    }
+    out.push(Shape {
+        name: format!("box3d n={n3}"),
+        set: b,
+    });
+
+    // Triangle { 0 <= j <= i < n } — the acceptance shape at large
+    // (n3 = 512).
+    let mut b = BasicSet::universe(Space::set(0, 2));
+    b.add_range(0, 0, n3 - 1);
+    b.add_ge0(LinExpr::var(1));
+    b.add_ge0(LinExpr::var(0) - LinExpr::var(1));
+    out.push(Shape {
+        name: format!("triangle n={n3}"),
+        set: b,
+    });
+
+    // Band |i - j| <= 2 inside an n2 box (stencil dependence shape).
+    let mut b = BasicSet::universe(Space::set(0, 2));
+    b.add_range(0, 0, n2 - 1);
+    b.add_range(1, 0, n2 - 1);
+    b.add_ge0(LinExpr::var(0) - LinExpr::var(1) + LinExpr::constant(2));
+    b.add_ge0(LinExpr::var(1) - LinExpr::var(0) + LinExpr::constant(2));
+    out.push(Shape {
+        name: format!("band n={n2}"),
+        set: b,
+    });
+
+    // Tiled 1-D domain with a tail: { [t,i] : 0 <= i < n2, 32t <= i <
+    // 32t+32 } (the Pluto tile/point-loop shape).
+    let tiles = (n2 - 1).div_euclid(32);
+    let mut b = BasicSet::universe(Space::set(0, 2));
+    b.add_range(1, 0, n2 - 1);
+    b.add_range(0, 0, tiles);
+    b.add_ge0(LinExpr::var(1) - LinExpr::var(0) * 32);
+    b.add_ge0(LinExpr::var(0) * 32 + LinExpr::constant(31) - LinExpr::var(1));
+    out.push(Shape {
+        name: format!("tile n={n2}"),
+        set: b,
+    });
+
+    // Strided set { 0 <= i < n1, i mod 4 == 0 } via a determined div.
+    let mut b = BasicSet::universe(Space::set(0, 1));
+    b.add_range(0, 0, n1 - 1);
+    let q = b.add_div(LinExpr::var(0), 4);
+    b.add_eq(LinExpr::var(0) - LinExpr::var(q) * 4);
+    out.push(Shape {
+        name: format!("stride n={n1}"),
+        set: b,
+    });
+
+    out
+}
+
+/// Best-of-`reps` wall-clock of `f`, in microseconds.
+fn time_us<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+        last = Some(v);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    let size = size_from_args();
+    let reps = 3;
+    println!("# Cold Presburger count per shape class (best of {reps}, µs)");
+
+    let mut rows = Vec::new();
+    let mut triangle_speedup = None;
+    for shape in shapes(size) {
+        // Production path: symbolic first, enumerating fallback — exactly
+        // what Set::count does on a cache miss.
+        let set = Set::from_basic(shape.set.clone());
+        let (prod_us, prod_count) = time_us(reps, || {
+            set.count_with_limit(CountLimit::default()).expect("count")
+        });
+        // The pre-symbolic behaviour: enumeration only.
+        let (enum_us, enum_count) = time_us(reps, || {
+            count_basic_enumerative(&shape.set, CountLimit::default()).expect("enumerative count")
+        });
+        assert_eq!(
+            prod_count, enum_count,
+            "strategy mismatch on {}",
+            shape.name
+        );
+        let in_fragment = symbolic_count(&shape.set).is_some();
+        let speedup = enum_us / prod_us.max(1e-3);
+        if shape.name.starts_with("triangle") {
+            triangle_speedup = Some(speedup);
+        }
+        rows.push(vec![
+            shape.name.clone(),
+            format!("{prod_count}"),
+            format!("{prod_us:.1}"),
+            format!("{enum_us:.1}"),
+            format!("{speedup:.1}x"),
+            if in_fragment {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+        ]);
+    }
+    print_table(
+        &[
+            "shape",
+            "points",
+            "symbolic-first",
+            "enumerative",
+            "speedup",
+            "in fragment",
+        ],
+        &rows,
+    );
+
+    if let Some(s) = triangle_speedup {
+        println!("\ntriangle cold-count speedup: {s:.1}x (acceptance: >= 10x at large)");
+    }
+}

@@ -15,6 +15,7 @@ fn main() {
     let size = match std::env::args().nth(3).as_deref() {
         Some("mini") => PolybenchSize::Mini,
         Some("large") => PolybenchSize::Large,
+        Some("xl") | Some("extralarge") => PolybenchSize::ExtraLarge,
         _ => PolybenchSize::Small,
     };
     let program = polybench_suite(size)

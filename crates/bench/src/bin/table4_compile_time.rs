@@ -24,6 +24,16 @@ fn hit_rate(hits: u64, misses: u64) -> String {
     }
 }
 
+/// Renders the per-strategy component tallies of the cold counts as
+/// `symbolic/enumerated`.
+fn strategy(symbolic: u64, enumerated: u64) -> String {
+    if symbolic + enumerated == 0 {
+        "-".into()
+    } else {
+        format!("{symbolic}/{enumerated}")
+    }
+}
+
 fn main() {
     let size = size_from_args();
     let plat = Platform::broadwell();
@@ -45,6 +55,8 @@ fn main() {
     let ms = |us: u128| format!("{:.2}", us as f64 / 1000.0);
     let mut totals = (0u128, 0u128, 0u128, 0u128);
     let mut cache_totals = (0u64, 0u64);
+    let mut strategy_totals = (0u64, 0u64);
+    let mut all_fallbacks: Vec<String> = Vec::new();
     // Compiles are independent; fan them out and aggregate the
     // input-ordered reports sequentially. Per-stage wall-clocks are
     // measured inside each compile, so rows stay meaningful (modulo
@@ -61,6 +73,11 @@ fn main() {
                 totals.3 += r.steps_4_6_us;
                 cache_totals.0 += r.count_cache_hits;
                 cache_totals.1 += r.count_cache_misses;
+                strategy_totals.0 += r.count_symbolic;
+                strategy_totals.1 += r.count_enumerated;
+                for k in &r.fallback_kernels {
+                    all_fallbacks.push(format!("{name}/{k}"));
+                }
                 rows.push(vec![
                     name.clone(),
                     ms(r.preprocess_us),
@@ -69,6 +86,7 @@ fn main() {
                     ms(r.steps_4_6_us),
                     ms(r.total_us()),
                     hit_rate(r.count_cache_hits, r.count_cache_misses),
+                    strategy(r.count_symbolic, r.count_enumerated),
                 ]);
             }
             Err(e) => {
@@ -79,6 +97,7 @@ fn main() {
                     "-".into(),
                     "-".into(),
                     format!("failed: {e}"),
+                    "-".into(),
                     "-".into(),
                 ]);
             }
@@ -92,6 +111,7 @@ fn main() {
         ms(totals.3),
         ms(totals.0 + totals.1 + totals.2 + totals.3),
         hit_rate(cache_totals.0, cache_totals.1),
+        strategy(strategy_totals.0, strategy_totals.1),
     ]);
     print_table(
         &[
@@ -102,9 +122,20 @@ fn main() {
             "steps 4-6",
             "total",
             "count cache",
+            "sym/enum",
         ],
         &rows,
     );
+    if all_fallbacks.is_empty() {
+        println!("\nfallback kernels: none (all analyses finished within the solver budget)");
+    } else {
+        println!(
+            "\nfallback kernels ({}): {}",
+            all_fallbacks.len(),
+            all_fallbacks.join(", ")
+        );
+    }
     println!("\n(The paper's flow times out at 30 min on some kernels and resets f_c to max;");
-    println!(" our PolyUFC-CM uses a solver work budget with the same fallback semantics.)");
+    println!(" our PolyUFC-CM uses a solver work budget with the same fallback semantics.");
+    println!(" 'sym/enum' tallies coupled components counted in closed form vs enumerated.)");
 }

@@ -174,12 +174,13 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (s / xs.len() as f64).exp()
 }
 
-/// Reads the size preset from argv (`mini` / `small` / `large`; default
-/// large — the evaluation setting).
+/// Reads the size preset from argv (`mini` / `small` / `large` /
+/// `xl`|`extralarge`; default large — the evaluation setting).
 pub fn size_from_args() -> PolybenchSize {
     match std::env::args().nth(1).as_deref() {
         Some("mini") => PolybenchSize::Mini,
         Some("small") => PolybenchSize::Small,
+        Some("xl") | Some("extralarge") => PolybenchSize::ExtraLarge,
         _ => PolybenchSize::Large,
     }
 }

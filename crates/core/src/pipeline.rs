@@ -41,6 +41,13 @@ pub struct CompileReport {
     pub count_cache_hits: u64,
     /// Presburger counting queries that had to run the full counter.
     pub count_cache_misses: u64,
+    /// Coupled components resolved by the closed-form symbolic counting
+    /// layer (size-independent work) across all cache misses.
+    pub count_symbolic: u64,
+    /// Coupled components that fell back to the recursive enumerator.
+    pub count_enumerated: u64,
+    /// Cache entries discarded by the counting cache's capacity guard.
+    pub count_cache_evictions: u64,
 }
 
 impl CompileReport {
@@ -268,6 +275,9 @@ impl Pipeline {
                 steps_4_6_us,
                 count_cache_hits: count_cache.hits(),
                 count_cache_misses: count_cache.misses(),
+                count_symbolic: count_cache.symbolic(),
+                count_enumerated: count_cache.enumerated(),
+                count_cache_evictions: count_cache.evictions(),
             },
             pluto_report,
         })

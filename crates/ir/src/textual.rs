@@ -344,10 +344,9 @@ mod tests {
         // Every mini PolyBench program round-trips.
         // (Uses only the ir crate: rebuild a couple of representative
         // kernels inline to avoid a dev-dependency cycle.)
-        for p in [sample_program()] {
-            let q = parse_affine_program(&p.to_string()).unwrap();
-            assert_eq!(p.to_string(), q.to_string());
-        }
+        let p = sample_program();
+        let q = parse_affine_program(&p.to_string()).unwrap();
+        assert_eq!(p.to_string(), q.to_string());
     }
 
     #[test]

@@ -4,16 +4,20 @@
 //! The counter works on the solver [`System`]: after interval propagation
 //! and fixing of singleton variables, the variable-interaction graph is
 //! split into connected components whose counts multiply. Single-variable
-//! components are counted in closed form from their propagated interval;
-//! multi-variable components enumerate the narrowest variable and recurse.
-//! For the box-like and tile-shaped sets produced by affine loop nests this
-//! collapses to near-closed-form evaluation.
+//! components are counted in closed form from their propagated interval.
+//! Multi-variable components are handed to the closed-form symbolic layer
+//! first ([`crate::polysum`]): Fourier–Motzkin bound derivation plus
+//! Faulhaber summation collapses triangle, trapezoid, banded, and
+//! tile-tail shapes to work independent of the problem size. Components
+//! outside the symbolic fragment fall back to enumerating the narrowest
+//! variable and recursing, so every query that terminated before still
+//! terminates with the identical count.
 
 use std::collections::HashMap;
 
 use crate::basic::{Budget, System};
 use crate::error::{Error, Result};
-use crate::{ConstraintKind, LinExpr};
+use crate::{polysum, BasicSet, Constraint, ConstraintKind, LinExpr};
 
 /// A work limit for counting, in solver steps.
 ///
@@ -29,11 +33,64 @@ impl Default for CountLimit {
     }
 }
 
+/// Per-invocation strategy tallies: how many coupled components were
+/// resolved by the closed-form symbolic layer vs the enumerating fallback.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StrategyStats {
+    /// Components counted in closed form by [`crate::polysum`].
+    pub symbolic: u64,
+    /// Components that fell back to branch-and-recurse enumeration.
+    pub enumerated: u64,
+}
+
+/// Shared state of one counting invocation.
+struct Ctx {
+    budget: Budget,
+    /// When false, the symbolic layer is skipped entirely — the reference
+    /// behaviour for differential testing.
+    allow_symbolic: bool,
+    stats: StrategyStats,
+}
+
 /// Counts the integer solutions of a system where every variable is free.
 pub(crate) fn count_system(sys: &System, limit: CountLimit) -> Result<i128> {
-    let mut budget = Budget::with_limit(limit.0);
+    count_system_with_stats(sys, limit, true).map(|(c, _)| c)
+}
+
+/// Counts with an explicit strategy switch, reporting per-strategy tallies
+/// alongside the count.
+pub(crate) fn count_system_with_stats(
+    sys: &System,
+    limit: CountLimit,
+    allow_symbolic: bool,
+) -> Result<(i128, StrategyStats)> {
+    let mut ctx = Ctx {
+        budget: Budget::with_limit(limit.0),
+        allow_symbolic,
+        stats: StrategyStats::default(),
+    };
     let active: Vec<usize> = (0..sys.n).collect();
-    count_rec(sys.clone(), &active, &mut budget)
+    let c = count_rec(sys.clone(), &active, &mut ctx)?;
+    Ok((c, ctx.stats))
+}
+
+/// Counts a basic set with the symbolic closed-form layer disabled: every
+/// coupled component is resolved by the recursive enumerator. This is the
+/// reference oracle of the differential test suite — production counting
+/// ([`crate::Set::count`]) tries [`crate::symbolic_count`]'s machinery
+/// first and falls back to exactly this path.
+///
+/// # Errors
+///
+/// Returns [`Error::UndeterminedDivs`] if a div lacks a definition, and
+/// propagates budget/unboundedness errors.
+pub fn count_basic_enumerative(set: &BasicSet, limit: CountLimit) -> Result<i128> {
+    if !set.all_divs_determined() {
+        return Err(Error::UndeterminedDivs {
+            operation: "count_basic_enumerative",
+        });
+    }
+    count_system_with_stats(&set.system(), limit, false).map(|(c, _)| c)
 }
 
 /// Canonical form of one constraint: `(kind, constant, sorted terms)` with
@@ -96,17 +153,53 @@ pub(crate) fn count_key(sys: &System, limit: CountLimit) -> CountKey {
 /// set provably equals a previously answered one. Only successful counts
 /// are cached; errors (budget, unboundedness) are recomputed so their
 /// diagnostics stay accurate.
-#[derive(Debug, Clone, Default)]
+///
+/// The cache is bounded: once [`CountCache::len`] reaches
+/// [`CountCache::capacity`], the next insert clears the map (a generational
+/// reset — cheaper and less pathological than per-entry LRU for the
+/// compile pipeline's bursty, phase-local reuse). Evicted entries are
+/// tallied in [`CountCache::evictions`]. The cache also aggregates the
+/// per-strategy tallies of every miss it computed, surfaced through
+/// [`CountCache::symbolic`] / [`CountCache::enumerated`].
+#[derive(Debug, Clone)]
 pub struct CountCache {
     map: HashMap<CountKey, i128>,
     hits: u64,
     misses: u64,
+    symbolic: u64,
+    enumerated: u64,
+    evictions: u64,
+    capacity: usize,
+}
+
+impl Default for CountCache {
+    fn default() -> Self {
+        CountCache::with_capacity(CountCache::DEFAULT_CAPACITY)
+    }
 }
 
 impl CountCache {
-    /// An empty cache.
+    /// Default entry bound: far above what one multi-program compile
+    /// session produces (the full large suite stays in the low thousands),
+    /// yet small enough to keep worst-case memory in the tens of MiB.
+    pub const DEFAULT_CAPACITY: usize = 32_768;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         CountCache::default()
+    }
+
+    /// An empty cache bounded to `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CountCache {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            symbolic: 0,
+            enumerated: 0,
+            evictions: 0,
+            capacity,
+        }
     }
 
     /// Queries answered from the cache.
@@ -129,16 +222,56 @@ impl CountCache {
         self.map.is_empty()
     }
 
-    /// Folds another cache's hit/miss counters into this one (used when
-    /// per-kernel caches are aggregated into a compile report).
+    /// The entry bound above which an insert clears the cache.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries discarded by the capacity guard so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Coupled components resolved by the closed-form symbolic layer
+    /// across all misses computed through this cache.
+    pub fn symbolic(&self) -> u64 {
+        self.symbolic
+    }
+
+    /// Coupled components that fell back to the recursive enumerator
+    /// across all misses computed through this cache.
+    pub fn enumerated(&self) -> u64 {
+        self.enumerated
+    }
+
+    /// Estimated heap footprint of the cached entries, in bytes. An
+    /// estimate (hash-map overhead is approximated by the table capacity),
+    /// meant for growth monitoring rather than exact accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<CountKey>() + std::mem::size_of::<i128>();
+        let mut total = self.map.capacity() * slot;
+        for key in self.map.keys() {
+            total += key.constraints.capacity() * std::mem::size_of::<CanonConstraint>();
+            for (_, _, terms) in &key.constraints {
+                total += terms.capacity() * std::mem::size_of::<(usize, i64)>();
+            }
+        }
+        total
+    }
+
+    /// Folds another cache's counters into this one (used when per-kernel
+    /// caches are aggregated into a compile report).
     pub fn absorb_stats(&mut self, other: &CountCache) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.symbolic += other.symbolic;
+        self.enumerated += other.enumerated;
+        self.evictions += other.evictions;
     }
 }
 
 /// Counts through the cache: canonical-key lookup first, full counter on a
-/// miss, successful results inserted.
+/// miss, successful results inserted under the capacity guard.
 pub(crate) fn count_system_cached(
     sys: &System,
     limit: CountLimit,
@@ -150,14 +283,20 @@ pub(crate) fn count_system_cached(
         return Ok(c);
     }
     cache.misses += 1;
-    let c = count_system(sys, limit)?;
+    let (c, stats) = count_system_with_stats(sys, limit, true)?;
+    cache.symbolic += stats.symbolic;
+    cache.enumerated += stats.enumerated;
+    if cache.map.len() >= cache.capacity {
+        cache.evictions += cache.map.len() as u64;
+        cache.map.clear();
+    }
     cache.map.insert(key, c);
     Ok(c)
 }
 
-fn count_rec(mut sys: System, active: &[usize], budget: &mut Budget) -> Result<i128> {
-    budget.tick(1)?;
-    let Some(iv) = sys.propagate(budget)? else {
+fn count_rec(mut sys: System, active: &[usize], ctx: &mut Ctx) -> Result<i128> {
+    ctx.budget.tick(1)?;
+    let Some(iv) = sys.propagate(&mut ctx.budget)? else {
         return Ok(0);
     };
 
@@ -175,8 +314,8 @@ fn count_rec(mut sys: System, active: &[usize], budget: &mut Budget) -> Result<i
         if c.expr.is_constant() {
             let k = c.expr.constant_term();
             let ok = match c.kind {
-                crate::ConstraintKind::Eq => k == 0,
-                crate::ConstraintKind::GeZero => k >= 0,
+                ConstraintKind::Eq => k == 0,
+                ConstraintKind::GeZero => k >= 0,
             };
             if !ok {
                 return Ok(0);
@@ -196,7 +335,7 @@ fn count_rec(mut sys: System, active: &[usize], budget: &mut Budget) -> Result<i
     if remaining.is_empty() {
         return Ok(1);
     }
-    let Some(iv) = sys.propagate(budget)? else {
+    let Some(iv) = sys.propagate(&mut ctx.budget)? else {
         return Ok(0);
     };
 
@@ -204,7 +343,7 @@ fn count_rec(mut sys: System, active: &[usize], budget: &mut Budget) -> Result<i
     let components = connected_components(&sys, &remaining);
     let mut total: i128 = 1;
     for comp in components {
-        let c = count_component(&sys, &comp, &iv, budget)?;
+        let c = count_component(&sys, &comp, &iv, ctx)?;
         total = total.checked_mul(c).ok_or(Error::Overflow)?;
         if total == 0 {
             return Ok(0);
@@ -217,7 +356,7 @@ fn count_component(
     sys: &System,
     comp: &[usize],
     iv: &[crate::basic::Interval],
-    budget: &mut Budget,
+    ctx: &mut Ctx,
 ) -> Result<i128> {
     if comp.len() == 1 {
         let v = comp[0];
@@ -231,15 +370,35 @@ fn count_component(
         return Ok((hi - lo + 1) as i128);
     }
     // Restrict to the component's constraints (constraints touching only
-    // fixed or other-component variables are irrelevant here).
-    let comp_set: std::collections::HashSet<usize> = comp.iter().copied().collect();
-    let constraints: Vec<_> = sys
+    // fixed or other-component variables are irrelevant here), filtered
+    // once per recursion through a bitmap.
+    let mut in_comp = vec![false; sys.n];
+    for &v in comp {
+        in_comp[v] = true;
+    }
+    let constraints: Vec<Constraint> = sys
         .constraints
         .iter()
-        .filter(|c| c.expr.terms().any(|(i, _)| comp_set.contains(&i)))
+        .filter(|c| {
+            c.expr
+                .terms()
+                .any(|(i, _)| in_comp.get(i).copied().unwrap_or(false))
+        })
         .cloned()
         .collect();
     let sub = System::new(sys.n, constraints);
+
+    // First choice: the closed-form symbolic layer. It either answers
+    // exactly (size-independent work) or declines, in which case the
+    // verified enumerating fallback below takes over.
+    if ctx.allow_symbolic {
+        if let Some(c) = polysum::try_count(&sub, comp) {
+            ctx.stats.symbolic += 1;
+            ctx.budget.tick(comp.len() as u64)?;
+            return Ok(c);
+        }
+    }
+    ctx.stats.enumerated += 1;
 
     // Branch on the variable with the smallest finite width.
     let mut best: Option<(usize, i64)> = None;
@@ -256,12 +415,32 @@ fn count_component(
     let (lo, hi) = (iv[var].lo.unwrap(), iv[var].hi.unwrap());
     let rest: Vec<usize> = comp.iter().copied().filter(|&v| v != var).collect();
     let mut total: i128 = 0;
-    for x in lo..=hi {
-        budget.tick(1)?;
-        let mut s = sub.clone();
-        s.substitute(var, x);
+    // Substituted constraints are built in a single pass per iteration
+    // (instead of cloning the scratch system and rewriting it in place);
+    // constant constraints are decided on the spot, so contradictory
+    // branches cost no recursive call and satisfied ones shrink the child
+    // system.
+    'branch: for x in lo..=hi {
+        ctx.budget.tick(1)?;
+        let mut constraints = Vec::with_capacity(sub.constraints.len());
+        for c in &sub.constraints {
+            let expr = c.expr.substitute_const(var, x);
+            if expr.is_constant() {
+                let k = expr.constant_term();
+                let ok = match c.kind {
+                    ConstraintKind::Eq => k == 0,
+                    ConstraintKind::GeZero => k >= 0,
+                };
+                if ok {
+                    continue;
+                }
+                continue 'branch;
+            }
+            constraints.push(Constraint { expr, kind: c.kind });
+        }
+        let s = System::new(sys.n, constraints);
         total = total
-            .checked_add(count_rec(s, &rest, budget)?)
+            .checked_add(count_rec(s, &rest, ctx)?)
             .ok_or(Error::Overflow)?;
     }
     Ok(total)
@@ -382,13 +561,15 @@ mod tests {
 
     #[test]
     fn budget_exceeded_reported() {
-        // A coupled 3-D set that genuinely needs enumeration.
+        // A coupled 3-D set counted with the symbolic layer disabled: the
+        // enumerator genuinely needs per-point work, so a tiny budget must
+        // surface as a reported error.
         let mut b = BasicSet::universe(Space::set(0, 3));
         for d in 0..3 {
             b.add_range(d, 0, 999);
         }
         b.add_ge0(LinExpr::var(0) + LinExpr::var(1) + LinExpr::var(2) - LinExpr::constant(1));
-        match count_system(&b.system(), CountLimit(50)) {
+        match count_basic_enumerative(&b, CountLimit(50)) {
             Err(Error::SearchBudgetExceeded { .. }) => {}
             other => panic!("expected budget error, got {other:?}"),
         }
@@ -402,5 +583,103 @@ mod tests {
         b.add_range(1, 0, 9);
         b.add_eq(LinExpr::var(0) - LinExpr::var(1));
         assert_eq!(count(&b), 10);
+    }
+
+    #[test]
+    fn symbolic_strategy_resolves_triangle() {
+        // The coupled triangle must be answered by the closed-form layer,
+        // with no component falling back to enumeration.
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 9);
+        b.add_ge0(LinExpr::var(1));
+        b.add_ge0(LinExpr::var(0) - LinExpr::var(1));
+        let (c, stats) = count_system_with_stats(&b.system(), CountLimit::default(), true).unwrap();
+        assert_eq!(c, 55);
+        assert!(stats.symbolic >= 1);
+        assert_eq!(stats.enumerated, 0);
+    }
+
+    #[test]
+    fn symbolic_makes_huge_triangles_cheap() {
+        // { [i,j] : 0 <= i < N, 0 <= j <= i } at N = 1e6: enumeration would
+        // need ~1e6 steps; the symbolic path answers within a tiny budget.
+        let n = 1_000_000i64;
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, n - 1);
+        b.add_ge0(LinExpr::var(1));
+        b.add_ge0(LinExpr::var(0) - LinExpr::var(1));
+        let c = count_system(&b.system(), CountLimit(10_000)).unwrap();
+        assert_eq!(c, (n as i128) * (n as i128 + 1) / 2);
+    }
+
+    #[test]
+    fn out_of_fragment_component_falls_back() {
+        // 3i - 2j == 0 couples both variables with non-unit coefficients,
+        // which the symbolic fragment refuses; the enumerator must answer
+        // with the identical count (multiples of (2,3) in the box: 17).
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 32);
+        b.add_range(1, 0, 99);
+        b.add_eq(LinExpr::var(0) * 3 - LinExpr::var(1) * 2);
+        let (c, stats) = count_system_with_stats(&b.system(), CountLimit::default(), true).unwrap();
+        assert_eq!(c, 17);
+        assert!(stats.enumerated >= 1);
+        let (c_enum, _) =
+            count_system_with_stats(&b.system(), CountLimit::default(), false).unwrap();
+        assert_eq!(c_enum, c);
+    }
+
+    #[test]
+    fn enumerative_oracle_matches_default_path() {
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 19);
+        b.add_range(1, 0, 19);
+        b.add_ge0(LinExpr::var(0) - LinExpr::var(1) + LinExpr::constant(3));
+        assert_eq!(
+            count_basic_enumerative(&b, CountLimit::default()).unwrap(),
+            count(&b)
+        );
+    }
+
+    #[test]
+    fn cache_capacity_guard_evicts() {
+        let mut cache = CountCache::with_capacity(2);
+        for extent in [3i64, 4, 5] {
+            let mut b = BasicSet::universe(Space::set(0, 1));
+            b.add_range(0, 0, extent);
+            let c = count_system_cached(&b.system(), CountLimit::default(), &mut cache).unwrap();
+            assert_eq!(c, (extent + 1) as i128);
+        }
+        // Third insert hits the bound: the map is cleared (2 evictions)
+        // before the new entry lands.
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.approx_bytes() > 0);
+        // Evicted entries recount as misses, with unchanged values.
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_range(0, 0, 3);
+        let c = count_system_cached(&b.system(), CountLimit::default(), &mut cache).unwrap();
+        assert_eq!(c, 4);
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn cache_aggregates_strategy_tallies() {
+        let mut cache = CountCache::new();
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 9);
+        b.add_ge0(LinExpr::var(1));
+        b.add_ge0(LinExpr::var(0) - LinExpr::var(1));
+        let sys = b.system();
+        count_system_cached(&sys, CountLimit::default(), &mut cache).unwrap();
+        count_system_cached(&sys, CountLimit::default(), &mut cache).unwrap();
+        assert_eq!(cache.hits(), 1);
+        assert!(cache.symbolic() >= 1);
+        assert_eq!(cache.enumerated(), 0);
+        // absorb_stats folds every counter.
+        let mut agg = CountCache::new();
+        agg.absorb_stats(&cache);
+        assert_eq!(agg.symbolic(), cache.symbolic());
+        assert_eq!(agg.evictions(), cache.evictions());
     }
 }

@@ -15,9 +15,11 @@
 //!   constraint language, supporting composition, inversion, and
 //!   domain/range operations.
 //! * Lexicographic order helpers and [`Map::lexmin_explicit`].
-//! * Integer point counting ([`Set::count`]) by recursive bound
-//!   decomposition with connected-component factoring, plus an exhaustive
-//!   enumerator for validation.
+//! * Integer point counting ([`Set::count`]) by closed-form symbolic
+//!   summation ([`symbolic_count`]) with recursive bound decomposition,
+//!   connected-component factoring, and a verified enumerating fallback
+//!   ([`count_basic_enumerative`]), plus an exhaustive enumerator for
+//!   validation.
 //!
 //! Unlike isl, parametric contexts are expected to be *instantiated*: the
 //! PolyUFC pipeline fixes problem sizes before the heavy cache-model
@@ -50,15 +52,17 @@ mod lexorder;
 mod linexpr;
 mod map;
 mod parse;
+mod polysum;
 mod set;
 mod space;
 
 pub use basic::{BasicSet, Div};
-pub use count::{CountCache, CountLimit};
+pub use count::{count_basic_enumerative, CountCache, CountLimit};
 pub use error::{Error, Result};
 pub use lexorder::{lex_ge_map, lex_gt_map, lex_le_map, lex_lt_map};
 pub use linexpr::LinExpr;
 pub use map::{BasicMap, Map};
+pub use polysum::symbolic_count;
 pub use set::Set;
 pub use space::{Space, VarKind};
 

@@ -1,0 +1,803 @@
+//! Closed-form symbolic counting by Fourier–Motzkin bound derivation and
+//! Faulhaber summation — the size-independent first-choice strategy of the
+//! barvinok substitute.
+//!
+//! The recursive enumerator in [`crate::count`] branches the narrowest
+//! variable of a coupled component over its full interval, so a triangular
+//! PolyBench domain at `N = 512` costs ~512 recursive solves and paper-scale
+//! sizes (`N >= 4000`) exhaust the solver budget. This module instead
+//! eliminates one variable at a time *symbolically*:
+//!
+//! 1. collect the variable's affine lower/upper bounds from the component's
+//!    constraints (unit coefficient, or any coefficient against a constant
+//!    rest, which rounds to an exact integer bound);
+//! 2. if several lower (or upper) bounds compete, split the outer region on
+//!    which bound dominates — each branch keeps a single `max`/`min`
+//!    candidate, so the piecewise structure is made explicit;
+//! 3. with a single bound pair `L <= v <= U`, the running count polynomial
+//!    `P` is summed in closed form: `Σ_{v=L}^{U} v^k = S_k(U) - S_k(L-1)`
+//!    with `S_k` the Faulhaber (Bernoulli) power-sum polynomial, composed
+//!    with the affine bounds — a polynomial in the remaining variables;
+//! 4. the region keeps the constraint `U - L >= 0`, so emptiness shows up
+//!    as a violated constant constraint once every variable is eliminated.
+//!
+//! Triangle, trapezoid, banded, stride (div) and tile-tail shapes — the
+//! domains affine loop nests actually produce — collapse to `O(poly(dims))`
+//! work independent of the problem size. Shapes outside the fragment
+//! (non-unit coefficients against non-constant rests, unbounded variables,
+//! excessive region splits, coefficient overflow) return `None` and the
+//! caller falls back to the verified enumerator.
+//!
+//! All arithmetic is exact: rationals over `i128` with checked operations;
+//! any overflow aborts the symbolic attempt rather than corrupting a count.
+
+use std::collections::BTreeMap;
+
+use crate::basic::{ceil_div, floor_div, System};
+use crate::{BasicSet, Constraint, ConstraintKind, LinExpr};
+
+/// Work cap for one symbolic attempt, in elementary polynomial/region
+/// operations. Failing shapes bail out quickly to the enumerator.
+const MAX_WORK: u64 = 200_000;
+/// Cap on region splits (branches of step 2).
+const MAX_REGIONS: u64 = 4_096;
+/// Cap on the monomial count of any intermediate polynomial.
+const MAX_TERMS: usize = 4_096;
+/// Cap on the degree of a summed variable (bounds the Faulhaber order).
+const MAX_DEGREE: u32 = 16;
+
+// ---------------------------------------------------------------------------
+// Exact rationals over i128
+// ---------------------------------------------------------------------------
+
+/// A reduced rational with positive denominator. All operations are
+/// checked; `None` means i128 overflow (the attempt is abandoned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    const ZERO: Rat = Rat { num: 0, den: 1 };
+
+    fn int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    fn new(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
+        }
+        let (num, den) = if den < 0 {
+            (num.checked_neg()?, den.checked_neg()?)
+        } else {
+            (num, den)
+        };
+        let g = gcd_i128(num, den).max(1);
+        Some(Rat {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    fn add(self, o: Rat) -> Option<Rat> {
+        let num = self
+            .num
+            .checked_mul(o.den)?
+            .checked_add(o.num.checked_mul(self.den)?)?;
+        Rat::new(num, self.den.checked_mul(o.den)?)
+    }
+
+    fn mul(self, o: Rat) -> Option<Rat> {
+        Rat::new(self.num.checked_mul(o.num)?, self.den.checked_mul(o.den)?)
+    }
+
+    fn as_int(self) -> Option<i128> {
+        (self.den == 1).then_some(self.num)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multivariate polynomials with rational coefficients
+// ---------------------------------------------------------------------------
+
+/// A monomial: sorted `(variable, exponent > 0)` pairs.
+type Monomial = Vec<(usize, u32)>;
+
+/// A multivariate polynomial over the solver variables, stored as a
+/// canonical monomial → coefficient map (zero coefficients are dropped, so
+/// equality and term counts are meaningful).
+#[derive(Debug, Clone, Default)]
+struct Poly {
+    terms: BTreeMap<Monomial, Rat>,
+}
+
+impl Poly {
+    fn constant(r: Rat) -> Poly {
+        let mut p = Poly::default();
+        if !r.is_zero() {
+            p.terms.insert(Vec::new(), r);
+        }
+        p
+    }
+
+    fn one() -> Poly {
+        Poly::constant(Rat::int(1))
+    }
+
+    /// Lifts an affine expression into a polynomial.
+    fn from_affine(e: &LinExpr) -> Poly {
+        let mut p = Poly::constant(Rat::int(e.constant_term() as i128));
+        for (v, c) in e.terms() {
+            p.terms.insert(vec![(v, 1)], Rat::int(c as i128));
+        }
+        p
+    }
+
+    fn add_term(&mut self, m: Monomial, r: Rat) -> Option<()> {
+        if r.is_zero() {
+            return Some(());
+        }
+        match self.terms.entry(m) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(r);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let s = e.get().add(r)?;
+                if s.is_zero() {
+                    e.remove();
+                } else {
+                    *e.get_mut() = s;
+                }
+            }
+        }
+        Some(())
+    }
+
+    fn add(&self, o: &Poly) -> Option<Poly> {
+        let mut out = self.clone();
+        for (m, &r) in &o.terms {
+            out.add_term(m.clone(), r)?;
+        }
+        Some(out)
+    }
+
+    fn mul(&self, o: &Poly, work: &mut Work) -> Option<Poly> {
+        let mut out = Poly::default();
+        for (ma, &ra) in &self.terms {
+            for (mb, &rb) in &o.terms {
+                work.tick(1)?;
+                out.add_term(mul_monomials(ma, mb)?, ra.mul(rb)?)?;
+            }
+        }
+        (out.terms.len() <= MAX_TERMS).then_some(out)
+    }
+
+    fn mul_rat(&self, r: Rat) -> Option<Poly> {
+        let mut out = Poly::default();
+        for (m, &c) in &self.terms {
+            out.add_term(m.clone(), c.mul(r)?)?;
+        }
+        Some(out)
+    }
+
+    /// Splits by the power of `v`: returns `(k, Q_k)` pairs such that
+    /// `self = Σ_k Q_k · v^k` and no `Q_k` mentions `v`.
+    fn split_var(&self, v: usize) -> Vec<(u32, Poly)> {
+        let mut by_pow: BTreeMap<u32, Poly> = BTreeMap::new();
+        for (m, &r) in &self.terms {
+            let k = m
+                .iter()
+                .find(|&&(var, _)| var == v)
+                .map(|&(_, e)| e)
+                .unwrap_or(0);
+            let rest: Monomial = m.iter().filter(|&&(var, _)| var != v).cloned().collect();
+            // Coefficients of distinct source monomials with the same
+            // residual monomial cannot collide (the split is a bijection),
+            // so the unwrap-free insert below cannot lose terms.
+            by_pow
+                .entry(k)
+                .or_default()
+                .terms
+                .entry(rest)
+                .and_modify(|c| *c = c.add(r).unwrap_or(Rat::ZERO))
+                .or_insert(r);
+        }
+        by_pow.into_iter().collect()
+    }
+
+    /// Substitutes variable `v` with an affine expression.
+    fn subst_affine(&self, v: usize, e: &LinExpr, work: &mut Work) -> Option<Poly> {
+        let repl = Poly::from_affine(e);
+        let mut out = Poly::default();
+        for (k, q) in self.split_var(v) {
+            let p = repl.pow(k, work)?;
+            out = out.add(&q.mul(&p, work)?)?;
+        }
+        Some(out)
+    }
+
+    fn pow(&self, k: u32, work: &mut Work) -> Option<Poly> {
+        let mut out = Poly::one();
+        for _ in 0..k {
+            out = out.mul(self, work)?;
+        }
+        Some(out)
+    }
+
+    /// The value of a constant polynomial (fails on any remaining
+    /// variable or a non-integer constant).
+    fn as_const_int(&self) -> Option<i128> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => {
+                let (m, r) = self.terms.iter().next()?;
+                m.is_empty().then_some(())?;
+                r.as_int()
+            }
+            _ => None,
+        }
+    }
+}
+
+fn mul_monomials(a: &Monomial, b: &Monomial) -> Option<Monomial> {
+    let mut out: Monomial = a.clone();
+    for &(v, e) in b {
+        match out.iter_mut().find(|(var, _)| *var == v) {
+            Some((_, oe)) => *oe = oe.checked_add(e)?,
+            None => out.push((v, e)),
+        }
+    }
+    out.sort_unstable_by_key(|&(v, _)| v);
+    (out.iter().map(|&(_, e)| e).sum::<u32>() <= MAX_DEGREE + 1).then_some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Faulhaber power sums
+// ---------------------------------------------------------------------------
+
+/// Bernoulli numbers `B⁺_0..=B⁺_m` (the `B_1 = +1/2` convention used by the
+/// Faulhaber formula), by the standard recurrence.
+fn bernoulli_plus(m: usize) -> Option<Vec<Rat>> {
+    let mut b: Vec<Rat> = Vec::with_capacity(m + 1);
+    b.push(Rat::int(1));
+    for n in 1..=m {
+        // B_n = -1/(n+1) · Σ_{j<n} C(n+1, j) B_j  (B⁻ convention)
+        let mut acc = Rat::ZERO;
+        for (j, bj) in b.iter().enumerate() {
+            acc = acc.add(Rat::int(binom(n as u32 + 1, j as u32)?).mul(*bj)?)?;
+        }
+        b.push(acc.mul(Rat::new(-1, n as i128 + 1)?)?);
+    }
+    if m >= 1 {
+        b[1] = Rat::new(1, 2)?; // flip to B⁺
+    }
+    Some(b)
+}
+
+fn binom(n: u32, k: u32) -> Option<i128> {
+    let mut out: i128 = 1;
+    for i in 0..k.min(n - k) {
+        out = out.checked_mul((n - i) as i128)? / (i as i128 + 1);
+    }
+    Some(out)
+}
+
+/// The Faulhaber polynomial `S_k(x) = Σ_{t=1}^{x} t^k`, composed with the
+/// polynomial `x`. Valid as a polynomial identity for every integer
+/// argument (also negative), so `Σ_{t=L}^{U} t^k = S_k(U) - S_k(L-1)`
+/// whenever `L <= U`.
+fn power_sum(k: u32, x: &Poly, work: &mut Work) -> Option<Poly> {
+    if k > MAX_DEGREE {
+        return None;
+    }
+    let bern = bernoulli_plus(k as usize)?;
+    // Powers x^1 ..= x^(k+1).
+    let mut pows: Vec<Poly> = Vec::with_capacity(k as usize + 2);
+    pows.push(Poly::one());
+    for i in 1..=(k + 1) {
+        let prev = pows[i as usize - 1].clone();
+        pows.push(prev.mul(x, work)?);
+    }
+    // S_k(x) = 1/(k+1) · Σ_{j=0}^{k} C(k+1, j) B⁺_j x^{k+1-j}
+    let mut acc = Poly::default();
+    for (j, bj) in bern.iter().enumerate() {
+        let coef = Rat::int(binom(k + 1, j as u32)?).mul(*bj)?;
+        acc = acc.add(&pows[(k + 1) as usize - j].mul_rat(coef)?)?;
+    }
+    acc.mul_rat(Rat::new(1, k as i128 + 1)?)
+}
+
+// ---------------------------------------------------------------------------
+// The region recursion
+// ---------------------------------------------------------------------------
+
+/// Work/region budget of one symbolic attempt.
+#[derive(Debug)]
+struct Work {
+    steps: u64,
+    regions: u64,
+}
+
+impl Work {
+    fn new() -> Work {
+        Work {
+            steps: 0,
+            regions: 0,
+        }
+    }
+
+    fn tick(&mut self, n: u64) -> Option<()> {
+        self.steps += n;
+        (self.steps <= MAX_WORK).then_some(())
+    }
+
+    fn region(&mut self) -> Option<()> {
+        self.regions += 1;
+        (self.regions <= MAX_REGIONS).then_some(())
+    }
+}
+
+/// Attempts a closed-form count of the solutions of `sys` over `vars`
+/// (every constraint must only mention variables in `vars`). `None` means
+/// the shape is outside the symbolic fragment — fall back to enumeration.
+pub(crate) fn try_count(sys: &System, vars: &[usize]) -> Option<i128> {
+    let in_vars = |i: usize| vars.contains(&i);
+    if sys
+        .constraints
+        .iter()
+        .any(|c| c.expr.terms().any(|(i, _)| !in_vars(i)))
+    {
+        return None;
+    }
+    let mut work = Work::new();
+    let n = count_region(
+        sys.constraints.clone(),
+        vars.to_vec(),
+        Poly::one(),
+        &mut work,
+    )?;
+    (n >= 0).then_some(n)
+}
+
+/// Symbolic count of a basic set with determined divs, when the shape is
+/// inside the closed-form fragment. This is the public entry used by the
+/// differential test suite and diagnostics; the counting pipeline invokes
+/// the same machinery per connected component via [`crate::Set::count`].
+pub fn symbolic_count(set: &BasicSet) -> Option<i128> {
+    if !set.all_divs_determined() {
+        return None;
+    }
+    let sys = set.system();
+    let vars: Vec<usize> = (0..sys.n).collect();
+    try_count(&sys, &vars)
+}
+
+/// Normalizes a constraint by the gcd of its coefficients (exact for
+/// integer points: equalities must divide evenly, inequalities floor).
+/// Returns `None` for a proven-empty region.
+fn normalize(c: &Constraint) -> Option<Constraint> {
+    let g = c.expr.coeff_gcd();
+    if g <= 1 {
+        return Some(c.clone());
+    }
+    let k = c.expr.constant_term();
+    let mut expr = LinExpr::zero();
+    for (v, coef) in c.expr.terms() {
+        expr.set_coeff(v, coef / g);
+    }
+    match c.kind {
+        ConstraintKind::Eq => {
+            if k % g != 0 {
+                return None;
+            }
+            expr.set_constant(k / g);
+        }
+        ConstraintKind::GeZero => expr.set_constant(floor_div(k, g)),
+    }
+    Some(Constraint { expr, kind: c.kind })
+}
+
+/// How a variable can be eliminated from the current region.
+enum Elimination {
+    /// `v = expr` via a unit-coefficient (or constant-rest) equality.
+    Substitute(LinExpr),
+    /// Inequality bounds `max(lowers) <= v <= min(uppers)`.
+    Bounds {
+        lowers: Vec<LinExpr>,
+        uppers: Vec<LinExpr>,
+    },
+    /// The region is empty (an indivisible constant-rest equality).
+    Empty,
+}
+
+/// Classifies how `v` can be eliminated, or `None` if some constraint
+/// containing `v` is outside the fragment.
+fn classify(cons: &[Constraint], v: usize) -> Option<Elimination> {
+    let mut lowers: Vec<LinExpr> = Vec::new();
+    let mut uppers: Vec<LinExpr> = Vec::new();
+    let mut subst: Option<LinExpr> = None;
+    for c in cons {
+        let a = c.expr.coeff(v);
+        if a == 0 {
+            continue;
+        }
+        let mut rest = c.expr.clone();
+        rest.set_coeff(v, 0);
+        let rest_const = rest.is_constant();
+        match c.kind {
+            ConstraintKind::Eq => {
+                if a == 1 {
+                    subst.get_or_insert(-rest);
+                } else if a == -1 {
+                    subst.get_or_insert(rest);
+                } else if rest_const {
+                    let k = rest.constant_term();
+                    if k % a != 0 {
+                        return Some(Elimination::Empty);
+                    }
+                    subst.get_or_insert(LinExpr::constant(-k / a));
+                } else {
+                    return None;
+                }
+            }
+            ConstraintKind::GeZero => {
+                if a == 1 {
+                    lowers.push(-rest); // v >= -rest
+                } else if a == -1 {
+                    uppers.push(rest); // v <= rest
+                } else if rest_const {
+                    let k = rest.constant_term();
+                    if a > 1 {
+                        lowers.push(LinExpr::constant(ceil_div(-k, a)));
+                    } else {
+                        uppers.push(LinExpr::constant(floor_div(k, -a)));
+                    }
+                } else {
+                    return None;
+                }
+            }
+        }
+    }
+    if let Some(e) = subst {
+        return Some(Elimination::Substitute(e));
+    }
+    lowers.sort_unstable_by(cmp_expr);
+    lowers.dedup();
+    uppers.sort_unstable_by(cmp_expr);
+    uppers.dedup();
+    if lowers.is_empty() || uppers.is_empty() {
+        return None; // unbounded
+    }
+    Some(Elimination::Bounds { lowers, uppers })
+}
+
+/// Deterministic expression order for bound dedup (coefficients, then
+/// constant).
+fn cmp_expr(a: &LinExpr, b: &LinExpr) -> std::cmp::Ordering {
+    let ta: Vec<(usize, i64)> = a.terms().collect();
+    let tb: Vec<(usize, i64)> = b.terms().collect();
+    ta.cmp(&tb)
+        .then_with(|| a.constant_term().cmp(&b.constant_term()))
+}
+
+/// Counts `Σ_{points of region} poly`, eliminating `vars` one at a time.
+fn count_region(
+    cons: Vec<Constraint>,
+    vars: Vec<usize>,
+    poly: Poly,
+    work: &mut Work,
+) -> Option<i128> {
+    work.tick(1 + cons.len() as u64)?;
+    work.region()?;
+
+    // Constant constraints decide emptiness; the rest is gcd-normalized.
+    let mut live: Vec<Constraint> = Vec::with_capacity(cons.len());
+    for c in &cons {
+        if c.expr.is_constant() {
+            let k = c.expr.constant_term();
+            let ok = match c.kind {
+                ConstraintKind::Eq => k == 0,
+                ConstraintKind::GeZero => k >= 0,
+            };
+            if !ok {
+                return Some(0);
+            }
+            continue;
+        }
+        match normalize(c) {
+            Some(n) => live.push(n),
+            None => return Some(0),
+        }
+    }
+
+    if vars.is_empty() {
+        // All constraints were constant and satisfied.
+        return poly.as_const_int();
+    }
+
+    // Pick the eliminable variable needing the fewest region splits;
+    // prefer higher indices (innermost dims / divs) on ties so the
+    // traversal mirrors loop order deterministically.
+    let mut best: Option<(u64, usize, Elimination)> = None;
+    for &v in vars.iter().rev() {
+        let Some(e) = classify(&live, v) else {
+            continue;
+        };
+        let cost = match &e {
+            Elimination::Substitute(_) | Elimination::Empty => 0,
+            Elimination::Bounds { lowers, uppers } => (lowers.len() + uppers.len() - 2) as u64,
+        };
+        if best.as_ref().is_none_or(|b| cost < b.0) {
+            let done = cost == 0;
+            best = Some((cost, v, e));
+            if done {
+                break;
+            }
+        }
+    }
+    let (_, v, elim) = best?;
+    let rest_vars: Vec<usize> = vars.iter().copied().filter(|&x| x != v).collect();
+
+    match elim {
+        Elimination::Empty => Some(0),
+        Elimination::Substitute(repl) => {
+            let next: Vec<Constraint> = live
+                .iter()
+                .map(|c| Constraint {
+                    expr: c.expr.substitute(v, &repl),
+                    kind: c.kind,
+                })
+                .collect();
+            let p = poly.subst_affine(v, &repl, work)?;
+            count_region(next, rest_vars, p, work)
+        }
+        Elimination::Bounds { lowers, uppers } => {
+            let others: Vec<Constraint> = live
+                .iter()
+                .filter(|c| c.expr.coeff(v) == 0)
+                .cloned()
+                .collect();
+            if lowers.len() > 1 || uppers.len() > 1 {
+                // Split the outer region on which bound dominates; each
+                // branch drops one competitor and recurses.
+                let (a, b, flip) = if lowers.len() > 1 {
+                    (&lowers[0], &lowers[1], false)
+                } else {
+                    (&uppers[0], &uppers[1], true)
+                };
+                let rebuild = |drop: &LinExpr, extra: LinExpr| -> Vec<Constraint> {
+                    let mut out = others.clone();
+                    for l in &lowers {
+                        if !(std::ptr::eq(l, drop)) {
+                            out.push(Constraint::ge0(
+                                LinExpr::var(v) - l.clone(), // v >= l
+                            ));
+                        }
+                    }
+                    for u in &uppers {
+                        if !(std::ptr::eq(u, drop)) {
+                            out.push(Constraint::ge0(u.clone() - LinExpr::var(v)));
+                        }
+                    }
+                    out.push(Constraint::ge0(extra));
+                    out
+                };
+                // For lower bounds: branch A keeps `a` (a >= b), branch B
+                // keeps `b` (b >= a+1). For upper bounds the comparison
+                // flips (keep the smaller one).
+                let (cons_a, cons_b) = if !flip {
+                    (
+                        rebuild(b, a.clone() - b.clone()),
+                        rebuild(a, b.clone() - a.clone() - LinExpr::constant(1)),
+                    )
+                } else {
+                    (
+                        rebuild(b, b.clone() - a.clone()),
+                        rebuild(a, a.clone() - b.clone() - LinExpr::constant(1)),
+                    )
+                };
+                let mut vars_with_v = rest_vars.clone();
+                vars_with_v.push(v);
+                vars_with_v.sort_unstable();
+                let ca = count_region(cons_a, vars_with_v.clone(), poly.clone(), work)?;
+                let cb = count_region(cons_b, vars_with_v, poly, work)?;
+                return ca.checked_add(cb);
+            }
+            // Single bound pair: sum `poly` over `v` in `[L, U]` and keep
+            // the nonemptiness constraint on the outer region.
+            let (lo, up) = (&lowers[0], &uppers[0]);
+            let mut next = others;
+            next.push(Constraint::ge0(up.clone() - lo.clone()));
+            let summed = sum_over(&poly, v, lo, up, work)?;
+            count_region(next, rest_vars, summed, work)
+        }
+    }
+}
+
+/// `Σ_{v=L}^{U} poly` in closed form (assumes the region enforces
+/// `U >= L`).
+fn sum_over(poly: &Poly, v: usize, lo: &LinExpr, up: &LinExpr, work: &mut Work) -> Option<Poly> {
+    let up_p = Poly::from_affine(up);
+    let lom1 = Poly::from_affine(&(lo.clone() - LinExpr::constant(1)));
+    let mut acc = Poly::default();
+    for (k, q) in poly.split_var(v) {
+        let hi = power_sum(k, &up_p, work)?;
+        let lo = power_sum(k, &lom1, work)?;
+        let diff = hi.add(&lo.mul_rat(Rat::int(-1))?)?;
+        acc = acc.add(&q.mul(&diff, work)?)?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Space;
+
+    fn sym(b: &BasicSet) -> Option<i128> {
+        symbolic_count(b)
+    }
+
+    #[test]
+    fn rationals_reduce() {
+        let r = Rat::new(6, -4).unwrap();
+        assert_eq!(r, Rat { num: -3, den: 2 });
+        assert_eq!(Rat::new(4, 2).unwrap().as_int(), Some(2));
+        assert_eq!(r.as_int(), None);
+    }
+
+    #[test]
+    fn faulhaber_matches_brute_force() {
+        // Σ t^k over [L, U] via S_k(U) - S_k(L-1), checked against a loop —
+        // including negative ranges.
+        let mut work = Work::new();
+        for k in 0..=6u32 {
+            for (l, u) in [(0i128, 10i128), (-7, 5), (3, 3), (-4, -2), (1, 20)] {
+                let x = Poly::from_affine(&LinExpr::var(0));
+                let s = power_sum(k, &x, &mut work).unwrap();
+                let at = |n: i128| {
+                    s.terms
+                        .iter()
+                        .map(|(m, r)| {
+                            let pow = m.first().map(|&(_, e)| e).unwrap_or(0);
+                            r.mul(Rat::int(n.pow(pow))).unwrap()
+                        })
+                        .fold(Rat::ZERO, |a, b| a.add(b).unwrap())
+                };
+                let closed = at(u).add(at(l - 1).mul(Rat::int(-1)).unwrap()).unwrap();
+                let brute: i128 = (l..=u).map(|t| t.pow(k)).sum();
+                assert_eq!(closed.as_int(), Some(brute), "k={k} [{l},{u}]");
+            }
+        }
+    }
+
+    #[test]
+    fn counts_box() {
+        let mut b = BasicSet::universe(Space::set(0, 3));
+        b.add_range(0, 0, 9);
+        b.add_range(1, -3, 4);
+        b.add_range(2, 5, 5);
+        assert_eq!(sym(&b), Some(10 * 8));
+    }
+
+    #[test]
+    fn counts_triangle_size_independent() {
+        for n in [8i64, 512, 4000, 1_000_000] {
+            let mut b = BasicSet::universe(Space::set(0, 2));
+            b.add_range(0, 0, n - 1);
+            b.add_ge0(LinExpr::var(1));
+            b.add_ge0(LinExpr::var(0) - LinExpr::var(1));
+            let expect = (n as i128) * (n as i128 + 1) / 2;
+            assert_eq!(sym(&b), Some(expect), "n={n}");
+        }
+    }
+
+    #[test]
+    fn counts_3d_simplex() {
+        // { [i,j,k] : 0 <= k <= j <= i < n } = C(n+2, 3)
+        let n = 100i64;
+        let mut b = BasicSet::universe(Space::set(0, 3));
+        b.add_range(0, 0, n - 1);
+        b.add_ge0(LinExpr::var(0) - LinExpr::var(1));
+        b.add_ge0(LinExpr::var(1) - LinExpr::var(2));
+        b.add_ge0(LinExpr::var(2));
+        let n = n as i128;
+        assert_eq!(sym(&b), Some(n * (n + 1) * (n + 2) / 6));
+    }
+
+    #[test]
+    fn counts_band() {
+        // { [i,j] : 0 <= i < 100, i-2 <= j <= i+2, 0 <= j < 100 }
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 99);
+        b.add_range(1, 0, 99);
+        b.add_ge0(LinExpr::var(1) - LinExpr::var(0) + LinExpr::constant(2));
+        b.add_ge0(LinExpr::var(0) + LinExpr::constant(2) - LinExpr::var(1));
+        let brute: i128 = (0..100i64)
+            .map(|i| {
+                (0..100i64)
+                    .filter(|&j| (i - 2..=i + 2).contains(&j))
+                    .count() as i128
+            })
+            .sum();
+        assert_eq!(sym(&b), Some(brute));
+    }
+
+    #[test]
+    fn counts_tiled_domain_with_tail() {
+        // { [t,i] : 0 <= i < 100, 32t <= i < 32t+32, 0 <= t <= 3 }
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(1, 0, 99);
+        b.add_range(0, 0, 3);
+        b.add_ge0(LinExpr::var(1) - LinExpr::var(0) * 32);
+        b.add_ge0(LinExpr::var(0) * 32 + LinExpr::constant(31) - LinExpr::var(1));
+        assert_eq!(sym(&b), Some(100));
+    }
+
+    #[test]
+    fn counts_strided_set() {
+        // { [i] : 0 <= i < 100, i mod 4 == 0 } via a determined div.
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_range(0, 0, 99);
+        let q = b.add_div(LinExpr::var(0), 4);
+        b.add_eq(LinExpr::var(0) - LinExpr::var(q) * 4);
+        assert_eq!(sym(&b), Some(25));
+    }
+
+    #[test]
+    fn empty_region_is_zero() {
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_range(0, 0, 5);
+        b.add_ge0(LinExpr::var(0) - LinExpr::constant(10));
+        assert_eq!(sym(&b), Some(0));
+    }
+
+    #[test]
+    fn unbounded_is_out_of_fragment() {
+        let mut b = BasicSet::universe(Space::set(0, 1));
+        b.add_ge0(LinExpr::var(0));
+        assert_eq!(sym(&b), None);
+    }
+
+    #[test]
+    fn non_unit_coupling_is_out_of_fragment() {
+        // 3i - 2j == 0 over a box couples with non-unit coefficients both
+        // ways; the fragment refuses rather than guessing.
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 99);
+        b.add_range(1, 0, 99);
+        b.add_ge0(LinExpr::var(0) * 3 - LinExpr::var(1) * 2);
+        assert_eq!(sym(&b), None);
+    }
+
+    #[test]
+    fn trapezoid_matches_enumeration() {
+        // { [i,j] : 0 <= i < 50, i <= j < 100 - i } — a trapezoid whose
+        // upper/lower bounds compete with the box bounds.
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 49);
+        b.add_range(1, 0, 99);
+        b.add_ge0(LinExpr::var(1) - LinExpr::var(0));
+        b.add_ge0(LinExpr::constant(99) - LinExpr::var(0) - LinExpr::var(1));
+        let brute: i128 = (0..50i64)
+            .map(|i| (0..100i64).filter(|&j| j >= i && i + j <= 99).count() as i128)
+            .sum();
+        assert_eq!(sym(&b), Some(brute));
+    }
+}

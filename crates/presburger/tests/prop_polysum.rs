@@ -1,0 +1,162 @@
+//! Differential tests for the closed-form symbolic counting layer: on
+//! random conjunctive systems drawn from the shape classes the cache model
+//! actually produces (boxes, triangles, bands, mod-`m` strides), the
+//! symbolic path, the recursive enumerator, and exhaustive point
+//! enumeration must report the identical cardinality.
+
+use proptest::prelude::*;
+
+use polyufc_presburger::{
+    count_basic_enumerative, symbolic_count, BasicSet, CountLimit, LinExpr, Set, Space,
+};
+
+/// Brute-force reference over a bounding grid that covers every generated
+/// set (extents are kept within `[-1, 20]` by construction).
+fn brute(b: &BasicSet) -> i128 {
+    let dims = b.space().n_dim();
+    let mut count = 0i128;
+    let mut point = vec![0i64; dims];
+    fn rec(b: &BasicSet, point: &mut Vec<i64>, d: usize, count: &mut i128) {
+        if d == point.len() {
+            if b.contains(point).unwrap() {
+                *count += 1;
+            }
+            return;
+        }
+        for x in -1..=20 {
+            point[d] = x;
+            rec(b, point, d + 1, count);
+        }
+    }
+    rec(b, &mut point, 0, &mut count);
+    count
+}
+
+/// Checks all counting strategies against the brute-force reference. The
+/// symbolic path may decline (`None`) on shapes outside its fragment, but
+/// must never disagree. (The vendored proptest reports failures as
+/// `String`s, hence the return type.)
+fn check_all_paths(b: &BasicSet) -> Result<(), String> {
+    let reference = brute(b);
+    let enumerated = count_basic_enumerative(b, CountLimit::default()).unwrap();
+    prop_assert_eq!(enumerated, reference, "recursive enumerator disagrees");
+    if let Some(symbolic) = symbolic_count(b) {
+        prop_assert_eq!(symbolic, reference, "symbolic path disagrees");
+    }
+    let set = Set::from_basic(b.clone());
+    prop_assert_eq!(set.count().unwrap(), reference, "production path disagrees");
+    let points = set.enumerate(100_000).unwrap();
+    prop_assert_eq!(
+        points.len() as i128,
+        reference,
+        "point enumeration disagrees"
+    );
+    Ok(())
+}
+
+/// A random box `lo_d <= v_d <= hi_d` in 2 or 3 dimensions.
+fn arb_box() -> impl Strategy<Value = BasicSet> {
+    (
+        2usize..=3,
+        proptest::collection::vec((0i64..=10, 0i64..=10), 3),
+    )
+        .prop_map(|(dims, ranges)| {
+            let mut b = BasicSet::universe(Space::set(0, dims));
+            for (d, &(a, c)) in ranges.iter().take(dims).enumerate() {
+                b.add_range(d, a.min(c), a.max(c));
+            }
+            b
+        })
+}
+
+/// A triangle `0 <= i <= n, 0 <= j, j <= i + shift` with an optional
+/// extra halfplane — the cholesky/lu/trisolv shape.
+fn arb_triangle() -> impl Strategy<Value = BasicSet> {
+    (
+        3i64..=15,
+        -2i64..=2,
+        any::<bool>(),
+        (-2i64..=2, -2i64..=2, -6i64..=6),
+    )
+        .prop_map(|(n, shift, with_extra, (ci, cj, k))| {
+            let mut b = BasicSet::universe(Space::set(0, 2));
+            b.add_range(0, 0, n);
+            b.add_ge0(LinExpr::var(1));
+            b.add_ge0(LinExpr::var(0) - LinExpr::var(1) + LinExpr::constant(shift));
+            if with_extra {
+                b.add_ge0(LinExpr::var(0) * ci + LinExpr::var(1) * cj + LinExpr::constant(k));
+            }
+            b
+        })
+}
+
+/// A band `|i - j| <= w` inside a box — the jacobi/stencil shape.
+fn arb_band() -> impl Strategy<Value = BasicSet> {
+    (4i64..=15, 0i64..=4).prop_map(|(n, w)| {
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, n);
+        b.add_range(1, 0, n);
+        b.add_ge0(LinExpr::var(0) - LinExpr::var(1) + LinExpr::constant(w));
+        b.add_ge0(LinExpr::var(1) - LinExpr::var(0) + LinExpr::constant(w));
+        b
+    })
+}
+
+/// A strided set `i ≡ r (mod m)` inside a box, via a determined div.
+fn arb_stride() -> impl Strategy<Value = BasicSet> {
+    (6i64..=18, 2i64..=4, 0i64..=3, any::<bool>()).prop_map(|(n, m, r, couple)| {
+        let r = r % m;
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, n);
+        b.add_range(1, 0, 7);
+        let subject = if couple {
+            LinExpr::var(0) + LinExpr::var(1)
+        } else {
+            LinExpr::var(0)
+        };
+        let q = b.add_div(subject.clone(), m);
+        b.add_eq(subject - LinExpr::var(q) * m - LinExpr::constant(r));
+        b
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn boxes_agree(b in arb_box()) {
+        check_all_paths(&b)?;
+        // Boxes are always inside the symbolic fragment.
+        prop_assert!(symbolic_count(&b).is_some());
+    }
+
+    #[test]
+    fn triangles_agree(b in arb_triangle()) {
+        check_all_paths(&b)?;
+    }
+
+    #[test]
+    fn bands_agree(b in arb_band()) {
+        check_all_paths(&b)?;
+        prop_assert!(symbolic_count(&b).is_some());
+    }
+
+    #[test]
+    fn strides_agree(b in arb_stride()) {
+        check_all_paths(&b)?;
+    }
+
+    #[test]
+    fn random_conjunctions_agree(
+        base in prop_oneof![arb_box(), arb_triangle(), arb_band()],
+        extras in proptest::collection::vec((-3i64..=3, -3i64..=3, -12i64..=12), 0..3),
+    ) {
+        // Layer random halfplanes on a structured base: the symbolic path
+        // must keep agreeing (or declining) as shapes leave the fragment.
+        let mut b = base;
+        for (ci, cj, k) in extras {
+            b.add_ge0(LinExpr::var(0) * ci + LinExpr::var(1) * cj + LinExpr::constant(k));
+        }
+        check_all_paths(&b)?;
+    }
+}

@@ -2,6 +2,8 @@
 
 /// Size preset. `Large` corresponds to the paper's evaluation setting
 /// (scaled to simulation-tractable extents, preserving the CB/BB class);
+/// `ExtraLarge` is the unscaled paper-scale setting (N >= 4000), reachable
+/// at compile time only through the closed-form symbolic counting layer;
 /// `Small`/`Mini` are for tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolybenchSize {
@@ -11,6 +13,8 @@ pub enum PolybenchSize {
     Small,
     /// The evaluation sizes (default for the figure harnesses).
     Large,
+    /// Paper-scale sizes (Table IV's EXTRALARGE column).
+    ExtraLarge,
 }
 
 impl PolybenchSize {
@@ -20,6 +24,7 @@ impl PolybenchSize {
             PolybenchSize::Mini => 24,
             PolybenchSize::Small => 96,
             PolybenchSize::Large => 512,
+            PolybenchSize::ExtraLarge => 4000,
         }
     }
 
@@ -29,6 +34,7 @@ impl PolybenchSize {
             PolybenchSize::Mini => 48,
             PolybenchSize::Small => 512,
             PolybenchSize::Large => 2000,
+            PolybenchSize::ExtraLarge => 8000,
         }
     }
 
@@ -38,6 +44,7 @@ impl PolybenchSize {
             PolybenchSize::Mini => 256,
             PolybenchSize::Small => 100_000,
             PolybenchSize::Large => 2_000_000,
+            PolybenchSize::ExtraLarge => 16_000_000,
         }
     }
 
@@ -47,6 +54,7 @@ impl PolybenchSize {
             PolybenchSize::Mini => 4,
             PolybenchSize::Small => 10,
             PolybenchSize::Large => 20,
+            PolybenchSize::ExtraLarge => 50,
         }
     }
 
@@ -56,6 +64,7 @@ impl PolybenchSize {
             PolybenchSize::Mini => 32,
             PolybenchSize::Small => 250,
             PolybenchSize::Large => 1000,
+            PolybenchSize::ExtraLarge => 4000,
         }
     }
 
@@ -65,6 +74,7 @@ impl PolybenchSize {
             PolybenchSize::Mini => 12,
             PolybenchSize::Small => 40,
             PolybenchSize::Large => 100,
+            PolybenchSize::ExtraLarge => 250,
         }
     }
 }
@@ -77,6 +87,9 @@ mod tests {
     fn sizes_are_ordered() {
         assert!(PolybenchSize::Mini.n3() < PolybenchSize::Small.n3());
         assert!(PolybenchSize::Small.n3() < PolybenchSize::Large.n3());
+        assert!(PolybenchSize::Large.n3() < PolybenchSize::ExtraLarge.n3());
         assert!(PolybenchSize::Mini.n2() < PolybenchSize::Large.n2());
+        assert!(PolybenchSize::Large.n2() < PolybenchSize::ExtraLarge.n2());
+        assert!(PolybenchSize::Large.stencil_n() < PolybenchSize::ExtraLarge.stencil_n());
     }
 }
