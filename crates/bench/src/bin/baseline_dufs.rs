@@ -80,4 +80,5 @@ fn main() {
     );
     println!("\n(DUFS pays control-loop latency on every phase change; PolyUFC sets the");
     println!(" frequency before each kernel starts — the Sec. VII-F argument.)");
+    polyufc_bench::report_measure_cache();
 }

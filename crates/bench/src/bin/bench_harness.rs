@@ -19,6 +19,7 @@ const HARNESSES: &[&str] = &[
     "table4_compile_time",
     "baseline_dufs",
     "count_microbench",
+    "sim_microbench",
 ];
 
 fn main() {

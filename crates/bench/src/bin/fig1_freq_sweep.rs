@@ -78,4 +78,5 @@ fn main() {
             polyufc_bench::pct(1.0 - dmin.3 / fmax.3),
         );
     }
+    polyufc_bench::report_measure_cache();
 }

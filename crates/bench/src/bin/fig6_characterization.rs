@@ -4,13 +4,16 @@
 //! frequency, and the CB/BB split of the PolyBench suite.
 
 use polyufc::{Boundedness, ParametricModel, Pipeline};
-use polyufc_bench::{evaluate, print_table, size_from_args};
+use polyufc_bench::{evaluate, flag_from_args, print_table, size_from_args};
 use polyufc_ir::lower::lower_tensor_to_linalg;
 use polyufc_machine::{ExecutionEngine, Platform};
 use polyufc_workloads::{ml_suite, polybench_suite};
 
 fn main() {
     let size = size_from_args();
+    // `--only <workload>` restricts the characterization to one point —
+    // the CI Large-size smoke uses `--size large --only gemm`.
+    let only = flag_from_args("--only");
     for plat in Platform::all() {
         let pipe = Pipeline::new(plat.clone());
         let eng = ExecutionEngine::new(plat.clone());
@@ -63,6 +66,13 @@ fn main() {
                 w.name.to_string(),
                 lower_tensor_to_linalg(&w.graph, w.elem).lower_to_affine(),
             ));
+        }
+        if let Some(only) = &only {
+            programs.retain(|(name, _)| name == only);
+            if programs.is_empty() {
+                eprintln!("--only {only}: no such workload");
+                std::process::exit(2);
+            }
         }
 
         // Every (workload) point is independent: fan the evaluations out
@@ -137,6 +147,7 @@ fn main() {
             median(&mut perf_errs) * 100.0
         );
     }
+    polyufc_bench::report_measure_cache();
 }
 
 fn median(xs: &mut [f64]) -> f64 {

@@ -100,6 +100,7 @@ fn main() {
         println!("best CB improvement: {} ({})", pct(best_cb.0), best_cb.1);
         println!("best BB improvement: {} ({})", pct(best_bb.0), best_bb.1);
     }
+    polyufc_bench::report_measure_cache();
 }
 
 fn summarize_caps(caps: &[String]) -> String {

@@ -174,15 +174,84 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (s / xs.len() as f64).exp()
 }
 
-/// Reads the size preset from argv (`mini` / `small` / `large` /
-/// `xl`|`extralarge`; default large — the evaluation setting).
+/// Reads the size preset from argv: either positional (`fig6 large`) or
+/// via the `--size` flag (`fig6 --size large`, `fig6 --size=large`).
+/// Accepted presets are `mini`, `small`, `large`, `xl` (alias
+/// `extralarge`); no argument defaults to large — the evaluation setting.
+/// An unrecognized preset is a hard error listing the supported sizes,
+/// rather than a silent fall-through to large.
+///
+/// Other `--flag value` pairs (e.g. fig6's `--only <kernel>`) are skipped,
+/// so binaries may parse additional flags from the same argv.
 pub fn size_from_args() -> PolybenchSize {
-    match std::env::args().nth(1).as_deref() {
-        Some("mini") => PolybenchSize::Mini,
-        Some("small") => PolybenchSize::Small,
-        Some("xl") | Some("extralarge") => PolybenchSize::ExtraLarge,
-        _ => PolybenchSize::Large,
+    let mut args = std::env::args().skip(1);
+    let mut spelled: Option<String> = None;
+    while let Some(a) = args.next() {
+        if a == "--size" {
+            spelled = args.next();
+            break;
+        } else if let Some(v) = a.strip_prefix("--size=") {
+            spelled = Some(v.to_string());
+            break;
+        } else if a.starts_with("--") {
+            // Another binary-specific flag; skip it and its value.
+            if !a.contains('=') {
+                args.next();
+            }
+        } else {
+            spelled = Some(a);
+            break;
+        }
     }
+    match spelled.as_deref() {
+        None => PolybenchSize::Large,
+        Some(s) => parse_size(s).unwrap_or_else(|| {
+            eprintln!("unknown size '{s}' (expected mini|small|large|xl|extralarge)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Parses one size preset name; `None` if unrecognized.
+pub fn parse_size(s: &str) -> Option<PolybenchSize> {
+    match s {
+        "mini" => Some(PolybenchSize::Mini),
+        "small" => Some(PolybenchSize::Small),
+        "large" => Some(PolybenchSize::Large),
+        "xl" | "extralarge" => Some(PolybenchSize::ExtraLarge),
+        _ => None,
+    }
+}
+
+/// Reports the process-wide measured-counter cache statistics on stderr
+/// (stderr so the figure tables on stdout stay byte-identical across
+/// runs: the hit/miss split can vary with parallel scheduling when two
+/// workers race to measure the same point).
+pub fn report_measure_cache() {
+    let st = polyufc_machine::measure_cache_stats();
+    eprintln!(
+        "[measure-cache] {} hits / {} misses ({:.0}% hit rate, {} entries, {} clears)",
+        st.hits,
+        st.misses,
+        st.hit_rate() * 100.0,
+        st.len,
+        st.evictions
+    );
+}
+
+/// Reads the value of a `--flag value` / `--flag=value` pair from argv
+/// (e.g. fig6's `--only <kernel>`); `None` when the flag is absent.
+pub fn flag_from_args(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let prefix = format!("{flag}=");
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        } else if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
 }
 
 /// Renders a fixed-width table.

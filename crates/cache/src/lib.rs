@@ -16,6 +16,9 @@
 //!   backward reuse maps built from lexicographic-order relations and map
 //!   composition, Fig. 4), practical for small kernels and used to
 //!   validate the scalable model.
+//! * [`refsim`] — the frozen pre-coalescing per-event simulator, kept as
+//!   the throughput baseline and as the contrast subject for the
+//!   write-back regression test.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -23,8 +26,10 @@
 pub mod config;
 pub mod exact;
 pub mod model;
+pub mod refsim;
 pub mod sim;
 
 pub use config::{AssocMode, CacheHierarchy, CacheLevelConfig};
 pub use model::{CacheModel, KernelCacheStats, LevelStats, ModelError};
+pub use refsim::RefSim;
 pub use sim::{CacheSim, SimStats};

@@ -2,6 +2,16 @@
 //! streaming memory-access and flop events. This is the trace source for
 //! both the exact cache simulator and the machine model — the stand-in for
 //! running the compiled binary on hardware.
+//!
+//! Traces are produced in *run-length* form: one innermost-loop instance
+//! is delivered to the sink as a single [`RunGroup`] holding one
+//! [`AccessRun`] per (statement, access) pair, instead of one
+//! [`AccessEvent`] per executed access. Sinks that care only about
+//! aggregates (or about line granularity, like the cache simulator)
+//! consume runs directly; every other sink keeps working unchanged
+//! through the default [`TraceSink::run`] implementation, which expands
+//! the group into per-event calls in exactly the order the interpreter
+//! used to emit them.
 
 use crate::affine::{AffineKernel, AffineProgram};
 use crate::types::ArrayId;
@@ -19,12 +29,85 @@ pub struct AccessEvent {
     pub is_write: bool,
 }
 
+/// A run of accesses from one (statement, access) pair across one
+/// innermost-loop instance: step `t` (`0 <= t < count`) accesses element
+/// offset `base + stride * t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRun {
+    /// Which array is accessed.
+    pub array: ArrayId,
+    /// Element offset at the first step (non-negative for valid kernels).
+    pub base: i64,
+    /// Element-offset delta per innermost step; may be zero (loop-invariant
+    /// access) or negative (reversed traversal).
+    pub stride: i64,
+    /// Number of steps; equals [`RunGroup::steps`] of the containing group.
+    pub count: u64,
+    /// Access width in bytes (the element size).
+    pub bytes: u32,
+    /// Whether the access is a store.
+    pub is_write: bool,
+}
+
+/// The slice of a [`RunGroup`]'s runs belonging to one statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmtSpan {
+    /// Flops per statement instance.
+    pub flops: u64,
+    /// First run of the statement in [`RunGroup::runs`].
+    pub start: u32,
+    /// Number of runs (accesses) of the statement.
+    pub len: u32,
+}
+
+/// One full innermost-loop instance in run-length form.
+///
+/// Execution order semantics: for each step `t` in `0..steps`, each
+/// statement executes in program order — its flops first, then its
+/// accesses in program order. `runs` holds the statements' runs
+/// back-to-back, so the per-step access order is exactly the order of
+/// `runs`.
+#[derive(Debug, Clone, Copy)]
+pub struct RunGroup<'a> {
+    /// Trip count of this innermost-loop instance (always > 0; empty
+    /// instances are not emitted).
+    pub steps: u64,
+    /// All runs of the instance, statement-major, program order.
+    pub runs: &'a [AccessRun],
+    /// Per-statement spans into `runs`, in program order.
+    pub stmts: &'a [StmtSpan],
+}
+
 /// Consumer of an interpretation trace.
 pub trait TraceSink {
     /// Called for every array access, in program order.
     fn access(&mut self, ev: AccessEvent);
     /// Called once per statement instance with its flop count.
     fn flops(&mut self, n: u64);
+    /// Called once per (non-empty) innermost-loop instance with all of its
+    /// runs. The default expands the group into [`TraceSink::flops`] and
+    /// [`TraceSink::access`] calls in exactly the interleaved per-event
+    /// order — step-major, then statement, then access — so sinks that do
+    /// not override it observe an unchanged trace.
+    fn run(&mut self, group: RunGroup<'_>) {
+        for step in 0..group.steps as i64 {
+            for s in group.stmts {
+                if s.flops > 0 {
+                    self.flops(s.flops);
+                }
+                for r in &group.runs[s.start as usize..(s.start + s.len) as usize] {
+                    let off = r.base + r.stride * step;
+                    debug_assert!(off >= 0, "negative offset in run expansion");
+                    self.access(AccessEvent {
+                        array: r.array,
+                        offset: off as u64,
+                        bytes: r.bytes,
+                        is_write: r.is_write,
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// A [`TraceSink`] that aggregates totals; useful for tests and for
@@ -57,6 +140,23 @@ impl TraceSink for TraceStats {
     fn flops(&mut self, n: u64) {
         self.flops += n;
     }
+
+    fn run(&mut self, group: RunGroup<'_>) {
+        // O(#runs) instead of O(steps × #runs): every counter is linear in
+        // the step count.
+        for s in group.stmts {
+            self.flops += s.flops * group.steps;
+        }
+        for r in group.runs {
+            self.accesses += group.steps;
+            if r.is_write {
+                self.writes += group.steps;
+            } else {
+                self.reads += group.steps;
+            }
+            self.bytes += r.bytes as u64 * group.steps;
+        }
+    }
 }
 
 /// A compiled access: linear offset as an affine function of the iterators.
@@ -67,6 +167,14 @@ struct CompiledAccess {
     constant: i64,
     bytes: u32,
     is_write: bool,
+}
+
+/// Reusable buffers for building run groups without per-instance
+/// allocation.
+#[derive(Default)]
+struct RunBufs {
+    runs: Vec<AccessRun>,
+    spans: Vec<StmtSpan>,
 }
 
 /// Interprets one kernel, streaming events to `sink`.
@@ -107,12 +215,14 @@ pub fn interpret_kernel(program: &AffineProgram, kernel: &AffineKernel, sink: &m
     }
 
     let mut iters = vec![0i64; depth];
-    walk(kernel, &stmts, &mut iters, 0, sink);
+    let mut bufs = RunBufs::default();
+    walk(kernel, &stmts, &mut bufs, &mut iters, 0, sink);
 }
 
 fn walk(
     kernel: &AffineKernel,
     stmts: &[(u64, Vec<CompiledAccess>)],
+    bufs: &mut RunBufs,
     iters: &mut [i64],
     depth: usize,
     sink: &mut impl TraceSink,
@@ -121,44 +231,52 @@ fn walk(
     let lb = l.lb.eval_lb(iters);
     let ub = l.ub.eval_ub(iters);
     if depth + 1 == kernel.depth() {
-        // Innermost level: precompute per-access base at iters[depth] = lb,
-        // then advance by the iterator's stride each step.
+        let steps = (ub - lb).max(0) as u64;
+        if steps == 0 {
+            return;
+        }
+        // Innermost level: one run per (statement, access), based at
+        // iters[depth] = lb, advancing by the iterator's coefficient.
         iters[depth] = lb;
-        let mut bases: Vec<Vec<i64>> = Vec::with_capacity(stmts.len());
-        for (_, cas) in stmts {
-            bases.push(
-                cas.iter()
-                    .map(|ca| {
-                        let mut o = ca.constant;
-                        for (v, &c) in ca.coeffs.iter().enumerate() {
-                            o += c * iters[v];
-                        }
-                        o
-                    })
-                    .collect(),
-            );
-        }
-        for step in 0..(ub - lb).max(0) {
-            for ((flops, cas), base) in stmts.iter().zip(&bases) {
-                if *flops > 0 {
-                    sink.flops(*flops);
+        bufs.runs.clear();
+        bufs.spans.clear();
+        for (flops, cas) in stmts {
+            let start = bufs.runs.len() as u32;
+            for ca in cas {
+                let mut base = ca.constant;
+                for (v, &c) in ca.coeffs.iter().enumerate() {
+                    base += c * iters[v];
                 }
-                for (ca, &b) in cas.iter().zip(base) {
-                    let off = b + ca.coeffs[depth] * step;
-                    debug_assert!(off >= 0, "negative offset in `{}`", kernel.name);
-                    sink.access(AccessEvent {
-                        array: ca.array,
-                        offset: off as u64,
-                        bytes: ca.bytes,
-                        is_write: ca.is_write,
-                    });
-                }
+                let stride = ca.coeffs[depth];
+                debug_assert!(
+                    base >= 0 && base + stride * (steps as i64 - 1) >= 0,
+                    "negative offset in `{}`",
+                    kernel.name
+                );
+                bufs.runs.push(AccessRun {
+                    array: ca.array,
+                    base,
+                    stride,
+                    count: steps,
+                    bytes: ca.bytes,
+                    is_write: ca.is_write,
+                });
             }
+            bufs.spans.push(StmtSpan {
+                flops: *flops,
+                start,
+                len: bufs.runs.len() as u32 - start,
+            });
         }
+        sink.run(RunGroup {
+            steps,
+            runs: &bufs.runs,
+            stmts: &bufs.spans,
+        });
     } else {
         for i in lb..ub {
             iters[depth] = i;
-            walk(kernel, stmts, iters, depth + 1, sink);
+            walk(kernel, stmts, bufs, iters, depth + 1, sink);
         }
     }
 }
@@ -177,7 +295,8 @@ mod tests {
     use crate::types::ElemType;
     use polyufc_presburger::LinExpr;
 
-    /// A recording sink for order-sensitive assertions.
+    /// A recording sink for order-sensitive assertions. Uses the default
+    /// `run` expansion, so it observes the exact per-event order.
     #[derive(Default)]
     struct Recorder {
         events: Vec<AccessEvent>,
@@ -190,6 +309,25 @@ mod tests {
         }
         fn flops(&mut self, n: u64) {
             self.flops += n;
+        }
+    }
+
+    /// A sink that records raw run groups (no expansion).
+    #[derive(Default)]
+    struct RunRecorder {
+        groups: Vec<(u64, Vec<AccessRun>, Vec<StmtSpan>)>,
+    }
+
+    impl TraceSink for RunRecorder {
+        fn access(&mut self, _ev: AccessEvent) {
+            panic!("interpreter must emit runs, not events");
+        }
+        fn flops(&mut self, _n: u64) {
+            panic!("interpreter must emit runs, not events");
+        }
+        fn run(&mut self, group: RunGroup<'_>) {
+            self.groups
+                .push((group.steps, group.runs.to_vec(), group.stmts.to_vec()));
         }
     }
 
@@ -255,6 +393,93 @@ mod tests {
     }
 
     #[test]
+    fn runs_are_emitted_per_innermost_instance() {
+        let p = matmul_program(3, 4, 5);
+        let mut rr = RunRecorder::default();
+        interpret_kernel(&p, &p.kernels[0], &mut rr);
+        // One group per (i, j) pair, each spanning the k loop.
+        assert_eq!(rr.groups.len(), 3 * 4);
+        let (steps, runs, spans) = &rr.groups[0];
+        assert_eq!(*steps, 5);
+        assert_eq!(runs.len(), 4);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0],
+            StmtSpan {
+                flops: 2,
+                start: 0,
+                len: 4
+            }
+        );
+        // A[i,k]: k-stride 1; B[k,j]: k-stride n_cols(B) = 4; C[i,j]: 0.
+        assert_eq!(runs[0].stride, 1);
+        assert_eq!(runs[1].stride, 4);
+        assert_eq!(runs[2].stride, 0);
+        assert_eq!(runs[3].stride, 0);
+        assert!(runs[3].is_write);
+        assert!(runs.iter().all(|r| r.count == 5 && r.bytes == 8));
+    }
+
+    #[test]
+    fn default_run_expansion_matches_event_order() {
+        // Manually expand a RunGroup through the default impl and compare
+        // against the interpreter's per-event order for the same kernel.
+        let p = matmul_program(2, 3, 4);
+        let mut r = Recorder::default();
+        interpret_kernel(&p, &p.kernels[0], &mut r);
+        // Reconstruct the expected order by brute force.
+        let mut expected = Vec::new();
+        for i in 0..2u64 {
+            for j in 0..3u64 {
+                for k in 0..4u64 {
+                    expected.push((0usize, i * 4 + k, false));
+                    expected.push((1usize, k * 3 + j, false));
+                    expected.push((2usize, i * 3 + j, false));
+                    expected.push((2usize, i * 3 + j, true));
+                }
+            }
+        }
+        assert_eq!(r.events.len(), expected.len());
+        for (ev, (arr, off, w)) in r.events.iter().zip(&expected) {
+            assert_eq!(ev.array.0, *arr);
+            assert_eq!(ev.offset, *off);
+            assert_eq!(ev.is_write, *w);
+        }
+        assert_eq!(r.flops, 2 * 2 * 3 * 4);
+    }
+
+    #[test]
+    fn aggregate_run_override_matches_expansion() {
+        // TraceStats overrides `run` with O(1)-per-run arithmetic; the
+        // expanded path must agree exactly, including negative strides.
+        let mut p = AffineProgram::new("rev");
+        let a = p.add_array("A", vec![16, 16], ElemType::F32);
+        // A[i, 15 - j] — negative innermost stride.
+        p.kernels.push(AffineKernel {
+            name: "rev".into(),
+            loops: vec![Loop::range(16), Loop::range(16)],
+            statements: vec![Statement {
+                name: "S".into(),
+                accesses: vec![Access::read(
+                    a,
+                    vec![LinExpr::var(0), LinExpr::constant(15) - LinExpr::var(1)],
+                )],
+                flops: 3,
+            }],
+        });
+        let mut fast = TraceStats::default();
+        interpret_program(&p, &mut fast);
+        let mut slow = Recorder::default();
+        interpret_program(&p, &mut slow);
+        assert_eq!(fast.accesses, slow.events.len() as u64);
+        assert_eq!(fast.flops, slow.flops);
+        assert_eq!(
+            fast.bytes,
+            slow.events.iter().map(|e| e.bytes as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
     fn triangular_bounds_respected() {
         // for i in 0..4 { for j in 0..=i { read A[i][j] } }
         let mut p = AffineProgram::new("tri");
@@ -296,5 +521,8 @@ mod tests {
         let mut st = TraceStats::default();
         interpret_program(&p, &mut st);
         assert_eq!(st.flops, 0);
+        let mut rr = RunRecorder::default();
+        interpret_program(&p, &mut rr);
+        assert!(rr.groups.is_empty(), "empty instances are not emitted");
     }
 }

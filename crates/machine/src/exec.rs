@@ -81,15 +81,24 @@ impl RunResult {
 
 /// Measures a kernel's frequency-independent counters by running its
 /// trace through the platform's cache hierarchy.
+///
+/// Counters are deterministic in the (platform, kernel, layout) point, so
+/// results are memoized process-wide (see [`crate::measure_cache`]):
+/// re-measuring a structurally identical point returns the cached
+/// counters instead of re-simulating the trace.
 pub fn measure_kernel(
     platform: &Platform,
     program: &AffineProgram,
     kernel: &AffineKernel,
 ) -> KernelCounters {
+    let key = crate::measure_cache::fingerprint(platform, program, kernel);
+    if let Some(cached) = crate::measure_cache::lookup(&key, &kernel.name) {
+        return cached;
+    }
     let mut sim = CacheSim::new(&platform.hierarchy, program);
     interpret_kernel(program, kernel, &mut sim);
     let st = sim.stats;
-    KernelCounters {
+    let counters = KernelCounters {
         name: kernel.name.clone(),
         flops: st.flops,
         accesses: st.accesses,
@@ -99,7 +108,9 @@ pub fn measure_kernel(
         dram_writebacks: st.dram_writebacks,
         line_bytes: platform.hierarchy.line_bytes(),
         parallel: kernel.outer_parallel().is_some(),
-    }
+    };
+    crate::measure_cache::insert(key, &counters);
+    counters
 }
 
 /// Measures every kernel of a program.

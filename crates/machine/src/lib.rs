@@ -15,12 +15,14 @@
 
 pub mod dufs;
 pub mod exec;
+pub mod measure_cache;
 pub mod platform;
 pub mod rapl;
 pub mod ufs;
 
 pub use dufs::DufsGovernor;
 pub use exec::{measure_kernel, measure_program, ExecutionEngine, KernelCounters, RunResult};
+pub use measure_cache::{measure_cache_reset, measure_cache_stats, MeasureCacheStats};
 pub use platform::Platform;
 pub use rapl::EnergyBreakdown;
 pub use ufs::UfsDriver;
