@@ -5,17 +5,19 @@
 //! latency (the paper's Sec. VII-F argument, quantified).
 
 use polyufc::Pipeline;
-use polyufc_bench::{pct, print_table, size_from_args};
+use polyufc_bench::{fault_plan_from_args, guard_from_args, pct, print_table, size_from_args};
 use polyufc_ir::lower::lower_tensor_to_linalg;
-use polyufc_machine::{measure_program, DufsGovernor, ExecutionEngine, Platform, UfsDriver};
+use polyufc_machine::{DufsGovernor, ExecutionEngine, GuardedCapRuntime, Platform, UfsDriver};
 use polyufc_workloads::ml::sdpa_bert;
 use polyufc_workloads::polybench;
 
 fn main() {
     let size = size_from_args();
+    let fault = fault_plan_from_args();
+    let guard = guard_from_args();
     let plat = Platform::broadwell();
     let pipe = Pipeline::new(plat.clone());
-    let eng = ExecutionEngine::new(plat.clone());
+    let eng = ExecutionEngine::new(plat.clone()).with_fault_plan(fault.clone());
 
     let sdpa = {
         let w = sdpa_bert();
@@ -31,12 +33,16 @@ fn main() {
         "# PolyUFC vs DUFS governor vs stock driver on {}",
         plat.name
     );
+    if !fault.is_pristine() {
+        println!("(fault plan: {})", fault.spec_string());
+    }
     let mut rows = Vec::new();
+    let mut guard_lines = Vec::new();
     // Compile + trace-measure each workload in parallel; the governor
     // comparisons below consume the input-ordered results sequentially.
     let prepared = polyufc_par::par_map(&programs, |(_, program)| {
         pipe.compile_affine(program).map(|out| {
-            let counters = measure_program(&plat, &out.optimized);
+            let counters = eng.measure_program(&out.optimized);
             (out, counters)
         })
     });
@@ -49,7 +55,14 @@ fn main() {
             }
         };
         let stock = UfsDriver::stock().run_baseline(&eng, &counters);
-        let capped = eng.run_scf(&out.scf, &counters);
+        let capped = if guard {
+            let predictions = pipe.cap_predictions(&out);
+            let (r, rep) = GuardedCapRuntime::new(&eng).run_scf(&out.scf, &counters, &predictions);
+            guard_lines.push(format!("  {:<20} {}", name, rep.one_line()));
+            r
+        } else {
+            eng.run_scf(&out.scf, &counters)
+        };
         // The governor starts from its previous steady state — assume a
         // half-range idle frequency, like a machine between jobs.
         let start = (plat.uncore_min_ghz + plat.uncore_max_ghz) / 2.0;
@@ -80,5 +93,11 @@ fn main() {
     );
     println!("\n(DUFS pays control-loop latency on every phase change; PolyUFC sets the");
     println!(" frequency before each kernel starts — the Sec. VII-F argument.)");
+    if guard {
+        println!("\n## Guard decisions");
+        for line in &guard_lines {
+            println!("{line}");
+        }
+    }
     polyufc_bench::report_measure_cache();
 }

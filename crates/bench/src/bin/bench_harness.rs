@@ -4,11 +4,14 @@
 //!
 //! Usage: `bench_harness [mini|small|large|xl] [out.json]` — the size
 //! preset is forwarded to every harness (CI uses `mini` to stay fast).
+//! Each harness runs under a wall-clock deadline (default 900 s, override
+//! with `POLYUFC_HARNESS_TIMEOUT_S`); a harness that exceeds it is killed
+//! and recorded with status `timeout` so one hang cannot stall the suite.
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The harnesses whose end-to-end wall-clock the perf trajectory tracks —
 /// the parallel-evaluation suite plus the cold-count microbenchmark.
@@ -18,9 +21,56 @@ const HARNESSES: &[&str] = &[
     "fig7_edp",
     "table4_compile_time",
     "baseline_dufs",
+    "robustness_matrix",
     "count_microbench",
     "sim_microbench",
 ];
+
+/// Default per-harness wall-clock deadline, seconds. Generous: the `xl`
+/// preset legitimately runs for minutes; the deadline exists to catch
+/// hangs, not slow-but-progressing runs.
+const DEFAULT_TIMEOUT_S: u64 = 900;
+
+/// Runs one harness binary to completion or the deadline, whichever comes
+/// first. Returns (wall-clock seconds, status string).
+fn run_with_deadline(bin: &PathBuf, size: &str, deadline: Duration) -> (f64, String) {
+    let t0 = Instant::now();
+    let mut child = match Command::new(bin)
+        .arg(size)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => return (t0.elapsed().as_secs_f64(), format!("spawn failed: {e}")),
+    };
+    loop {
+        match child.try_wait() {
+            Ok(Some(s)) => {
+                let wall = t0.elapsed().as_secs_f64();
+                let status = if s.success() {
+                    "ok".to_string()
+                } else {
+                    format!("exit {}", s.code().unwrap_or(-1))
+                };
+                return (wall, status);
+            }
+            Ok(None) => {
+                if t0.elapsed() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return (t0.elapsed().as_secs_f64(), "timeout".to_string());
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return (t0.elapsed().as_secs_f64(), format!("wait failed: {e}"));
+            }
+        }
+    }
+}
 
 fn main() {
     let size = match std::env::args().nth(1).as_deref() {
@@ -45,6 +95,13 @@ fn main() {
         .expect("bin dir")
         .to_path_buf();
 
+    let deadline = Duration::from_secs(
+        std::env::var("POLYUFC_HARNESS_TIMEOUT_S")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_TIMEOUT_S),
+    );
+
     let mut entries = Vec::new();
     let t_suite = Instant::now();
     for name in HARNESSES {
@@ -54,18 +111,7 @@ fn main() {
             entries.push((name.to_string(), 0.0, "missing".to_string()));
             continue;
         }
-        let t0 = Instant::now();
-        let status = Command::new(&bin)
-            .arg(size)
-            .stdout(Stdio::null())
-            .stderr(Stdio::null())
-            .status();
-        let wall = t0.elapsed().as_secs_f64();
-        let status = match status {
-            Ok(s) if s.success() => "ok".to_string(),
-            Ok(s) => format!("exit {}", s.code().unwrap_or(-1)),
-            Err(e) => format!("spawn failed: {e}"),
-        };
+        let (wall, status) = run_with_deadline(&bin, size, deadline);
         println!("{name:<24} {wall:>8.2}s  {status}");
         entries.push((name.to_string(), wall, status));
     }

@@ -4,7 +4,7 @@
 //! frequency, and the CB/BB split of the PolyBench suite.
 
 use polyufc::{Boundedness, ParametricModel, Pipeline};
-use polyufc_bench::{evaluate, flag_from_args, print_table, size_from_args};
+use polyufc_bench::{evaluate, fault_plan_from_args, flag_from_args, print_table, size_from_args};
 use polyufc_ir::lower::lower_tensor_to_linalg;
 use polyufc_machine::{ExecutionEngine, Platform};
 use polyufc_workloads::{ml_suite, polybench_suite};
@@ -14,11 +14,15 @@ fn main() {
     // `--only <workload>` restricts the characterization to one point —
     // the CI Large-size smoke uses `--size large --only gemm`.
     let only = flag_from_args("--only");
+    let fault = fault_plan_from_args();
     for plat in Platform::all() {
         let pipe = Pipeline::new(plat.clone());
-        let eng = ExecutionEngine::new(plat.clone());
+        let eng = ExecutionEngine::new(plat.clone()).with_fault_plan(fault.clone());
 
         println!("\n# Fig. 6 — characterization on {}", plat.name);
+        if !fault.is_pristine() {
+            println!("(fault plan: {})", fault.spec_string());
+        }
         println!("## Table I constants (calibrated rooflines)");
         let r = &pipe.roofline;
         println!(

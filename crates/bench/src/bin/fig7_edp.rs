@@ -4,20 +4,28 @@
 //! BDW, 10.6% on RPL; up to 42% CB / 54% BB overall, ε = 1e-3).
 
 use polyufc::Pipeline;
-use polyufc_bench::{evaluate, geomean, pct, print_table, size_from_args};
+use polyufc_bench::{
+    evaluate_guarded, fault_plan_from_args, geomean, guard_from_args, pct, print_table,
+    size_from_args,
+};
 use polyufc_ir::lower::lower_tensor_to_linalg;
 use polyufc_machine::{ExecutionEngine, Platform};
 use polyufc_workloads::{ml_suite, polybench_suite};
 
 fn main() {
     let size = size_from_args();
+    let fault = fault_plan_from_args();
+    let guard = guard_from_args();
     for plat in Platform::all() {
         let pipe = Pipeline::new(plat.clone());
-        let eng = ExecutionEngine::new(plat.clone());
+        let eng = ExecutionEngine::new(plat.clone()).with_fault_plan(fault.clone());
         println!(
             "\n# Fig. 7 — vs. Intel UFS baseline on {} (ε = 1e-3)",
             plat.name
         );
+        if !fault.is_pristine() {
+            println!("(fault plan: {})", fault.spec_string());
+        }
 
         let mut rows = Vec::new();
         let mut pb_edp_ratio = Vec::new();
@@ -40,8 +48,9 @@ fn main() {
         // input-ordered results so the table is byte-identical to a serial
         // run.
         let evals = polyufc_par::par_map(&programs, |(name, _, program)| {
-            evaluate(&pipe, &eng, program, name)
+            evaluate_guarded(&pipe, &eng, program, name, guard)
         });
+        let mut guard_lines = Vec::new();
         for ((name, is_pb, _), result) in programs.iter().zip(evals) {
             let e = match result {
                 Ok(e) => e,
@@ -68,6 +77,9 @@ fn main() {
                     best_bb = (edp_impr, name.clone());
                 }
                 _ => {}
+            }
+            if let Some(rep) = &e.guard {
+                guard_lines.push(format!("  {:<20} {}", name, rep.one_line()));
             }
             rows.push(vec![
                 name.clone(),
@@ -99,6 +111,12 @@ fn main() {
         println!(" the paper's kernels run for seconds, making the steady-state column the comparable one)");
         println!("best CB improvement: {} ({})", pct(best_cb.0), best_cb.1);
         println!("best BB improvement: {} ({})", pct(best_bb.0), best_bb.1);
+        if guard {
+            println!("\n## Guard decisions ({})", plat.name);
+            for line in &guard_lines {
+                println!("{line}");
+            }
+        }
     }
     polyufc_bench::report_measure_cache();
 }

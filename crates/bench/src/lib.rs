@@ -8,7 +8,10 @@
 use polyufc::{Boundedness, Pipeline, PipelineOutput};
 use polyufc_cache::ModelError;
 use polyufc_ir::affine::AffineProgram;
-use polyufc_machine::{measure_program, ExecutionEngine, KernelCounters, RunResult, UfsDriver};
+use polyufc_machine::{
+    ExecutionEngine, FaultPlan, GuardReport, GuardedCapRuntime, KernelCounters, RunResult,
+    UfsDriver,
+};
 use polyufc_workloads::PolybenchSize;
 
 /// The outcome of evaluating one workload on one platform.
@@ -34,6 +37,9 @@ pub struct Eval {
     pub steady_caps_ghz: Vec<f64>,
     /// Run under the stock UFS driver.
     pub baseline: RunResult,
+    /// The guard's decisions when the capped run went through a
+    /// `GuardedCapRuntime` (`--guard on`); `None` for unguarded runs.
+    pub guard: Option<GuardReport>,
 }
 
 impl Eval {
@@ -124,11 +130,38 @@ pub fn evaluate(
     program: &AffineProgram,
     name: &str,
 ) -> Result<Eval, ModelError> {
+    evaluate_guarded(pipe, engine, program, name, false)
+}
+
+/// [`evaluate`], optionally routing the capped run through a
+/// [`GuardedCapRuntime`] fed with the pipeline's static `T`/`E`
+/// predictions. With `guard` off this is exactly the historical
+/// evaluation (byte-identical results); with it on, `Eval::capped`
+/// carries the guarded run and `Eval::guard` the full decision report.
+///
+/// # Errors
+///
+/// Propagates pipeline analysis failures.
+pub fn evaluate_guarded(
+    pipe: &Pipeline,
+    engine: &ExecutionEngine,
+    program: &AffineProgram,
+    name: &str,
+    guard: bool,
+) -> Result<Eval, ModelError> {
     let out = pipe.compile_affine(program)?;
     // Kernel counters come from independent trace simulations;
-    // `measure_program` fans them out across cores (input-ordered).
-    let counters: Vec<KernelCounters> = measure_program(&engine.platform, &out.optimized);
-    let capped = engine.run_scf(&out.scf, &counters);
+    // `measure_program` fans them out across cores (input-ordered) and
+    // applies the engine's fault plan (pristine by default).
+    let counters: Vec<KernelCounters> = engine.measure_program(&out.optimized);
+    let (capped, guard_report) = if guard {
+        let predictions = pipe.cap_predictions(&out);
+        let runtime = GuardedCapRuntime::new(engine);
+        let (r, report) = runtime.run_scf(&out.scf, &counters, &predictions);
+        (r, Some(report))
+    } else {
+        (engine.run_scf(&out.scf, &counters), None)
+    };
     let baseline = UfsDriver::stock().run_baseline(engine, &counters);
     // Steady state: caps without the switch guard, no switch costs. With
     // the guard disabled the pipeline's cap loop always takes the searched
@@ -150,6 +183,7 @@ pub fn evaluate(
         energy,
         avg_power_w: energy.total() / time.max(1e-12),
         uncore_ghz: if time > 0.0 { weighted_f / time } else { 0.0 },
+        guard: None,
     };
     Ok(Eval {
         name: name.to_string(),
@@ -160,6 +194,7 @@ pub fn evaluate(
         steady,
         steady_caps_ghz,
         baseline,
+        guard: guard_report,
     })
 }
 
@@ -252,6 +287,34 @@ pub fn flag_from_args(flag: &str) -> Option<String> {
         }
     }
     None
+}
+
+/// Reads the `--fault-plan <spec>` flag from argv into a [`FaultPlan`];
+/// absent means pristine (no faults). A malformed spec is a hard error —
+/// silently running a robustness experiment without its faults would be
+/// worse than refusing to run.
+pub fn fault_plan_from_args() -> FaultPlan {
+    match flag_from_args("--fault-plan") {
+        None => FaultPlan::pristine(),
+        Some(spec) => FaultPlan::parse_spec(&spec).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Reads the `--guard on|off` flag from argv; absent means off (the
+/// historical unguarded path). The flag takes an explicit value because
+/// `size_from_args` treats every `--flag` as value-bearing.
+pub fn guard_from_args() -> bool {
+    match flag_from_args("--guard").as_deref() {
+        None | Some("off") | Some("0") | Some("false") => false,
+        Some("on") | Some("1") | Some("true") => true,
+        Some(other) => {
+            eprintln!("--guard: expected on|off, got '{other}'");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Renders a fixed-width table.

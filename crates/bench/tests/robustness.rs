@@ -1,0 +1,104 @@
+//! End-to-end robustness contract: compile real workloads through the
+//! full pipeline, inject seeded faults, and check the guarded runtime's
+//! degradation bound against the stock UFS driver — the executable form
+//! of the claim the `robustness_matrix` harness prints as a table.
+
+use polyufc::Pipeline;
+use polyufc_bench::evaluate_guarded;
+use polyufc_machine::{ExecutionEngine, FaultPlan, Platform};
+use polyufc_workloads::polybench;
+
+/// Recoverable-scenario degradation bound (guarded EDP vs stock EDP).
+const RECOVERABLE_BOUND: f64 = 1.10;
+/// Unrecoverable 100%-stuck-write bound: retry + release overhead on
+/// millisecond-scale kernels (the paper's seconds-scale kernels amortize
+/// this below 0.1%).
+const STUCK_BOUND: f64 = 1.25;
+
+fn workloads() -> Vec<(&'static str, polyufc_ir::affine::AffineProgram)> {
+    vec![("gemm", polybench::gemm(48)), ("mvt", polybench::mvt(64))]
+}
+
+/// Under the standard fault matrix (counter noise + outliers + dropped
+/// cap writes), the guarded run's EDP stays within the documented bound
+/// of the stock driver under the *same* faults.
+#[test]
+fn standard_fault_matrix_guarded_edp_is_bounded() {
+    let plat = Platform::broadwell();
+    let pipe = Pipeline::new(plat.clone());
+    let plan = FaultPlan::parse_spec("standard,seed=42").unwrap();
+    let eng = ExecutionEngine::new(plat).with_fault_plan(plan);
+    for (name, program) in &workloads() {
+        let e = evaluate_guarded(&pipe, &eng, program, name, true).unwrap();
+        let ratio = e.capped.edp() / e.baseline.edp();
+        assert!(
+            ratio <= RECOVERABLE_BOUND,
+            "{name}: guarded EDP {:.1}% over stock exceeds the {:.0}% bound",
+            (ratio - 1.0) * 100.0,
+            (RECOVERABLE_BOUND - 1.0) * 100.0
+        );
+        let report = e.guard.as_ref().expect("guarded eval carries a report");
+        assert!(!report.fell_back, "{name}: dropped writes are recoverable");
+    }
+}
+
+/// 100%-stuck writes: the unguarded run is at the mercy of whatever
+/// frequency the knob lands on, while the guard detects the failed
+/// verify, releases the cap, and stays within the stuck bound. The
+/// guarded run must never be worse than the unguarded one here.
+#[test]
+fn stuck_writes_guarded_never_worse_than_unguarded() {
+    let plat = Platform::broadwell();
+    let pipe = Pipeline::new(plat.clone());
+    let plan = FaultPlan::parse_spec("stuck,seed=42").unwrap();
+    let eng = ExecutionEngine::new(plat).with_fault_plan(plan);
+    for (name, program) in &workloads() {
+        let unguarded = evaluate_guarded(&pipe, &eng, program, name, false).unwrap();
+        let guarded = evaluate_guarded(&pipe, &eng, program, name, true).unwrap();
+        // Same engine, same seeds: the stock baselines are identical, so
+        // EDP ratios vs stock compare directly.
+        assert_eq!(
+            unguarded.baseline.edp().to_bits(),
+            guarded.baseline.edp().to_bits()
+        );
+        let g_ratio = guarded.capped.edp() / guarded.baseline.edp();
+        let u_ratio = unguarded.capped.edp() / unguarded.baseline.edp();
+        assert!(
+            g_ratio <= STUCK_BOUND,
+            "{name}: guarded EDP {:.1}% over stock exceeds the stuck bound",
+            (g_ratio - 1.0) * 100.0
+        );
+        assert!(
+            g_ratio <= u_ratio + 1e-9,
+            "{name}: guarded ({g_ratio:.4}) must not be worse than unguarded ({u_ratio:.4})"
+        );
+    }
+}
+
+/// With no fault plan, `--guard` is a pure observer: the guarded capped
+/// run is bit-identical to the unguarded one, end to end through the
+/// real pipeline.
+#[test]
+fn pristine_guarded_eval_matches_unguarded_bit_for_bit() {
+    let plat = Platform::broadwell();
+    let pipe = Pipeline::new(plat.clone());
+    let eng = ExecutionEngine::new(plat);
+    for (name, program) in &workloads() {
+        let plain = evaluate_guarded(&pipe, &eng, program, name, false).unwrap();
+        let guarded = evaluate_guarded(&pipe, &eng, program, name, true).unwrap();
+        assert_eq!(
+            plain.capped.time_s.to_bits(),
+            guarded.capped.time_s.to_bits(),
+            "{name}: guarded time differs with faults disabled"
+        );
+        assert_eq!(
+            plain.capped.energy.total().to_bits(),
+            guarded.capped.energy.total().to_bits(),
+            "{name}: guarded energy differs with faults disabled"
+        );
+        let report = guarded.guard.as_ref().unwrap();
+        assert!(!report.fell_back);
+        assert_eq!(report.retries(), 0);
+        assert_eq!(report.timeouts(), 0);
+    }
+}

@@ -244,7 +244,11 @@ impl CacheModel {
             )));
         }
         let domain = kernel.domain();
-        let dom_basic = domain.basics()[0].clone();
+        let dom_basic = domain
+            .basics()
+            .first()
+            .ok_or_else(|| ModelError::Malformed("empty iteration domain".into()))?
+            .clone();
         let iv = dom_basic
             .var_intervals()?
             .ok_or_else(|| ModelError::Malformed("empty iteration domain".into()))?;
@@ -481,7 +485,16 @@ fn collect_refs(
     let mut map: BTreeMap<(usize, Vec<i64>), Ref> = BTreeMap::new();
     for s in &kernel.statements {
         for a in &s.accesses {
-            let decl = &program.arrays[a.array.0];
+            // `analyze_kernel` is public API and may see programs that
+            // never went through `AffineProgram::validate`; a dangling
+            // array id or out-of-depth iterator must surface as a typed
+            // error, not an index panic.
+            let decl = program.arrays.get(a.array.0).ok_or_else(|| {
+                ModelError::Malformed(format!(
+                    "statement `{}` references unknown array {}",
+                    s.name, a.array
+                ))
+            })?;
             if a.indices.len() != decl.dims.len() {
                 return Err(ModelError::Malformed(format!(
                     "access arity mismatch on `{}`",
@@ -494,6 +507,12 @@ fn collect_refs(
             for (e, &st) in a.indices.iter().zip(&strides) {
                 constant += e.constant_term() * st as i64;
                 for (v, c) in e.terms() {
+                    if v >= depth {
+                        return Err(ModelError::Malformed(format!(
+                            "access to `{}` references iterator {v} beyond depth {depth}",
+                            decl.name
+                        )));
+                    }
                     coeffs[v] += c * st as i64;
                 }
             }

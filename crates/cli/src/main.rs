@@ -15,7 +15,9 @@ use polyufc_cache::AssocMode;
 use polyufc_cgeist::parse_scop;
 use polyufc_ir::affine::AffineProgram;
 use polyufc_ir::lower::lower_tensor_to_linalg;
-use polyufc_machine::{measure_kernel, ExecutionEngine, Platform, UfsDriver};
+use polyufc_machine::{
+    measure_kernel_with_plan, ExecutionEngine, FaultPlan, GuardedCapRuntime, Platform, UfsDriver,
+};
 use polyufc_workloads::{ml_suite, polybench_suite, PolybenchSize};
 
 fn main() -> ExitCode {
@@ -37,7 +39,13 @@ const USAGE: &str = "usage:
                            [--emit scf|affine|openscop]
   polyufc run     <file.c> [options]      compile, then simulate vs the UFS baseline
   polyufc bench   <name>   [options]      run a built-in workload (see `polyufc list`)
-  polyufc list                            list built-in workloads";
+  polyufc list                            list built-in workloads
+
+simulation options (run/bench):
+  --fault-plan <spec>   inject faults: a preset (standard|stuck|thermal|flaky)
+                        and/or key=value overrides, e.g. `standard,seed=7`
+  --guard on|off        route cap application through the guarded runtime
+                        (verify-after-write, retry, misprediction fallback)";
 
 struct Options {
     platform: Platform,
@@ -45,6 +53,8 @@ struct Options {
     epsilon: f64,
     assoc: AssocMode,
     emit: String,
+    fault: FaultPlan,
+    guard: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -54,6 +64,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         epsilon: 1e-3,
         assoc: AssocMode::SetAssociative,
         emit: "scf".into(),
+        fault: FaultPlan::pristine(),
+        guard: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -96,6 +108,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err(format!("unknown emit kind `{v}`"));
                 }
                 o.emit = v;
+            }
+            "--fault-plan" => {
+                o.fault = FaultPlan::parse_spec(&value("--fault-plan")?)?;
+            }
+            "--guard" => {
+                o.guard = match value("--guard")?.as_str() {
+                    "on" | "1" | "true" => true,
+                    "off" | "0" | "false" => false,
+                    other => return Err(format!("--guard: expected on|off, got `{other}`")),
+                }
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -169,12 +191,18 @@ fn find_workload(name: &str) -> Option<AffineProgram> {
         .map(|w| lower_tensor_to_linalg(&w.graph, w.elem).lower_to_affine())
 }
 
-fn compile(program: &AffineProgram, opts: &Options) -> Result<PipelineOutput, String> {
+fn pipeline_for(opts: &Options) -> Pipeline {
     let mut pipe = Pipeline::new(opts.platform.clone())
         .with_objective(opts.objective)
         .with_assoc_mode(opts.assoc);
     pipe.epsilon = opts.epsilon;
-    pipe.compile_affine(program).map_err(|e| e.to_string())
+    pipe
+}
+
+fn compile(program: &AffineProgram, opts: &Options) -> Result<PipelineOutput, String> {
+    pipeline_for(opts)
+        .compile_affine(program)
+        .map_err(|e| e.to_string())
 }
 
 fn report(program: &AffineProgram, out: &PipelineOutput, opts: &Options) {
@@ -212,14 +240,20 @@ fn report(program: &AffineProgram, out: &PipelineOutput, opts: &Options) {
 }
 
 fn simulate(out: &PipelineOutput, opts: &Options) {
-    let eng = ExecutionEngine::new(opts.platform.clone());
+    let eng = ExecutionEngine::new(opts.platform.clone()).with_fault_plan(opts.fault.clone());
     let counters: Vec<_> = out
         .optimized
         .kernels
         .iter()
-        .map(|k| measure_kernel(&opts.platform, &out.optimized, k))
+        .map(|k| measure_kernel_with_plan(&opts.platform, &out.optimized, k, &opts.fault))
         .collect();
-    let capped = eng.run_scf(&out.scf, &counters);
+    let (capped, guard_report) = if opts.guard {
+        let predictions = pipeline_for(opts).cap_predictions(out);
+        let (r, rep) = GuardedCapRuntime::new(&eng).run_scf(&out.scf, &counters, &predictions);
+        (r, Some(rep))
+    } else {
+        (eng.run_scf(&out.scf, &counters), None)
+    };
     let baseline = UfsDriver::stock().run_baseline(&eng, &counters);
     println!("== simulation vs stock UFS driver ==");
     println!(
@@ -240,6 +274,10 @@ fn simulate(out: &PipelineOutput, opts: &Options) {
         (1.0 - capped.energy.total() / baseline.energy.total()) * 100.0,
         (1.0 - capped.edp() / baseline.edp()) * 100.0
     );
+    if let Some(rep) = &guard_report {
+        println!("== guard report ==");
+        print!("{}", rep.render());
+    }
 }
 
 #[cfg(test)]

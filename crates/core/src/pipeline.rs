@@ -283,6 +283,31 @@ impl Pipeline {
         })
     }
 
+    /// The static model's per-kernel expectations `T(f_c,I)` / `E(f_c,I)`
+    /// at the *deployed* caps (`caps_ghz`, switch guard applied) — the
+    /// reference a [`polyufc_machine::GuardedCapRuntime`] watchdog
+    /// compares observed runs against. One entry per kernel, in program
+    /// order, as plain data (the machine crate cannot see
+    /// [`ParametricModel`]; the dependency points the other way).
+    pub fn cap_predictions(&self, out: &PipelineOutput) -> Vec<polyufc_machine::CapPrediction> {
+        let conc = self.platform.cores as f64;
+        out.optimized
+            .kernels
+            .iter()
+            .zip(&out.cache_stats)
+            .zip(&out.caps_ghz)
+            .map(|((k, st), &f)| {
+                let pm =
+                    ParametricModel::new(&self.roofline, st, k.outer_parallel().is_some(), conc);
+                polyufc_machine::CapPrediction {
+                    f_ghz: f,
+                    time_s: pm.exec_time(f),
+                    energy_j: pm.energy(f),
+                }
+            })
+            .collect()
+    }
+
     /// Compiles a tensor graph (torch entry point): lowers tensor →
     /// linalg → affine, then runs the affine pipeline.
     ///

@@ -79,6 +79,13 @@ pub fn parse_affine_program(src: &str) -> Result<AffineProgram, TextError> {
             };
             let dims: Result<Vec<usize>, _> = dims_s.iter().map(|d| d.parse()).collect();
             let dims = dims.map_err(|_| err(ln, format!("bad memref shape `{ty}`")))?;
+            // The element count must fit in usize: downstream footprint
+            // math multiplies the dims, and a crafted shape like
+            // `99999999999x99999999999xf64` must be rejected here rather
+            // than wrap (or abort) later.
+            dims.iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                .ok_or_else(|| err(ln, format!("memref shape `{ty}` overflows")))?;
             let id = p.add_array(name.trim().to_string(), dims, elem);
             arrays.insert(name.trim().to_string(), id);
             continue;
@@ -247,7 +254,10 @@ fn parse_expr(s: &str) -> Result<LinExpr, String> {
             c if c.is_ascii_digit() => {
                 let mut v = 0i64;
                 while i < chars.len() && chars[i].is_ascii_digit() {
-                    v = v * 10 + (chars[i] as i64 - '0' as i64);
+                    v = v
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(chars[i] as i64 - '0' as i64))
+                        .ok_or_else(|| format!("coefficient overflows in `{s}`"))?;
                     i += 1;
                 }
                 if i < chars.len() && chars[i] == 'i' {
@@ -274,6 +284,11 @@ fn parse_expr(s: &str) -> Result<LinExpr, String> {
     Ok(out)
 }
 
+/// No real loop nest is thousands deep; an index beyond this is a
+/// malformed (or adversarial) input, and accepting it would let `i<huge>`
+/// allocate a coefficient vector of that length.
+const MAX_ITER_INDEX: usize = 4096;
+
 fn parse_index(chars: &[char], mut i: usize) -> Result<(usize, usize), String> {
     let start = i;
     while i < chars.len() && chars[i].is_ascii_digit() {
@@ -282,7 +297,15 @@ fn parse_index(chars: &[char], mut i: usize) -> Result<(usize, usize), String> {
     if i == start {
         return Err("iterator needs an index (iN)".into());
     }
-    let idx: usize = chars[start..i].iter().collect::<String>().parse().unwrap();
+    let text: String = chars[start..i].iter().collect();
+    let idx: usize = text
+        .parse()
+        .map_err(|_| format!("iterator index `i{text}` overflows"))?;
+    if idx > MAX_ITER_INDEX {
+        return Err(format!(
+            "iterator index `i{text}` exceeds the {MAX_ITER_INDEX} limit"
+        ));
+    }
     Ok((idx, i))
 }
 

@@ -1,0 +1,75 @@
+//! Fuzz-style robustness tests for the textual affine-dialect parser:
+//! malformed programs — truncated, garbled, or adversarial — must come
+//! back as `TextError`, never as a panic, wrap, or runaway allocation.
+
+use proptest::prelude::*;
+
+use polyufc_ir::textual::parse_affine_program;
+
+/// Line fragments biased toward the grammar so random concatenations
+/// exercise the memref, func, loop, and statement paths, not just the
+/// top-level "unexpected line" rejection.
+const FRAGMENTS: &[&str] = &[
+    "// affine program `f`\n",
+    "memref %A : 8x8xf64\n",
+    "memref %B : 99999999999x99999999999xf64\n",
+    "memref %C : f32\n",
+    "memref %D 8xf64\n",
+    "func @k {\n",
+    "  affine.for %i0 = max(0) to min(8) {\n",
+    "  affine.parallel %i1 = max(0) to min(i0) {\n",
+    "  affine.for %i2 = max to min {\n",
+    "  S0: load %A[i0, i1]; store %A[i1, i0] // 2 flops\n",
+    "  S1: load %A[i99999, 0] // 1 flops\n",
+    "  S2: load %Z[i0] // 1 flops\n",
+    "  S3: load %A[999999999999999999999i0] // 1 flops\n",
+    "}\n",
+    "}}\n",
+    "garbage\n",
+    "",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any concatenation of grammar-ish fragments parses or errors —
+    /// never panics.
+    #[test]
+    fn fragment_soup_never_panics(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..12)
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let _ = parse_affine_program(&src);
+    }
+}
+
+#[test]
+fn oversized_numbers_are_errors_not_panics() {
+    // Coefficient that overflows i64.
+    let src = "memref %A : 8xf64\nfunc @k {\n  affine.for %i0 = max(0) to min(8) {\n  S0: load %A[99999999999999999999i0] // 1 flops\n}\n}\n";
+    let e = parse_affine_program(src).unwrap_err();
+    assert!(e.message.contains("overflow"), "{e}");
+
+    // Iterator index that overflows usize.
+    let src = "memref %A : 8xf64\nfunc @k {\n  affine.for %i0 = max(0) to min(8) {\n  S0: load %A[i99999999999999999999] // 1 flops\n}\n}\n";
+    let e = parse_affine_program(src).unwrap_err();
+    assert!(e.message.contains("overflow"), "{e}");
+
+    // Iterator index past the sanity limit must not allocate a
+    // million-entry coefficient vector.
+    let src = "memref %A : 8xf64\nfunc @k {\n  affine.for %i0 = max(0) to min(8) {\n  S0: load %A[i999999] // 1 flops\n}\n}\n";
+    let e = parse_affine_program(src).unwrap_err();
+    assert!(e.message.contains("limit"), "{e}");
+
+    // Memref shape whose element count overflows usize.
+    let src = "memref %A : 99999999999x99999999999x99999999999xf64\nfunc @k {\n}\n";
+    let e = parse_affine_program(src).unwrap_err();
+    assert!(e.message.contains("overflow"), "{e}");
+}
+
+#[test]
+fn reasonable_programs_still_parse() {
+    let src = "// affine program `ok`\nmemref %A : 8x8xf64\nfunc @k {\n  affine.for %i0 = max(0) to min(8) {\n  S0: load %A[i0, 2i0 - 1] // 1 flops\n}\n}\n";
+    let p = parse_affine_program(src).unwrap();
+    assert_eq!(p.kernels.len(), 1);
+}

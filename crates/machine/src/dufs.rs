@@ -90,6 +90,7 @@ impl DufsGovernor {
                 energy,
                 avg_power_w: energy.total() / time.max(1e-12),
                 uncore_ghz: if time > 0.0 { weighted_f / time } else { f },
+                guard: None,
             },
             f,
         )

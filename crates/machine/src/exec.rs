@@ -13,6 +13,8 @@ use polyufc_ir::interp::interpret_kernel;
 use polyufc_ir::scf::ScfProgram;
 use rand::{RngExt as _, SeedableRng};
 
+use crate::fault::FaultPlan;
+use crate::guard::GuardSummary;
 use crate::platform::Platform;
 use crate::rapl::EnergyBreakdown;
 
@@ -70,6 +72,9 @@ pub struct RunResult {
     /// The uncore frequency the run used (GHz); for multi-kernel programs
     /// with several caps this is the time-weighted mean.
     pub uncore_ghz: f64,
+    /// Summary of the guard's decisions when the run went through a
+    /// [`crate::guard::GuardedCapRuntime`]; `None` for unguarded runs.
+    pub guard: Option<GuardSummary>,
 }
 
 impl RunResult {
@@ -91,14 +96,28 @@ pub fn measure_kernel(
     program: &AffineProgram,
     kernel: &AffineKernel,
 ) -> KernelCounters {
-    let key = crate::measure_cache::fingerprint(platform, program, kernel);
+    measure_kernel_with_plan(platform, program, kernel, &FaultPlan::pristine())
+}
+
+/// [`measure_kernel`] under a fault plan: the trace simulation itself is
+/// exact, but a non-pristine plan perturbs the returned hit/miss/DRAM
+/// counts the way a noisy multiplexed PAPI read would. Faulted points are
+/// cached under a key that includes the plan's fingerprint, so they can
+/// never poison (or be served from) the clean cache namespace.
+pub fn measure_kernel_with_plan(
+    platform: &Platform,
+    program: &AffineProgram,
+    kernel: &AffineKernel,
+    plan: &FaultPlan,
+) -> KernelCounters {
+    let key = crate::measure_cache::fingerprint(platform, program, kernel, plan);
     if let Some(cached) = crate::measure_cache::lookup(&key, &kernel.name) {
         return cached;
     }
     let mut sim = CacheSim::new(&platform.hierarchy, program);
     interpret_kernel(program, kernel, &mut sim);
     let st = sim.stats;
-    let counters = KernelCounters {
+    let mut counters = KernelCounters {
         name: kernel.name.clone(),
         flops: st.flops,
         accesses: st.accesses,
@@ -109,6 +128,13 @@ pub fn measure_kernel(
         line_bytes: platform.hierarchy.line_bytes(),
         parallel: kernel.outer_parallel().is_some(),
     };
+    if !plan.is_pristine() {
+        // Key the perturbation by the structural fingerprint, not the
+        // kernel name: names are excluded from the cache key, so two
+        // identically shaped kernels must perturb identically or a cache
+        // hit would depend on which one was measured first.
+        plan.perturb_counters(&mut counters, &key);
+    }
     crate::measure_cache::insert(key, &counters);
     counters
 }
@@ -121,6 +147,18 @@ pub fn measure_program(platform: &Platform, program: &AffineProgram) -> Vec<Kern
     polyufc_par::par_map(&program.kernels, |k| measure_kernel(platform, program, k))
 }
 
+/// Measures every kernel of a program under a fault plan (see
+/// [`measure_kernel_with_plan`]).
+pub fn measure_program_with_plan(
+    platform: &Platform,
+    program: &AffineProgram,
+    plan: &FaultPlan,
+) -> Vec<KernelCounters> {
+    polyufc_par::par_map(&program.kernels, |k| {
+        measure_kernel_with_plan(platform, program, k, plan)
+    })
+}
+
 /// The execution engine for a platform.
 #[derive(Debug, Clone)]
 pub struct ExecutionEngine {
@@ -129,6 +167,10 @@ pub struct ExecutionEngine {
     /// Multiplicative measurement noise amplitude (e.g. 0.005 = ±0.5%);
     /// deterministic per (kernel, frequency). Zero disables noise.
     pub noise: f64,
+    /// Active fault-injection plan; [`FaultPlan::pristine`] (the default)
+    /// leaves every run byte-identical to an engine without the fault
+    /// layer.
+    pub fault: FaultPlan,
 }
 
 impl ExecutionEngine {
@@ -137,6 +179,7 @@ impl ExecutionEngine {
         ExecutionEngine {
             platform,
             noise: 0.004,
+            fault: FaultPlan::pristine(),
         }
     }
 
@@ -145,11 +188,42 @@ impl ExecutionEngine {
         ExecutionEngine {
             platform,
             noise: 0.0,
+            fault: FaultPlan::pristine(),
         }
+    }
+
+    /// Replaces the engine's fault plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// A copy of this engine with the fault plan stripped — what
+    /// calibration and other trusted-measurement paths must run through.
+    pub fn sanitized(&self) -> ExecutionEngine {
+        ExecutionEngine {
+            platform: self.platform.clone(),
+            noise: self.noise,
+            fault: FaultPlan::pristine(),
+        }
+    }
+
+    /// Measures every kernel of a program under this engine's fault plan.
+    pub fn measure_program(&self, program: &AffineProgram) -> Vec<KernelCounters> {
+        measure_program_with_plan(&self.platform, program, &self.fault)
     }
 
     /// Simulates one kernel at an uncore frequency.
     pub fn run_kernel(&self, c: &KernelCounters, f_uncore_ghz: f64) -> RunResult {
+        if self.fault.is_pristine() {
+            return self.run_kernel_clean(c, f_uncore_ghz);
+        }
+        self.run_kernel_faulty(c, f_uncore_ghz)
+    }
+
+    /// The fault-free run path — exactly the pre-fault-layer model, so
+    /// pristine plans stay byte-identical to historical results.
+    fn run_kernel_clean(&self, c: &KernelCounters, f_uncore_ghz: f64) -> RunResult {
         let p = &self.platform;
         let f = p.clamp_uncore(f_uncore_ghz);
         let cores_used = if c.parallel { p.cores } else { 1 };
@@ -204,6 +278,60 @@ impl ExecutionEngine {
             energy,
             avg_power_w: energy.total() / time,
             uncore_ghz: f,
+            guard: None,
+        }
+    }
+
+    /// The faulted run path: the clean physics first, then the plan's
+    /// transforms appended — a transient thermal-throttle window forcing
+    /// part of the work to a lower uncore frequency, observation noise on
+    /// the timer and RAPL readings, and measurement timeouts inflating
+    /// the observed wall-clock.
+    fn run_kernel_faulty(&self, c: &KernelCounters, f_uncore_ghz: f64) -> RunResult {
+        let p = &self.platform;
+        let f = p.clamp_uncore(f_uncore_ghz);
+        let base = self.run_kernel_clean(c, f);
+        let mut time = base.time_s;
+        let mut energy = base.energy;
+        let mut f_eff = f;
+
+        let key = c.name.as_bytes();
+        let salt = (f * 1000.0) as u64;
+
+        // Thermal throttle: `share` of the work runs at the forced
+        // frequency; time and energy blend by work share.
+        if let Some((share, f_thr)) = self.fault.throttle_window(p, key, f) {
+            if (f_thr - f).abs() > 1e-9 {
+                let slow = self.run_kernel_clean(c, f_thr);
+                time = (1.0 - share) * base.time_s + share * slow.time_s;
+                energy = EnergyBreakdown {
+                    static_j: (1.0 - share) * base.energy.static_j + share * slow.energy.static_j,
+                    core_j: (1.0 - share) * base.energy.core_j + share * slow.energy.core_j,
+                    uncore_j: (1.0 - share) * base.energy.uncore_j + share * slow.energy.uncore_j,
+                    dram_j: (1.0 - share) * base.energy.dram_j + share * slow.energy.dram_j,
+                };
+                f_eff = (1.0 - share) * f + share * f_thr;
+            }
+        }
+
+        // Observation noise: the timer and the RAPL meter read through
+        // independent noisy channels.
+        time *= self.fault.observe_scale("timer", key, salt);
+        energy = energy.observed(&self.fault, key, salt);
+
+        // Measurement timeout: the harness re-arms and re-reads, roughly
+        // doubling the observed interval.
+        if self.fault.read_times_out(key, salt) {
+            time *= crate::fault::TIMEOUT_STALL_SCALE;
+        }
+
+        let time = time.max(1e-9);
+        RunResult {
+            time_s: time,
+            energy,
+            avg_power_w: energy.total() / time,
+            uncore_ghz: f_eff,
+            guard: None,
         }
     }
 
@@ -229,10 +357,23 @@ impl ExecutionEngine {
         let mut weighted_f = 0.0;
         let mut current = self.platform.uncore_max_ghz;
         let mut switches = 0u32;
-        for ((cap, _k), c) in pairs.iter().zip(counters) {
-            let f = match cap {
+        for (i, ((cap, _k), c)) in pairs.iter().zip(counters).enumerate() {
+            let requested = match cap {
                 Some(mhz) => self.platform.clamp_uncore(*mhz as f64 / 1000.0),
                 None => self.platform.uncore_max_ghz,
+            };
+            // An unguarded runtime trusts every write: dropped or stuck
+            // writes silently leave the knob somewhere else.
+            let f = if self.fault.is_pristine() {
+                requested
+            } else {
+                self.fault.perturb_write(
+                    current,
+                    requested,
+                    &self.platform,
+                    c.name.as_bytes(),
+                    i as u64,
+                )
             };
             if (f - current).abs() > 1e-9 {
                 switches += 1;
@@ -256,6 +397,7 @@ impl ExecutionEngine {
             } else {
                 current
             },
+            guard: None,
         }
     }
 
@@ -364,6 +506,7 @@ mod tests {
         let noisy = ExecutionEngine {
             platform: plat.clone(),
             noise: 0.004,
+            fault: FaultPlan::pristine(),
         };
         let clean = ExecutionEngine::noiseless(plat);
         let rn = noisy.run_kernel(&c, 2.2);

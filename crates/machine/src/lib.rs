@@ -15,13 +15,23 @@
 
 pub mod dufs;
 pub mod exec;
+pub mod fault;
+pub mod guard;
 pub mod measure_cache;
 pub mod platform;
 pub mod rapl;
 pub mod ufs;
 
 pub use dufs::DufsGovernor;
-pub use exec::{measure_kernel, measure_program, ExecutionEngine, KernelCounters, RunResult};
+pub use exec::{
+    measure_kernel, measure_kernel_with_plan, measure_program, measure_program_with_plan,
+    ExecutionEngine, KernelCounters, RunResult,
+};
+pub use fault::FaultPlan;
+pub use guard::{
+    CapOutcome, CapPrediction, GuardConfig, GuardReport, GuardSummary, GuardedCapRuntime,
+    KernelGuardRecord,
+};
 pub use measure_cache::{measure_cache_reset, measure_cache_stats, MeasureCacheStats};
 pub use platform::Platform;
 pub use rapl::EnergyBreakdown;

@@ -47,6 +47,7 @@ use polyufc_ir::affine::{AffineKernel, AffineProgram};
 use polyufc_presburger::LinExpr;
 
 use crate::exec::KernelCounters;
+use crate::fault::FaultPlan;
 use crate::platform::Platform;
 
 /// A snapshot of the process-wide cache's counters, for bench reports.
@@ -161,14 +162,28 @@ pub(crate) fn insert(key: Vec<u8>, counters: &KernelCounters) {
     cache().lock().unwrap().insert(key, counters);
 }
 
-/// Builds the byte-exact fingerprint of one (platform, kernel) point
-/// (see the module docs for what it must cover).
+/// Builds the byte-exact fingerprint of one (platform, kernel, fault
+/// plan) point (see the module docs for what it must cover).
+///
+/// The fault plan is part of the point: a non-pristine plan perturbs the
+/// returned counters, so letting faulted and clean measurements share a
+/// key would poison the clean namespace (serve noisy counters to clean
+/// runs) or launder faults away (serve clean counters to faulted runs).
+/// Pristine plans contribute a fixed `pristine` marker, keeping the clean
+/// namespace stable across plan instances.
 pub(crate) fn fingerprint(
     platform: &Platform,
     program: &AffineProgram,
     kernel: &AffineKernel,
+    plan: &FaultPlan,
 ) -> Vec<u8> {
     let mut k = Fp(Vec::with_capacity(256));
+
+    // Fault-plan namespace first: cheap to compare, and a changed plan
+    // can never alias a clean key no matter what follows.
+    let fp = plan.fingerprint();
+    k.usize(fp.len());
+    k.0.extend_from_slice(&fp);
 
     // Platform: name + hierarchy geometry.
     k.str(&platform.name);
@@ -299,7 +314,7 @@ mod tests {
         let counters = measure_kernel(&plat, &p, k);
 
         let mut c = MeasureCache::with_capacity(16);
-        let key = fingerprint(&plat, &p, k);
+        let key = fingerprint(&plat, &p, k, &FaultPlan::pristine());
         assert!(c.lookup(&key, "k").is_none());
         c.insert(key.clone(), &counters);
         let hit = c.lookup(&key, "renamed").expect("second lookup hits");
@@ -317,39 +332,51 @@ mod tests {
     fn fingerprint_ignores_names_but_sees_structure() {
         let plat = Platform::broadwell();
         let p = small_program(2);
-        let base = fingerprint(&plat, &p, &p.kernels[0]);
+        let base = fingerprint(&plat, &p, &p.kernels[0], &FaultPlan::pristine());
 
         // Kernel/statement names are not part of the point.
         let mut renamed = p.kernels[0].clone();
         renamed.name = "other".into();
         renamed.statements[0].name = "T".into();
-        assert_eq!(fingerprint(&plat, &p, &renamed), base);
+        assert_eq!(
+            fingerprint(&plat, &p, &renamed, &FaultPlan::pristine()),
+            base
+        );
 
         // Flops are.
         let p3 = small_program(3);
-        assert_ne!(fingerprint(&plat, &p3, &p3.kernels[0]), base);
+        assert_ne!(
+            fingerprint(&plat, &p3, &p3.kernels[0], &FaultPlan::pristine()),
+            base
+        );
 
         // A parallel flag is.
         let mut par = p.kernels[0].clone();
         par.loops[0].parallel = true;
-        assert_ne!(fingerprint(&plat, &p, &par), base);
+        assert_ne!(fingerprint(&plat, &p, &par, &FaultPlan::pristine()), base);
 
         // The platform is.
         let rpl = Platform::raptor_lake();
-        assert_ne!(fingerprint(&rpl, &p, &p.kernels[0]), base);
+        assert_ne!(
+            fingerprint(&rpl, &p, &p.kernels[0], &FaultPlan::pristine()),
+            base
+        );
     }
 
     #[test]
     fn fingerprint_sees_layout_not_spectators() {
         let plat = Platform::broadwell();
         let p1 = small_program(2);
-        let base = fingerprint(&plat, &p1, &p1.kernels[0]);
+        let base = fingerprint(&plat, &p1, &p1.kernels[0], &FaultPlan::pristine());
 
         // An extra array declared *after* every referenced one leaves all
         // referenced base addresses unchanged: same point.
         let mut p2 = small_program(2);
         p2.add_array("Unused", vec![4096], ElemType::F32);
-        assert_eq!(fingerprint(&plat, &p2, &p2.kernels[0]), base);
+        assert_eq!(
+            fingerprint(&plat, &p2, &p2.kernels[0], &FaultPlan::pristine()),
+            base
+        );
 
         // A preceding array shifts `A`'s base address — a genuinely
         // different memory layout, hence a different point.
@@ -368,7 +395,10 @@ mod tests {
                 flops: 2,
             }],
         });
-        assert_ne!(fingerprint(&plat, &p3, &p3.kernels[0]), base);
+        assert_ne!(
+            fingerprint(&plat, &p3, &p3.kernels[0], &FaultPlan::pristine()),
+            base
+        );
     }
 
     #[test]
@@ -378,7 +408,7 @@ mod tests {
         for flops in 1..=3u64 {
             let p = small_program(flops);
             let k = &p.kernels[0];
-            let key = fingerprint(&plat, &p, k);
+            let key = fingerprint(&plat, &p, k, &FaultPlan::pristine());
             if c.lookup(&key, &k.name).is_none() {
                 c.insert(key, &measure_kernel(&plat, &p, k));
             }
@@ -387,6 +417,43 @@ mod tests {
         assert_eq!(st.evictions, 1, "third insert clears the full map");
         assert_eq!(st.len, 1);
         assert_eq!(st.misses, 3);
+    }
+
+    #[test]
+    fn fault_plans_have_their_own_cache_namespace() {
+        // Regression for the pre-fault-layer key scheme, which had no
+        // plan component: a faulted measurement would be served the clean
+        // cached counters (laundering the faults away), and a faulted
+        // miss would store perturbed counters under the clean key
+        // (poisoning every later clean run). Both directions are caught
+        // by the asserts below when the plan is dropped from the key.
+        let plat = Platform::broadwell();
+        let p = small_program(2);
+        let k = &p.kernels[0];
+        let plan = FaultPlan {
+            seed: 42,
+            counter_noise: 0.2,
+            ..FaultPlan::pristine()
+        };
+        assert_ne!(
+            fingerprint(&plat, &p, k, &plan),
+            fingerprint(&plat, &p, k, &FaultPlan::pristine()),
+            "the fault plan must be part of the cache key"
+        );
+
+        // Production path (global cache): clean, faulted, clean again.
+        let clean = measure_kernel(&plat, &p, k);
+        let faulted = crate::exec::measure_kernel_with_plan(&plat, &p, k, &plan);
+        assert_ne!(
+            (clean.hits.clone(), clean.dram_fills),
+            (faulted.hits.clone(), faulted.dram_fills),
+            "a cache hit on the clean entry would launder the faults away"
+        );
+        let clean_again = measure_kernel(&plat, &p, k);
+        assert_eq!(
+            clean, clean_again,
+            "the faulted insert must not poison the clean namespace"
+        );
     }
 
     #[test]

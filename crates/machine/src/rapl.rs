@@ -39,6 +39,32 @@ impl EnergyBreakdown {
             dram_j: self.dram_j + other.dram_j,
         }
     }
+
+    /// Every zone scaled by one factor (a meter-wide reading error).
+    pub fn scaled(&self, s: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            static_j: self.static_j * s,
+            core_j: self.core_j * s,
+            uncore_j: self.uncore_j * s,
+            dram_j: self.dram_j * s,
+        }
+    }
+
+    /// What the RAPL meter *reports* under a fault plan: the true
+    /// breakdown times a deterministic per-event reading error (noise
+    /// plus occasional outliers). Pristine plans return `self` exactly.
+    pub fn observed(
+        &self,
+        plan: &crate::fault::FaultPlan,
+        key: &[u8],
+        salt: u64,
+    ) -> EnergyBreakdown {
+        let s = plan.observe_scale("rapl", key, salt);
+        if s == 1.0 {
+            return *self;
+        }
+        self.scaled(s)
+    }
 }
 
 #[cfg(test)]

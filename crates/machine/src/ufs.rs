@@ -50,6 +50,7 @@ impl UfsDriver {
             energy,
             avg_power_w: energy.total() / time.max(1e-12),
             uncore_ghz: f,
+            guard: None,
         }
     }
 

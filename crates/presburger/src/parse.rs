@@ -99,10 +99,18 @@ fn parse_expr(s: &str, space: &Space) -> Result<LinExpr> {
         if !first && !matches!(bytes.get(i.wrapping_sub(1)), Some('+') | Some('-')) {
             // term boundary handled by sign tokens; fallthrough
         }
-        // Parse optional integer.
+        // Parse optional integer with checked accumulation: a constraint
+        // string is untrusted input, and a 20-digit coefficient must be a
+        // typed error, not a debug-mode panic (or silent release wrap).
         let mut num: Option<i64> = None;
         while i < bytes.len() && bytes[i].is_ascii_digit() {
-            num = Some(num.unwrap_or(0) * 10 + (bytes[i] as i64 - '0' as i64));
+            let digit = bytes[i] as i64 - '0' as i64;
+            num = Some(
+                num.unwrap_or(0)
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(digit))
+                    .ok_or(Error::Overflow)?,
+            );
             i += 1;
         }
         // Optional '*' between coefficient and variable.

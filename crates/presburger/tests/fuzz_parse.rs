@@ -1,0 +1,65 @@
+//! Fuzz-style robustness tests for the textual constraint parser: any
+//! input string — including adversarial ones — must produce `Ok` or a
+//! typed `Error`, never a panic or abort.
+
+use proptest::prelude::*;
+
+use polyufc_presburger::{Error, Set, Space};
+
+/// Character pool biased toward the constraint grammar so fuzz inputs
+/// reach deep into the parser instead of dying at the first byte.
+const POOL: &[char] = &[
+    'i', 'j', 'k', 'l', 'm', 'n', 'p', 'q', 'd', 'x', 'z', '0', '1', '2', '9', '+', '-', '*', '<',
+    '>', '=', ' ', '(', ')', ',', '~', '.',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Garbage in, `Err` (or a valid parse) out — never a panic.
+    #[test]
+    fn arbitrary_constraint_strings_never_panic(
+        picks in proptest::collection::vec(0usize..POOL.len(), 0..48)
+    ) {
+        let s: String = picks.iter().map(|&i| POOL[i]).collect();
+        for space in [Space::set(0, 1), Space::set(2, 3)] {
+            // The result does not matter; reaching this line does.
+            let _ = Set::from_constraint_strs(space, &[&s]);
+        }
+    }
+}
+
+#[test]
+fn overflowing_coefficients_are_typed_errors() {
+    let sp = Space::set(1, 2);
+    // 20 nines overflow i64 during digit accumulation.
+    let big = "9".repeat(20);
+    for s in [
+        format!("{big}i >= 0"),
+        format!("i <= {big}"),
+        format!("{big} >= {big}"),
+    ] {
+        match Set::from_constraint_strs(sp.clone(), &[s.as_str()]) {
+            Err(Error::Overflow) => {}
+            other => panic!("`{s}` should overflow, got {other:?}"),
+        }
+    }
+    // Large-but-representable coefficients still parse.
+    assert!(Set::from_constraint_strs(sp, &["1000000000i >= 0"]).is_ok());
+}
+
+#[test]
+fn malformed_inputs_are_parse_errors() {
+    let sp = Space::set(1, 2);
+    // (An empty relation side is lenient-by-design and parses as 0, so
+    // `i >=` is not in this list.)
+    for s in ["", "i", "i ~ 0", "d99 >= 0", "p99 <= n", "zz > 1"] {
+        assert!(
+            matches!(
+                Set::from_constraint_strs(sp.clone(), &[s]),
+                Err(Error::Parse(_))
+            ),
+            "`{s}` should be a parse error"
+        );
+    }
+}

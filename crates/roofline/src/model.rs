@@ -79,6 +79,12 @@ impl RooflineModel {
     /// One-time microbenchmark calibration against a machine (paper
     /// footnote 3: both rooflines come from our own microbenchmarking).
     pub fn calibrate(engine: &ExecutionEngine) -> RooflineModel {
+        // Calibration is a trusted-measurement path: running the
+        // microbenchmarks through an injected fault plan would bake the
+        // faults into every constant the compiler later predicts with.
+        // Strip the plan; the caller's faults apply to *runs*, not to
+        // the one-time roofline fits.
+        let engine = &engine.sanitized();
         let plat = &engine.platform;
         let line = plat.hierarchy.line_bytes();
         let fmax = plat.uncore_max_ghz;
