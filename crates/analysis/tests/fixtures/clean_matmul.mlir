@@ -1,0 +1,15 @@
+// affine program `clean_matmul`
+// Control fixture: a correct matmul whose two outer loops are
+// legitimately parallel. Every pass must accept it.
+memref %A : 8x8xf64
+memref %B : 8x8xf64
+memref %C : 8x8xf64
+func @matmul {
+  affine.parallel %i0 = max(0) to min(8) {
+    affine.parallel %i1 = max(0) to min(8) {
+      affine.for %i2 = max(0) to min(8) {
+        S0: load %A[i0, i2]; load %B[i2, i1]; load %C[i0, i1]; store %C[i0, i1] // 2 flops
+      }
+    }
+  }
+}

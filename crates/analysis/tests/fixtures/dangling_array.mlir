@@ -1,0 +1,11 @@
+// affine program `dangling_array`
+// Broken on purpose: the store references %GHOST, which is never
+// declared. The textual parser rejects this outright; the same defect
+// built programmatically (an out-of-range ArrayId) is caught by the
+// IR verifier.
+memref %A : 8xf64
+func @ghost {
+  affine.for %i0 = max(0) to min(8) {
+    S0: load %A[i0]; store %GHOST[i0] // 1 flops
+  }
+}

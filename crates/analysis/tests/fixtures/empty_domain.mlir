@@ -1,0 +1,10 @@
+// affine program `empty_domain`
+// Broken on purpose: the loop runs from 8 up to (exclusive) 4, so the
+// statement can never execute. The IR verifier must flag the empty
+// iteration domain.
+memref %A : 8xf64
+func @dead {
+  affine.for %i0 = max(8) to min(4) {
+    S0: store %A[i0] // 0 flops
+  }
+}

@@ -1,0 +1,17 @@
+// affine program `false_parallel_reduction`
+// Broken on purpose: the reduction loop %i2 of a matmul is flagged
+// `affine.parallel`, but every i2 iteration read-modify-writes the same
+// C[i0, i1]. The race pass must reject the flag with a concrete
+// iteration pair agreeing on (i0, i1) and differing in i2.
+memref %A : 8x8xf64
+memref %B : 8x8xf64
+memref %C : 8x8xf64
+func @matmul {
+  affine.parallel %i0 = max(0) to min(8) {
+    affine.parallel %i1 = max(0) to min(8) {
+      affine.parallel %i2 = max(0) to min(8) {
+        S0: load %A[i0, i2]; load %B[i2, i1]; load %C[i0, i1]; store %C[i0, i1] // 2 flops
+      }
+    }
+  }
+}

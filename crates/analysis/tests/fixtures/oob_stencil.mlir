@@ -1,0 +1,11 @@
+// affine program `oob_stencil`
+// Broken on purpose: the stencil reads A[i0 + 1] but A has extent 16,
+// so iteration i0 = 15 reads A[16]. The bounds pass must reject this
+// with exactly that witness point.
+memref %A : 16xf64
+memref %B : 16xf64
+func @stencil {
+  affine.for %i0 = max(0) to min(16) {
+    S0: load %A[i0 + 1]; store %B[i0] // 1 flops
+  }
+}

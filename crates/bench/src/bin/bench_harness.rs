@@ -23,6 +23,7 @@ const HARNESSES: &[&str] = &[
     "baseline_dufs",
     "robustness_matrix",
     "count_microbench",
+    "lint_sweep",
     "sim_microbench",
 ];
 

@@ -1,0 +1,153 @@
+//! Static-verifier sweep: lints every PolyBench and ML workload at the
+//! chosen size, asserts all of them come out clean (the suites must never
+//! ship a program the verifier rejects), and reports the lint wall-clock
+//! next to the compile time with the in-pipeline verify gate off and on —
+//! the overhead column backs the "verification is cheap" claim in
+//! EXPERIMENTS.md.
+//!
+//! Exit status is non-zero if any workload fails any pass, making this a
+//! CI gate as well as a benchmark.
+
+use std::time::Instant;
+
+use polyufc::Pipeline;
+use polyufc_analysis::{Analyzer, ModelCounts};
+use polyufc_bench::{print_table, size_from_args};
+use polyufc_cache::{AssocMode, CacheModel};
+use polyufc_ir::lower::lower_tensor_to_linalg;
+use polyufc_machine::Platform;
+use polyufc_workloads::{ml_suite, polybench_suite};
+
+struct Row {
+    name: String,
+    clean: bool,
+    rendered: String,
+    diags: usize,
+    lint_us: u128,
+    compile_off_us: u128,
+    compile_on_us: u128,
+}
+
+fn main() {
+    let size = size_from_args();
+    let plat = Platform::broadwell();
+
+    let mut programs: Vec<(String, polyufc_ir::affine::AffineProgram)> = Vec::new();
+    for w in polybench_suite(size) {
+        programs.push((w.name.to_string(), w.program));
+    }
+    for w in ml_suite() {
+        programs.push((
+            w.name.to_string(),
+            lower_tensor_to_linalg(&w.graph, w.elem).lower_to_affine(),
+        ));
+    }
+
+    let model = CacheModel::new(plat.hierarchy.clone(), AssocMode::SetAssociative);
+    let line_bytes = plat.hierarchy.line_bytes();
+    let rows: Vec<Row> = polyufc_par::par_map(&programs, |(name, program)| {
+        // Full lint: structural, bounds, races, plus the model audit when
+        // the cache model accepts the program.
+        let t0 = Instant::now();
+        let report = match model.analyze_program(program) {
+            Ok(stats) => {
+                let counts: Vec<ModelCounts> = stats
+                    .iter()
+                    .map(|(kernel, s)| ModelCounts {
+                        kernel: kernel.clone(),
+                        total_accesses: s.total_accesses,
+                        flops: s.flops,
+                        cold_lines: s.cold_lines,
+                    })
+                    .collect();
+                Analyzer::new().analyze_with_model(program, &counts, line_bytes)
+            }
+            Err(_) => Analyzer::new().analyze(program),
+        };
+        let lint_us = t0.elapsed().as_micros();
+
+        let t0 = Instant::now();
+        let off = Pipeline::new(plat.clone())
+            .with_verify(false)
+            .compile_affine(program);
+        let compile_off_us = t0.elapsed().as_micros();
+        let t0 = Instant::now();
+        let on = Pipeline::new(plat.clone()).compile_affine(program);
+        let compile_on_us = t0.elapsed().as_micros();
+
+        Row {
+            name: name.clone(),
+            clean: report.is_clean() && off.is_ok() && on.is_ok(),
+            rendered: report.render_text(),
+            diags: report.diagnostics.len(),
+            lint_us,
+            compile_off_us,
+            compile_on_us,
+        }
+    });
+
+    println!("# Static-verifier sweep ({} workloads)", rows.len());
+    let ms = |us: u128| format!("{:.2}", us as f64 / 1000.0);
+    let mut table = Vec::new();
+    let mut dirty = 0usize;
+    let (mut lint_tot, mut off_tot, mut on_tot) = (0u128, 0u128, 0u128);
+    for r in &rows {
+        let overhead = if r.compile_off_us > 0 {
+            format!(
+                "{:+.1}%",
+                (r.compile_on_us as f64 / r.compile_off_us as f64 - 1.0) * 100.0
+            )
+        } else {
+            "-".into()
+        };
+        table.push(vec![
+            r.name.clone(),
+            if r.clean {
+                "clean".into()
+            } else {
+                "DIRTY".into()
+            },
+            r.diags.to_string(),
+            ms(r.lint_us),
+            ms(r.compile_off_us),
+            ms(r.compile_on_us),
+            overhead,
+        ]);
+        if !r.clean {
+            dirty += 1;
+        }
+        lint_tot += r.lint_us;
+        off_tot += r.compile_off_us;
+        on_tot += r.compile_on_us;
+    }
+    print_table(
+        &[
+            "workload",
+            "verdict",
+            "diags",
+            "lint ms",
+            "compile ms",
+            "compile+verify ms",
+            "overhead",
+        ],
+        &table,
+    );
+    println!(
+        "total: lint {} ms, compile {} ms, compile+verify {} ms ({:+.1}% overhead)",
+        ms(lint_tot),
+        ms(off_tot),
+        ms(on_tot),
+        if off_tot > 0 {
+            (on_tot as f64 / off_tot as f64 - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    );
+    if dirty > 0 {
+        eprintln!("{dirty} workload(s) failed the static verifier:");
+        for r in rows.iter().filter(|r| !r.clean) {
+            eprint!("{}", r.rendered);
+        }
+        std::process::exit(1);
+    }
+}

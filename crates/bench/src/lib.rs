@@ -5,8 +5,7 @@
 
 #![warn(missing_docs)]
 
-use polyufc::{Boundedness, Pipeline, PipelineOutput};
-use polyufc_cache::ModelError;
+use polyufc::{Boundedness, Error, Pipeline, PipelineOutput};
 use polyufc_ir::affine::AffineProgram;
 use polyufc_machine::{
     ExecutionEngine, FaultPlan, GuardReport, GuardedCapRuntime, KernelCounters, RunResult,
@@ -129,7 +128,7 @@ pub fn evaluate(
     engine: &ExecutionEngine,
     program: &AffineProgram,
     name: &str,
-) -> Result<Eval, ModelError> {
+) -> Result<Eval, Error> {
     evaluate_guarded(pipe, engine, program, name, false)
 }
 
@@ -148,7 +147,7 @@ pub fn evaluate_guarded(
     program: &AffineProgram,
     name: &str,
     guard: bool,
-) -> Result<Eval, ModelError> {
+) -> Result<Eval, Error> {
     let out = pipe.compile_affine(program)?;
     // Kernel counters come from independent trace simulations;
     // `measure_program` fans them out across cores (input-ordered) and

@@ -15,6 +15,10 @@ pub enum Token {
     PragmaScop,
     /// End of the SCoP region.
     PragmaEndScop,
+    /// `#pragma omp parallel for` (optionally with clauses): marks the
+    /// next loop as claimed-parallel. The claim is *not* trusted — the
+    /// static verifier must prove it or downgrade it.
+    PragmaOmpParallelFor,
     /// Single-character punctuation / operators.
     Punct(char),
     /// Two-character operators: `<=`, `>=`, `==`, `+=`, `-=`, `*=`, `++`, `--`.
@@ -29,6 +33,7 @@ impl fmt::Display for Token {
             Token::Float(v) => write!(f, "{v}"),
             Token::PragmaScop => write!(f, "#pragma scop"),
             Token::PragmaEndScop => write!(f, "#pragma endscop"),
+            Token::PragmaOmpParallelFor => write!(f, "#pragma omp parallel for"),
             Token::Punct(c) => write!(f, "{c}"),
             Token::Op2(s) => write!(f, "{s}"),
         }
@@ -79,6 +84,12 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, String> {
                 out.push(Token::PragmaScop);
             } else if squished == "#pragma endscop" {
                 out.push(Token::PragmaEndScop);
+            } else if squished == "#pragma omp parallel for"
+                || squished.starts_with("#pragma omp parallel for ")
+            {
+                // Clauses (`private(...)`, `schedule(...)`) are irrelevant
+                // to the dependence question and dropped.
+                out.push(Token::PragmaOmpParallelFor);
             }
             i = j;
             continue;
@@ -168,6 +179,17 @@ mod tests {
         let t = tokenize("// intro\n#pragma scop\n/* body */ x = 1; #pragma endscop").unwrap();
         assert_eq!(t[0], Token::PragmaScop);
         assert_eq!(*t.last().unwrap(), Token::PragmaEndScop);
+    }
+
+    #[test]
+    fn omp_parallel_for_pragma_with_and_without_clauses() {
+        let t = tokenize("#pragma omp parallel for\nfor").unwrap();
+        assert_eq!(t[0], Token::PragmaOmpParallelFor);
+        let t = tokenize("#pragma omp  parallel for private(j) schedule(static)\nfor").unwrap();
+        assert_eq!(t[0], Token::PragmaOmpParallelFor);
+        // Other omp pragmas stay ignored.
+        let t = tokenize("#pragma omp barrier\nfor").unwrap();
+        assert_eq!(t[0], Token::Ident("for".into()));
     }
 
     #[test]

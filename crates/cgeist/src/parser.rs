@@ -65,6 +65,7 @@ enum Node {
         iter: String,
         lb: Bound,
         ub: Bound,
+        parallel: bool,
         body: Vec<Node>,
     },
     Stmt(Statement),
@@ -131,7 +132,12 @@ impl Parser {
                     break;
                 }
                 Some(Token::Ident(s)) if s == "for" => {
-                    let node = self.parse_for(&mut Vec::new(), &mut stmt_counter)?;
+                    let node = self.parse_for(&mut Vec::new(), &mut stmt_counter, false)?;
+                    self.flatten(node, Vec::new())?;
+                }
+                Some(Token::PragmaOmpParallelFor) => {
+                    self.pos += 1;
+                    let node = self.parse_for(&mut Vec::new(), &mut stmt_counter, true)?;
                     self.flatten(node, Vec::new())?;
                 }
                 other => {
@@ -178,6 +184,7 @@ impl Parser {
         &mut self,
         scope: &mut Vec<String>,
         stmt_counter: &mut usize,
+        parallel: bool,
     ) -> Result<Node, ParseError> {
         self.expect_ident("for")?;
         self.expect_punct('(')?;
@@ -230,7 +237,13 @@ impl Parser {
         scope.push(iter.clone());
         let body = self.parse_body(scope, stmt_counter)?;
         scope.pop();
-        Ok(Node::For { iter, lb, ub, body })
+        Ok(Node::For {
+            iter,
+            lb,
+            ub,
+            parallel,
+            body,
+        })
     }
 
     fn parse_body(
@@ -257,7 +270,18 @@ impl Parser {
         stmt_counter: &mut usize,
     ) -> Result<Node, ParseError> {
         match self.peek() {
-            Some(Token::Ident(s)) if s == "for" => self.parse_for(scope, stmt_counter),
+            Some(Token::Ident(s)) if s == "for" => self.parse_for(scope, stmt_counter, false),
+            Some(Token::PragmaOmpParallelFor) => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(Token::Ident(s)) if s == "for" => {
+                        self.parse_for(scope, stmt_counter, true)
+                    }
+                    other => self.err(format!(
+                        "`#pragma omp parallel for` must precede a loop, found {other:?}"
+                    )),
+                }
+            }
             Some(Token::Ident(_)) => {
                 let s = self.parse_statement(scope, stmt_counter)?;
                 Ok(Node::Stmt(s))
@@ -466,11 +490,17 @@ impl Parser {
     fn flatten(
         &mut self,
         node: Node,
-        mut outer: Vec<(String, Bound, Bound)>,
+        mut outer: Vec<(String, Bound, Bound, bool)>,
     ) -> Result<(), ParseError> {
         match node {
-            Node::For { iter, lb, ub, body } => {
-                outer.push((iter, lb, ub));
+            Node::For {
+                iter,
+                lb,
+                ub,
+                parallel,
+                body,
+            } => {
+                outer.push((iter, lb, ub, parallel));
                 let has_stmt = body.iter().any(|n| matches!(n, Node::Stmt(_)));
                 let has_for = body.iter().any(|n| matches!(n, Node::For { .. }));
                 if has_stmt && has_for {
@@ -487,10 +517,12 @@ impl Parser {
                     // Innermost: emit one kernel with all statements.
                     let loops: Vec<Loop> = outer
                         .iter()
-                        .map(|(_, lb, ub)| Loop {
+                        .map(|(_, lb, ub, parallel)| Loop {
                             lb: lb.clone(),
                             ub: ub.clone(),
-                            parallel: false,
+                            // The pragma's claim is recorded as-is; the
+                            // analysis crate proves or downgrades it.
+                            parallel: *parallel,
                         })
                         .collect();
                     let statements: Vec<Statement> = body
@@ -539,6 +571,43 @@ mod tests {
         assert_eq!(p.kernels[1].domain_size().unwrap(), 32);
         // Statement flops: sub+mul = 2.
         assert_eq!(p.kernels[0].statements[0].flops, 2);
+    }
+
+    #[test]
+    fn omp_pragma_marks_claimed_loops_only() {
+        let src = r#"
+            double A[16][16]; double B[16][16];
+            #pragma scop
+            #pragma omp parallel for
+            for (int i = 0; i < 16; i++)
+              for (int j = 0; j < 16; j++)
+                B[i][j] = A[i][j];
+            for (int i = 0; i < 16; i++)
+              #pragma omp parallel for private(i)
+              for (int j = 0; j < 16; j++)
+                A[i][j] = A[i][j] + 1.0;
+            #pragma endscop
+        "#;
+        let p = parse_scop(src, "omp").unwrap();
+        assert_eq!(p.kernels.len(), 2);
+        assert!(p.kernels[0].loops[0].parallel, "pragma'd outer loop");
+        assert!(!p.kernels[0].loops[1].parallel, "unmarked inner loop");
+        assert!(!p.kernels[1].loops[0].parallel);
+        assert!(p.kernels[1].loops[1].parallel, "pragma'd inner loop");
+    }
+
+    #[test]
+    fn omp_pragma_must_precede_a_loop() {
+        let src = r#"
+            double A[8];
+            #pragma scop
+            for (int i = 0; i < 8; i++) {
+              #pragma omp parallel for
+              A[i] = 1.0;
+            }
+            #pragma endscop
+        "#;
+        assert!(parse_scop(src, "bad").is_err());
     }
 
     #[test]

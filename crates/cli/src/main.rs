@@ -11,7 +11,8 @@
 use std::process::ExitCode;
 
 use polyufc::{Objective, Pipeline, PipelineOutput};
-use polyufc_cache::AssocMode;
+use polyufc_analysis::{AnalysisReport, Analyzer, Diagnostic, Location, ModelCounts, Severity};
+use polyufc_cache::{AssocMode, CacheModel};
 use polyufc_cgeist::parse_scop;
 use polyufc_ir::affine::AffineProgram;
 use polyufc_ir::lower::lower_tensor_to_linalg;
@@ -23,7 +24,7 @@ use polyufc_workloads::{ml_suite, polybench_suite, PolybenchSize};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -39,6 +40,10 @@ const USAGE: &str = "usage:
                            [--emit scf|affine|openscop]
   polyufc run     <file.c> [options]      compile, then simulate vs the UFS baseline
   polyufc bench   <name>   [options]      run a built-in workload (see `polyufc list`)
+  polyufc lint    <file.c|file.mlir> [--json]
+  polyufc lint    --workloads [--size mini|small|large|xl] [--json]
+                                          static verifier: races, bounds, IR,
+                                          model audit; exit 0/1/2 = clean/warn/error
   polyufc list                            list built-in workloads
 
 simulation options (run/bench):
@@ -125,7 +130,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<u8, String> {
     let Some(cmd) = args.first() else {
         return Err("no command given".into());
     };
@@ -139,30 +144,23 @@ fn run(args: &[String]) -> Result<(), String> {
             for w in ml_suite() {
                 println!("  {:<20} [{} / {}]", w.name, w.source, w.domain);
             }
-            Ok(())
+            Ok(0)
         }
         "compile" | "run" => {
             let path = args.get(1).ok_or("missing input file")?;
             let opts = parse_options(&args[2..])?;
-            let src =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            let name = path
-                .rsplit('/')
-                .next()
-                .unwrap_or(path)
-                .trim_end_matches(".c")
-                .trim_end_matches(".mlir");
-            let program = if path.ends_with(".mlir") {
-                polyufc_ir::textual::parse_affine_program(&src).map_err(|e| e.to_string())?
-            } else {
-                parse_scop(&src, name).map_err(|e| e.to_string())?
-            };
+            let mut program = parse_input_file(path)?;
+            // Parsed inputs carry unverified `parallel` markers; downgrade
+            // any the race detector cannot prove before compiling.
+            for d in polyufc_analysis::sanitize_parallel(&mut program) {
+                eprintln!("{d}");
+            }
             let out = compile(&program, &opts)?;
             report(&program, &out, &opts);
             if cmd == "run" {
                 simulate(&out, &opts);
             }
-            Ok(())
+            Ok(0)
         }
         "bench" => {
             let name = args.get(1).ok_or("missing workload name")?;
@@ -172,9 +170,137 @@ fn run(args: &[String]) -> Result<(), String> {
             let out = compile(&program, &opts)?;
             report(&program, &out, &opts);
             simulate(&out, &opts);
-            Ok(())
+            Ok(0)
         }
+        "lint" => lint(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_input_file(path: &str) -> Result<AffineProgram, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".c")
+        .trim_end_matches(".mlir");
+    if path.ends_with(".mlir") {
+        polyufc_ir::textual::parse_affine_program(&src).map_err(|e| e.to_string())
+    } else {
+        parse_scop(&src, name).map_err(|e| e.to_string())
+    }
+}
+
+/// `polyufc lint`: run the static verifier (IR checks, bounds, races and
+/// the cache-model audit) over a file or the built-in workload suites.
+/// Exit code is the maximum severity: 0 clean, 1 warnings, 2 errors.
+fn lint(args: &[String]) -> Result<u8, String> {
+    let mut json = false;
+    let mut workloads = false;
+    let mut size = PolybenchSize::Mini;
+    let mut path: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--workloads" => workloads = true,
+            "--size" => {
+                size = match it.next().map(String::as_str) {
+                    Some("mini") => PolybenchSize::Mini,
+                    Some("small") => PolybenchSize::Small,
+                    Some("large") => PolybenchSize::Large,
+                    Some("xl") => PolybenchSize::ExtraLarge,
+                    other => {
+                        return Err(format!(
+                            "--size: expected mini|small|large|xl, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(a),
+            other => return Err(format!("unknown lint option `{other}`")),
+        }
+    }
+    let programs: Vec<AffineProgram> = if workloads {
+        polybench_suite(size)
+            .into_iter()
+            .map(|w| w.program)
+            .chain(
+                ml_suite()
+                    .into_iter()
+                    .map(|w| lower_tensor_to_linalg(&w.graph, w.elem).lower_to_affine()),
+            )
+            .collect()
+    } else {
+        let path = path.ok_or("lint: missing input file (or pass --workloads)")?;
+        match parse_input_file(path) {
+            Ok(p) => vec![p],
+            Err(e) => {
+                // A program that does not parse is reported through the
+                // same diagnostic channel as one that parses but is broken.
+                let report = AnalysisReport {
+                    program: path.clone(),
+                    diagnostics: vec![Diagnostic {
+                        pass: "ir-verify",
+                        severity: Severity::Error,
+                        location: Location::default(),
+                        message: format!("parse error: {e}"),
+                        witness: None,
+                    }],
+                };
+                emit_reports(&[report], json);
+                return Ok(2);
+            }
+        }
+    };
+    let reports: Vec<AnalysisReport> = programs.iter().map(lint_program).collect();
+    emit_reports(&reports, json);
+    let worst = reports
+        .iter()
+        .map(AnalysisReport::max_severity)
+        .max()
+        .flatten();
+    Ok(match worst {
+        Some(Severity::Error) => 2,
+        Some(Severity::Warning) => 1,
+        _ => 0,
+    })
+}
+
+fn lint_program(program: &AffineProgram) -> AnalysisReport {
+    // Model audit needs the cache model's counts; skip it (structural
+    // passes still run) for programs the model itself rejects.
+    let model = CacheModel::new(
+        Platform::broadwell().hierarchy.clone(),
+        AssocMode::SetAssociative,
+    );
+    let line_bytes = Platform::broadwell().hierarchy.line_bytes();
+    match model.analyze_program(program) {
+        Ok(stats) => {
+            let counts: Vec<ModelCounts> = stats
+                .iter()
+                .map(|(name, s)| ModelCounts {
+                    kernel: name.clone(),
+                    total_accesses: s.total_accesses,
+                    flops: s.flops,
+                    cold_lines: s.cold_lines,
+                })
+                .collect();
+            Analyzer::new().analyze_with_model(program, &counts, line_bytes)
+        }
+        Err(_) => Analyzer::new().analyze(program),
+    }
+}
+
+fn emit_reports(reports: &[AnalysisReport], json: bool) {
+    if json {
+        let objs: Vec<String> = reports.iter().map(AnalysisReport::to_json).collect();
+        println!("[{}]", objs.join(","));
+    } else {
+        for r in reports {
+            print!("{}", r.render_text());
+        }
     }
 }
 
@@ -328,5 +454,30 @@ mod tests {
         assert!(run(&["list".to_string()]).is_ok());
         assert!(run(&["bogus".to_string()]).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn lint_workloads_mini_is_clean() {
+        let args: Vec<String> = ["lint", "--workloads", "--size", "mini"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args).unwrap(), 0);
+    }
+
+    #[test]
+    fn lint_rejects_bad_options() {
+        assert!(lint(&["--size".to_string(), "huge".to_string()]).is_err());
+        assert!(lint(&["--frobnicate".to_string()]).is_err());
+        assert!(lint(&[]).is_err());
+    }
+
+    #[test]
+    fn lint_missing_file_reports_parse_diag_and_exits_2() {
+        let args: Vec<String> = ["lint", "/nonexistent/x.mlir", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args).unwrap(), 2);
     }
 }

@@ -18,13 +18,12 @@
 
 use std::collections::BTreeMap;
 
-use polyufc_cache::ModelError;
 use polyufc_ir::tensor::TensorGraph;
 use polyufc_ir::types::ElemType;
 use serde::{Deserialize, Serialize};
 
 use crate::characterize::Boundedness;
-use crate::pipeline::{Pipeline, PipelineOutput};
+use crate::pipeline::{Error, Pipeline, PipelineOutput};
 
 /// The dialect level at which caps are applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,12 +81,8 @@ impl MlPolyUfc {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError`] if a kernel cannot be analyzed.
-    pub fn compile(
-        &self,
-        graph: &TensorGraph,
-        elem: ElemType,
-    ) -> Result<PipelineOutput, ModelError> {
+    /// See [`Pipeline::compile_affine`].
+    pub fn compile(&self, graph: &TensorGraph, elem: ElemType) -> Result<PipelineOutput, Error> {
         let mut out = self.pipeline.compile_tensor(graph, elem)?;
         match self.granularity {
             CapGranularity::Linalg | CapGranularity::Affine => Ok(out),
@@ -137,12 +132,8 @@ impl MlPolyUfc {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError`] if a kernel cannot be analyzed.
-    pub fn phase_report(
-        &self,
-        graph: &TensorGraph,
-        elem: ElemType,
-    ) -> Result<PhaseReport, ModelError> {
+    /// See [`Pipeline::compile_affine`].
+    pub fn phase_report(&self, graph: &TensorGraph, elem: ElemType) -> Result<PhaseReport, Error> {
         let out = self.pipeline.compile_tensor(graph, elem)?;
         let f_ref = self.pipeline.platform.uncore_max_ghz;
         let linalg: Vec<(String, Boundedness)> = out

@@ -3,8 +3,10 @@
 //! PolyUFC-CM + OI (stages 3a/3b), and characterization + search +
 //! code generation (stages 4–6).
 
+use std::fmt;
 use std::time::Instant;
 
+use polyufc_analysis::Analyzer;
 use polyufc_cache::{AssocMode, CacheModel, KernelCacheStats, ModelError};
 use polyufc_ir::affine::AffineProgram;
 use polyufc_ir::lower::lower_tensor_to_linalg;
@@ -21,6 +23,40 @@ use crate::characterize::{characterize_kernel, Characterization};
 use crate::model::ParametricModel;
 use crate::search::{search_cap, Objective, SearchResult};
 
+/// Why a compilation failed.
+#[derive(Debug)]
+pub enum Error {
+    /// A kernel could not be analyzed by the cache model.
+    Model(ModelError),
+    /// The pre-compilation static verifier found errors in the input
+    /// program; the report carries every diagnostic with its witness.
+    AnalysisRejected(polyufc_analysis::AnalysisReport),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Model(e) => write!(f, "{e}"),
+            Error::AnalysisRejected(r) => {
+                write!(
+                    f,
+                    "static verifier rejected `{}`:\n{}",
+                    r.program,
+                    r.render_text()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ModelError> for Error {
+    fn from(e: ModelError) -> Self {
+        Error::Model(e)
+    }
+}
+
 /// Per-stage compile times in microseconds (the Table IV columns).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CompileReport {
@@ -28,6 +64,11 @@ pub struct CompileReport {
     /// fell back to a compulsory-miss estimate with the cap reset to the
     /// maximum frequency (the paper's 30-minute-timeout behavior).
     pub fallback_kernels: Vec<String>,
+    /// Warnings from the pre-compilation static verifier (rendered
+    /// diagnostics; errors abort compilation instead).
+    pub verify_warnings: Vec<String>,
+    /// Pre-compilation static verification (bounds, races, IR lints).
+    pub verify_us: u128,
     /// Stage 2 extraction / preprocessing.
     pub preprocess_us: u128,
     /// Stage 2 optimizer (Pluto).
@@ -53,7 +94,7 @@ pub struct CompileReport {
 impl CompileReport {
     /// Total compile time.
     pub fn total_us(&self) -> u128 {
-        self.preprocess_us + self.pluto_us + self.polyufc_cm_us + self.steps_4_6_us
+        self.verify_us + self.preprocess_us + self.pluto_us + self.polyufc_cm_us + self.steps_4_6_us
     }
 }
 
@@ -108,7 +149,7 @@ pub struct PipelineOutput {
 /// let pipeline = Pipeline::new(Platform::broadwell());
 /// let out = pipeline.compile_affine(&program)?;
 /// assert_eq!(out.caps_ghz.len(), 1);
-/// # Ok::<(), polyufc_cache::ModelError>(())
+/// # Ok::<(), polyufc::pipeline::Error>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Pipeline {
@@ -132,6 +173,13 @@ pub struct Pipeline {
     /// the cap equals the one already in effect, which is free). Encodes
     /// the Sec. VII-F overhead argument; 0 disables the guard.
     pub cap_switch_guard: f64,
+    /// Whether to run the static verifier (IR lints, bounds proofs, race
+    /// detection on `parallel` flags) before compilation. On by default:
+    /// textual and cgeist inputs are untrusted, and the builtin workloads
+    /// are expected to verify cleanly. Errors abort compilation with
+    /// [`Error::AnalysisRejected`]; warnings land in
+    /// [`CompileReport::verify_warnings`].
+    pub verify: bool,
 }
 
 impl Pipeline {
@@ -152,7 +200,14 @@ impl Pipeline {
             pluto: PlutoOptimizer::default(),
             thread_sharing: false,
             cap_switch_guard: 20.0,
+            verify: true,
         }
+    }
+
+    /// Enables or disables the pre-compilation static verifier.
+    pub fn with_verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
     }
 
     /// Sets the optimization objective.
@@ -171,8 +226,23 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError`] if a kernel cannot be analyzed.
-    pub fn compile_affine(&self, input: &AffineProgram) -> Result<PipelineOutput, ModelError> {
+    /// Returns [`Error::AnalysisRejected`] if the static verifier finds
+    /// errors in the input, or [`Error::Model`] if a kernel cannot be
+    /// analyzed by the cache model.
+    pub fn compile_affine(&self, input: &AffineProgram) -> Result<PipelineOutput, Error> {
+        // Stage 1: static verification (the `--verify` gate). Runs before
+        // anything trusts the program's structure or `parallel` flags.
+        let t_v = Instant::now();
+        let mut verify_warnings = Vec::new();
+        if self.verify {
+            let report = Analyzer::new().analyze(input);
+            if report.has_errors() {
+                return Err(Error::AnalysisRejected(report));
+            }
+            verify_warnings = report.diagnostics.iter().map(|d| d.to_string()).collect();
+        }
+        let verify_us = t_v.elapsed().as_micros();
+
         // Stage 2a: preprocessing (validation / extraction).
         let t0 = Instant::now();
         input.validate().map_err(ModelError::Malformed)?;
@@ -201,7 +271,7 @@ impl Pipeline {
                     fallback_kernels.push(k.name.clone());
                     fallback_stats(&optimized, k, self.platform.hierarchy.n_levels())
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(e.into()),
             };
             if self.thread_sharing && k.outer_parallel().is_some() {
                 st = st.with_thread_sharing(self.platform.threads);
@@ -269,6 +339,8 @@ impl Pipeline {
             caps_ghz,
             report: CompileReport {
                 fallback_kernels,
+                verify_warnings,
+                verify_us,
                 preprocess_us,
                 pluto_us,
                 polyufc_cm_us,
@@ -313,12 +385,12 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError`] if a kernel cannot be analyzed.
+    /// See [`Pipeline::compile_affine`].
     pub fn compile_tensor(
         &self,
         graph: &TensorGraph,
         elem: ElemType,
-    ) -> Result<PipelineOutput, ModelError> {
+    ) -> Result<PipelineOutput, Error> {
         let lp = lower_tensor_to_linalg(graph, elem);
         let ap = lp.lower_to_affine();
         self.compile_affine(&ap)
@@ -489,6 +561,41 @@ mod tests {
         // the redundancy rewrite.
         assert!(out.scf.cap_count() <= 9);
         assert!(out.scf.kernel_count() == 9);
+    }
+
+    #[test]
+    fn verify_gate_rejects_broken_input_with_diagnostics() {
+        let mut p = matmul_program(32);
+        // Mark the reduction loop parallel: the verifier must refuse.
+        p.kernels[0].loops[2].parallel = true;
+        let pipe = Pipeline::new(Platform::broadwell());
+        match pipe.compile_affine(&p) {
+            Err(Error::AnalysisRejected(r)) => {
+                assert!(r.has_errors());
+                assert!(r.diagnostics.iter().any(|d| d.pass == "race"));
+            }
+            other => panic!("expected AnalysisRejected, got {other:?}"),
+        }
+        // Same program compiles with the gate off (legacy trust mode) and
+        // verifies after the flag is sanitized away.
+        assert!(pipe.clone().with_verify(false).compile_affine(&p).is_ok());
+        let warns = polyufc_analysis::sanitize_parallel(&mut p);
+        assert_eq!(warns.len(), 1);
+        let out = pipe.compile_affine(&p).unwrap();
+        assert!(out.report.verify_warnings.is_empty());
+    }
+
+    #[test]
+    fn verify_gate_rejects_out_of_bounds() {
+        let mut p = matmul_program(32);
+        p.kernels[0].statements[0].accesses[0].indices[0] = LinExpr::var(0) + LinExpr::constant(1);
+        let pipe = Pipeline::new(Platform::broadwell());
+        match pipe.compile_affine(&p) {
+            Err(Error::AnalysisRejected(r)) => {
+                assert!(r.diagnostics.iter().any(|d| d.pass == "bounds"));
+            }
+            other => panic!("expected AnalysisRejected, got {other:?}"),
+        }
     }
 
     #[test]

@@ -276,6 +276,33 @@ impl BasicMap {
         Ok(BasicMap { inner: out })
     }
 
+    /// Intersection with another relation over the same space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::SpaceMismatch`] if the spaces differ.
+    pub fn intersect(&self, other: &BasicMap) -> Result<BasicMap> {
+        Ok(BasicMap {
+            inner: self.inner.intersect(&other.inner)?,
+        })
+    }
+
+    /// A concrete `(x, y)` pair in the relation, if one exists — the
+    /// witness-extraction primitive for dependence analysis: a nonempty
+    /// dependence relation yields an actual conflicting iteration pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver budget errors.
+    pub fn sample_pair(&self) -> Result<Option<(Vec<i64>, Vec<i64>)>> {
+        let sp = self.inner.space();
+        let (np, ni, no) = (sp.n_param(), sp.n_in(), sp.n_out());
+        Ok(self
+            .inner
+            .sample()?
+            .map(|v| (v[np..np + ni].to_vec(), v[np + ni..np + ni + no].to_vec())))
+    }
+
     /// For a relation with equal input/output arity `d`, the set of
     /// differences `{ y - x : (x -> y) in self }` (exact; the original
     /// tuples become existentials).
@@ -507,6 +534,20 @@ impl Map {
     /// Propagates solver errors.
     pub fn is_empty(&self) -> Result<bool> {
         self.to_set().is_empty()
+    }
+
+    /// A concrete `(x, y)` pair from the first inhabited disjunct.
+    ///
+    /// # Errors
+    ///
+    /// See [`BasicMap::sample_pair`].
+    pub fn sample_pair(&self) -> Result<Option<(Vec<i64>, Vec<i64>)>> {
+        for b in &self.basics {
+            if let Some(p) = b.sample_pair()? {
+                return Ok(Some(p));
+            }
+        }
+        Ok(None)
     }
 
     /// Enumerates up to `max` pairs `(x, y)` in lexicographic order of the
