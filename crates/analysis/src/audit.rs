@@ -14,7 +14,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use polyufc_ir::affine::{Access, AffineKernel, AffineProgram};
-use polyufc_presburger::{BasicSet, LinExpr, Map, Set, Space};
+use polyufc_presburger::{BasicSet, Context, LinExpr, Map, Set, Space};
 
 use crate::diag::{Diagnostic, Location, Severity};
 
@@ -50,6 +50,19 @@ pub fn audit_program(
     counts: &[ModelCounts],
     line_bytes: u64,
 ) -> Vec<Diagnostic> {
+    audit_program_in(program, counts, line_bytes, &mut Context::new())
+}
+
+/// [`audit_program`] through a shared batched solver [`Context`]: all
+/// relation and domain cardinalities go through the context's memoizing
+/// count cache, so e.g. the same iteration domain counted for several
+/// array references is solved once.
+pub fn audit_program_in(
+    program: &AffineProgram,
+    counts: &[ModelCounts],
+    line_bytes: u64,
+    ctx: &mut Context,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     if counts.len() != program.kernels.len() {
         out.push(Diagnostic {
@@ -79,7 +92,7 @@ pub fn audit_program(
             });
             continue;
         }
-        audit_kernel(program, kernel, c, line_bytes, &mut out);
+        audit_kernel(program, kernel, c, line_bytes, ctx, &mut out);
     }
     out
 }
@@ -89,6 +102,7 @@ fn audit_kernel(
     kernel: &AffineKernel,
     c: &ModelCounts,
     line_bytes: u64,
+    ctx: &mut Context,
     out: &mut Vec<Diagnostic>,
 ) {
     let loc = || Location::kernel(&kernel.name);
@@ -107,7 +121,7 @@ fn audit_kernel(
                 .intersect_domain(dom_b)
                 .ok()
                 .map(Map::from_basic);
-            match m.map(|m| m.count_pairs()) {
+            match m.map(|m| m.count_pairs_in(ctx)) {
                 Some(Ok(n)) => {
                     if let Some(acc) = recomputed_accesses.as_mut() {
                         *acc += n as f64;
@@ -140,7 +154,7 @@ fn audit_kernel(
 
     // (2) Flops: fresh domain count × Σ_s ω_s.
     let per_point_flops: f64 = kernel.statements.iter().map(|s| s.flops as f64).sum();
-    match dom.count() {
+    match dom.count_in(ctx) {
         Ok(d) => {
             let n = d as f64 * per_point_flops;
             if !close(n, c.flops) {
@@ -197,7 +211,7 @@ fn audit_kernel(
             if a.array.0 >= program.arrays.len() {
                 continue;
             }
-            let Some(elements) = injective_range_count(kernel, a) else {
+            let Some(elements) = injective_range_count(kernel, a, ctx) else {
                 continue;
             };
             let decl = &program.arrays[a.array.0];
@@ -232,7 +246,11 @@ fn close(a: f64, b: f64) -> bool {
 /// their loop bounds only reference iterators of the same subset (so the
 /// subset's sub-domain is self-contained). Returns `None` when those
 /// conditions don't hold or counting fails.
-fn injective_range_count(kernel: &AffineKernel, access: &Access) -> Option<i128> {
+fn injective_range_count(
+    kernel: &AffineKernel,
+    access: &Access,
+    ctx: &mut Context,
+) -> Option<i128> {
     let mut selected: BTreeSet<usize> = BTreeSet::new();
     for e in &access.indices {
         let vars: Vec<usize> = e.terms().filter(|&(_, c)| c != 0).map(|(i, _)| i).collect();
@@ -282,7 +300,7 @@ fn injective_range_count(kernel: &AffineKernel, access: &Access) -> Option<i128>
             b.add_ge0(remap(e) - LinExpr::var(p) - LinExpr::constant(1));
         }
     }
-    Set::from_basic(b).count().ok()
+    Set::from_basic(b).count_in(ctx).ok()
 }
 
 #[cfg(test)]
@@ -392,13 +410,14 @@ mod tests {
                 flops: 0,
             }],
         };
+        let mut ctx = Context::new();
         assert_eq!(
-            injective_range_count(&k, &k.statements[0].accesses[0]),
+            injective_range_count(&k, &k.statements[0].accesses[0], &mut ctx),
             Some(36)
         );
         // B[j] alone is NOT closed (j's bound references unselected i).
         let b = Access::read(c, vec![LinExpr::var(1), LinExpr::constant(0)]);
-        assert_eq!(injective_range_count(&k, &b), None);
+        assert_eq!(injective_range_count(&k, &b, &mut ctx), None);
         let _ = p;
     }
 }

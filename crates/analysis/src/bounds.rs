@@ -4,7 +4,7 @@
 //! sampled into a concrete violating iteration.
 
 use polyufc_ir::affine::{AffineKernel, AffineProgram};
-use polyufc_presburger::LinExpr;
+use polyufc_presburger::{BasicSet, Context, Emptiness, LinExpr};
 
 use crate::diag::{Diagnostic, Location, Severity, Witness};
 
@@ -21,12 +21,38 @@ pub const PASS: &str = "bounds";
 /// referencing out-of-scope iterators) are skipped — the IR verifier
 /// reports those.
 pub fn check_kernel(program: &AffineProgram, kernel: &AffineKernel) -> Vec<Diagnostic> {
+    check_kernel_in(program, kernel, &mut Context::new())
+}
+
+/// One out-of-shape half-space to decide, with everything needed to
+/// render a diagnostic if it turns out inhabited.
+struct SideCheck {
+    /// Identifies the subscript: (statement index, access index, dim).
+    subscript: (usize, usize, usize),
+    statement: String,
+    array: String,
+    is_write: bool,
+    side: &'static str,
+    extent: i64,
+    expr: LinExpr,
+    viol: BasicSet,
+}
+
+/// [`check_kernel`] through a shared batched solver [`Context`]: every
+/// out-of-shape half-space of every access is built up front and decided
+/// in one emptiness batch; only inhabited ones pay for a witness sample.
+pub fn check_kernel_in(
+    program: &AffineProgram,
+    kernel: &AffineKernel,
+    ctx: &mut Context,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let depth = kernel.depth();
     let dom = kernel.domain();
     let dom_b = &dom.basics()[0];
-    for s in &kernel.statements {
-        for a in &s.accesses {
+    let mut checks = Vec::new();
+    for (si, s) in kernel.statements.iter().enumerate() {
+        for (ai, a) in s.accesses.iter().enumerate() {
             if a.array.0 >= program.arrays.len() {
                 continue;
             }
@@ -47,51 +73,89 @@ pub fn check_kernel(program: &AffineProgram, kernel: &AffineKernel) -> Vec<Diagn
                 for (side, excess) in sides {
                     let mut viol = dom_b.clone();
                     viol.add_ge0(excess);
-                    match viol.sample() {
-                        Ok(None) => {}
-                        Ok(Some(pt)) => {
-                            let iters = pt[..depth].to_vec();
-                            let index_value = e.eval(&iters);
-                            out.push(Diagnostic {
-                                pass: PASS,
-                                severity: Severity::Error,
-                                location: Location::kernel(&kernel.name)
-                                    .statement(&s.name)
-                                    .array(decl.name.clone()),
-                                message: format!(
-                                    "{} access to `{}` escapes dim {} ({}; extent {})",
-                                    if a.is_write { "store" } else { "load" },
-                                    decl.name,
-                                    j,
-                                    side,
-                                    extent
-                                ),
-                                witness: Some(Witness::Point {
-                                    iters,
-                                    dim: j,
-                                    index_value,
-                                }),
-                            });
-                            // One witness per subscript dimension suffices.
-                            break;
-                        }
-                        Err(e) => {
-                            out.push(Diagnostic {
-                                pass: PASS,
-                                severity: Severity::Error,
-                                location: Location::kernel(&kernel.name)
-                                    .statement(&s.name)
-                                    .array(decl.name.clone()),
-                                message: format!(
-                                    "cannot prove subscript {j} of `{}` in bounds (solver: {e})",
-                                    decl.name
-                                ),
-                                witness: None,
-                            });
-                            break;
-                        }
-                    }
+                    checks.push(SideCheck {
+                        subscript: (si, ai, j),
+                        statement: s.name.clone(),
+                        array: decl.name.clone(),
+                        is_write: a.is_write,
+                        side,
+                        extent,
+                        expr: e.clone(),
+                        viol,
+                    });
                 }
+            }
+        }
+    }
+    let verdicts = ctx.check_all(checks.iter().map(|c| &c.viol));
+    // One witness per subscript dimension suffices: once a subscript has
+    // produced a diagnostic, its remaining sides are skipped (matching the
+    // sequential checker's per-subscript `break`).
+    let mut done_subscript = None;
+    for (c, verdict) in checks.iter().zip(verdicts) {
+        if done_subscript == Some(c.subscript) {
+            continue;
+        }
+        let location = || {
+            Location::kernel(&kernel.name)
+                .statement(&c.statement)
+                .array(c.array.clone())
+        };
+        match verdict {
+            Emptiness::Empty => {}
+            Emptiness::NonEmpty => {
+                let pt = match ctx.sample(&c.viol) {
+                    Ok(Some(pt)) => pt,
+                    Ok(None) => continue,
+                    Err(e) => {
+                        out.push(Diagnostic {
+                            pass: PASS,
+                            severity: Severity::Error,
+                            location: location(),
+                            message: format!(
+                                "cannot prove subscript {} of `{}` in bounds (solver: {e})",
+                                c.subscript.2, c.array
+                            ),
+                            witness: None,
+                        });
+                        done_subscript = Some(c.subscript);
+                        continue;
+                    }
+                };
+                let iters = pt[..depth].to_vec();
+                let index_value = c.expr.eval(&iters);
+                out.push(Diagnostic {
+                    pass: PASS,
+                    severity: Severity::Error,
+                    location: location(),
+                    message: format!(
+                        "{} access to `{}` escapes dim {} ({}; extent {})",
+                        if c.is_write { "store" } else { "load" },
+                        c.array,
+                        c.subscript.2,
+                        c.side,
+                        c.extent
+                    ),
+                    witness: Some(Witness::Point {
+                        iters,
+                        dim: c.subscript.2,
+                        index_value,
+                    }),
+                });
+                done_subscript = Some(c.subscript);
+            }
+            Emptiness::Unknown(e) => {
+                out.push(Diagnostic {
+                    pass: PASS,
+                    severity: Severity::Error,
+                    location: location(),
+                    message: format!(
+                        "cannot prove subscript {} of `{}` in bounds (solver: {e})",
+                        c.subscript.2, c.array
+                    ),
+                    witness: None,
+                });
+                done_subscript = Some(c.subscript);
             }
         }
     }

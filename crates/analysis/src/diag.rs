@@ -179,6 +179,28 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// Solver-level accounting for one analyzer run: how the batched
+/// Presburger [`Context`](polyufc_presburger::Context) was exercised and
+/// how long each pass took. Feeds the pipeline's `CompileReport` and the
+/// `lint_sweep --per-pass` breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Emptiness batches issued through the shared context.
+    pub emptiness_batches: u64,
+    /// Individual emptiness checks issued (across all batches).
+    pub emptiness_checks: u64,
+    /// High-water mark of the solver arena, in bytes.
+    pub peak_arena_bytes: usize,
+    /// Wall-clock microseconds in the structural verify pass.
+    pub verify_us: u64,
+    /// Wall-clock microseconds in the bounds pass.
+    pub bounds_us: u64,
+    /// Wall-clock microseconds in the race pass.
+    pub races_us: u64,
+    /// Wall-clock microseconds in the model-audit pass.
+    pub audit_us: u64,
+}
+
 /// The result of analyzing one program: every finding of every pass that
 /// ran, in deterministic pass-then-program order.
 #[derive(Debug, Clone, Default)]
@@ -187,6 +209,8 @@ pub struct AnalysisReport {
     pub program: String,
     /// All findings.
     pub diagnostics: Vec<Diagnostic>,
+    /// Solver accounting and per-pass timings for this run.
+    pub stats: AnalysisStats,
 }
 
 impl AnalysisReport {
@@ -337,6 +361,7 @@ mod tests {
         let mut r = AnalysisReport {
             program: "p".into(),
             diagnostics: vec![],
+            stats: AnalysisStats::default(),
         };
         assert!(r.is_clean());
         assert_eq!(r.max_severity(), None);
@@ -381,6 +406,7 @@ mod tests {
                     index_value: 16,
                 }),
             }],
+            stats: AnalysisStats::default(),
         };
         let j = r.to_json();
         assert!(j.contains("\"program\": \"q\\\"uote\""));

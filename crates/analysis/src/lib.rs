@@ -57,9 +57,12 @@ pub mod races;
 pub mod verify_ir;
 
 pub use audit::ModelCounts;
-pub use diag::{AnalysisReport, Diagnostic, Location, Severity, Witness};
+pub use diag::{AnalysisReport, AnalysisStats, Diagnostic, Location, Severity, Witness};
+
+use std::time::Instant;
 
 use polyufc_ir::affine::AffineProgram;
+use polyufc_presburger::Context;
 
 /// Drives the pass pipeline over a program.
 #[derive(Debug, Clone, Default)]
@@ -76,21 +79,44 @@ impl Analyzer {
     }
 
     /// Runs the structural, bounds, and race passes.
+    ///
+    /// All Presburger queries of one run go through a single batched
+    /// [`Context`]: emptiness checks share one arena-backed solver system
+    /// and counts share one memoizing cache. The report's
+    /// [`AnalysisStats`] records per-pass wall-clock and solver
+    /// accounting.
     pub fn analyze(&self, program: &AffineProgram) -> AnalysisReport {
-        let verdict = verify_ir::check_program(program);
+        self.analyze_in(program, &mut Context::new())
+    }
+
+    /// [`Analyzer::analyze`] against a caller-provided solver context
+    /// (e.g. the pipeline's, so its stats aggregate across phases).
+    pub fn analyze_in(&self, program: &AffineProgram, ctx: &mut Context) -> AnalysisReport {
+        let mut stats = AnalysisStats::default();
+        let t = Instant::now();
+        let verdict = verify_ir::check_program_in(program, ctx);
+        stats.verify_us = t.elapsed().as_micros() as u64;
         let mut diagnostics = verdict.diagnostics;
         for (kernel, &malformed) in program.kernels.iter().zip(&verdict.malformed) {
             if malformed {
                 continue;
             }
-            diagnostics.extend(bounds::check_kernel(program, kernel));
+            let t = Instant::now();
+            diagnostics.extend(bounds::check_kernel_in(program, kernel, ctx));
+            stats.bounds_us += t.elapsed().as_micros() as u64;
             if !self.skip_races {
-                diagnostics.extend(races::check_kernel(program, kernel));
+                let t = Instant::now();
+                diagnostics.extend(races::check_kernel_in(program, kernel, ctx));
+                stats.races_us += t.elapsed().as_micros() as u64;
             }
         }
+        stats.emptiness_batches = ctx.batches();
+        stats.emptiness_checks = ctx.checks();
+        stats.peak_arena_bytes = ctx.peak_arena_bytes();
         AnalysisReport {
             program: program.name.clone(),
             diagnostics,
+            stats,
         }
     }
 
@@ -103,10 +129,16 @@ impl Analyzer {
         counts: &[ModelCounts],
         line_bytes: u64,
     ) -> AnalysisReport {
-        let mut report = self.analyze(program);
-        report
-            .diagnostics
-            .extend(audit::audit_program(program, counts, line_bytes));
+        let mut ctx = Context::new();
+        let mut report = self.analyze_in(program, &mut ctx);
+        let t = Instant::now();
+        report.diagnostics.extend(audit::audit_program_in(
+            program, counts, line_bytes, &mut ctx,
+        ));
+        report.stats.audit_us = t.elapsed().as_micros() as u64;
+        report.stats.emptiness_batches = ctx.batches();
+        report.stats.emptiness_checks = ctx.checks();
+        report.stats.peak_arena_bytes = ctx.peak_arena_bytes();
         report
     }
 }

@@ -17,7 +17,9 @@
 //! loses nothing; the relation being empty for all pairs *proves* the flag.
 
 use polyufc_ir::affine::{AffineKernel, AffineProgram};
-use polyufc_presburger::{BasicMap, LinExpr, Result as PresburgerResult, Space};
+use polyufc_presburger::{
+    BasicMap, Context, Emptiness, LinExpr, Result as PresburgerResult, Space,
+};
 
 use crate::diag::{Diagnostic, Location, Severity, Witness};
 
@@ -55,10 +57,23 @@ pub fn carried_dependence(
     kernel: &AffineKernel,
     level: usize,
 ) -> PresburgerResult<Option<RaceWitness>> {
+    carried_dependence_in(kernel, level, &mut Context::new())
+}
+
+/// One access pair's dependence relation at a loop level, plus the
+/// metadata needed to turn a non-empty relation into a [`RaceWitness`].
+struct PairRelation {
+    map: BasicMap,
+    array: usize,
+    statements: (String, String),
+    kind: &'static str,
+}
+
+/// Builds the dependence relation of every conflicting ordered access
+/// pair at `level`, in the deterministic `(p, q)` nesting order the
+/// sequential checker used.
+fn pair_relations(kernel: &AffineKernel, level: usize) -> PresburgerResult<Vec<PairRelation>> {
     let depth = kernel.depth();
-    if level >= depth {
-        return Ok(None);
-    }
     let dom = kernel.domain();
     let dom_b = &dom.basics()[0];
     // All accesses, flattened with their statement labels.
@@ -67,6 +82,7 @@ pub fn carried_dependence(
         .iter()
         .flat_map(|s| s.accesses.iter().map(move |a| (s.name.as_str(), a)))
         .collect();
+    let mut out = Vec::new();
     for (sp, p) in &refs {
         for (sq, q) in &refs {
             if p.array != q.array || !(p.is_write || q.is_write) {
@@ -86,27 +102,59 @@ pub fn carried_dependence(
             }
             m.basic_set_mut()
                 .add_ge0(LinExpr::var(depth + level) - LinExpr::var(level) - LinExpr::constant(1));
-            // Decide emptiness first: the infeasibility machinery detects
-            // contradictory relations (the common, provably-parallel case)
-            // in microseconds, whereas a raw integer sample search over an
-            // empty set exhausts its budget on large iteration spaces.
-            if m.as_basic_set().is_empty()? {
-                continue;
-            }
-            if let Some((src, dst)) = m.sample_pair()? {
-                let kind = if p.is_write && q.is_write {
+            out.push(PairRelation {
+                map: m,
+                array: p.array.0,
+                statements: (sp.to_string(), sq.to_string()),
+                kind: if p.is_write && q.is_write {
                     "write-write"
                 } else {
                     "read-write"
-                };
-                return Ok(Some(RaceWitness {
-                    src,
-                    dst,
-                    array: p.array.0,
-                    statements: (sp.to_string(), sq.to_string()),
-                    kind,
-                }));
-            }
+                },
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// [`carried_dependence`] through a shared batched solver [`Context`]:
+/// all access-pair relations of the level are built up front and decided
+/// in one emptiness batch over the context's arena, then only the first
+/// non-empty relation (in the sequential checker's order) pays for a
+/// witness sample.
+///
+/// # Errors
+///
+/// Propagates Presburger solver errors; callers must treat an error as
+/// "cannot prove independent".
+pub fn carried_dependence_in(
+    kernel: &AffineKernel,
+    level: usize,
+    ctx: &mut Context,
+) -> PresburgerResult<Option<RaceWitness>> {
+    if level >= kernel.depth() {
+        return Ok(None);
+    }
+    let pairs = pair_relations(kernel, level)?;
+    // Decide emptiness first: the infeasibility machinery detects
+    // contradictory relations (the common, provably-parallel case) in
+    // microseconds, whereas a raw integer sample search over an empty set
+    // exhausts its budget on large iteration spaces.
+    let verdicts = ctx.check_all(pairs.iter().map(|pr| pr.map.as_basic_set()));
+    for (pr, verdict) in pairs.iter().zip(verdicts) {
+        match verdict {
+            Emptiness::Empty => continue,
+            Emptiness::Unknown(e) => return Err(e),
+            Emptiness::NonEmpty => {}
+        }
+        if let Some((src, dst)) = pr.map.sample_pair_in(ctx)? {
+            return Ok(Some(RaceWitness {
+                src,
+                dst,
+                array: pr.array,
+                statements: pr.statements.clone(),
+                kind: pr.kind,
+            }));
         }
     }
     Ok(None)
@@ -115,12 +163,21 @@ pub fn carried_dependence(
 /// Checks every `parallel`-flagged loop of `kernel`, emitting one error
 /// per racy (or unprovable) loop.
 pub fn check_kernel(program: &AffineProgram, kernel: &AffineKernel) -> Vec<Diagnostic> {
+    check_kernel_in(program, kernel, &mut Context::new())
+}
+
+/// [`check_kernel`] through a shared batched solver [`Context`].
+pub fn check_kernel_in(
+    program: &AffineProgram,
+    kernel: &AffineKernel,
+    ctx: &mut Context,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for (d, l) in kernel.loops.iter().enumerate() {
         if !l.parallel {
             continue;
         }
-        match carried_dependence(kernel, d) {
+        match carried_dependence_in(kernel, d, ctx) {
             Ok(None) => {}
             Ok(Some(w)) => {
                 let arr = program

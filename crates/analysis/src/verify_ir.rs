@@ -7,6 +7,7 @@
 use std::collections::BTreeSet;
 
 use polyufc_ir::affine::AffineProgram;
+use polyufc_presburger::{Context, Emptiness};
 
 use crate::diag::{Diagnostic, Location, Severity};
 
@@ -26,6 +27,12 @@ pub struct IrVerdict {
 
 /// Runs all structural checks over a program.
 pub fn check_program(program: &AffineProgram) -> IrVerdict {
+    check_program_in(program, &mut Context::new())
+}
+
+/// [`check_program`] through a shared batched solver [`Context`]: the
+/// per-kernel dead-domain emptiness queries reuse the context's arena.
+pub fn check_program_in(program: &AffineProgram, ctx: &mut Context) -> IrVerdict {
     let mut v = IrVerdict::default();
     let mut used_arrays: BTreeSet<usize> = BTreeSet::new();
     for kernel in &program.kernels {
@@ -122,16 +129,16 @@ pub fn check_program(program: &AffineProgram) -> IrVerdict {
         // rejects such kernels outright, so this is an error, not a lint.
         // Only decidable when the bounds themselves are well-formed.
         if !malformed && depth > 0 {
-            match kernel.domain().is_empty() {
-                Ok(true) => v.diagnostics.push(Diagnostic {
+            match ctx.check_set(&kernel.domain()) {
+                Emptiness::Empty => v.diagnostics.push(Diagnostic {
                     pass: PASS,
                     severity: Severity::Error,
                     location: loc(),
                     message: "empty iteration domain: no statement instance can execute".into(),
                     witness: None,
                 }),
-                Ok(false) => {}
-                Err(e) => v.diagnostics.push(Diagnostic {
+                Emptiness::NonEmpty => {}
+                Emptiness::Unknown(e) => v.diagnostics.push(Diagnostic {
                     pass: PASS,
                     severity: Severity::Warning,
                     location: loc(),

@@ -13,16 +13,19 @@
 
 use std::time::Instant;
 
-use polyufc_bench::{print_table, size_from_args};
+use polyufc_bench::{geomean, print_table, size_from_args};
 use polyufc_presburger::{
-    count_basic_enumerative, symbolic_count, BasicSet, CountLimit, LinExpr, Set, Space,
+    count_basic_enumerative, force_presburger_path, reference, symbolic_count, BasicSet, Context,
+    CountLimit, Emptiness, LinExpr, PresburgerPath, Set, Space,
 };
 use polyufc_workloads::PolybenchSize;
 
-/// One benchmark shape: a name and the set to count.
+/// One benchmark shape: a name, the set to count, and the extent of its
+/// first dimension (used to derive the batched-emptiness query sweep).
 struct Shape {
     name: String,
     set: BasicSet,
+    extent0: i64,
 }
 
 fn shapes(size: PolybenchSize) -> Vec<Shape> {
@@ -39,6 +42,7 @@ fn shapes(size: PolybenchSize) -> Vec<Shape> {
     out.push(Shape {
         name: format!("box3d n={n3}"),
         set: b,
+        extent0: n3,
     });
 
     // Triangle { 0 <= j <= i < n } — the acceptance shape at large
@@ -50,6 +54,7 @@ fn shapes(size: PolybenchSize) -> Vec<Shape> {
     out.push(Shape {
         name: format!("triangle n={n3}"),
         set: b,
+        extent0: n3,
     });
 
     // Band |i - j| <= 2 inside an n2 box (stencil dependence shape).
@@ -61,6 +66,7 @@ fn shapes(size: PolybenchSize) -> Vec<Shape> {
     out.push(Shape {
         name: format!("band n={n2}"),
         set: b,
+        extent0: n2,
     });
 
     // Tiled 1-D domain with a tail: { [t,i] : 0 <= i < n2, 32t <= i <
@@ -74,6 +80,7 @@ fn shapes(size: PolybenchSize) -> Vec<Shape> {
     out.push(Shape {
         name: format!("tile n={n2}"),
         set: b,
+        extent0: tiles + 1,
     });
 
     // Strided set { 0 <= i < n1, i mod 4 == 0 } via a determined div.
@@ -84,6 +91,7 @@ fn shapes(size: PolybenchSize) -> Vec<Shape> {
     out.push(Shape {
         name: format!("stride n={n1}"),
         set: b,
+        extent0: n1,
     });
 
     out
@@ -104,7 +112,7 @@ fn time_us<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
 
 fn main() {
     let size = size_from_args();
-    let reps = 3;
+    let reps = 5;
     println!("# Cold Presburger count per shape class (best of {reps}, µs)");
 
     let mut rows = Vec::new();
@@ -158,4 +166,171 @@ fn main() {
     if let Some(s) = triangle_speedup {
         println!("\ntriangle cold-count speedup: {s:.1}x (acceptance: >= 10x at large)");
     }
+
+    // Flat-arena core vs. the frozen per-constraint reference core, A/B'd
+    // in-process through the path lever. Both paths answer the identical
+    // query (`Set::count_with_limit` on a cache miss); only the solver
+    // substrate differs.
+    println!("\n# Flat arena core vs. frozen reference core (best of {reps}, µs)");
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for shape in shapes(size) {
+        let set = Set::from_basic(shape.set.clone());
+        force_presburger_path(Some(PresburgerPath::Flat));
+        let (flat_us, flat_count) = time_us(reps, || {
+            set.count_with_limit(CountLimit::default()).expect("count")
+        });
+        force_presburger_path(Some(PresburgerPath::Legacy));
+        let (legacy_us, legacy_count) = time_us(reps, || {
+            set.count_with_limit(CountLimit::default())
+                .expect("legacy count")
+        });
+        force_presburger_path(None);
+        assert_eq!(
+            flat_count, legacy_count,
+            "flat/legacy mismatch on {}",
+            shape.name
+        );
+        let speedup = legacy_us / flat_us.max(1e-3);
+        speedups.push(speedup);
+        rows.push(vec![
+            shape.name,
+            format!("{flat_count}"),
+            format!("{flat_us:.1}"),
+            format!("{legacy_us:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    print_table(&["shape", "points", "flat", "legacy", "speedup"], &rows);
+    println!(
+        "\nflat-vs-legacy geomean speedup: {:.2}x over {} shapes",
+        geomean(&speedups),
+        speedups.len()
+    );
+
+    // Batched emptiness: the workload the arena rewrite targets. The
+    // analysis passes (race, bounds, ir-verify) ask hundreds of emptiness
+    // questions per compile; `Context::check_all` answers them on one
+    // bulk-reset arena, where the pre-rewrite architecture ran the
+    // per-constraint reference solver once per query. Each shape sweeps a
+    // moving cut `i0 >= k` across (and past) its first dimension, so the
+    // batch mixes non-empty and empty systems like a real dependence sweep.
+    let checks_per_shape = 256usize;
+    println!(
+        "\n# Batched emptiness: Context::check_all vs per-query reference core \
+         (best of {reps}, µs per {checks_per_shape} checks)"
+    );
+    let mut rows = Vec::new();
+    let mut empt_speedups = Vec::new();
+    for shape in shapes(size) {
+        // Sweep past the extent by 25% so ~1 in 5 queries is empty.
+        let sweep = shape.extent0 + shape.extent0 / 4 + 1;
+        let queries: Vec<BasicSet> = (0..checks_per_shape)
+            .map(|k| {
+                let mut b = shape.set.clone();
+                b.add_ge0(LinExpr::var(0) - LinExpr::constant(k as i64 % sweep));
+                b
+            })
+            .collect();
+        let (flat_us, flat_nonempty) = time_us(reps, || {
+            let mut ctx = Context::new();
+            ctx.check_all(queries.iter())
+                .iter()
+                .filter(|e| matches!(e, Emptiness::NonEmpty))
+                .count()
+        });
+        let (legacy_us, legacy_nonempty) = time_us(reps, || {
+            queries
+                .iter()
+                .filter(|q| !reference::is_empty(q).expect("reference emptiness"))
+                .count()
+        });
+        assert_eq!(
+            flat_nonempty, legacy_nonempty,
+            "emptiness verdict mismatch on {}",
+            shape.name
+        );
+        let speedup = legacy_us / flat_us.max(1e-3);
+        empt_speedups.push(speedup);
+        rows.push(vec![
+            shape.name,
+            format!("{flat_nonempty}/{checks_per_shape}"),
+            format!("{flat_us:.1}"),
+            format!("{legacy_us:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    print_table(&["shape", "non-empty", "flat", "legacy", "speedup"], &rows);
+    println!(
+        "\nbatched-emptiness geomean speedup: {:.2}x over {} shapes",
+        geomean(&empt_speedups),
+        empt_speedups.len()
+    );
+
+    // Witness sampling: the analysis passes extract a concrete violating
+    // iteration from every non-empty relation (`Context::sample`), which
+    // the rewrite moved onto the shared arena's dense-row search. Same
+    // query sweep as the emptiness batch; the sampled points are pinned
+    // equal across cores (shared deterministic search order).
+    println!(
+        "\n# Witness sampling: Context::sample vs per-query reference core \
+         (best of {reps}, µs per {checks_per_shape} samples)"
+    );
+    let mut rows = Vec::new();
+    let mut sample_speedups = Vec::new();
+    for shape in shapes(size) {
+        let sweep = shape.extent0 + shape.extent0 / 4 + 1;
+        let queries: Vec<BasicSet> = (0..checks_per_shape)
+            .map(|k| {
+                let mut b = shape.set.clone();
+                b.add_ge0(LinExpr::var(0) - LinExpr::constant(k as i64 % sweep));
+                b
+            })
+            .collect();
+        let (flat_us, flat_pts) = time_us(reps, || {
+            let mut ctx = Context::new();
+            queries
+                .iter()
+                .map(|q| ctx.sample(q).expect("flat sample"))
+                .collect::<Vec<_>>()
+        });
+        let (legacy_us, legacy_pts) = time_us(reps, || {
+            queries
+                .iter()
+                .map(|q| reference::sample(q).expect("reference sample"))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(flat_pts, legacy_pts, "witness mismatch on {}", shape.name);
+        let found = flat_pts.iter().filter(|p| p.is_some()).count();
+        let speedup = legacy_us / flat_us.max(1e-3);
+        sample_speedups.push(speedup);
+        rows.push(vec![
+            shape.name,
+            format!("{found}/{checks_per_shape}"),
+            format!("{flat_us:.1}"),
+            format!("{legacy_us:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    print_table(&["shape", "witnesses", "flat", "legacy", "speedup"], &rows);
+    println!(
+        "\nwitness-sampling geomean speedup: {:.2}x over {} shapes",
+        geomean(&sample_speedups),
+        sample_speedups.len()
+    );
+
+    // Acceptance metric: geomean over the operations the flat rewrite
+    // replaced (emptiness and sampling; counting shares the symbolic
+    // polysum layer with the frozen core by construction, so its A/B
+    // isolates construction overhead and is reported separately above).
+    let core: Vec<f64> = empt_speedups
+        .iter()
+        .chain(&sample_speedups)
+        .copied()
+        .collect();
+    println!(
+        "rewritten-core geomean (batched emptiness + witness sampling): {:.2}x \
+         (acceptance: >= 5x)",
+        geomean(&core)
+    );
 }

@@ -11,8 +11,8 @@
 use std::time::Instant;
 
 use polyufc::Pipeline;
-use polyufc_analysis::{Analyzer, ModelCounts};
-use polyufc_bench::{print_table, size_from_args};
+use polyufc_analysis::{AnalysisStats, Analyzer, ModelCounts};
+use polyufc_bench::{flag_from_args, print_table, size_from_args};
 use polyufc_cache::{AssocMode, CacheModel};
 use polyufc_ir::lower::lower_tensor_to_linalg;
 use polyufc_machine::Platform;
@@ -26,10 +26,26 @@ struct Row {
     lint_us: u128,
     compile_off_us: u128,
     compile_on_us: u128,
+    stats: AnalysisStats,
+}
+
+/// Reads the `--per-pass on|off` flag; absent means off (the historical
+/// output). Value-bearing because `size_from_args` treats every `--flag`
+/// as taking a value.
+fn per_pass_from_args() -> bool {
+    match flag_from_args("--per-pass").as_deref() {
+        None | Some("off") | Some("0") | Some("false") => false,
+        Some("on") | Some("1") | Some("true") => true,
+        Some(other) => {
+            eprintln!("--per-pass: expected on|off, got '{other}'");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
     let size = size_from_args();
+    let per_pass = per_pass_from_args();
     let plat = Platform::broadwell();
 
     let mut programs: Vec<(String, polyufc_ir::affine::AffineProgram)> = Vec::new();
@@ -83,6 +99,7 @@ fn main() {
             lint_us,
             compile_off_us,
             compile_on_us,
+            stats: report.stats,
         }
     });
 
@@ -143,6 +160,37 @@ fn main() {
             0.0
         }
     );
+    if per_pass {
+        // Per-pass wall-clock breakdown of the full lint, plus the
+        // batched-solver accounting (emptiness checks per batch show how
+        // much arena setup the batching amortizes).
+        println!("\n# Per-pass lint breakdown (µs) and batched-solver accounting");
+        let mut table = Vec::new();
+        for r in &rows {
+            let s = &r.stats;
+            table.push(vec![
+                r.name.clone(),
+                s.verify_us.to_string(),
+                s.bounds_us.to_string(),
+                s.races_us.to_string(),
+                s.audit_us.to_string(),
+                format!("{}/{}", s.emptiness_batches, s.emptiness_checks),
+                (s.peak_arena_bytes / 1024).to_string(),
+            ]);
+        }
+        print_table(
+            &[
+                "workload",
+                "verify µs",
+                "bounds µs",
+                "race µs",
+                "audit µs",
+                "batches/checks",
+                "arena KiB",
+            ],
+            &table,
+        );
+    }
     if dirty > 0 {
         eprintln!("{dirty} workload(s) failed the static verifier:");
         for r in rows.iter().filter(|r| !r.clean) {

@@ -54,8 +54,12 @@ fn main() {
     let mut rows = Vec::new();
     let ms = |us: u128| format!("{:.2}", us as f64 / 1000.0);
     let mut totals = (0u128, 0u128, 0u128, 0u128);
+    let mut verify_total = 0u128;
     let mut cache_totals = (0u64, 0u64);
     let mut strategy_totals = (0u64, 0u64);
+    let mut emptiness_totals = (0u64, 0u64);
+    let mut splits_total = 0u64;
+    let mut arena_peak = 0u64;
     let mut all_fallbacks: Vec<String> = Vec::new();
     // Compiles are independent; fan them out and aggregate the
     // input-ordered reports sequentially. Per-stage wall-clocks are
@@ -71,15 +75,21 @@ fn main() {
                 totals.1 += r.pluto_us;
                 totals.2 += r.polyufc_cm_us;
                 totals.3 += r.steps_4_6_us;
+                verify_total += r.verify_us;
                 cache_totals.0 += r.count_cache_hits;
                 cache_totals.1 += r.count_cache_misses;
                 strategy_totals.0 += r.count_symbolic;
                 strategy_totals.1 += r.count_enumerated;
+                emptiness_totals.0 += r.emptiness_batches;
+                emptiness_totals.1 += r.emptiness_checks;
+                splits_total += r.count_parallel_splits;
+                arena_peak = arena_peak.max(r.presburger_arena_bytes);
                 for k in &r.fallback_kernels {
                     all_fallbacks.push(format!("{name}/{k}"));
                 }
                 rows.push(vec![
                     name.clone(),
+                    ms(r.verify_us),
                     ms(r.preprocess_us),
                     ms(r.pluto_us),
                     ms(r.polyufc_cm_us),
@@ -87,6 +97,8 @@ fn main() {
                     ms(r.total_us()),
                     hit_rate(r.count_cache_hits, r.count_cache_misses),
                     strategy(r.count_symbolic, r.count_enumerated),
+                    format!("{}/{}", r.emptiness_batches, r.emptiness_checks),
+                    r.count_parallel_splits.to_string(),
                 ]);
             }
             Err(e) => {
@@ -96,7 +108,10 @@ fn main() {
                     "-".into(),
                     "-".into(),
                     "-".into(),
+                    "-".into(),
                     format!("failed: {e}"),
+                    "-".into(),
+                    "-".into(),
                     "-".into(),
                     "-".into(),
                 ]);
@@ -105,17 +120,21 @@ fn main() {
     }
     rows.push(vec![
         "TOTAL".into(),
+        ms(verify_total),
         ms(totals.0),
         ms(totals.1),
         ms(totals.2),
         ms(totals.3),
-        ms(totals.0 + totals.1 + totals.2 + totals.3),
+        ms(verify_total + totals.0 + totals.1 + totals.2 + totals.3),
         hit_rate(cache_totals.0, cache_totals.1),
         strategy(strategy_totals.0, strategy_totals.1),
+        format!("{}/{}", emptiness_totals.0, emptiness_totals.1),
+        splits_total.to_string(),
     ]);
     print_table(
         &[
             "program",
+            "verify",
             "preprocess",
             "Pluto",
             "PolyUFC-CM",
@@ -123,9 +142,12 @@ fn main() {
             "total",
             "count cache",
             "sym/enum",
+            "empt b/c",
+            "par splits",
         ],
         &rows,
     );
+    println!("\npeak verify-gate solver arena: {} KiB", arena_peak / 1024);
     if all_fallbacks.is_empty() {
         println!("\nfallback kernels: none (all analyses finished within the solver budget)");
     } else {

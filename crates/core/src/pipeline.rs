@@ -89,6 +89,16 @@ pub struct CompileReport {
     pub count_enumerated: u64,
     /// Cache entries discarded by the counting cache's capacity guard.
     pub count_cache_evictions: u64,
+    /// Emptiness batches the verify gate issued through its shared
+    /// Presburger context (one per access-pair / bounds sweep).
+    pub emptiness_batches: u64,
+    /// Individual emptiness checks inside those batches.
+    pub emptiness_checks: u64,
+    /// High-water mark of the verify gate's solver arena, in bytes.
+    pub presburger_arena_bytes: u64,
+    /// Polysum region splits fanned out across the worker pool during
+    /// counting (0 when every count stayed sequential).
+    pub count_parallel_splits: u64,
 }
 
 impl CompileReport {
@@ -234,11 +244,13 @@ impl Pipeline {
         // anything trusts the program's structure or `parallel` flags.
         let t_v = Instant::now();
         let mut verify_warnings = Vec::new();
+        let mut verify_stats = polyufc_analysis::AnalysisStats::default();
         if self.verify {
             let report = Analyzer::new().analyze(input);
             if report.has_errors() {
                 return Err(Error::AnalysisRejected(report));
             }
+            verify_stats = report.stats;
             verify_warnings = report.diagnostics.iter().map(|d| d.to_string()).collect();
         }
         let verify_us = t_v.elapsed().as_micros();
@@ -350,6 +362,10 @@ impl Pipeline {
                 count_symbolic: count_cache.symbolic(),
                 count_enumerated: count_cache.enumerated(),
                 count_cache_evictions: count_cache.evictions(),
+                emptiness_batches: verify_stats.emptiness_batches,
+                emptiness_checks: verify_stats.emptiness_checks,
+                presburger_arena_bytes: verify_stats.peak_arena_bytes as u64,
+                count_parallel_splits: count_cache.parallel_splits(),
             },
             pluto_report,
         })

@@ -1,6 +1,14 @@
 //! Basic sets: conjunctions of affine constraints with div variables, and
 //! the integer feasibility solver shared by emptiness, sampling, counting
 //! and enumeration.
+//!
+//! The solver [`System`] stores constraints as *flat arena rows*: one
+//! contiguous `i64` slab holding `stride = n + 2` words per constraint
+//! (`n` coefficients, the constant, and a kind tag). Small systems live in
+//! an inline buffer, so cloning a system during branch-and-bound is a
+//! memcpy with no allocation, and every hot operation (substitution,
+//! Gaussian elimination, interval tightening, membership checks) runs over
+//! dense slices. See DESIGN.md § "Presburger core".
 
 use std::fmt;
 
@@ -248,7 +256,7 @@ impl BasicSet {
     /// Builds the solver system for this set (all variables, including
     /// params and divs, are solver variables).
     pub(crate) fn system(&self) -> System {
-        System::new(self.n_total(), self.constraints.clone())
+        System::new(self.n_total(), &self.constraints)
     }
 
     /// Per-variable `(lower, upper)` bounds derived by interval
@@ -273,6 +281,9 @@ impl BasicSet {
     /// Returns an error if the search budget is exceeded or a variable is
     /// unbounded.
     pub fn is_empty(&self) -> Result<bool> {
+        if crate::path::use_legacy() {
+            return crate::reference::is_empty(self);
+        }
         Ok(!self.system().is_feasible(&mut Budget::default())?)
     }
 
@@ -284,6 +295,9 @@ impl BasicSet {
     /// Returns an error if the search budget is exceeded or a variable is
     /// unbounded with constraints that prevent a decision.
     pub fn sample(&self) -> Result<Option<Vec<i64>>> {
+        if crate::path::use_legacy() {
+            return crate::reference::sample(self);
+        }
         self.system().sample(&mut Budget::default())
     }
 
@@ -421,7 +435,7 @@ fn divide_expr_floor(e: &LinExpr, g: i64, k: i64) -> LinExpr {
 }
 
 // ---------------------------------------------------------------------------
-// Integer feasibility solver
+// Integer feasibility solver (flat arena rows)
 // ---------------------------------------------------------------------------
 
 /// Integer division rounding toward negative infinity.
@@ -436,11 +450,20 @@ pub(crate) fn ceil_div(a: i64, b: i64) -> i64 {
     -(-a).div_euclid(b)
 }
 
-/// Work budget for branch-and-bound searches.
+/// Work budget for branch-and-bound searches, carrying a reusable scratch
+/// buffer so per-trial full-assignment vectors in [`System::sample`] are
+/// allocated once per query instead of once per trial.
 #[derive(Debug, Clone)]
 pub(crate) struct Budget {
     pub steps: u64,
     pub limit: u64,
+    /// Scratch for trial assignments (see `sample_rec`); contents are
+    /// meaningless between uses.
+    pub scratch: Vec<i64>,
+    /// Recycled interval buffer for [`System::propagate`]; straight-line
+    /// callers hand the returned vector back here so batched queries stop
+    /// allocating it per call. Contents are meaningless between uses.
+    pub ivs: Vec<Interval>,
 }
 
 impl Default for Budget {
@@ -448,13 +471,25 @@ impl Default for Budget {
         Budget {
             steps: 0,
             limit: 50_000_000,
+            scratch: Vec::new(),
+            ivs: Vec::new(),
         }
     }
 }
 
 impl Budget {
     pub fn with_limit(limit: u64) -> Self {
-        Budget { steps: 0, limit }
+        Budget {
+            limit,
+            ..Budget::default()
+        }
+    }
+
+    /// Rearms the step counter for a fresh query while keeping the scratch
+    /// buffers (used by [`crate::Context`] to amortize allocation across a
+    /// batch).
+    pub fn reset(&mut self) {
+        self.steps = 0;
     }
 
     pub fn tick(&mut self, n: u64) -> Result<()> {
@@ -498,17 +533,310 @@ impl Interval {
     }
 }
 
+/// Inline capacity of a [`Slab`] in `i64` words before it spills to the
+/// heap. 160 words hold e.g. 16 rows of an 8-variable system (stride 10),
+/// which covers the vast majority of analysis-pass queries, so cloning
+/// a system during branch-and-bound usually allocates nothing.
+const INLINE_WORDS: usize = 160;
+
+/// Row kind tag stored in the last word of each row: equality (`expr == 0`).
+const KIND_EQ: i64 = 0;
+/// Row kind tag: inequality (`expr >= 0`).
+const KIND_GE: i64 = 1;
+
+/// Contiguous `i64` storage with a small-size inline fast path. Cloning an
+/// inline slab is a memcpy; a heap slab clones its `Vec`.
+#[derive(Clone)]
+pub(crate) enum Slab {
+    /// Data lives in a fixed inline buffer (no heap allocation).
+    Inline {
+        len: usize,
+        buf: Box<[i64; INLINE_WORDS]>,
+    },
+    /// Spilled to the heap once the inline capacity was exceeded.
+    Heap(Vec<i64>),
+}
+
+impl fmt::Debug for Slab {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slab")
+            .field("len", &self.len())
+            .field("inline", &matches!(self, Slab::Inline { .. }))
+            .finish()
+    }
+}
+
+impl Slab {
+    fn new() -> Self {
+        Slab::Inline {
+            len: 0,
+            buf: Box::new([0; INLINE_WORDS]),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Slab::Inline { len, .. } => *len,
+            Slab::Heap(v) => v.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[i64] {
+        match self {
+            Slab::Inline { len, buf } => &buf[..*len],
+            Slab::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [i64] {
+        match self {
+            Slab::Inline { len, buf } => &mut buf[..*len],
+            Slab::Heap(v) => v,
+        }
+    }
+
+    /// Drops all contents; heap capacity is retained for reuse (this is the
+    /// O(1) bulk reset between batched queries).
+    fn clear(&mut self) {
+        match self {
+            Slab::Inline { len, .. } => *len = 0,
+            Slab::Heap(v) => v.clear(),
+        }
+    }
+
+    fn truncate(&mut self, new_len: usize) {
+        match self {
+            Slab::Inline { len, .. } => {
+                if new_len < *len {
+                    *len = new_len;
+                }
+            }
+            Slab::Heap(v) => v.truncate(new_len),
+        }
+    }
+
+    /// Appends `extra` zeroed words, spilling to the heap if the inline
+    /// capacity is exceeded.
+    fn extend_zeros(&mut self, extra: usize) {
+        match self {
+            Slab::Inline { len, buf } => {
+                if *len + extra <= INLINE_WORDS {
+                    buf[*len..*len + extra].fill(0);
+                    *len += extra;
+                } else {
+                    let mut v = Vec::with_capacity((*len + extra).max(2 * INLINE_WORDS));
+                    v.extend_from_slice(&buf[..*len]);
+                    v.resize(*len + extra, 0);
+                    *self = Slab::Heap(v);
+                }
+            }
+            Slab::Heap(v) => {
+                let n = v.len();
+                v.resize(n + extra, 0);
+            }
+        }
+    }
+
+    /// Allocated capacity in bytes (inline slabs report their fixed
+    /// buffer size).
+    fn capacity_bytes(&self) -> usize {
+        match self {
+            Slab::Inline { .. } => INLINE_WORDS * std::mem::size_of::<i64>(),
+            Slab::Heap(v) => v.capacity() * std::mem::size_of::<i64>(),
+        }
+    }
+}
+
+/// Whether a row's coefficient part is all zero (a constant constraint).
+#[inline]
+pub(crate) fn row_is_constant(row: &[i64], n: usize) -> bool {
+    row[..n].iter().all(|&c| c == 0)
+}
+
+/// Whether a *constant* row is satisfied (`0 == 0` / `k >= 0`).
+#[inline]
+pub(crate) fn row_constant_ok(row: &[i64], n: usize) -> bool {
+    if row[n + 1] == KIND_EQ {
+        row[n] == 0
+    } else {
+        row[n] >= 0
+    }
+}
+
 /// A constraint system over `n` integer variables, used by emptiness,
 /// sampling, counting, and enumeration.
+///
+/// Rows are stored back-to-back in one [`Slab`] with `stride = n + 2`:
+/// `[c_0, ..., c_{n-1}, constant, kind]`. The kind column lives inside the
+/// slab so that the whole system is a single contiguous allocation and
+/// `clone` is one memcpy.
 #[derive(Debug, Clone)]
 pub(crate) struct System {
     pub n: usize,
-    pub constraints: Vec<Constraint>,
+    stride: usize,
+    rows: Slab,
 }
 
 impl System {
-    pub fn new(n: usize, constraints: Vec<Constraint>) -> Self {
-        System { n, constraints }
+    /// Builds a system over `n` variables from a constraint list.
+    pub fn new(n: usize, constraints: &[Constraint]) -> Self {
+        let mut sys = System {
+            n,
+            stride: n + 2,
+            rows: Slab::new(),
+        };
+        for c in constraints {
+            sys.push_constraint(c);
+        }
+        sys
+    }
+
+    /// An empty system over `n` variables.
+    pub fn empty(n: usize) -> Self {
+        System {
+            n,
+            stride: n + 2,
+            rows: Slab::new(),
+        }
+    }
+
+    /// O(1) bulk reset: drops all rows (keeping heap capacity) and switches
+    /// the variable space to `n`. Used by [`crate::Context`] to amortize
+    /// arena setup across batched queries.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.stride = n + 2;
+        self.rows.clear();
+    }
+
+    /// Resets to the constraint system of `set` (see [`System::reset`]).
+    pub fn reset_from(&mut self, set: &BasicSet) {
+        self.reset(set.n_total());
+        for c in set.constraints() {
+            self.push_constraint(c);
+        }
+    }
+
+    /// Number of constraint rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len() / self.stride
+    }
+
+    /// Appends one constraint as a dense row.
+    pub fn push_constraint(&mut self, c: &Constraint) {
+        let base = self.rows.len();
+        let n = self.n;
+        self.rows.extend_zeros(self.stride);
+        let row = &mut self.rows.as_mut_slice()[base..];
+        for (v, coef) in c.expr.terms() {
+            debug_assert!(v < n, "constraint references unknown variable");
+            row[v] = coef;
+        }
+        row[n] = c.expr.constant_term();
+        row[n + 1] = match c.kind {
+            ConstraintKind::Eq => KIND_EQ,
+            ConstraintKind::GeZero => KIND_GE,
+        };
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[i64] {
+        &self.rows.as_slice()[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// The coefficient slice of row `i`.
+    #[inline]
+    pub fn coeffs(&self, i: usize) -> &[i64] {
+        &self.row(i)[..self.n]
+    }
+
+    /// The constant term of row `i`.
+    #[inline]
+    pub fn constant(&self, i: usize) -> i64 {
+        self.row(i)[self.n]
+    }
+
+    /// Whether row `i` is an equality constraint.
+    #[inline]
+    pub fn is_eq(&self, i: usize) -> bool {
+        self.row(i)[self.n + 1] == KIND_EQ
+    }
+
+    /// Whether any row has a nonzero coefficient on `v`.
+    pub fn var_appears(&self, v: usize) -> bool {
+        let (n, stride) = (self.n, self.stride);
+        let _ = n;
+        self.rows
+            .as_slice()
+            .chunks_exact(stride)
+            .any(|row| row[v] != 0)
+    }
+
+    /// Keeps only the rows for which `keep` returns true, compacting the
+    /// slab in place.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(&[i64]) -> bool) {
+        let stride = self.stride;
+        let slice = self.rows.as_mut_slice();
+        let len = slice.len();
+        let mut w = 0;
+        let mut r = 0;
+        while r < len {
+            if keep(&slice[r..r + stride]) {
+                if w != r {
+                    slice.copy_within(r..r + stride, w);
+                }
+                w += stride;
+            }
+            r += stride;
+        }
+        self.rows.truncate(w);
+    }
+
+    /// A new system holding only the rows for which `keep` returns true.
+    pub fn filtered(&self, mut keep: impl FnMut(&[i64]) -> bool) -> System {
+        let mut out = System {
+            n: self.n,
+            stride: self.stride,
+            rows: Slab::new(),
+        };
+        let stride = self.stride;
+        for row in self.rows.as_slice().chunks_exact(stride) {
+            if keep(row) {
+                let base = out.rows.len();
+                out.rows.extend_zeros(stride);
+                out.rows.as_mut_slice()[base..].copy_from_slice(row);
+            }
+        }
+        out
+    }
+
+    /// Converts the rows back into per-constraint objects (used by the
+    /// symbolic layer and the legacy dispatch).
+    pub fn to_constraints(&self) -> Vec<Constraint> {
+        let n = self.n;
+        self.rows
+            .as_slice()
+            .chunks_exact(self.stride)
+            .map(|row| {
+                let mut e = LinExpr::constant(row[n]);
+                for (v, &c) in row[..n].iter().enumerate() {
+                    if c != 0 {
+                        e.set_coeff(v, c);
+                    }
+                }
+                if row[n + 1] == KIND_EQ {
+                    Constraint::eq(e)
+                } else {
+                    Constraint::ge0(e)
+                }
+            })
+            .collect()
+    }
+
+    /// Allocated arena capacity in bytes (for peak-memory counters).
+    pub fn arena_bytes(&self) -> usize {
+        self.rows.capacity_bytes()
     }
 
     /// Substitutes away equality-defined variables (Gaussian elimination on
@@ -516,36 +844,52 @@ impl System {
     /// the rest, so feasibility and point counts over the remaining
     /// variables are unchanged. Removes eliminated variables from `active`.
     pub fn gauss_eliminate(&mut self, active: &mut Vec<usize>) {
+        let n = self.n;
+        let stride = self.stride;
+        let mut pivot_buf: Vec<i64> = Vec::new();
         loop {
-            let mut target: Option<(usize, LinExpr)> = None;
-            'scan: for c in &self.constraints {
-                if c.kind != ConstraintKind::Eq {
+            // First equality row with a ±1 coefficient on an active
+            // variable (rows in order, variables ascending — the same scan
+            // order as the per-constraint representation).
+            let mut pivot: Option<(usize, usize, i64)> = None;
+            'scan: for (i, row) in self.rows.as_slice().chunks_exact(stride).enumerate() {
+                if row[n + 1] != KIND_EQ {
                     continue;
                 }
-                for (v, coef) in c.expr.terms() {
-                    if (coef == 1 || coef == -1) && active.contains(&v) {
-                        // v = -(expr - coef*v)/coef
-                        let mut rest = c.expr.clone();
-                        rest.set_coeff(v, 0);
-                        let replacement = if coef == 1 { -rest } else { rest };
-                        target = Some((v, replacement));
+                for (v, &c) in row[..n].iter().enumerate() {
+                    if (c == 1 || c == -1) && active.contains(&v) {
+                        pivot = Some((i, v, c));
                         break 'scan;
                     }
                 }
             }
-            let Some((v, replacement)) = target else {
+            let Some((p, v, s)) = pivot else {
                 break;
             };
-            for c in &mut self.constraints {
-                c.expr = c.expr.substitute(v, &replacement);
+            // Every row with a coefficient `a` on `v` gets `a*s` times the
+            // pivot row subtracted (coefficients and constant): since
+            // `s = ±1`, this zeroes `v` everywhere, including in the pivot
+            // row itself (`a = s` gives `s - s³ = 0`).
+            pivot_buf.clear();
+            let pbase = p * stride;
+            {
+                let rows = self.rows.as_mut_slice();
+                pivot_buf.extend_from_slice(&rows[pbase..pbase + n + 1]);
+                let mut rbase = 0;
+                while rbase < rows.len() {
+                    let a = rows[rbase + v];
+                    if a != 0 {
+                        let f = a * s;
+                        for (t, &pv) in pivot_buf.iter().enumerate() {
+                            rows[rbase + t] -= f * pv;
+                        }
+                    }
+                    rbase += stride;
+                }
             }
-            self.constraints.retain(|c| {
-                !(c.expr.is_constant()
-                    && match c.kind {
-                        ConstraintKind::Eq => c.expr.constant_term() == 0,
-                        ConstraintKind::GeZero => c.expr.constant_term() >= 0,
-                    })
-            });
+            // Drop rows reduced to satisfied constants (the pivot row
+            // becomes `0 == 0` and is removed here).
+            self.retain_rows(|row| !(row_is_constant(row, n) && row_constant_ok(row, n)));
             active.retain(|&x| x != v);
         }
     }
@@ -553,38 +897,40 @@ impl System {
     /// Detects contradictions between pairs of inequalities with exactly
     /// negated variable parts (`e >= 0` and `-e + k >= 0` with `k` too
     /// small), which interval propagation cannot see. Returns `false` on
-    /// contradiction.
+    /// contradiction. Also refutes violated constant rows.
     pub fn negated_pair_consistent(&self) -> bool {
-        use std::collections::HashMap;
-        // Normalized var-part -> max constant seen with that part.
-        let mut best: HashMap<Vec<(usize, i64)>, i64> = HashMap::new();
-        let mut exprs: Vec<LinExpr> = Vec::new();
-        for c in &self.constraints {
-            match c.kind {
-                ConstraintKind::GeZero => exprs.push(c.expr.clone()),
-                ConstraintKind::Eq => {
-                    exprs.push(c.expr.clone());
-                    exprs.push(c.expr.clone() * -1);
-                }
-            }
-        }
-        for e in exprs {
-            if e.is_constant() {
-                if e.constant_term() < 0 {
+        let n = self.n;
+        let stride = self.stride;
+        let rows = self.rows.as_slice();
+        let n_rows = self.n_rows();
+        for i in 0..n_rows {
+            let ri = &rows[i * stride..(i + 1) * stride];
+            if row_is_constant(ri, n) {
+                if !row_constant_ok(ri, n) {
                     return false;
                 }
                 continue;
             }
-            let part: Vec<(usize, i64)> = e.terms().collect();
-            let neg: Vec<(usize, i64)> = part.iter().map(|&(v, c)| (v, -c)).collect();
-            if let Some(&kneg) = best.get(&neg) {
-                // part·x + k >= 0 and -part·x + kneg >= 0 => k + kneg >= 0.
-                if e.constant_term() + kneg < 0 {
-                    return false;
+            // Equalities contribute both signs of their expression.
+            let signs_i: &[i64] = if ri[n + 1] == KIND_EQ { &[1, -1] } else { &[1] };
+            for j in (i + 1)..n_rows {
+                let rj = &rows[j * stride..(j + 1) * stride];
+                if row_is_constant(rj, n) {
+                    continue;
+                }
+                let signs_j: &[i64] = if rj[n + 1] == KIND_EQ { &[1, -1] } else { &[1] };
+                for &si in signs_i {
+                    for &sj in signs_j {
+                        if (0..n).all(|t| si * ri[t] == -(sj * rj[t]))
+                            && si * ri[n] + sj * rj[n] < 0
+                        {
+                            // part·x + k_i >= 0 and -part·x + k_j >= 0
+                            // require k_i + k_j >= 0.
+                            return false;
+                        }
+                    }
                 }
             }
-            let entry = best.entry(part).or_insert(i64::MIN);
-            *entry = (*entry).max(e.constant_term());
         }
         true
     }
@@ -594,11 +940,61 @@ impl System {
     /// refute systems with long equality chains (dependence-analysis
     /// queries) cheaply.
     pub fn is_feasible(&self, budget: &mut Budget) -> Result<bool> {
+        // Fast path: one interval-propagation pass either refutes the
+        // system outright (sound: propagation only ever narrows) or yields
+        // a candidate box whose low corner we test directly. Most analysis
+        // queries are plainly inhabited (domains, access pairs inside
+        // bounds), so this answers them with a single scan and no
+        // elimination, cloning, or branching. Equality rows coupling two
+        // or more variables (determined divs, dependence equations) defeat
+        // the raw corner almost always, so those systems skip straight to
+        // the post-elimination attempt below.
+        let coupled_eq = (0..self.n_rows())
+            .any(|i| self.is_eq(i) && self.coeffs(i).iter().filter(|&&c| c != 0).count() >= 2);
+        if !coupled_eq {
+            match self.propagate(budget)? {
+                None => return Ok(false),
+                Some(iv) => {
+                    budget.scratch.clear();
+                    budget
+                        .scratch
+                        .extend(iv.iter().map(|i| i.lo.or(i.hi).unwrap_or(0)));
+                    budget.ivs = iv;
+                    let candidate = std::mem::take(&mut budget.scratch);
+                    let hit = self.check(&candidate);
+                    budget.scratch = candidate;
+                    if hit {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
         let mut sys = self.clone();
         let mut active: Vec<usize> = (0..self.n).collect();
         sys.gauss_eliminate(&mut active);
         if !sys.negated_pair_consistent() {
             return Ok(false);
+        }
+        // Second candidate test after elimination: equality chains (e.g.
+        // determined divs) defeat the raw low-corner candidate, but once
+        // their variables are substituted away the eliminated system's low
+        // corner usually lands inside. Eliminated variables have no
+        // remaining rows, so checking the reduced system is sound.
+        match sys.propagate(budget)? {
+            None => return Ok(false),
+            Some(iv) => {
+                budget.scratch.clear();
+                budget
+                    .scratch
+                    .extend(iv.iter().map(|i| i.lo.or(i.hi).unwrap_or(0)));
+                budget.ivs = iv;
+                let candidate = std::mem::take(&mut budget.scratch);
+                let hit = sys.check(&candidate);
+                budget.scratch = candidate;
+                if hit {
+                    return Ok(true);
+                }
+            }
         }
         sys.feasible_rec(&active, budget)
     }
@@ -621,20 +1017,11 @@ impl System {
                 remaining.push(v);
             }
         }
-        for c in &sys.constraints {
-            if c.expr.is_constant() {
-                let k = c.expr.constant_term();
-                let ok = match c.kind {
-                    ConstraintKind::Eq => k == 0,
-                    ConstraintKind::GeZero => k >= 0,
-                };
-                if !ok {
-                    return Ok(false);
-                }
-            }
+        if !sys.constant_rows_ok() {
+            return Ok(false);
         }
         // Drop variables that no longer appear in any constraint.
-        remaining.retain(|&v| sys.constraints.iter().any(|c| c.expr.coeff(v) != 0));
+        remaining.retain(|&v| sys.var_appears(v));
         if remaining.is_empty() {
             return Ok(true);
         }
@@ -643,16 +1030,10 @@ impl System {
         if !sys.negated_pair_consistent() {
             return Ok(false);
         }
-        sub_active.retain(|&v| sys.constraints.iter().any(|c| c.expr.coeff(v) != 0));
+        sub_active.retain(|&v| sys.var_appears(v));
         if sub_active.is_empty() {
             // Only constant constraints can remain; re-check them.
-            return Ok(sys.constraints.iter().all(|c| {
-                !c.expr.is_constant()
-                    || match c.kind {
-                        ConstraintKind::Eq => c.expr.constant_term() == 0,
-                        ConstraintKind::GeZero => c.expr.constant_term() >= 0,
-                    }
-            }));
+            return Ok(sys.constant_rows_ok());
         }
         let Some(iv2) = sys.propagate(budget)? else {
             return Ok(false);
@@ -682,34 +1063,46 @@ impl System {
         Ok(false)
     }
 
+    /// Whether every constant row is satisfied.
+    #[inline]
+    pub(crate) fn constant_rows_ok(&self) -> bool {
+        let n = self.n;
+        self.rows
+            .as_slice()
+            .chunks_exact(self.stride)
+            .all(|row| !row_is_constant(row, n) || row_constant_ok(row, n))
+    }
+
     /// Interval propagation to (bounded) fixpoint. Returns `None` if a
     /// contradiction is detected.
     pub fn propagate(&self, budget: &mut Budget) -> Result<Option<Vec<Interval>>> {
-        let mut iv = vec![Interval::full(); self.n];
+        let n = self.n;
+        let stride = self.stride;
+        // Reuse the budget's recycled buffer when a previous caller gave
+        // it back; refutation paths always return it, so batched queries
+        // that refute or use the fast paths allocate nothing here.
+        let mut iv = std::mem::take(&mut budget.ivs);
+        iv.clear();
+        iv.resize(n, Interval::full());
         // Round-robin until fixpoint or iteration cap.
-        let max_rounds = 4 + 2 * self.n.max(4);
+        let max_rounds = 4 + 2 * n.max(4);
         for _ in 0..max_rounds {
-            budget.tick(self.constraints.len() as u64)?;
+            budget.tick(self.n_rows() as u64)?;
             let mut changed = false;
-            for c in &self.constraints {
-                match c.kind {
-                    ConstraintKind::GeZero => {
-                        if !tighten_ge0(&c.expr, &mut iv, &mut changed) {
-                            return Ok(None);
-                        }
-                    }
-                    ConstraintKind::Eq => {
-                        if !tighten_ge0(&c.expr, &mut iv, &mut changed) {
-                            return Ok(None);
-                        }
-                        let neg = c.expr.clone() * -1;
-                        if !tighten_ge0(&neg, &mut iv, &mut changed) {
-                            return Ok(None);
-                        }
-                    }
+            for row in self.rows.as_slice().chunks_exact(stride) {
+                if !tighten_row(&row[..n], row[n], 1, &mut iv, &mut changed) {
+                    budget.ivs = iv;
+                    return Ok(None);
+                }
+                if row[n + 1] == KIND_EQ
+                    && !tighten_row(&row[..n], row[n], -1, &mut iv, &mut changed)
+                {
+                    budget.ivs = iv;
+                    return Ok(None);
                 }
             }
             if iv.iter().any(Interval::is_empty) {
+                budget.ivs = iv;
                 return Ok(None);
             }
             if !changed {
@@ -719,22 +1112,59 @@ impl System {
         Ok(Some(iv))
     }
 
-    /// Substitutes variable `idx` with a constant, removing it from all
-    /// constraints (its coefficient becomes zero).
+    /// Substitutes variable `idx` with a constant in place: the constant
+    /// term absorbs `coeff * value` and the coefficient becomes zero.
     pub fn substitute(&mut self, idx: usize, value: i64) {
-        for c in &mut self.constraints {
-            c.expr = c.expr.substitute_const(idx, value);
+        let n = self.n;
+        let stride = self.stride;
+        for row in self.rows.as_mut_slice().chunks_exact_mut(stride) {
+            let c = row[idx];
+            if c != 0 {
+                row[n] += c * value;
+                row[idx] = 0;
+            }
         }
     }
 
     /// Checks whether a full assignment satisfies all constraints.
     pub fn check(&self, values: &[i64]) -> bool {
-        self.constraints.iter().all(|c| c.holds(values))
+        let n = self.n;
+        self.rows.as_slice().chunks_exact(self.stride).all(|row| {
+            let mut v = row[n];
+            for (i, &c) in row[..n].iter().enumerate() {
+                if c != 0 {
+                    v += c * values[i];
+                }
+            }
+            if row[n + 1] == KIND_EQ {
+                v == 0
+            } else {
+                v >= 0
+            }
+        })
     }
 
     /// Finds one integer solution or proves emptiness.
     #[allow(clippy::type_complexity)]
     pub fn sample(&self, budget: &mut Budget) -> Result<Option<Vec<i64>>> {
+        // Fast path: when every variable's propagated interval is finite
+        // and the low corner satisfies the system, the branch search below
+        // is guaranteed to return exactly that corner — every feasible
+        // point dominates it componentwise (intervals are sound) and the
+        // search tries values in ascending order, so all trials below the
+        // corner fail. Returning it directly preserves witness identity
+        // while skipping the whole search.
+        match self.propagate(budget)? {
+            None => return Ok(None),
+            Some(iv) => {
+                let bounded = iv.iter().all(|i| i.lo.is_some() && i.hi.is_some());
+                let corner: Vec<i64> = iv.iter().map(|i| i.lo.unwrap_or(0)).collect();
+                budget.ivs = iv;
+                if bounded && self.check(&corner) {
+                    return Ok(Some(corner));
+                }
+            }
+        }
         let mut values = vec![None; self.n];
         if self.sample_rec(&mut values, budget)? {
             Ok(Some(values.into_iter().map(|v| v.unwrap_or(0)).collect()))
@@ -783,19 +1213,27 @@ impl System {
         }
         match best {
             None => {
-                let mut trial = values.clone();
+                // Trial assignments reuse the budget's scratch buffer
+                // instead of collecting a fresh Vec per attempt.
+                let mut full = std::mem::take(&mut budget.scratch);
                 if let Some(u) = unbounded_free {
                     // Try anchoring each half-bounded variable at its finite
                     // endpoint (covers common one-sided cases like `i >= 0`);
                     // fully free variables get 0.
-                    for (i, v) in trial.iter_mut().enumerate() {
-                        if v.is_none() {
-                            *v = Some(iv[i].lo.or(iv[i].hi).unwrap_or(0));
-                        }
-                    }
-                    let full: Vec<i64> = trial.iter().map(|v| v.unwrap()).collect();
+                    full.clear();
+                    full.extend(
+                        values
+                            .iter()
+                            .enumerate()
+                            .map(|(i, v)| v.unwrap_or_else(|| iv[i].lo.or(iv[i].hi).unwrap_or(0))),
+                    );
                     if self.check(&full) {
-                        *values = trial;
+                        for (i, v) in values.iter_mut().enumerate() {
+                            if v.is_none() {
+                                *v = Some(full[i]);
+                            }
+                        }
+                        budget.scratch = full;
                         return Ok(true);
                     }
                     // Residual constraints still mention a free variable and
@@ -807,23 +1245,25 @@ impl System {
                             sys2.substitute(i, v);
                         }
                     }
-                    let residual_mentions_free = sys2
-                        .constraints
-                        .iter()
-                        .any(|c| c.expr.terms().any(|(i, _)| values[i].is_none()));
+                    let residual_mentions_free =
+                        (0..self.n).any(|i| values[i].is_none() && sys2.var_appears(i));
                     if residual_mentions_free {
+                        budget.scratch = full;
                         return Err(Error::Unbounded { var: u });
                     }
                 }
-                let full: Vec<i64> = values.iter().map(|v| v.unwrap_or(0)).collect();
+                full.clear();
+                full.extend(values.iter().map(|v| v.unwrap_or(0)));
                 if self.check(&full) {
                     for (i, v) in values.iter_mut().enumerate() {
                         if v.is_none() {
                             *v = Some(full[i]);
                         }
                     }
+                    budget.scratch = full;
                     Ok(true)
                 } else {
+                    budget.scratch = full;
                     for i in fixed {
                         values[i] = None;
                     }
@@ -849,55 +1289,62 @@ impl System {
     }
 }
 
-/// Tightens intervals using `expr >= 0`. Returns false on contradiction.
-fn tighten_ge0(expr: &LinExpr, iv: &mut [Interval], changed: &mut bool) -> bool {
-    // max over box of expr; None = +infinity.
-    let mut smax: Option<i64> = Some(expr.constant_term());
-    for (i, c) in expr.terms() {
-        let contrib = if c > 0 {
-            iv[i].hi.map(|h| c.saturating_mul(h))
+/// Tightens intervals using `sign * (coeffs·x + k) >= 0`, exact over
+/// `i128` (saturating at the extremes) in a single O(t) pass: the finite
+/// part of the box-maximum is accumulated once, and each variable's
+/// residual bound is recovered by subtracting its own contribution.
+/// Returns false on contradiction.
+fn tighten_row(coeffs: &[i64], k: i64, sign: i64, iv: &mut [Interval], changed: &mut bool) -> bool {
+    // Box-maximum of the expression: each variable contributes its upper
+    // (positive coefficient) or lower (negative) endpoint. Unbounded
+    // endpoints are tallied instead of summed.
+    let mut finite: i128 = (sign as i128) * (k as i128);
+    let mut n_unbounded = 0usize;
+    let mut unbounded_var = 0usize;
+    for (i, &c0) in coeffs.iter().enumerate() {
+        if c0 == 0 {
+            continue;
+        }
+        let c = (sign as i128) * (c0 as i128);
+        let endpoint = if c > 0 { iv[i].hi } else { iv[i].lo };
+        match endpoint {
+            Some(x) => finite = finite.saturating_add(c.saturating_mul(x as i128)),
+            None => {
+                n_unbounded += 1;
+                unbounded_var = i;
+            }
+        }
+    }
+    if n_unbounded == 0 && finite < 0 {
+        return false;
+    }
+    // Tighten each variable: a_j * v_j >= -(rest over the box). The rest's
+    // maximum is finite only when every *other* contribution is bounded.
+    for (j, &c0) in coeffs.iter().enumerate() {
+        if c0 == 0 {
+            continue;
+        }
+        let a = (sign as i128) * (c0 as i128);
+        let rest_max: i128 = if n_unbounded == 0 {
+            let own = if a > 0 { iv[j].hi } else { iv[j].lo };
+            // Bounded by construction when nothing is unbounded.
+            let own = own.expect("endpoint bounded when n_unbounded == 0");
+            finite.saturating_sub(a.saturating_mul(own as i128))
+        } else if n_unbounded == 1 && unbounded_var == j {
+            finite
         } else {
-            iv[i].lo.map(|l| c.saturating_mul(l))
+            continue;
         };
-        match (smax, contrib) {
-            (Some(s), Some(x)) => smax = Some(s.saturating_add(x)),
-            _ => smax = None,
-        }
-    }
-    if let Some(s) = smax {
-        if s < 0 {
-            return false;
-        }
-    }
-    // Tighten each variable: a_j * v_j >= -(expr - a_j v_j) over the box.
-    for (j, a) in expr.terms() {
-        // rest_max = max over box of (expr - a_j * v_j)
-        let mut rest_max: Option<i64> = Some(expr.constant_term());
-        for (i, c) in expr.terms() {
-            if i == j {
-                continue;
-            }
-            let contrib = if c > 0 {
-                iv[i].hi.map(|h| c.saturating_mul(h))
-            } else {
-                iv[i].lo.map(|l| c.saturating_mul(l))
-            };
-            match (rest_max, contrib) {
-                (Some(s), Some(x)) => rest_max = Some(s.saturating_add(x)),
-                _ => rest_max = None,
-            }
-        }
-        let Some(rm) = rest_max else { continue };
         if a > 0 {
-            // v_j >= ceil(-rm / a)
-            let bound = ceil_div(-rm, a);
+            // v_j >= ceil(-rest_max / a)
+            let bound = clamp_i64(ceil_div_i128(-rest_max, a));
             if iv[j].lo.is_none_or(|l| bound > l) {
                 iv[j].lo = Some(bound);
                 *changed = true;
             }
         } else {
-            // v_j <= floor(-rm / a)  (a negative: flips)
-            let bound = floor_div(rm, -a);
+            // v_j <= floor(rest_max / -a)
+            let bound = clamp_i64(floor_div_i128(rest_max, -a));
             if iv[j].hi.is_none_or(|h| bound < h) {
                 iv[j].hi = Some(bound);
                 *changed = true;
@@ -908,6 +1355,23 @@ fn tighten_ge0(expr: &LinExpr, iv: &mut [Interval], changed: &mut bool) -> bool 
         }
     }
     true
+}
+
+#[inline]
+fn clamp_i64(x: i128) -> i64 {
+    x.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+#[inline]
+fn floor_div_i128(a: i128, b: i128) -> i128 {
+    debug_assert!(b != 0);
+    a.div_euclid(b)
+}
+
+#[inline]
+fn ceil_div_i128(a: i128, b: i128) -> i128 {
+    debug_assert!(b != 0);
+    -(-a).div_euclid(b)
 }
 
 #[cfg(test)]
@@ -1044,5 +1508,49 @@ mod tests {
             Err(Error::Unbounded { .. }) => {}
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn slab_spills_to_heap_and_resets() {
+        // More rows than the inline capacity can hold: the slab must spill
+        // and keep answering correctly.
+        let mut b = BasicSet::universe(Space::set(0, 6));
+        for d in 0..6 {
+            b.add_range(d, 0, 9);
+            // Redundant extra constraints to force many rows.
+            for k in 0..4 {
+                b.add_ge0(LinExpr::var(d) + LinExpr::constant(k));
+            }
+        }
+        let mut sys = b.system();
+        assert!(sys.arena_bytes() > 0);
+        assert!(!b.is_empty().unwrap());
+        // Bulk reset keeps the system usable for a different query.
+        sys.reset_from(&box2(4, 3));
+        assert_eq!(sys.n, 2);
+        assert_eq!(sys.n_rows(), 4);
+        assert!(sys.is_feasible(&mut Budget::default()).unwrap());
+    }
+
+    #[test]
+    fn flat_substitute_and_check() {
+        let mut b = box2(10, 10);
+        b.add_eq(LinExpr::var(0) - LinExpr::var(1));
+        let mut sys = b.system();
+        sys.substitute(0, 5);
+        assert!(sys.check(&[0, 5])); // i already substituted; j must be 5
+        assert!(!sys.check(&[0, 6]));
+    }
+
+    #[test]
+    fn flat_gauss_removes_equalities() {
+        let mut b = box2(10, 10);
+        b.add_eq(LinExpr::var(0) - LinExpr::var(1) - LinExpr::constant(1));
+        let mut sys = b.system();
+        let mut active: Vec<usize> = vec![0, 1];
+        sys.gauss_eliminate(&mut active);
+        assert_eq!(active.len(), 1);
+        // No equality rows left.
+        assert!((0..sys.n_rows()).all(|i| !sys.is_eq(i)));
     }
 }

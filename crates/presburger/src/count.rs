@@ -15,9 +15,9 @@
 
 use std::collections::HashMap;
 
-use crate::basic::{Budget, System};
+use crate::basic::{row_is_constant, Budget, System};
 use crate::error::{Error, Result};
-use crate::{polysum, BasicSet, Constraint, ConstraintKind, LinExpr};
+use crate::{polysum, BasicSet};
 
 /// A work limit for counting, in solver steps.
 ///
@@ -41,6 +41,8 @@ pub(crate) struct StrategyStats {
     pub symbolic: u64,
     /// Components that fell back to branch-and-recurse enumeration.
     pub enumerated: u64,
+    /// Regions the symbolic layer fanned out across the worker pool.
+    pub parallel_splits: u64,
 }
 
 /// Shared state of one counting invocation.
@@ -64,6 +66,15 @@ pub(crate) fn count_system_with_stats(
     limit: CountLimit,
     allow_symbolic: bool,
 ) -> Result<(i128, StrategyStats)> {
+    if crate::path::use_legacy() {
+        let c = crate::reference::count_constraints(
+            sys.n,
+            sys.to_constraints(),
+            limit,
+            allow_symbolic,
+        )?;
+        return Ok((c, StrategyStats::default()));
+    }
     let mut ctx = Ctx {
         budget: Budget::with_limit(limit.0),
         allow_symbolic,
@@ -108,31 +119,34 @@ pub(crate) struct CountKey {
     constraints: Vec<CanonConstraint>,
 }
 
-fn canonicalize_constraint(expr: &LinExpr, kind: ConstraintKind) -> CanonConstraint {
-    let mut terms: Vec<(usize, i64)> = expr.terms().collect();
-    terms.sort_unstable_by_key(|&(v, _)| v);
-    let mut k = expr.constant_term();
-    let tag = match kind {
-        ConstraintKind::Eq => {
-            // i - j = 0 and j - i = 0 are the same hyperplane.
-            if terms.first().is_some_and(|&(_, c)| c < 0) {
-                for t in &mut terms {
-                    t.1 = -t.1;
-                }
-                k = -k;
+fn canonicalize_row(coeffs: &[i64], constant: i64, is_eq: bool) -> CanonConstraint {
+    // Dense rows store coefficients by ascending variable index, so the
+    // terms come out sorted with no extra pass.
+    let mut terms: Vec<(usize, i64)> = coeffs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c != 0)
+        .map(|(v, &c)| (v, c))
+        .collect();
+    let mut k = constant;
+    let tag = if is_eq {
+        // i - j = 0 and j - i = 0 are the same hyperplane.
+        if terms.first().is_some_and(|&(_, c)| c < 0) {
+            for t in &mut terms {
+                t.1 = -t.1;
             }
-            0u8
+            k = -k;
         }
-        ConstraintKind::GeZero => 1u8,
+        0u8
+    } else {
+        1u8
     };
     (tag, k, terms)
 }
 
 pub(crate) fn count_key(sys: &System, limit: CountLimit) -> CountKey {
-    let mut constraints: Vec<CanonConstraint> = sys
-        .constraints
-        .iter()
-        .map(|c| canonicalize_constraint(&c.expr, c.kind))
+    let mut constraints: Vec<CanonConstraint> = (0..sys.n_rows())
+        .map(|i| canonicalize_row(sys.coeffs(i), sys.constant(i), sys.is_eq(i)))
         .collect();
     constraints.sort_unstable();
     constraints.dedup();
@@ -168,6 +182,7 @@ pub struct CountCache {
     misses: u64,
     symbolic: u64,
     enumerated: u64,
+    parallel_splits: u64,
     evictions: u64,
     capacity: usize,
 }
@@ -197,6 +212,7 @@ impl CountCache {
             misses: 0,
             symbolic: 0,
             enumerated: 0,
+            parallel_splits: 0,
             evictions: 0,
             capacity,
         }
@@ -244,6 +260,12 @@ impl CountCache {
         self.enumerated
     }
 
+    /// Symbolic regions fanned out across the worker pool across all
+    /// misses computed through this cache.
+    pub fn parallel_splits(&self) -> u64 {
+        self.parallel_splits
+    }
+
     /// Estimated heap footprint of the cached entries, in bytes. An
     /// estimate (hash-map overhead is approximated by the table capacity),
     /// meant for growth monitoring rather than exact accounting.
@@ -266,6 +288,7 @@ impl CountCache {
         self.misses += other.misses;
         self.symbolic += other.symbolic;
         self.enumerated += other.enumerated;
+        self.parallel_splits += other.parallel_splits;
         self.evictions += other.evictions;
     }
 }
@@ -286,6 +309,7 @@ pub(crate) fn count_system_cached(
     let (c, stats) = count_system_with_stats(sys, limit, true)?;
     cache.symbolic += stats.symbolic;
     cache.enumerated += stats.enumerated;
+    cache.parallel_splits += stats.parallel_splits;
     if cache.map.len() >= cache.capacity {
         cache.evictions += cache.map.len() as u64;
         cache.map.clear();
@@ -310,17 +334,8 @@ fn count_rec(mut sys: System, active: &[usize], ctx: &mut Ctx) -> Result<i128> {
         }
     }
     // Constant constraints left after substitution may be contradictions.
-    for c in &sys.constraints {
-        if c.expr.is_constant() {
-            let k = c.expr.constant_term();
-            let ok = match c.kind {
-                ConstraintKind::Eq => k == 0,
-                ConstraintKind::GeZero => k >= 0,
-            };
-            if !ok {
-                return Ok(0);
-            }
-        }
+    if !sys.constant_rows_ok() {
+        return Ok(0);
     }
     if remaining.is_empty() {
         return Ok(1);
@@ -376,24 +391,20 @@ fn count_component(
     for &v in comp {
         in_comp[v] = true;
     }
-    let constraints: Vec<Constraint> = sys
-        .constraints
-        .iter()
-        .filter(|c| {
-            c.expr
-                .terms()
-                .any(|(i, _)| in_comp.get(i).copied().unwrap_or(false))
-        })
-        .cloned()
-        .collect();
-    let sub = System::new(sys.n, constraints);
+    let sub = sys.filtered(|row| {
+        row[..sys.n]
+            .iter()
+            .enumerate()
+            .any(|(i, &c)| c != 0 && in_comp[i])
+    });
 
     // First choice: the closed-form symbolic layer. It either answers
     // exactly (size-independent work) or declines, in which case the
     // verified enumerating fallback below takes over.
     if ctx.allow_symbolic {
-        if let Some(c) = polysum::try_count(&sub, comp) {
+        if let Some((c, splits)) = polysum::try_count_with_stats(&sub, comp) {
             ctx.stats.symbolic += 1;
+            ctx.stats.parallel_splits += splits;
             ctx.budget.tick(comp.len() as u64)?;
             return Ok(c);
         }
@@ -415,32 +426,21 @@ fn count_component(
     let (lo, hi) = (iv[var].lo.unwrap(), iv[var].hi.unwrap());
     let rest: Vec<usize> = comp.iter().copied().filter(|&v| v != var).collect();
     let mut total: i128 = 0;
-    // Substituted constraints are built in a single pass per iteration
-    // (instead of cloning the scratch system and rewriting it in place);
-    // constant constraints are decided on the spot, so contradictory
-    // branches cost no recursive call and satisfied ones shrink the child
-    // system.
+    // Each branch clones the component's flat system (usually an inline
+    // memcpy), substitutes the branch value in place, decides constant
+    // rows on the spot — contradictory branches cost no recursive call —
+    // and compacts satisfied constants away before recursing.
+    let n = sys.n;
     'branch: for x in lo..=hi {
         ctx.budget.tick(1)?;
-        let mut constraints = Vec::with_capacity(sub.constraints.len());
-        for c in &sub.constraints {
-            let expr = c.expr.substitute_const(var, x);
-            if expr.is_constant() {
-                let k = expr.constant_term();
-                let ok = match c.kind {
-                    ConstraintKind::Eq => k == 0,
-                    ConstraintKind::GeZero => k >= 0,
-                };
-                if ok {
-                    continue;
-                }
-                continue 'branch;
-            }
-            constraints.push(Constraint { expr, kind: c.kind });
+        let mut child = sub.clone();
+        child.substitute(var, x);
+        if !child.constant_rows_ok() {
+            continue 'branch;
         }
-        let s = System::new(sys.n, constraints);
+        child.retain_rows(|row| !row_is_constant(row, n));
         total = total
-            .checked_add(count_rec(s, &rest, ctx)?)
+            .checked_add(count_rec(child, &rest, ctx)?)
             .ok_or(Error::Overflow)?;
     }
     Ok(total)
@@ -461,11 +461,12 @@ fn connected_components(sys: &System, vars: &[usize]) -> Vec<Vec<usize>> {
         }
     }
 
-    for c in &sys.constraints {
+    for r in 0..sys.n_rows() {
+        let coeffs = sys.coeffs(r);
         let mut prev: Option<usize> = None;
-        for (i, _) in c.expr.terms() {
-            if !parent.contains_key(&i) {
-                continue; // fixed or foreign variable
+        for (i, &c) in coeffs.iter().enumerate() {
+            if c == 0 || !parent.contains_key(&i) {
+                continue; // zero, fixed, or foreign variable
             }
             if let Some(p) = prev {
                 let (ra, rb) = (find(&mut parent, p), find(&mut parent, i));

@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 mod basic;
+mod context;
 mod count;
 mod enumerate;
 mod error;
@@ -52,16 +53,20 @@ mod lexorder;
 mod linexpr;
 mod map;
 mod parse;
+mod path;
 mod polysum;
+pub mod reference;
 mod set;
 mod space;
 
 pub use basic::{BasicSet, Div};
+pub use context::{Context, Emptiness};
 pub use count::{count_basic_enumerative, CountCache, CountLimit};
 pub use error::{Error, Result};
 pub use lexorder::{lex_ge_map, lex_gt_map, lex_le_map, lex_lt_map};
 pub use linexpr::LinExpr;
 pub use map::{BasicMap, Map};
+pub use path::{force_presburger_path, presburger_path, PresburgerPath};
 pub use polysum::symbolic_count;
 pub use set::Set;
 pub use space::{Space, VarKind};

@@ -303,6 +303,21 @@ impl BasicMap {
             .map(|v| (v[np..np + ni].to_vec(), v[np + ni..np + ni + no].to_vec())))
     }
 
+    /// [`BasicMap::sample_pair`] through a batched [`crate::Context`],
+    /// reusing its solver arena (the relation was typically just checked
+    /// non-empty in the same batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver budget errors.
+    pub fn sample_pair_in(&self, ctx: &mut crate::Context) -> Result<Option<(Vec<i64>, Vec<i64>)>> {
+        let sp = self.inner.space();
+        let (np, ni, no) = (sp.n_param(), sp.n_in(), sp.n_out());
+        Ok(ctx
+            .sample(self.as_basic_set())?
+            .map(|v| (v[np..np + ni].to_vec(), v[np + ni..np + ni + no].to_vec())))
+    }
+
     /// For a relation with equal input/output arity `d`, the set of
     /// differences `{ y - x : (x -> y) in self }` (exact; the original
     /// tuples become existentials).
@@ -525,6 +540,16 @@ impl Map {
     /// See [`Set::count`].
     pub fn count_pairs(&self) -> Result<i128> {
         self.to_set().count()
+    }
+
+    /// Counts the pairs in the relation through a batched [`crate::Context`],
+    /// sharing its memoizing count cache across queries.
+    ///
+    /// # Errors
+    ///
+    /// See [`Set::count`].
+    pub fn count_pairs_in(&self, ctx: &mut crate::Context) -> Result<i128> {
+        ctx.count_set(&self.to_set())
     }
 
     /// Whether the relation is empty.

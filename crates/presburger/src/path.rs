@@ -1,0 +1,59 @@
+//! Runtime A/B lever selecting between the flat-arena Presburger core and
+//! the frozen Vec-based [`crate::reference`] implementation.
+//!
+//! Mirrors the simulation-path lever from the trace simulator: the
+//! environment variable `POLYUFC_PRESBURGER_PATH=legacy` flips the default,
+//! and [`force_presburger_path`] overrides it programmatically (used by the
+//! differential harnesses to A/B both cores inside one process).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which Presburger solver core answers `is_empty` / `sample` / count
+/// queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PresburgerPath {
+    /// The flat arena-row core (default).
+    Flat,
+    /// The frozen per-constraint reference core ([`crate::reference`]).
+    Legacy,
+}
+
+/// 0 = follow the environment, 1 = force flat, 2 = force legacy.
+static FORCE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether `POLYUFC_PRESBURGER_PATH=legacy` was set at first query.
+static ENV_LEGACY: OnceLock<bool> = OnceLock::new();
+
+/// Overrides the solver path for this process. `None` returns to honoring
+/// the `POLYUFC_PRESBURGER_PATH` environment variable.
+pub fn force_presburger_path(path: Option<PresburgerPath>) {
+    let v = match path {
+        None => 0,
+        Some(PresburgerPath::Flat) => 1,
+        Some(PresburgerPath::Legacy) => 2,
+    };
+    FORCE.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected solver path.
+pub fn presburger_path() -> PresburgerPath {
+    if use_legacy() {
+        PresburgerPath::Legacy
+    } else {
+        PresburgerPath::Flat
+    }
+}
+
+/// Whether queries should route to the legacy reference core.
+pub(crate) fn use_legacy() -> bool {
+    match FORCE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *ENV_LEGACY.get_or_init(|| {
+            std::env::var("POLYUFC_PRESBURGER_PATH")
+                .map(|v| v.eq_ignore_ascii_case("legacy"))
+                .unwrap_or(false)
+        }),
+    }
+}

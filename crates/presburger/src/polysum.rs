@@ -354,24 +354,52 @@ impl Work {
 }
 
 /// Attempts a closed-form count of the solutions of `sys` over `vars`
-/// (every constraint must only mention variables in `vars`). `None` means
+/// (every constraint must only mention variables in `vars`), additionally
+/// reporting how many regions were fanned out across the worker pool
+/// (0 when the shape never split wide enough to parallelize). `None` means
 /// the shape is outside the symbolic fragment — fall back to enumeration.
+pub(crate) fn try_count_with_stats(sys: &System, vars: &[usize]) -> Option<(i128, u64)> {
+    let n_rows = sys.n_rows();
+    let in_fragment = (0..n_rows).all(|i| {
+        sys.coeffs(i)
+            .iter()
+            .enumerate()
+            .all(|(v, &c)| c == 0 || vars.contains(&v))
+    });
+    if !in_fragment {
+        return None;
+    }
+    let root = Region {
+        cons: sys.to_constraints(),
+        vars: vars.to_vec(),
+        poly: Poly::one(),
+    };
+    let (n, splits) = count_regions(root)?;
+    (n >= 0).then_some((n, splits))
+}
+
+/// [`try_count_with_stats`] without the parallel-split counter.
 pub(crate) fn try_count(sys: &System, vars: &[usize]) -> Option<i128> {
+    try_count_with_stats(sys, vars).map(|(n, _)| n)
+}
+
+/// Strictly sequential variant over a plain constraint list, used by the
+/// frozen [`crate::reference`] core (which must not share the parallel
+/// driver with the code under test).
+pub(crate) fn try_count_sequential(cons: &[Constraint], vars: &[usize]) -> Option<i128> {
     let in_vars = |i: usize| vars.contains(&i);
-    if sys
-        .constraints
+    if cons
         .iter()
         .any(|c| c.expr.terms().any(|(i, _)| !in_vars(i)))
     {
         return None;
     }
-    let mut work = Work::new();
-    let n = count_region(
-        sys.constraints.clone(),
-        vars.to_vec(),
-        Poly::one(),
-        &mut work,
-    )?;
+    let root = Region {
+        cons: cons.to_vec(),
+        vars: vars.to_vec(),
+        poly: Poly::one(),
+    };
+    let n = drain_one(root, &mut Work::new())?;
     (n >= 0).then_some(n)
 }
 
@@ -496,138 +524,245 @@ fn cmp_expr(a: &LinExpr, b: &LinExpr) -> std::cmp::Ordering {
         .then_with(|| a.constant_term().cmp(&b.constant_term()))
 }
 
-/// Counts `Σ_{points of region} poly`, eliminating `vars` one at a time.
-fn count_region(
+/// One independent piece of the piecewise count: a constraint region, the
+/// variables still to eliminate, and the running count polynomial. Regions
+/// are self-contained, which is what lets split branches be evaluated on
+/// different worker threads.
+#[derive(Debug, Clone)]
+struct Region {
     cons: Vec<Constraint>,
     vars: Vec<usize>,
     poly: Poly,
-    work: &mut Work,
-) -> Option<i128> {
-    work.tick(1 + cons.len() as u64)?;
-    work.region()?;
+}
 
-    // Constant constraints decide emptiness; the rest is gcd-normalized.
-    let mut live: Vec<Constraint> = Vec::with_capacity(cons.len());
-    for c in &cons {
-        if c.expr.is_constant() {
-            let k = c.expr.constant_term();
-            let ok = match c.kind {
-                ConstraintKind::Eq => k == 0,
-                ConstraintKind::GeZero => k >= 0,
+/// Result of advancing one region until it finishes or splits.
+enum StepOutcome {
+    /// The region's exact contribution to the total.
+    Done(i128),
+    /// The region split on a dominating-bound case distinction; both
+    /// branches must be evaluated and summed.
+    Split(Region, Region),
+}
+
+/// Advances a region until it resolves to a count or splits in two.
+/// Substitutions and single-bound-pair summations loop in place (the
+/// tail-recursive cases of the old recursion); each loop iteration pays
+/// the same tick/region budget a recursive call used to.
+fn region_step(mut r: Region, work: &mut Work) -> Option<StepOutcome> {
+    loop {
+        work.tick(1 + r.cons.len() as u64)?;
+        work.region()?;
+
+        // Constant constraints decide emptiness; the rest is gcd-normalized.
+        let mut live: Vec<Constraint> = Vec::with_capacity(r.cons.len());
+        for c in &r.cons {
+            if c.expr.is_constant() {
+                let k = c.expr.constant_term();
+                let ok = match c.kind {
+                    ConstraintKind::Eq => k == 0,
+                    ConstraintKind::GeZero => k >= 0,
+                };
+                if !ok {
+                    return Some(StepOutcome::Done(0));
+                }
+                continue;
+            }
+            match normalize(c) {
+                Some(n) => live.push(n),
+                None => return Some(StepOutcome::Done(0)),
+            }
+        }
+
+        if r.vars.is_empty() {
+            // All constraints were constant and satisfied.
+            return r.poly.as_const_int().map(StepOutcome::Done);
+        }
+
+        // Pick the eliminable variable needing the fewest region splits;
+        // prefer higher indices (innermost dims / divs) on ties so the
+        // traversal mirrors loop order deterministically.
+        let mut best: Option<(u64, usize, Elimination)> = None;
+        for &v in r.vars.iter().rev() {
+            let Some(e) = classify(&live, v) else {
+                continue;
             };
-            if !ok {
-                return Some(0);
-            }
-            continue;
-        }
-        match normalize(c) {
-            Some(n) => live.push(n),
-            None => return Some(0),
-        }
-    }
-
-    if vars.is_empty() {
-        // All constraints were constant and satisfied.
-        return poly.as_const_int();
-    }
-
-    // Pick the eliminable variable needing the fewest region splits;
-    // prefer higher indices (innermost dims / divs) on ties so the
-    // traversal mirrors loop order deterministically.
-    let mut best: Option<(u64, usize, Elimination)> = None;
-    for &v in vars.iter().rev() {
-        let Some(e) = classify(&live, v) else {
-            continue;
-        };
-        let cost = match &e {
-            Elimination::Substitute(_) | Elimination::Empty => 0,
-            Elimination::Bounds { lowers, uppers } => (lowers.len() + uppers.len() - 2) as u64,
-        };
-        if best.as_ref().is_none_or(|b| cost < b.0) {
-            let done = cost == 0;
-            best = Some((cost, v, e));
-            if done {
-                break;
+            let cost = match &e {
+                Elimination::Substitute(_) | Elimination::Empty => 0,
+                Elimination::Bounds { lowers, uppers } => (lowers.len() + uppers.len() - 2) as u64,
+            };
+            if best.as_ref().is_none_or(|b| cost < b.0) {
+                let done = cost == 0;
+                best = Some((cost, v, e));
+                if done {
+                    break;
+                }
             }
         }
-    }
-    let (_, v, elim) = best?;
-    let rest_vars: Vec<usize> = vars.iter().copied().filter(|&x| x != v).collect();
+        let (_, v, elim) = best?;
+        let rest_vars: Vec<usize> = r.vars.iter().copied().filter(|&x| x != v).collect();
 
-    match elim {
-        Elimination::Empty => Some(0),
-        Elimination::Substitute(repl) => {
-            let next: Vec<Constraint> = live
-                .iter()
-                .map(|c| Constraint {
-                    expr: c.expr.substitute(v, &repl),
-                    kind: c.kind,
-                })
-                .collect();
-            let p = poly.subst_affine(v, &repl, work)?;
-            count_region(next, rest_vars, p, work)
-        }
-        Elimination::Bounds { lowers, uppers } => {
-            let others: Vec<Constraint> = live
-                .iter()
-                .filter(|c| c.expr.coeff(v) == 0)
-                .cloned()
-                .collect();
-            if lowers.len() > 1 || uppers.len() > 1 {
-                // Split the outer region on which bound dominates; each
-                // branch drops one competitor and recurses.
-                let (a, b, flip) = if lowers.len() > 1 {
-                    (&lowers[0], &lowers[1], false)
-                } else {
-                    (&uppers[0], &uppers[1], true)
+        match elim {
+            Elimination::Empty => return Some(StepOutcome::Done(0)),
+            Elimination::Substitute(repl) => {
+                let next: Vec<Constraint> = live
+                    .iter()
+                    .map(|c| Constraint {
+                        expr: c.expr.substitute(v, &repl),
+                        kind: c.kind,
+                    })
+                    .collect();
+                let p = r.poly.subst_affine(v, &repl, work)?;
+                r = Region {
+                    cons: next,
+                    vars: rest_vars,
+                    poly: p,
                 };
-                let rebuild = |drop: &LinExpr, extra: LinExpr| -> Vec<Constraint> {
-                    let mut out = others.clone();
-                    for l in &lowers {
-                        if !(std::ptr::eq(l, drop)) {
-                            out.push(Constraint::ge0(
-                                LinExpr::var(v) - l.clone(), // v >= l
-                            ));
+            }
+            Elimination::Bounds { lowers, uppers } => {
+                let others: Vec<Constraint> = live
+                    .iter()
+                    .filter(|c| c.expr.coeff(v) == 0)
+                    .cloned()
+                    .collect();
+                if lowers.len() > 1 || uppers.len() > 1 {
+                    // Split the outer region on which bound dominates; each
+                    // branch drops one competitor.
+                    let (a, b, flip) = if lowers.len() > 1 {
+                        (&lowers[0], &lowers[1], false)
+                    } else {
+                        (&uppers[0], &uppers[1], true)
+                    };
+                    let rebuild = |drop: &LinExpr, extra: LinExpr| -> Vec<Constraint> {
+                        let mut out = others.clone();
+                        for l in &lowers {
+                            if !(std::ptr::eq(l, drop)) {
+                                out.push(Constraint::ge0(
+                                    LinExpr::var(v) - l.clone(), // v >= l
+                                ));
+                            }
                         }
-                    }
-                    for u in &uppers {
-                        if !(std::ptr::eq(u, drop)) {
-                            out.push(Constraint::ge0(u.clone() - LinExpr::var(v)));
+                        for u in &uppers {
+                            if !(std::ptr::eq(u, drop)) {
+                                out.push(Constraint::ge0(u.clone() - LinExpr::var(v)));
+                            }
                         }
-                    }
-                    out.push(Constraint::ge0(extra));
-                    out
+                        out.push(Constraint::ge0(extra));
+                        out
+                    };
+                    // For lower bounds: branch A keeps `a` (a >= b), branch B
+                    // keeps `b` (b >= a+1). For upper bounds the comparison
+                    // flips (keep the smaller one).
+                    let (cons_a, cons_b) = if !flip {
+                        (
+                            rebuild(b, a.clone() - b.clone()),
+                            rebuild(a, b.clone() - a.clone() - LinExpr::constant(1)),
+                        )
+                    } else {
+                        (
+                            rebuild(b, b.clone() - a.clone()),
+                            rebuild(a, a.clone() - b.clone() - LinExpr::constant(1)),
+                        )
+                    };
+                    let mut vars_with_v = rest_vars.clone();
+                    vars_with_v.push(v);
+                    vars_with_v.sort_unstable();
+                    return Some(StepOutcome::Split(
+                        Region {
+                            cons: cons_a,
+                            vars: vars_with_v.clone(),
+                            poly: r.poly.clone(),
+                        },
+                        Region {
+                            cons: cons_b,
+                            vars: vars_with_v,
+                            poly: r.poly,
+                        },
+                    ));
+                }
+                // Single bound pair: sum `poly` over `v` in `[L, U]` and keep
+                // the nonemptiness constraint on the outer region.
+                let (lo, up) = (&lowers[0], &uppers[0]);
+                let mut next = others;
+                next.push(Constraint::ge0(up.clone() - lo.clone()));
+                let summed = sum_over(&r.poly, v, lo, up, work)?;
+                r = Region {
+                    cons: next,
+                    vars: rest_vars,
+                    poly: summed,
                 };
-                // For lower bounds: branch A keeps `a` (a >= b), branch B
-                // keeps `b` (b >= a+1). For upper bounds the comparison
-                // flips (keep the smaller one).
-                let (cons_a, cons_b) = if !flip {
-                    (
-                        rebuild(b, a.clone() - b.clone()),
-                        rebuild(a, b.clone() - a.clone() - LinExpr::constant(1)),
-                    )
-                } else {
-                    (
-                        rebuild(b, b.clone() - a.clone()),
-                        rebuild(a, a.clone() - b.clone() - LinExpr::constant(1)),
-                    )
-                };
-                let mut vars_with_v = rest_vars.clone();
-                vars_with_v.push(v);
-                vars_with_v.sort_unstable();
-                let ca = count_region(cons_a, vars_with_v.clone(), poly.clone(), work)?;
-                let cb = count_region(cons_b, vars_with_v, poly, work)?;
-                return ca.checked_add(cb);
             }
-            // Single bound pair: sum `poly` over `v` in `[L, U]` and keep
-            // the nonemptiness constraint on the outer region.
-            let (lo, up) = (&lowers[0], &uppers[0]);
-            let mut next = others;
-            next.push(Constraint::ge0(up.clone() - lo.clone()));
-            let summed = sum_over(&poly, v, lo, up, work)?;
-            count_region(next, rest_vars, summed, work)
         }
     }
+}
+
+/// Fully evaluates one region (and every region it splits into) with an
+/// explicit stack, depth-first in the same branch order as the old
+/// recursion (branch A before branch B).
+fn drain_one(root: Region, work: &mut Work) -> Option<i128> {
+    let mut total: i128 = 0;
+    let mut stack = vec![root];
+    while let Some(r) = stack.pop() {
+        match region_step(r, work)? {
+            StepOutcome::Done(n) => total = total.checked_add(n)?,
+            StepOutcome::Split(a, b) => {
+                stack.push(b);
+                stack.push(a);
+            }
+        }
+    }
+    Some(total)
+}
+
+/// Minimum pending-region count before the stack fans out across the
+/// worker pool. Below this, splits are drained sequentially — most shapes
+/// split once or not at all, and threads cost more than they save.
+const PAR_MIN_REGIONS: usize = 4;
+
+/// Minimum sequential work (in [`Work`] ticks) before fan-out is allowed.
+/// Scoped-thread spawn costs tens of microseconds; a shape that resolves
+/// in fewer ticks than this finishes sequentially faster than the pool
+/// can even start, so only shapes that have already proven heavy ship
+/// their pending regions to the workers.
+const PAR_MIN_STEPS: u64 = 20_000;
+
+/// Evaluates the root region, fanning pending split branches out over the
+/// `polyufc-par` pool once enough independent regions have accumulated
+/// and the shape has consumed enough sequential work to amortize thread
+/// spawn. Every region's contribution is exact (checked i128 arithmetic)
+/// and addition is commutative, so the total is schedule-independent; the
+/// returned split count is the number of regions shipped to the pool.
+fn count_regions(root: Region) -> Option<(i128, u64)> {
+    count_regions_with(root, PAR_MIN_REGIONS, PAR_MIN_STEPS)
+}
+
+/// [`count_regions`] with explicit fan-out thresholds, so tests can force
+/// the parallel path on small shapes without waiting for a heavy one.
+fn count_regions_with(root: Region, min_regions: usize, min_steps: u64) -> Option<(i128, u64)> {
+    let mut work = Work::new();
+    let mut total: i128 = 0;
+    let mut stack = vec![root];
+    while let Some(r) = stack.pop() {
+        match region_step(r, &mut work)? {
+            StepOutcome::Done(n) => total = total.checked_add(n)?,
+            StepOutcome::Split(a, b) => {
+                stack.push(b);
+                stack.push(a);
+                if stack.len() >= min_regions && work.steps >= min_steps {
+                    let regions = std::mem::take(&mut stack);
+                    let splits = regions.len() as u64;
+                    let results = polyufc_par::par_map(&regions, |region| {
+                        let mut w = Work::new();
+                        drain_one(region.clone(), &mut w)
+                    });
+                    for res in results {
+                        total = total.checked_add(res?)?;
+                    }
+                    return Some((total, splits));
+                }
+            }
+        }
+    }
+    Some((total, 0))
 }
 
 /// `Σ_{v=L}^{U} poly` in closed form (assumes the region enforces
@@ -784,6 +919,69 @@ mod tests {
         b.add_range(1, 0, 99);
         b.add_ge0(LinExpr::var(0) * 3 - LinExpr::var(1) * 2);
         assert_eq!(sym(&b), None);
+    }
+
+    #[test]
+    fn sequential_and_parallel_drivers_agree() {
+        // Trapezoid with competing bounds splits regions; the stack driver
+        // (with parallel fan-out) and the strictly sequential reference
+        // driver must agree exactly.
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 49);
+        b.add_range(1, 0, 99);
+        b.add_ge0(LinExpr::var(1) - LinExpr::var(0));
+        b.add_ge0(LinExpr::constant(99) - LinExpr::var(0) - LinExpr::var(1));
+        let sys = b.system();
+        let vars: Vec<usize> = (0..sys.n).collect();
+        let (n, _) = try_count_with_stats(&sys, &vars).unwrap();
+        let seq = try_count_sequential(&sys.to_constraints(), &vars).unwrap();
+        assert_eq!(n, seq);
+    }
+
+    #[test]
+    fn forced_fanout_agrees_with_sequential() {
+        // Force the pool fan-out on a small trapezoid by zeroing both
+        // thresholds: the parallel drain and the sequential drain must
+        // produce the identical count, and splits must be reported.
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 49);
+        b.add_range(1, 0, 99);
+        b.add_ge0(LinExpr::var(1) - LinExpr::var(0));
+        b.add_ge0(LinExpr::constant(99) - LinExpr::var(0) - LinExpr::var(1));
+        let sys = b.system();
+        let vars: Vec<usize> = (0..sys.n).collect();
+        let root = Region {
+            cons: sys.to_constraints(),
+            vars: vars.clone(),
+            poly: Poly::one(),
+        };
+        let (n, splits) = count_regions_with(root, 2, 0).unwrap();
+        assert!(splits >= 2, "fan-out must trigger with zeroed thresholds");
+        let seq = try_count_sequential(&sys.to_constraints(), &vars).unwrap();
+        assert_eq!(n, seq);
+    }
+
+    #[test]
+    fn multi_split_shape_counts_exactly() {
+        // Several competing bounds on both dims force repeated splits, deep
+        // enough to exercise the fan-out path.
+        let mut b = BasicSet::universe(Space::set(0, 2));
+        b.add_range(0, 0, 29);
+        b.add_range(1, 0, 29);
+        b.add_ge0(LinExpr::var(1) - LinExpr::var(0) + LinExpr::constant(10)); // j >= i-10
+        b.add_ge0(LinExpr::var(1) + LinExpr::var(0) - LinExpr::constant(8)); // i+j >= 8
+        b.add_ge0(LinExpr::constant(50) - LinExpr::var(0) - LinExpr::var(1)); // i+j <= 50
+        let brute: i128 = (0..30i64)
+            .flat_map(|i| (0..30i64).map(move |j| (i, j)))
+            .filter(|&(i, j)| j >= i - 10 && i + j >= 8 && i + j <= 50)
+            .count() as i128;
+        assert_eq!(sym(&b), Some(brute));
+        let sys = b.system();
+        let vars: Vec<usize> = (0..sys.n).collect();
+        assert_eq!(
+            try_count_sequential(&sys.to_constraints(), &vars),
+            Some(brute)
+        );
     }
 
     #[test]

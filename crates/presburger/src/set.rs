@@ -277,6 +277,16 @@ impl Set {
         Ok(total)
     }
 
+    /// Counts the integer points through a batched [`crate::Context`],
+    /// sharing its memoizing count cache across queries.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Set::count`].
+    pub fn count_in(&self, ctx: &mut crate::Context) -> Result<i128> {
+        ctx.count_set(self)
+    }
+
     /// Enumerates up to `max_points` points (dims only), merged and
     /// deduplicated across disjuncts, in lexicographic order.
     ///

@@ -1,0 +1,47 @@
+//! The `POLYUFC_PRESBURGER_PATH=legacy` lever: setting the environment
+//! variable before the first query routes every solver entry point to the
+//! frozen reference core, and `force_presburger_path` overrides it both
+//! ways. One `#[test]` only — the lever latches the environment on first
+//! read (process-wide `OnceLock`), so this file owns its own process and
+//! sets the variable before anything queries.
+
+use polyufc_presburger::{
+    force_presburger_path, presburger_path, BasicSet, LinExpr, PresburgerPath, Set, Space,
+};
+
+fn triangle() -> BasicSet {
+    let mut b = BasicSet::universe(Space::set(0, 2));
+    b.add_range(0, 0, 7);
+    b.add_ge0(LinExpr::var(1));
+    b.add_ge0(LinExpr::var(0) - LinExpr::var(1));
+    b
+}
+
+#[test]
+fn env_lever_selects_legacy_and_force_overrides() {
+    // Must happen before the first solver query in this process.
+    std::env::set_var("POLYUFC_PRESBURGER_PATH", "legacy");
+
+    assert_eq!(presburger_path(), PresburgerPath::Legacy);
+    let b = triangle();
+    // Legacy path answers and agrees with ground truth.
+    assert!(!b.is_empty().unwrap());
+    assert_eq!(Set::from_basic(b.clone()).count().unwrap(), 36);
+    let pt = b.sample().unwrap().expect("inhabited");
+    assert!(b.contains(&pt[..2]).unwrap());
+
+    // Forcing flat overrides the environment...
+    force_presburger_path(Some(PresburgerPath::Flat));
+    assert_eq!(presburger_path(), PresburgerPath::Flat);
+    assert_eq!(Set::from_basic(b.clone()).count().unwrap(), 36);
+    assert_eq!(b.sample().unwrap(), Some(pt.clone()));
+
+    // ...forcing legacy explicitly works too...
+    force_presburger_path(Some(PresburgerPath::Legacy));
+    assert_eq!(presburger_path(), PresburgerPath::Legacy);
+    assert_eq!(Set::from_basic(b.clone()).count().unwrap(), 36);
+
+    // ...and releasing the override falls back to the (legacy) env.
+    force_presburger_path(None);
+    assert_eq!(presburger_path(), PresburgerPath::Legacy);
+}
