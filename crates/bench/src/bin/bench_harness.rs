@@ -25,6 +25,7 @@ const HARNESSES: &[&str] = &[
     "count_microbench",
     "lint_sweep",
     "sim_microbench",
+    "serve_loadtest",
 ];
 
 /// Default per-harness wall-clock deadline, seconds. Generous: the `xl`

@@ -1,0 +1,252 @@
+//! Load test for the `polyufc serve` daemon: a real [`Server`] on an
+//! ephemeral TCP port, hammered by concurrent client threads over the
+//! NDJSON wire protocol, with throughput and latency percentiles per
+//! phase.
+//!
+//! Phases:
+//!
+//! * **cold** — every distinct request compiles (epsilon-perturbed
+//!   variants defeat the artifact cache on purpose);
+//! * **hot** — one batch of requests repeated from the warm cache; the
+//!   mini gate requires a ≥ 90% artifact-cache hit rate here;
+//! * **mixed** — 70% warm / 20% cold / 10% malformed, the realistic
+//!   steady state; the mini gate requires ≥ 1,000 req/s.
+//!
+//! Usage: `serve_loadtest [mini|small|large|xl]`. At `mini` the gates are
+//! enforced (exit 1 on miss) so CI catches serving-path regressions; the
+//! larger presets report without gating.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use polyufc_bench::{print_table, size_from_args};
+use polyufc_serve::json::push_escaped;
+use polyufc_serve::{EngineConfig, Listen, Server, ServerConfig};
+use polyufc_workloads::{polybench_suite, PolybenchSize};
+
+/// Workloads that exercise distinct pipeline shapes: a CB blas kernel, a
+/// BB mat-vec composition, and a stencil.
+const WORKLOADS: &[&str] = &["gemm", "mvt", "jacobi-2d"];
+
+/// Client threads (concurrent connections).
+const CLIENTS: usize = 8;
+
+/// One wire request line for a workload source at a given epsilon.
+fn compile_line(source: &str, epsilon: f64) -> String {
+    let mut s = String::with_capacity(source.len() + 96);
+    s.push_str("{\"op\":\"compile\",\"format\":\"ir\",\"epsilon\":");
+    s.push_str(&format!("{epsilon}"));
+    s.push_str(",\"source\":");
+    push_escaped(&mut s, source);
+    s.push('}');
+    s
+}
+
+/// Malformed request lines (the 10% noise in the mixed phase): bad JSON,
+/// schema violations, unknown ops, and unparseable kernel sources.
+fn malformed_lines() -> Vec<String> {
+    vec![
+        "{".to_string(),
+        "[1,2,3]".to_string(),
+        "{\"op\":\"frobnicate\"}".to_string(),
+        "{\"op\":\"compile\"}".to_string(),
+        "{\"op\":\"compile\",\"source\":\"func @k { wat }\"}".to_string(),
+        "{\"op\":\"compile\",\"source\":\"x\",\"epsilon\":-1}".to_string(),
+        "not json at all".to_string(),
+    ]
+}
+
+/// Round-trip latencies (µs) of running `lines` across [`CLIENTS`]
+/// threads against `addr`, each thread on its own connection taking lines
+/// round-robin. Returns (latencies, wall seconds, error-response count).
+fn drive(addr: &str, lines: &[String]) -> (Vec<u64>, f64, usize) {
+    let lines = Arc::new(lines.to_vec());
+    let results: Arc<Mutex<(Vec<u64>, usize)>> = Arc::new(Mutex::new((Vec::new(), 0)));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let lines = Arc::clone(&lines);
+        let results = Arc::clone(&results);
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(&addr).expect("connect");
+            stream.set_nodelay(true).ok();
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut lat = Vec::new();
+            let mut errors = 0usize;
+            let mut reply = String::new();
+            for line in lines.iter().skip(c).step_by(CLIENTS) {
+                let t = Instant::now();
+                writer.write_all(line.as_bytes()).expect("send");
+                writer.write_all(b"\n").expect("send");
+                reply.clear();
+                reader.read_line(&mut reply).expect("recv");
+                lat.push(t.elapsed().as_micros() as u64);
+                if !reply.starts_with("{\"ok\":true") {
+                    errors += 1;
+                }
+            }
+            let mut r = results.lock().unwrap();
+            r.0.extend(lat);
+            r.1 += errors;
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let (lat, errors) = Arc::try_unwrap(results).unwrap().into_inner().unwrap();
+    (lat, wall, errors)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn phase_row(name: &str, lat: &mut [u64], wall: f64, errors: usize) -> Vec<String> {
+    lat.sort_unstable();
+    let rps = lat.len() as f64 / wall.max(1e-9);
+    vec![
+        name.to_string(),
+        lat.len().to_string(),
+        format!("{rps:.0}"),
+        percentile(lat, 0.50).to_string(),
+        percentile(lat, 0.99).to_string(),
+        lat.last().copied().unwrap_or(0).to_string(),
+        errors.to_string(),
+    ]
+}
+
+fn main() {
+    let size = size_from_args();
+    // Repetition counts scale with the preset: mini must clear the req/s
+    // gate with margin yet finish in CI time.
+    let (hot_reps, mixed_reps) = match size {
+        PolybenchSize::Mini => (64, 48),
+        PolybenchSize::Small => (32, 24),
+        _ => (16, 12),
+    };
+
+    let sources: Vec<(String, String)> = polybench_suite(size)
+        .into_iter()
+        .filter(|w| WORKLOADS.contains(&w.name))
+        .map(|w| (w.name.to_string(), format!("{}", w.program)))
+        .collect();
+    assert_eq!(
+        sources.len(),
+        WORKLOADS.len(),
+        "loadtest workloads missing from the polybench suite"
+    );
+
+    // Each client blocks on its own round trip, so at most CLIENTS
+    // requests are ever in flight; a queue of 2×CLIENTS means the test
+    // measures compile/cache throughput, not backpressure shed (which
+    // wire tests cover separately).
+    let mut engine_cfg = EngineConfig::default();
+    engine_cfg.queue_cap = engine_cfg.queue_cap.max(2 * CLIENTS);
+    let server = Server::bind(&ServerConfig {
+        listen: Listen::Tcp("127.0.0.1:0".to_string()),
+        engine: engine_cfg,
+    })
+    .expect("bind loadtest server");
+    let addr = server.local_addr().expect("tcp addr").to_string();
+    let engine = server.engine();
+    let stop = server.stop_flag();
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut rows = Vec::new();
+
+    // Phase 1: cold. Epsilon perturbations give every request a distinct
+    // artifact key, so each one pays a full compile.
+    let cold: Vec<String> = (0..sources.len() * 8)
+        .map(|i| {
+            let (_, src) = &sources[i % sources.len()];
+            compile_line(src, 1e-3 * (1.0 + (i + 1) as f64 * 1e-6))
+        })
+        .collect();
+    let (mut lat, wall, errors) = drive(&addr, &cold);
+    rows.push(phase_row("cold", &mut lat, wall, errors));
+
+    // Phase 2: hot. One fixed batch repeated; after the first pass every
+    // response comes from the artifact cache (or a shared in-flight
+    // compile).
+    let hot_batch: Vec<String> = sources
+        .iter()
+        .map(|(_, src)| compile_line(src, 1e-3))
+        .collect();
+    let hot: Vec<String> = (0..hot_reps).flat_map(|_| hot_batch.clone()).collect();
+    let before_hot = engine.cache_stats();
+    let (mut lat, wall, errors) = drive(&addr, &hot);
+    rows.push(phase_row("hot", &mut lat, wall, errors));
+    let after_hot = engine.cache_stats();
+    let hot_lookups = (after_hot.hits + after_hot.misses) - (before_hot.hits + before_hot.misses);
+    let hot_hit_rate = if hot_lookups == 0 {
+        0.0
+    } else {
+        (after_hot.hits - before_hot.hits) as f64 / hot_lookups as f64
+    };
+
+    // Phase 3: mixed 70/20/10 — warm repeats, fresh epsilon variants,
+    // malformed noise.
+    let bad = malformed_lines();
+    let mixed: Vec<String> = (0..sources.len() * mixed_reps * 10)
+        .map(|i| match i % 10 {
+            0 | 1 => compile_line(
+                &sources[i % sources.len()].1,
+                1e-3 * (1.0 + (1_000_000 + i) as f64 * 1e-6),
+            ),
+            2 => bad[i % bad.len()].clone(),
+            _ => hot_batch[i % hot_batch.len()].clone(),
+        })
+        .collect();
+    let (mut lat, wall, errors) = drive(&addr, &mixed);
+    let mixed_rps = lat.len() as f64 / wall.max(1e-9);
+    rows.push(phase_row("mixed 70/20/10", &mut lat, wall, errors));
+
+    stop.store(true, Ordering::SeqCst);
+    server_thread.join().expect("server join");
+
+    println!("== polyufc serve loadtest ({CLIENTS} clients) ==");
+    print_table(
+        &[
+            "phase",
+            "requests",
+            "req/s",
+            "p50 µs",
+            "p99 µs",
+            "max µs",
+            "error replies",
+        ],
+        &rows,
+    );
+    println!(
+        "hot-phase artifact cache hit rate: {:.1}%",
+        hot_hit_rate * 100.0
+    );
+
+    if matches!(size, PolybenchSize::Mini) {
+        let mut failed = false;
+        if mixed_rps < 1000.0 {
+            eprintln!("FAIL: mixed-phase throughput {mixed_rps:.0} req/s < 1000 req/s");
+            failed = true;
+        }
+        if hot_hit_rate < 0.90 {
+            eprintln!(
+                "FAIL: hot-phase artifact hit rate {:.1}% < 90%",
+                hot_hit_rate * 100.0
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -37,14 +37,25 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   polyufc compile <file.c|file.mlir> [--platform bdw|rpl] [--objective edp|energy|perf]
                            [--epsilon <float>] [--assoc set|full]
-                           [--emit scf|affine|openscop]
+                           [--emit scf|affine|openscop] [--json]
   polyufc run     <file.c> [options]      compile, then simulate vs the UFS baseline
   polyufc bench   <name>   [options]      run a built-in workload (see `polyufc list`)
   polyufc lint    <file.c|file.mlir> [--json]
   polyufc lint    --workloads [--size mini|small|large|xl] [--json]
                                           static verifier: races, bounds, IR,
                                           model audit; exit 0/1/2 = clean/warn/error
+  polyufc serve   [--listen <addr>] [--unix <path>] [--threads N]
+                  [--queue N] [--cache-cap N]
+                                          compile-and-cap daemon (NDJSON, one
+                                          request per line; SIGTERM drains)
+  polyufc stats   [--connect <addr>] [--unix <path>] [--json]
+                                          query a running daemon's cache/pool
+                                          counters
   polyufc list                            list built-in workloads
+
+global options:
+  --threads <n>         worker threads for parallel passes and the daemon
+                        pool (default: POLYUFC_THREADS or all cores)
 
 simulation options (run/bench):
   --fault-plan <spec>   inject faults: a preset (standard|stuck|thermal|flaky)
@@ -60,6 +71,7 @@ struct Options {
     emit: String,
     fault: FaultPlan,
     guard: bool,
+    json: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -71,6 +83,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         emit: "scf".into(),
         fault: FaultPlan::pristine(),
         guard: false,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -124,6 +137,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("--guard: expected on|off, got `{other}`")),
                 }
             }
+            "--threads" => {
+                polyufc_par::set_worker_override(Some(parse_threads(&value("--threads")?)?))
+            }
+            "--json" => o.json = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -149,6 +166,16 @@ fn run(args: &[String]) -> Result<u8, String> {
         "compile" | "run" => {
             let path = args.get(1).ok_or("missing input file")?;
             let opts = parse_options(&args[2..])?;
+            if cmd == "compile" && opts.json {
+                // One-shot artifact through the exact serve render path:
+                // the printed line is byte-identical to the daemon's
+                // response for the same request (cached or not).
+                println!(
+                    "{}",
+                    polyufc_serve::oneshot_response(&wire_request(path, &opts)?)
+                );
+                return Ok(0);
+            }
             let mut program = parse_input_file(path)?;
             // Parsed inputs carry unverified `parallel` markers; downgrade
             // any the race detector cannot prove before compiling.
@@ -173,8 +200,224 @@ fn run(args: &[String]) -> Result<u8, String> {
             Ok(0)
         }
         "lint" => lint(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "stats" => stats(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+fn parse_threads(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--threads: expected a positive integer, got `{v}`")),
+    }
+}
+
+/// Builds the wire-level compile request the serve protocol would carry
+/// for this file + options, so `compile --json` and the daemon share one
+/// code path end to end.
+fn wire_request(path: &str, opts: &Options) -> Result<polyufc_serve::CompileRequest, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".c")
+        .trim_end_matches(".mlir")
+        .to_string();
+    let format = if path.ends_with(".mlir") {
+        polyufc_serve::SourceFormat::TextualIr
+    } else {
+        polyufc_serve::SourceFormat::C
+    };
+    if opts.json && !["scf", "affine"].contains(&opts.emit.as_str()) {
+        return Err(format!(
+            "--json supports --emit scf|affine, not `{}`",
+            opts.emit
+        ));
+    }
+    Ok(polyufc_serve::CompileRequest {
+        format,
+        source,
+        name,
+        opts: polyufc_serve::CompileOptions {
+            platform: opts.platform.clone(),
+            objective: opts.objective,
+            epsilon: opts.epsilon,
+            assoc: opts.assoc,
+            emit_scf: opts.emit == "scf",
+        },
+    })
+}
+
+/// `polyufc serve`: run the compile-and-cap daemon until SIGINT/SIGTERM
+/// or a `shutdown` request.
+fn serve(args: &[String]) -> Result<u8, String> {
+    let mut listen = polyufc_serve::Listen::Tcp("127.0.0.1:7077".to_string());
+    let mut queue: Option<usize> = None;
+    let mut cache_cap: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--listen" => listen = polyufc_serve::Listen::Tcp(value("--listen")?),
+            #[cfg(unix)]
+            "--unix" => listen = polyufc_serve::Listen::Unix(value("--unix")?.into()),
+            "--threads" => {
+                polyufc_par::set_worker_override(Some(parse_threads(&value("--threads")?)?))
+            }
+            "--queue" => {
+                queue = Some(
+                    value("--queue")?
+                        .parse()
+                        .map_err(|_| "--queue: expected an integer".to_string())?,
+                )
+            }
+            "--cache-cap" => {
+                cache_cap = Some(
+                    value("--cache-cap")?
+                        .parse()
+                        .map_err(|_| "--cache-cap: expected an integer".to_string())?,
+                )
+            }
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    let mut engine = polyufc_serve::EngineConfig::default();
+    if let Some(q) = queue {
+        engine.queue_cap = q.max(1);
+    }
+    if let Some(c) = cache_cap {
+        engine.cache_capacity = c.max(1);
+    }
+    polyufc_serve::install_signal_handlers();
+    let server = polyufc_serve::Server::bind(&polyufc_serve::ServerConfig {
+        listen: listen.clone(),
+        engine: engine.clone(),
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    match (&listen, server.local_addr()) {
+        (_, Some(addr)) => eprintln!(
+            "polyufc serve: listening on {addr} ({} workers, queue {})",
+            engine.workers, engine.queue_cap
+        ),
+        #[cfg(unix)]
+        (polyufc_serve::Listen::Unix(p), None) => eprintln!(
+            "polyufc serve: listening on {} ({} workers, queue {})",
+            p.display(),
+            engine.workers,
+            engine.queue_cap
+        ),
+        _ => {}
+    }
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    eprintln!("polyufc serve: drained, shutting down");
+    Ok(0)
+}
+
+/// `polyufc stats`: query a running daemon and pretty-print its counters.
+fn stats(args: &[String]) -> Result<u8, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut connect = "127.0.0.1:7077".to_string();
+    let mut unix: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--connect" => connect = it.next().cloned().ok_or("missing value for --connect")?,
+            "--unix" => unix = Some(it.next().cloned().ok_or("missing value for --unix")?),
+            other => return Err(format!("unknown stats option `{other}`")),
+        }
+    }
+    let line = {
+        let fetch = |mut stream: Box<dyn ReadWrite>| -> Result<String, String> {
+            stream
+                .write_all(b"{\"op\":\"stats\"}\n")
+                .map_err(|e| format!("send: {e}"))?;
+            let mut line = String::new();
+            BufReader::new(stream)
+                .read_line(&mut line)
+                .map_err(|e| format!("recv: {e}"))?;
+            Ok(line.trim().to_string())
+        };
+        match &unix {
+            #[cfg(unix)]
+            Some(path) => fetch(Box::new(
+                std::os::unix::net::UnixStream::connect(path)
+                    .map_err(|e| format!("connect `{path}`: {e}"))?,
+            ))?,
+            #[cfg(not(unix))]
+            Some(_) => return Err("--unix is not supported on this platform".into()),
+            None => fetch(Box::new(
+                std::net::TcpStream::connect(&connect)
+                    .map_err(|e| format!("connect `{connect}`: {e}"))?,
+            ))?,
+        }
+    };
+    if json {
+        println!("{line}");
+        return Ok(0);
+    }
+    print_stats(&line)
+}
+
+trait ReadWrite: std::io::Read + std::io::Write {}
+impl<T: std::io::Read + std::io::Write> ReadWrite for T {}
+
+fn print_stats(line: &str) -> Result<u8, String> {
+    let v = polyufc_serve::json::parse(line).map_err(|e| format!("bad stats response: {e}"))?;
+    if v.get("ok").and_then(|o| o.as_bool()) != Some(true) {
+        return Err(format!("daemon returned an error: {line}"));
+    }
+    let n = |sect: &str, key: &str| -> f64 {
+        v.get(sect)
+            .and_then(|s| s.get(key))
+            .and_then(|x| x.as_f64())
+            .unwrap_or(0.0)
+    };
+    let pct = |sect: &str| 100.0 * n(sect, "hit_rate");
+    println!("== polyufc daemon stats ==");
+    println!(
+        "server:         workers {} | queue {} | requests {} | compiled {} | errors {} | shed {}",
+        n("server", "workers"),
+        n("server", "queue_capacity"),
+        n("server", "requests"),
+        n("server", "compiled"),
+        n("server", "errors"),
+        n("server", "shed"),
+    );
+    println!(
+        "artifact cache: hits {} | misses {} | evictions {} | entries {} | inflight {} | hit rate {:.1}%",
+        n("artifact_cache", "hits"),
+        n("artifact_cache", "misses"),
+        n("artifact_cache", "evictions"),
+        n("artifact_cache", "entries"),
+        n("artifact_cache", "inflight"),
+        pct("artifact_cache"),
+    );
+    println!(
+        "measure cache:  hits {} | misses {} | evictions {} | entries {} | hit rate {:.1}%",
+        n("measure_cache", "hits"),
+        n("measure_cache", "misses"),
+        n("measure_cache", "evictions"),
+        n("measure_cache", "entries"),
+        pct("measure_cache"),
+    );
+    println!(
+        "count cache:    hits {} | misses {} | symbolic {} | enumerated {} | evictions {} | parallel splits {}",
+        n("count_cache", "hits"),
+        n("count_cache", "misses"),
+        n("count_cache", "symbolic"),
+        n("count_cache", "enumerated"),
+        n("count_cache", "evictions"),
+        n("count_cache", "parallel_splits"),
+    );
+    Ok(0)
 }
 
 fn parse_input_file(path: &str) -> Result<AffineProgram, String> {

@@ -39,5 +39,5 @@ pub use capping::{insert_caps, remove_redundant_caps, CapPlan};
 pub use characterize::{characterize_kernel, Boundedness, Characterization};
 pub use mlpolyufc::{CapGranularity, MlPolyUfc, PhaseReport};
 pub use model::ParametricModel;
-pub use pipeline::{CompileReport, Error, Pipeline, PipelineOutput};
+pub use pipeline::{CompileReport, CompileSession, Error, Pipeline, PipelineOutput};
 pub use search::{search_cap, Objective, SearchResult};

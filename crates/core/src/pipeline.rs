@@ -108,6 +108,32 @@ impl CompileReport {
     }
 }
 
+/// Reusable per-worker compile state for long-running callers (the serve
+/// daemon): the Presburger counting cache and the batched-emptiness
+/// [`Context`](polyufc_presburger::Context) both persist across
+/// compilations, so a hot daemon amortizes canonicalization, arena
+/// growth, and repeated iteration-domain counts across requests instead
+/// of rebuilding them per compile.
+///
+/// [`Pipeline::compile_affine`] uses a throwaway session; a daemon calls
+/// [`Pipeline::compile_affine_in`] with one session per worker thread.
+/// Reports stay per-compile: the pipeline snapshots the session's
+/// counters around each call and records the deltas.
+#[derive(Debug, Default)]
+pub struct CompileSession {
+    /// Memoized Presburger counting shared across compiles.
+    pub count_cache: polyufc_presburger::CountCache,
+    /// Persistent batched-emptiness solver context for the verify gate.
+    pub ctx: polyufc_presburger::Context,
+}
+
+impl CompileSession {
+    /// A fresh session with empty caches.
+    pub fn new() -> Self {
+        CompileSession::default()
+    }
+}
+
 /// Everything the pipeline produces for one input program.
 #[derive(Debug)]
 pub struct PipelineOutput {
@@ -240,13 +266,44 @@ impl Pipeline {
     /// errors in the input, or [`Error::Model`] if a kernel cannot be
     /// analyzed by the cache model.
     pub fn compile_affine(&self, input: &AffineProgram) -> Result<PipelineOutput, Error> {
+        self.compile_affine_in(input, &mut CompileSession::new())
+    }
+
+    /// [`Pipeline::compile_affine`] against a caller-owned
+    /// [`CompileSession`], so the Presburger counting cache and the
+    /// verify gate's solver context persist across compilations (the
+    /// serve daemon keeps one session per worker). The returned
+    /// [`CompileReport`] counts only this compile's cache traffic and
+    /// solver work (session counters are snapshot-deltaed).
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::compile_affine`].
+    pub fn compile_affine_in(
+        &self,
+        input: &AffineProgram,
+        session: &mut CompileSession,
+    ) -> Result<PipelineOutput, Error> {
+        // Session counters are cumulative; snapshot them so the report
+        // carries per-compile deltas regardless of session age.
+        let batches0 = session.ctx.batches();
+        let checks0 = session.ctx.checks();
+        let cc0 = (
+            session.count_cache.hits(),
+            session.count_cache.misses(),
+            session.count_cache.symbolic(),
+            session.count_cache.enumerated(),
+            session.count_cache.evictions(),
+            session.count_cache.parallel_splits(),
+        );
+
         // Stage 1: static verification (the `--verify` gate). Runs before
         // anything trusts the program's structure or `parallel` flags.
         let t_v = Instant::now();
         let mut verify_warnings = Vec::new();
         let mut verify_stats = polyufc_analysis::AnalysisStats::default();
         if self.verify {
-            let report = Analyzer::new().analyze(input);
+            let report = Analyzer::new().analyze_in(input, &mut session.ctx);
             if report.has_errors() {
                 return Err(Error::AnalysisRejected(report));
             }
@@ -270,11 +327,13 @@ impl Pipeline {
         let cm = CacheModel::new(self.platform.hierarchy.clone(), self.assoc_mode);
         let mut cache_stats = Vec::with_capacity(optimized.kernels.len());
         let mut fallback_kernels = Vec::new();
-        // One counting cache across all kernels: iteration-domain queries
-        // recur heavily between references, levels, and sibling kernels.
-        let mut count_cache = polyufc_presburger::CountCache::new();
+        // One counting cache across all kernels (and, via the session,
+        // across compiles): iteration-domain queries recur heavily
+        // between references, levels, sibling kernels, and repeat
+        // requests for structurally similar programs.
+        let count_cache = &mut session.count_cache;
         for k in &optimized.kernels {
-            let mut st = match cm.analyze_kernel_cached(&optimized, k, &mut count_cache) {
+            let mut st = match cm.analyze_kernel_cached(&optimized, k, count_cache) {
                 Ok(st) => st,
                 Err(ModelError::Presburger(_)) => {
                     // Solver budget exceeded (the paper's timeout case):
@@ -357,15 +416,19 @@ impl Pipeline {
                 pluto_us,
                 polyufc_cm_us,
                 steps_4_6_us,
-                count_cache_hits: count_cache.hits(),
-                count_cache_misses: count_cache.misses(),
-                count_symbolic: count_cache.symbolic(),
-                count_enumerated: count_cache.enumerated(),
-                count_cache_evictions: count_cache.evictions(),
-                emptiness_batches: verify_stats.emptiness_batches,
-                emptiness_checks: verify_stats.emptiness_checks,
+                count_cache_hits: count_cache.hits() - cc0.0,
+                count_cache_misses: count_cache.misses() - cc0.1,
+                count_symbolic: count_cache.symbolic() - cc0.2,
+                count_enumerated: count_cache.enumerated() - cc0.3,
+                count_cache_evictions: count_cache.evictions() - cc0.4,
+                // `analyze_in` reports the context's cumulative counters;
+                // subtract the pre-compile snapshot so a session's Nth
+                // request reports only its own solver traffic. (The arena
+                // high-water mark is monotone and stays cumulative.)
+                emptiness_batches: verify_stats.emptiness_batches.saturating_sub(batches0),
+                emptiness_checks: verify_stats.emptiness_checks.saturating_sub(checks0),
                 presburger_arena_bytes: verify_stats.peak_arena_bytes as u64,
-                count_parallel_splits: count_cache.parallel_splits(),
+                count_parallel_splits: count_cache.parallel_splits() - cc0.5,
             },
             pluto_report,
         })
@@ -612,6 +675,33 @@ mod tests {
             }
             other => panic!("expected AnalysisRejected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn session_reuse_matches_fresh_compile_and_warms_caches() {
+        let pipe = Pipeline::new(Platform::broadwell());
+        let input = matmul_program(128);
+        let fresh = pipe.compile_affine(&input).unwrap();
+
+        let mut session = CompileSession::new();
+        let first = pipe.compile_affine_in(&input, &mut session).unwrap();
+        let second = pipe.compile_affine_in(&input, &mut session).unwrap();
+
+        // Results are independent of session age.
+        assert_eq!(fresh.caps_ghz, first.caps_ghz);
+        assert_eq!(first.caps_ghz, second.caps_ghz);
+        assert_eq!(format!("{}", first.scf), format!("{}", second.scf));
+
+        // The second compile answers its counting queries from the warm
+        // session cache, and its report is a per-compile delta (no
+        // cumulative double counting).
+        assert_eq!(
+            first.report.count_cache_misses,
+            fresh.report.count_cache_misses
+        );
+        assert!(second.report.count_cache_hits >= first.report.count_cache_misses);
+        assert_eq!(second.report.count_cache_misses, 0);
+        assert!(second.report.emptiness_batches <= first.report.emptiness_batches);
     }
 
     #[test]

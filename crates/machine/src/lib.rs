@@ -32,7 +32,10 @@ pub use guard::{
     CapOutcome, CapPrediction, GuardConfig, GuardReport, GuardSummary, GuardedCapRuntime,
     KernelGuardRecord,
 };
-pub use measure_cache::{measure_cache_reset, measure_cache_stats, MeasureCacheStats};
+pub use measure_cache::{
+    kernel_fingerprint, measure_cache_reset, measure_cache_stats, program_fingerprint,
+    MeasureCacheStats,
+};
 pub use platform::Platform;
 pub use rapl::EnergyBreakdown;
 pub use ufs::UfsDriver;

@@ -162,6 +162,36 @@ pub(crate) fn insert(key: Vec<u8>, counters: &KernelCounters) {
     cache().lock().unwrap().insert(key, counters);
 }
 
+/// Byte-exact structural fingerprint of one (platform, kernel) point
+/// under a pristine fault plan — the same key [`crate::measure_kernel`]
+/// memoizes under. Public so content-addressed caches above the machine
+/// layer (the serve daemon's artifact cache) can key on exactly the
+/// structural identity the measurement layer already computes. Kernel
+/// and statement *names* are excluded (see the module docs); callers
+/// whose artifacts embed names must append them to the key themselves.
+pub fn kernel_fingerprint(
+    platform: &Platform,
+    program: &AffineProgram,
+    kernel: &AffineKernel,
+) -> Vec<u8> {
+    fingerprint(platform, program, kernel, &FaultPlan::pristine())
+}
+
+/// Concatenated, length-prefixed [`kernel_fingerprint`] of every kernel
+/// in the program: the structural identity of a whole compilation input
+/// on one platform. Two programs share a fingerprint iff every kernel
+/// traces identically on that platform's hierarchy.
+pub fn program_fingerprint(platform: &Platform, program: &AffineProgram) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256 * program.kernels.len().max(1));
+    out.extend_from_slice(&(program.kernels.len() as u64).to_le_bytes());
+    for k in &program.kernels {
+        let fp = kernel_fingerprint(platform, program, k);
+        out.extend_from_slice(&(fp.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fp);
+    }
+    out
+}
+
 /// Builds the byte-exact fingerprint of one (platform, kernel, fault
 /// plan) point (see the module docs for what it must cover).
 ///
@@ -399,6 +429,24 @@ mod tests {
             fingerprint(&plat, &p3, &p3.kernels[0], &FaultPlan::pristine()),
             base
         );
+    }
+
+    #[test]
+    fn program_fingerprint_is_structural() {
+        let plat = Platform::broadwell();
+        let p = small_program(2);
+        let base = program_fingerprint(&plat, &p);
+
+        // A renamed program is the same structural point...
+        let mut renamed = p.clone();
+        renamed.name = "other".into();
+        renamed.kernels[0].name = "renamed".into();
+        assert_eq!(program_fingerprint(&plat, &renamed), base);
+
+        // ...different flops or a different platform are not.
+        let p3 = small_program(3);
+        assert_ne!(program_fingerprint(&plat, &p3), base);
+        assert_ne!(program_fingerprint(&Platform::raptor_lake(), &p), base);
     }
 
     #[test]

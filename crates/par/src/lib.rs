@@ -14,12 +14,40 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::{PoolFull, StatefulPool};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use: `POLYUFC_THREADS` if set to a positive
-/// integer, else [`std::thread::available_parallelism`], else 1.
+/// Process-wide explicit pool-size override (0 = unset). Set by the CLI
+/// `--threads` flag; takes precedence over the environment so a flag on
+/// the command line beats an inherited `POLYUFC_THREADS`.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins (or with `None` releases) the worker count for this process,
+/// overriding both `POLYUFC_THREADS` and hardware detection. The CLI and
+/// the serve daemon route their `--threads` flag here.
+pub fn set_worker_override(n: Option<usize>) {
+    WORKER_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The active explicit override, if any.
+pub fn worker_override() -> Option<usize> {
+    match WORKER_OVERRIDE.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Number of worker threads to use: the [`set_worker_override`] pin if
+/// set, else `POLYUFC_THREADS` if set to a positive integer, else
+/// [`std::thread::available_parallelism`], else 1.
 pub fn worker_count() -> usize {
+    if let Some(n) = worker_override() {
+        return n;
+    }
     std::env::var("POLYUFC_THREADS")
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
@@ -129,6 +157,18 @@ mod tests {
 
     #[test]
     fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn explicit_override_beats_detection() {
+        // Sibling tests tolerate a momentary pin: a pinned count only
+        // changes how wide par_map fans out, never its results.
+        set_worker_override(Some(3));
+        assert_eq!(worker_count(), 3);
+        assert_eq!(worker_override(), Some(3));
+        set_worker_override(None);
+        assert_eq!(worker_override(), None);
         assert!(worker_count() >= 1);
     }
 }

@@ -1,0 +1,225 @@
+//! A long-lived bounded worker pool with per-worker state.
+//!
+//! [`crate::par_map`] covers one-shot fan-out; a daemon needs the dual
+//! shape: a fixed set of workers that outlive any single batch, a
+//! **bounded** submission queue, and an explicit "queue full" signal the
+//! caller can turn into backpressure (the serve path sheds load with a
+//! typed response instead of buffering unboundedly).
+//!
+//! Each worker owns a caller-built state value (`S`) for the lifetime of
+//! the pool — the serve daemon keeps a persistent compile session
+//! (Presburger context + counting cache) per worker, so cache warmth
+//! accumulates across requests instead of being rebuilt per job.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A job rejected because the submission queue was at capacity.
+///
+/// Carries the job back so the caller can retry, reroute, or drop it
+/// explicitly.
+pub struct PoolFull<S>(pub Box<dyn FnOnce(&mut S) + Send + 'static>);
+
+impl<S> std::fmt::Debug for PoolFull<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolFull(..)")
+    }
+}
+
+type Job<S> = Box<dyn FnOnce(&mut S) + Send + 'static>;
+
+/// Fixed-size worker pool over a bounded queue; each worker owns an `S`.
+#[derive(Debug)]
+pub struct StatefulPool<S> {
+    tx: Option<SyncSender<Job<S>>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+    queue_cap: usize,
+}
+
+impl<S: Send + 'static> StatefulPool<S> {
+    /// Spawns `workers` threads (at least 1), each owning `init(i)`, fed
+    /// from a queue bounded to `queue_cap` (at least 1) pending jobs.
+    pub fn new<F>(workers: usize, queue_cap: usize, mut init: F) -> Self
+    where
+        F: FnMut(usize) -> S,
+    {
+        let workers = workers.max(1);
+        let queue_cap = queue_cap.max(1);
+        let (tx, rx) = sync_channel::<Job<S>>(queue_cap);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let mut state = init(i);
+                std::thread::Builder::new()
+                    .name(format!("polyufc-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &mut state))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        StatefulPool {
+            tx: Some(tx),
+            handles,
+            workers,
+            queue_cap,
+        }
+    }
+
+    /// Submits a job without blocking. `Err(PoolFull)` means every worker
+    /// is busy *and* the queue is at capacity — the caller should shed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolFull`] (carrying the job back) when the queue is at
+    /// capacity.
+    pub fn try_execute<F>(&self, job: F) -> Result<(), PoolFull<S>>
+    where
+        F: FnOnce(&mut S) + Send + 'static,
+    {
+        let tx = self.tx.as_ref().expect("pool not shut down");
+        match tx.try_send(Box::new(job)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                Err(PoolFull(job))
+            }
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Capacity of the pending-job queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// Drains the queue, stops the workers, and joins them. Already-queued
+    /// jobs run to completion first.
+    pub fn shutdown(mut self) {
+        self.tx.take(); // closing the channel ends every worker loop
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S> Drop for StatefulPool<S> {
+    fn drop(&mut self) {
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<S>(rx: &Mutex<Receiver<Job<S>>>, state: &mut S) {
+    loop {
+        // Hold the lock only while dequeuing, never while running a job.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling panicked mid-recv; stop cleanly
+        };
+        match job {
+            Ok(job) => job(state),
+            Err(_) => return, // channel closed: pool shut down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_and_preserves_worker_state() {
+        let pool = StatefulPool::new(2, 8, |i| (i, 0usize));
+        let (tx, rx) = channel();
+        for _ in 0..16 {
+            let mut job = {
+                let tx = tx.clone();
+                Box::new(move |state: &mut (usize, usize)| {
+                    state.1 += 1; // per-worker counter persists across jobs
+                    tx.send(state.0).unwrap();
+                }) as Box<dyn FnOnce(&mut (usize, usize)) + Send>
+            };
+            // The queue is bounded: retry on backpressure.
+            loop {
+                match pool.try_execute(job) {
+                    Ok(()) => break,
+                    Err(PoolFull(back)) => {
+                        job = back;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        let mut got = 0;
+        while got < 16 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            got += 1;
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn full_queue_returns_pool_full_with_the_job() {
+        // One worker blocked on a gate + queue of 1: the third submit
+        // must come back as PoolFull, not block or vanish.
+        let gate = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let pool = StatefulPool::new(1, 1, |_| ());
+        let g = Arc::clone(&gate);
+        pool.try_execute(move |_| {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        // Wait until the worker has picked up the blocking job so the
+        // queue slot is genuinely free for the second submit.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match pool.try_execute(|_| {}) {
+                Ok(()) => break,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("queue never freed: {e:?}"),
+            }
+        }
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let res = pool.try_execute(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(res.is_err(), "queue full must be reported");
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "shed job must not run");
+    }
+
+    #[test]
+    fn shutdown_completes_queued_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = StatefulPool::new(1, 32, |_| ());
+        for _ in 0..10 {
+            let d = Arc::clone(&done);
+            pool.try_execute(move |_| {
+                d.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,330 @@
+//! The content-addressed artifact cache with single-flight deduplication.
+//!
+//! Keys are byte-exact structural fingerprints (built by the engine from
+//! [`polyufc_machine::program_fingerprint`] plus the request's pipeline
+//! configuration and the response-visible names); values are fully
+//! rendered response bodies. Caching the *bytes* rather than a parsed
+//! artifact makes the hot path a single map probe + `Arc` clone, and
+//! makes byte-identity between hits, fresh compilations, and the
+//! one-shot CLI a structural property instead of a test hope.
+//!
+//! **Single flight:** when N requests for the same key arrive
+//! concurrently, the first becomes the *leader* and compiles; the other
+//! N−1 become *followers* and block on the leader's [`Flight`] instead of
+//! burning N−1 workers on identical compilations. Followers count as
+//! cache hits — they are served from shared work, not their own.
+//!
+//! **Bounding:** like the `MeasureCache`/`CountCache`, eviction is
+//! generational — when the ready-entry count reaches capacity the next
+//! insert clears every ready entry (one `evictions` tick) while in-flight
+//! leaders are retained, since dropping a pending flight would strand its
+//! followers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why an in-flight compilation finished without an artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abort {
+    /// The leader could not enqueue the compile job (queue full).
+    Overloaded,
+    /// The compile job panicked; the worker recovered with a fresh
+    /// session.
+    Internal,
+}
+
+/// The rendezvous for one in-flight compilation.
+#[derive(Debug, Default)]
+pub struct Flight {
+    slot: Mutex<Option<Result<Arc<String>, Abort>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    /// Blocks until the leader fulfills or aborts this flight.
+    pub fn wait(&self) -> Result<Arc<String>, Abort> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return r.clone();
+            }
+            slot = self.cv.wait(slot).unwrap();
+        }
+    }
+
+    fn complete(&self, r: Result<Arc<String>, Abort>) {
+        let mut slot = self.slot.lock().unwrap();
+        // First completion wins; a second (e.g. abort racing fulfill)
+        // must not overwrite what waiters may already have cloned.
+        if slot.is_none() {
+            *slot = Some(r);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A snapshot of the cache's counters, for the `stats` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactCacheStats {
+    /// Lookups served from a ready entry or a shared in-flight compile.
+    pub hits: u64,
+    /// Lookups that became compile leaders.
+    pub misses: u64,
+    /// Generational clears performed on overflow.
+    pub evictions: u64,
+    /// Ready entries currently resident.
+    pub entries: usize,
+    /// Compilations currently in flight.
+    pub inflight: usize,
+}
+
+impl ArtifactCacheStats {
+    /// Hit rate in `[0, 1]`; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Ready(Arc<String>),
+    Pending(Arc<Flight>),
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<Vec<u8>, Slot>,
+    capacity: usize,
+    ready: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The outcome of one cache probe.
+pub enum Lookup {
+    /// A ready artifact: return its bytes.
+    Hit(Arc<String>),
+    /// Someone else is compiling this key: wait on their flight.
+    Wait(Arc<Flight>),
+    /// This caller is the leader: compile, then
+    /// [`ArtifactCache::fulfill`] (or [`ArtifactCache::abort`]) the
+    /// flight.
+    Lead(Arc<Flight>),
+}
+
+impl std::fmt::Debug for Lookup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Lookup::Hit(_) => "Lookup::Hit",
+            Lookup::Wait(_) => "Lookup::Wait",
+            Lookup::Lead(_) => "Lookup::Lead",
+        })
+    }
+}
+
+/// Bounded content-addressed response cache with single-flight dedup.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+}
+
+impl ArtifactCache {
+    /// A cache bounded to `capacity` ready entries (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                capacity: capacity.max(1),
+                ready: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Probes the cache; a miss atomically registers this caller as the
+    /// key's compile leader.
+    pub fn lookup(&self, key: &[u8]) -> Lookup {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.map.get(key) {
+            Some(Slot::Ready(body)) => {
+                let body = Arc::clone(body);
+                inner.hits += 1;
+                Lookup::Hit(body)
+            }
+            Some(Slot::Pending(flight)) => {
+                let flight = Arc::clone(flight);
+                inner.hits += 1; // served from the leader's work
+                Lookup::Wait(flight)
+            }
+            None => {
+                inner.misses += 1;
+                let flight = Arc::new(Flight::default());
+                inner
+                    .map
+                    .insert(key.to_vec(), Slot::Pending(Arc::clone(&flight)));
+                Lookup::Lead(flight)
+            }
+        }
+    }
+
+    /// Publishes the leader's rendered response: the pending slot becomes
+    /// ready and every follower wakes with the same bytes.
+    pub fn fulfill(&self, key: &[u8], flight: &Arc<Flight>, body: String) -> Arc<String> {
+        let body = Arc::new(body);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(Slot::Pending(f)) = inner.map.get(key) {
+                if Arc::ptr_eq(f, flight) {
+                    if inner.ready >= inner.capacity {
+                        // Generational clear of ready entries only:
+                        // pending flights have waiters parked on them.
+                        inner.map.retain(|_, s| matches!(s, Slot::Pending(_)));
+                        inner.ready = 0;
+                        inner.evictions += 1;
+                    }
+                    inner
+                        .map
+                        .insert(key.to_vec(), Slot::Ready(Arc::clone(&body)));
+                    inner.ready += 1;
+                }
+            }
+        }
+        flight.complete(Ok(Arc::clone(&body)));
+        body
+    }
+
+    /// Cancels the leader's flight without publishing an artifact: the
+    /// pending slot is removed (the next request for this key leads a
+    /// fresh compile) and every follower wakes with `abort`.
+    pub fn abort(&self, key: &[u8], flight: &Arc<Flight>, abort: Abort) {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(Slot::Pending(f)) = inner.map.get(key) {
+                if Arc::ptr_eq(f, flight) {
+                    inner.map.remove(key);
+                }
+            }
+        }
+        flight.complete(Err(abort));
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ArtifactCacheStats {
+        let inner = self.inner.lock().unwrap();
+        ArtifactCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.ready,
+            inflight: inner.map.len() - inner.ready,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn leader_then_hits() {
+        let c = ArtifactCache::new(8);
+        let flight = match c.lookup(b"k1") {
+            Lookup::Lead(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let body = c.fulfill(b"k1", &flight, "resp".to_string());
+        assert_eq!(*body, "resp");
+        match c.lookup(b"k1") {
+            Lookup::Hit(b) => assert_eq!(*b, "resp"),
+            other => panic!("{other:?}"),
+        }
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses, st.entries, st.inflight), (1, 1, 1, 0));
+    }
+
+    #[test]
+    fn followers_share_the_leaders_flight() {
+        let c = Arc::new(ArtifactCache::new(8));
+        let leader = match c.lookup(b"k") {
+            Lookup::Lead(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            joins.push(thread::spawn(move || match c.lookup(b"k") {
+                Lookup::Hit(b) => (*b).clone(),
+                Lookup::Wait(f) => (*f.wait().unwrap()).clone(),
+                Lookup::Lead(_) => panic!("second leader for one key"),
+            }));
+        }
+        c.fulfill(b"k", &leader, "shared".to_string());
+        for j in joins {
+            assert_eq!(j.join().unwrap(), "shared");
+        }
+        let st = c.stats();
+        assert_eq!(st.misses, 1, "exactly one compile for 5 requests");
+        assert_eq!(st.hits, 4);
+    }
+
+    #[test]
+    fn abort_wakes_followers_and_frees_the_key() {
+        let c = Arc::new(ArtifactCache::new(8));
+        let leader = match c.lookup(b"k") {
+            Lookup::Lead(f) => f,
+            other => panic!("{other:?}"),
+        };
+        let follower = match c.lookup(b"k") {
+            Lookup::Wait(f) => f,
+            other => panic!("{other:?}"),
+        };
+        c.abort(b"k", &leader, Abort::Overloaded);
+        assert_eq!(follower.wait().unwrap_err(), Abort::Overloaded);
+        // The key is free again: the next request leads a fresh compile.
+        assert!(matches!(c.lookup(b"k"), Lookup::Lead(_)));
+        assert_eq!(c.stats().inflight, 1);
+    }
+
+    #[test]
+    fn generational_eviction_retains_pending() {
+        let c = ArtifactCache::new(2);
+        for key in [b"a".as_slice(), b"b"] {
+            match c.lookup(key) {
+                Lookup::Lead(f) => {
+                    c.fulfill(key, &f, "x".into());
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        let pending = match c.lookup(b"inflight") {
+            Lookup::Lead(f) => f,
+            other => panic!("{other:?}"),
+        };
+        // Third ready insert overflows: ready entries clear, the pending
+        // flight survives.
+        match c.lookup(b"c") {
+            Lookup::Lead(f) => {
+                c.fulfill(b"c", &f, "y".into());
+            }
+            other => panic!("{other:?}"),
+        }
+        let st = c.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.entries, 1);
+        assert_eq!(st.inflight, 1);
+        c.fulfill(b"inflight", &pending, "z".into());
+        match c.lookup(b"inflight") {
+            Lookup::Hit(b) => assert_eq!(*b, "z"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

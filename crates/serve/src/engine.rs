@@ -1,0 +1,533 @@
+//! The compile engine: request batching into the worker pool, the
+//! content-addressed artifact cache, and deterministic response
+//! rendering.
+//!
+//! The split of one compile request across threads is deliberate:
+//!
+//! * the **connection thread** parses and sanitizes the kernel source and
+//!   derives the artifact key — cheap, and it lets a cache hit complete
+//!   without ever touching the pool;
+//! * a **worker thread** (with its persistent [`CompileSession`]) runs
+//!   the expensive pipeline only when the key missed, and only once per
+//!   key no matter how many requests race (single flight).
+//!
+//! When the bounded queue is full the leader sheds with a typed
+//! `overloaded` response and aborts its flight so followers shed too —
+//! backpressure is explicit, never an unbounded buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use polyufc::{CompileReport, CompileSession, Pipeline, PipelineOutput};
+use polyufc_analysis::sanitize_parallel;
+use polyufc_cgeist::parse_scop;
+use polyufc_ir::affine::AffineProgram;
+use polyufc_ir::textual::parse_affine_program;
+use polyufc_machine::program_fingerprint;
+use polyufc_par::StatefulPool;
+
+use crate::artifact::{Abort, ArtifactCache, ArtifactCacheStats, Lookup};
+use crate::json::{fmt_f64, push_escaped};
+use crate::protocol::{
+    assoc_str, codes, objective_str, parse_request, render_error, CompileRequest, Request,
+    WireError, MAX_REQUEST_BYTES,
+};
+
+/// Engine sizing.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Compile worker threads (defaults to [`polyufc_par::worker_count`],
+    /// which honors `--threads` / `POLYUFC_THREADS`).
+    pub workers: usize,
+    /// Bounded pending-compile queue; a full queue sheds requests with a
+    /// typed `overloaded` response.
+    pub queue_cap: usize,
+    /// Artifact-cache capacity in ready entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = polyufc_par::worker_count();
+        EngineConfig {
+            workers,
+            queue_cap: 4 * workers.max(1),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Cumulative Presburger counting-cache traffic across every compile the
+/// engine ran (aggregated from per-compile [`CompileReport`] deltas, so
+/// shed and cached requests contribute nothing).
+#[derive(Debug, Default)]
+pub struct CountTotals {
+    /// Counting queries answered from warm per-worker session caches.
+    pub hits: AtomicU64,
+    /// Counting queries that ran the full counter.
+    pub misses: AtomicU64,
+    /// Components resolved by the closed-form symbolic layer.
+    pub symbolic: AtomicU64,
+    /// Components that fell back to the recursive enumerator.
+    pub enumerated: AtomicU64,
+    /// Session-cache entries discarded by the capacity guard.
+    pub evictions: AtomicU64,
+    /// Polysum region splits fanned out across the worker pool.
+    pub parallel_splits: AtomicU64,
+}
+
+impl CountTotals {
+    fn add(&self, r: &CompileReport) {
+        self.hits.fetch_add(r.count_cache_hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(r.count_cache_misses, Ordering::Relaxed);
+        self.symbolic.fetch_add(r.count_symbolic, Ordering::Relaxed);
+        self.enumerated
+            .fetch_add(r.count_enumerated, Ordering::Relaxed);
+        self.evictions
+            .fetch_add(r.count_cache_evictions, Ordering::Relaxed);
+        self.parallel_splits
+            .fetch_add(r.count_parallel_splits, Ordering::Relaxed);
+    }
+}
+
+/// State shared between connection threads and compile workers.
+#[derive(Debug, Default)]
+struct Shared {
+    counts: CountTotals,
+    requests: AtomicU64,
+    compiled: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// How the server should act on a handled line.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Write this response line and keep the connection open.
+    Reply(String),
+    /// Write this response line, then drain and stop the daemon.
+    ReplyAndShutdown(String),
+}
+
+impl Outcome {
+    /// The response body either way.
+    pub fn body(&self) -> &str {
+        match self {
+            Outcome::Reply(s) | Outcome::ReplyAndShutdown(s) => s,
+        }
+    }
+}
+
+/// A compile request parsed, sanitized, and keyed — everything the
+/// connection thread computes before deciding hit/wait/lead.
+pub struct Prepared {
+    program: AffineProgram,
+    warnings: Vec<String>,
+    opts: crate::protocol::CompileOptions,
+    key: Vec<u8>,
+}
+
+/// The serving engine: worker pool + artifact cache + counters.
+pub struct Engine {
+    pool: StatefulPool<CompileSession>,
+    cache: Arc<ArtifactCache>,
+    shared: Arc<Shared>,
+    workers: usize,
+    queue_cap: usize,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .field("queue_cap", &self.queue_cap)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds the engine: spawns the workers (each with a persistent
+    /// [`CompileSession`]) and allocates the artifact cache.
+    pub fn new(cfg: &EngineConfig) -> Self {
+        Engine {
+            pool: StatefulPool::new(cfg.workers, cfg.queue_cap, |_| CompileSession::new()),
+            cache: Arc::new(ArtifactCache::new(cfg.cache_capacity)),
+            shared: Arc::new(Shared::default()),
+            workers: cfg.workers.max(1),
+            queue_cap: cfg.queue_cap.max(1),
+        }
+    }
+
+    /// Handles one request line and produces the one response line.
+    /// Never panics on any input; every failure is a typed error body.
+    pub fn handle_line(&self, line: &str) -> Outcome {
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                return Outcome::Reply(e.render());
+            }
+        };
+        match req {
+            Request::Ping => Outcome::Reply("{\"ok\":true,\"pong\":true}".to_string()),
+            Request::Stats => Outcome::Reply(self.stats_json()),
+            Request::Shutdown => {
+                Outcome::ReplyAndShutdown("{\"ok\":true,\"shutdown\":true}".to_string())
+            }
+            Request::Compile(c) => Outcome::Reply(self.handle_compile(&c)),
+        }
+    }
+
+    fn handle_compile(&self, req: &CompileRequest) -> String {
+        let prepared = match prepare(req) {
+            Ok(p) => p,
+            Err(e) => {
+                self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                return e.render();
+            }
+        };
+        match self.cache.lookup(&prepared.key) {
+            Lookup::Hit(body) => (*body).clone(),
+            Lookup::Wait(flight) => match flight.wait() {
+                Ok(body) => (*body).clone(),
+                Err(abort) => {
+                    self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                    abort_error(abort).render()
+                }
+            },
+            Lookup::Lead(flight) => {
+                let cache = Arc::clone(&self.cache);
+                let shared = Arc::clone(&self.shared);
+                let job_flight = Arc::clone(&flight);
+                let lead_key = prepared.key.clone();
+                let key = prepared.key.clone();
+                let submitted = self.pool.try_execute(move |session| {
+                    // A panicking pass must not take the worker (or the
+                    // daemon) down, and must not leave its followers
+                    // parked forever; contain it, answer `internal`, and
+                    // hand the worker a fresh session in case the old one
+                    // was poisoned mid-update.
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        compile_prepared(&prepared, session)
+                    }));
+                    match run {
+                        Ok((body, report)) => {
+                            match report {
+                                Some(r) => {
+                                    shared.counts.add(&r);
+                                    shared.compiled.fetch_add(1, Ordering::Relaxed);
+                                }
+                                None => {
+                                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            cache.fulfill(&key, &job_flight, body);
+                        }
+                        Err(_) => {
+                            *session = CompileSession::new();
+                            shared.errors.fetch_add(1, Ordering::Relaxed);
+                            cache.abort(&key, &job_flight, Abort::Internal);
+                        }
+                    }
+                });
+                if let Err(rejected) = submitted {
+                    drop(rejected); // the boxed job, returned unrun
+                    self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                    self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                    self.cache.abort(&lead_key, &flight, Abort::Overloaded);
+                    return abort_error(Abort::Overloaded).render();
+                }
+                match flight.wait() {
+                    Ok(body) => (*body).clone(),
+                    Err(abort) => abort_error(abort).render(),
+                }
+            }
+        }
+    }
+
+    /// The structured `stats` response (deterministic field order; values
+    /// are live counters).
+    pub fn stats_json(&self) -> String {
+        let a = self.cache.stats();
+        let m = polyufc_machine::measure_cache_stats();
+        let c = &self.shared.counts;
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"ok\":true,\"schema\":\"polyufc-stats/1\",\"server\":{");
+        push_u64(&mut s, "workers", self.workers as u64);
+        push_u64(&mut s, "queue_capacity", self.queue_cap as u64);
+        push_u64(
+            &mut s,
+            "requests",
+            self.shared.requests.load(Ordering::Relaxed),
+        );
+        push_u64(
+            &mut s,
+            "compiled",
+            self.shared.compiled.load(Ordering::Relaxed),
+        );
+        push_u64(&mut s, "errors", self.shared.errors.load(Ordering::Relaxed));
+        push_u64(&mut s, "shed", self.shared.shed.load(Ordering::Relaxed));
+        s.pop(); // trailing comma
+        s.push_str("},\"artifact_cache\":{");
+        push_u64(&mut s, "hits", a.hits);
+        push_u64(&mut s, "misses", a.misses);
+        push_u64(&mut s, "evictions", a.evictions);
+        push_u64(&mut s, "entries", a.entries as u64);
+        push_u64(&mut s, "inflight", a.inflight as u64);
+        s.push_str("\"hit_rate\":");
+        s.push_str(&fmt_f64(a.hit_rate()));
+        s.push_str("},\"measure_cache\":{");
+        push_u64(&mut s, "hits", m.hits);
+        push_u64(&mut s, "misses", m.misses);
+        push_u64(&mut s, "evictions", m.evictions);
+        push_u64(&mut s, "entries", m.len as u64);
+        s.push_str("\"hit_rate\":");
+        s.push_str(&fmt_f64(m.hit_rate()));
+        s.push_str("},\"count_cache\":{");
+        push_u64(&mut s, "hits", c.hits.load(Ordering::Relaxed));
+        push_u64(&mut s, "misses", c.misses.load(Ordering::Relaxed));
+        push_u64(&mut s, "symbolic", c.symbolic.load(Ordering::Relaxed));
+        push_u64(&mut s, "enumerated", c.enumerated.load(Ordering::Relaxed));
+        push_u64(&mut s, "evictions", c.evictions.load(Ordering::Relaxed));
+        push_u64(
+            &mut s,
+            "parallel_splits",
+            c.parallel_splits.load(Ordering::Relaxed),
+        );
+        s.pop();
+        s.push_str("}}");
+        s
+    }
+
+    /// Artifact-cache counters (for tests and the loadtest harness).
+    pub fn cache_stats(&self) -> ArtifactCacheStats {
+        self.cache.stats()
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Hard request-size limit (re-exported for line readers).
+    pub fn max_request_bytes(&self) -> usize {
+        MAX_REQUEST_BYTES
+    }
+
+    /// Drains queued compiles and joins the workers.
+    pub fn shutdown(self) {
+        self.pool.shutdown();
+    }
+}
+
+/// Parses, sanitizes, and keys one compile request on the calling
+/// (connection) thread.
+///
+/// # Errors
+///
+/// `parse_error` when the kernel source does not parse.
+pub fn prepare(req: &CompileRequest) -> Result<Prepared, WireError> {
+    let mut program = match req.format {
+        crate::protocol::SourceFormat::TextualIr => parse_affine_program(&req.source)
+            .map_err(|e| WireError::new(codes::PARSE_ERROR, format!("textual IR: {e}")))?,
+        crate::protocol::SourceFormat::C => parse_scop(&req.source, &req.name)
+            .map_err(|e| WireError::new(codes::PARSE_ERROR, format!("cgeist: {e}")))?,
+    };
+    // The daemon and the one-shot CLI must transform the program
+    // identically or byte-identity breaks: sanitize unprovable `parallel`
+    // flags here, before fingerprinting, exactly as `polyufc compile`
+    // does before its pipeline call.
+    let warnings: Vec<String> = sanitize_parallel(&mut program)
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    let key = artifact_key(&program, &warnings, &req.opts);
+    Ok(Prepared {
+        program,
+        warnings,
+        opts: req.opts.clone(),
+        key,
+    })
+}
+
+/// The content address of a response: pipeline configuration, the
+/// structural program fingerprint the measure cache already computes,
+/// the program's rendered text (fingerprints deliberately exclude names,
+/// but responses embed them), and the sanitize trace (distinct
+/// pre-sanitize sources can converge on one program yet carry different
+/// warnings).
+fn artifact_key(
+    program: &AffineProgram,
+    warnings: &[String],
+    opts: &crate::protocol::CompileOptions,
+) -> Vec<u8> {
+    let mut key = Vec::with_capacity(512);
+    let field = |key: &mut Vec<u8>, bytes: &[u8]| {
+        key.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        key.extend_from_slice(bytes);
+    };
+    field(&mut key, b"polyufc-artifact/1");
+    field(&mut key, opts.platform.name.as_bytes());
+    field(&mut key, objective_str(opts.objective).as_bytes());
+    field(&mut key, assoc_str(opts.assoc).as_bytes());
+    field(&mut key, &opts.epsilon.to_le_bytes());
+    field(&mut key, &[opts.emit_scf as u8]);
+    field(&mut key, &program_fingerprint(&opts.platform, program));
+    field(&mut key, format!("{program}").as_bytes());
+    for w in warnings {
+        field(&mut key, w.as_bytes());
+    }
+    key
+}
+
+/// Runs the pipeline for a prepared request against a session and renders
+/// the response body. The report is `Some` only for successful compiles
+/// (its counter deltas feed [`CountTotals`]); rejection and model errors
+/// render as deterministic typed bodies, which are cached like artifacts.
+pub fn compile_prepared(
+    p: &Prepared,
+    session: &mut CompileSession,
+) -> (String, Option<CompileReport>) {
+    let mut pipeline = Pipeline::new(p.opts.platform.clone())
+        .with_objective(p.opts.objective)
+        .with_assoc_mode(p.opts.assoc);
+    pipeline.epsilon = p.opts.epsilon;
+    match pipeline.compile_affine_in(&p.program, session) {
+        Ok(out) => {
+            let report = out.report.clone();
+            (render_artifact(p, &out), Some(report))
+        }
+        Err(polyufc::Error::AnalysisRejected(report)) => (render_rejected(&report), None),
+        Err(polyufc::Error::Model(e)) => (
+            render_error(codes::MODEL, &format!("cache model: {e}")),
+            None,
+        ),
+    }
+}
+
+/// One-shot entry point shared with `polyufc compile --json`: same
+/// prepare, same pipeline, same renderer, fresh session — so the CLI's
+/// output is byte-identical to the daemon's response for the same
+/// request, cached or not.
+pub fn oneshot_response(req: &CompileRequest) -> String {
+    match prepare(req) {
+        Ok(p) => compile_prepared(&p, &mut CompileSession::new()).0,
+        Err(e) => e.render(),
+    }
+}
+
+fn abort_error(abort: Abort) -> WireError {
+    match abort {
+        Abort::Overloaded => WireError::new(
+            codes::OVERLOADED,
+            "all workers busy and the queue is full; retry later",
+        ),
+        Abort::Internal => WireError::new(
+            codes::INTERNAL,
+            "compile worker panicked; the daemon recovered, this request did not",
+        ),
+    }
+}
+
+fn push_u64(out: &mut String, key: &str, v: u64) {
+    push_escaped(out, key);
+    out.push(':');
+    out.push_str(&format!("{v}"));
+    out.push(',');
+}
+
+/// Renders the cap artifact with a fixed field order and no
+/// wall-clock- or session-warmth-dependent fields (those live in `stats`),
+/// so identical requests produce identical bytes whether answered by a
+/// cold compile, a warm session, the artifact cache, or the one-shot CLI.
+fn render_artifact(p: &Prepared, out: &PipelineOutput) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\"ok\":true,\"schema\":\"polyufc-artifact/1\",\"program\":");
+    push_escaped(&mut s, &out.optimized.name);
+    s.push_str(",\"platform\":");
+    push_escaped(&mut s, &p.opts.platform.name);
+    s.push_str(",\"objective\":");
+    push_escaped(&mut s, objective_str(p.opts.objective));
+    s.push_str(",\"epsilon\":");
+    s.push_str(&fmt_f64(p.opts.epsilon));
+    s.push_str(",\"assoc\":");
+    push_escaped(&mut s, assoc_str(p.opts.assoc));
+    s.push_str(",\"kernels\":[");
+    let rows = out
+        .optimized
+        .kernels
+        .iter()
+        .zip(&out.characterizations)
+        .zip(&out.search)
+        .zip(&out.caps_ghz);
+    for (i, (((k, ch), sr), &cap)) in rows.enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"name\":");
+        push_escaped(&mut s, &k.name);
+        s.push_str(",\"class\":");
+        push_escaped(&mut s, &format!("{}", ch.class));
+        s.push_str(",\"oi\":");
+        s.push_str(&fmt_f64(ch.oi));
+        s.push_str(",\"balance\":");
+        s.push_str(&fmt_f64(ch.balance));
+        s.push_str(",\"attainable_flops\":");
+        s.push_str(&fmt_f64(ch.attainable_flops));
+        s.push_str(",\"cap_ghz\":");
+        s.push_str(&fmt_f64(cap));
+        s.push_str(",\"search_steps\":");
+        s.push_str(&format!("{}", sr.steps));
+        s.push('}');
+    }
+    s.push_str("],\"fallback\":[");
+    for (i, name) in out.report.fallback_kernels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_escaped(&mut s, name);
+    }
+    s.push_str("],\"warnings\":[");
+    for (i, w) in p
+        .warnings
+        .iter()
+        .chain(&out.report.verify_warnings)
+        .enumerate()
+    {
+        if i > 0 {
+            s.push(',');
+        }
+        push_escaped(&mut s, w);
+    }
+    s.push(']');
+    if p.opts.emit_scf {
+        s.push_str(",\"scf\":");
+        push_escaped(&mut s, &format!("{}", out.scf));
+    }
+    s.push('}');
+    s
+}
+
+/// Renders a verifier rejection: a typed error whose payload carries every
+/// diagnostic (the "lint over the wire" half of the daemon's contract).
+fn render_rejected(report: &polyufc_analysis::AnalysisReport) -> String {
+    let mut s = String::with_capacity(256);
+    s.push_str("{\"ok\":false,\"error\":{\"code\":");
+    push_escaped(&mut s, codes::REJECTED);
+    s.push_str(",\"message\":");
+    push_escaped(
+        &mut s,
+        &format!("static verifier rejected `{}`", report.program),
+    );
+    s.push_str(",\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_escaped(&mut s, &d.to_string());
+    }
+    s.push_str("]}}");
+    s
+}

@@ -1,0 +1,40 @@
+//! `polyufc serve`: a long-running compile-and-cap daemon.
+//!
+//! The daemon speaks newline-delimited JSON over TCP or a unix socket:
+//! one request per line, one response line per request. Compile requests
+//! carry a kernel (textual affine IR or a cgeist-style C scop) plus a
+//! platform/objective spec and come back as a *cap artifact* — per-kernel
+//! roofline characterization and uncore-frequency caps — or as a typed
+//! error (lint rejection, parse error, overload, ...).
+//!
+//! The performance architecture, bottom-up:
+//!
+//! * [`artifact`]: a content-addressed response cache keyed on the
+//!   structural fingerprints the measure cache already computes, with
+//!   single-flight dedup — N concurrent identical requests compile once.
+//! * [`engine`]: request batching into the bounded
+//!   [`polyufc_par::StatefulPool`], one persistent
+//!   [`polyufc::CompileSession`] per worker (warm Presburger caches), and
+//!   explicit shed (`overloaded`) when the queue is full.
+//! * [`server`]: nonblocking listeners, bounded line framing, and clean
+//!   drain on SIGINT/SIGTERM or a `shutdown` request.
+//! * [`protocol`] / [`json`]: the strict wire layer. Responses are
+//!   byte-deterministic, so a cache hit, a fresh compile, and the
+//!   one-shot CLI (`polyufc compile --json`) all emit identical bytes
+//!   for identical requests.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod engine;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use artifact::{ArtifactCache, ArtifactCacheStats};
+pub use engine::{oneshot_response, Engine, EngineConfig, Outcome};
+pub use protocol::{
+    parse_request, render_error, CompileOptions, CompileRequest, Request, SourceFormat, WireError,
+    MAX_REQUEST_BYTES,
+};
+pub use server::{install_signal_handlers, Listen, Server, ServerConfig};

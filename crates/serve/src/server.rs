@@ -1,0 +1,401 @@
+//! The daemon shell around the [`Engine`](crate::engine::Engine):
+//! listeners, per-connection line framing, and clean shutdown on
+//! SIGINT/SIGTERM or a `shutdown` request.
+//!
+//! The accept loop is nonblocking with a short sleep so the stop flag
+//! (set by a signal handler or a `shutdown` request on any connection)
+//! is observed within tens of milliseconds without busy-spinning.
+//! Connection sockets use a read timeout for the same reason: an idle
+//! client must not pin a reader thread through shutdown.
+//!
+//! Lines are read with a hand-rolled `fill_buf`/`consume` loop rather
+//! than `read_until`: a client streaming one enormous "line" must be
+//! answered with a typed `oversized` error and have its excess bytes
+//! discarded in constant memory, not buffered until allocation fails.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::{Engine, EngineConfig, Outcome};
+use crate::protocol::{codes, render_error, MAX_REQUEST_BYTES};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Listen {
+    /// A TCP address, e.g. `127.0.0.1:7077` (or `:0` for an ephemeral
+    /// port, which tests and the loadtest use).
+    Tcp(String),
+    /// A unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Daemon configuration: where to listen and how to size the engine.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listener address.
+    pub listen: Listen,
+    /// Engine sizing (workers, queue, cache).
+    pub engine: EngineConfig,
+}
+
+/// Set by the SIGINT/SIGTERM handler; every accept loop polls it.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs process-wide SIGINT/SIGTERM handlers that request a clean
+/// drain-and-stop. Uses the C `signal` entry point directly — the only
+/// async-signal work is one atomic store, and the workspace vendors no
+/// libc crate.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNALLED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+enum Acceptor {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    acceptor: Acceptor,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and spins up the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors (address in use, bad path, ...).
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let acceptor = match &cfg.listen {
+            Listen::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Acceptor::Tcp(l)
+            }
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                // A stale socket file from a crashed run would make bind
+                // fail forever; only an unbound path is safe to clear.
+                if path.exists() && UnixStream::connect(path).is_err() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Acceptor::Unix(l, path.clone())
+            }
+        };
+        Ok(Server {
+            acceptor,
+            engine: Arc::new(Engine::new(&cfg.engine)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound TCP address (for `:0` ephemeral binds); `None`
+    /// for unix sockets.
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        match &self.acceptor {
+            Acceptor::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            Acceptor::Unix(..) => None,
+        }
+    }
+
+    /// The engine, for out-of-band inspection (tests, the loadtest).
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// A flag that stops the accept loop when set (tests use this to stop
+    /// a server without a signal or a `shutdown` request).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves until a `shutdown` request, SIGINT/SIGTERM, or the stop
+    /// flag; then drains in-flight connections and compiles and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors other than `WouldBlock`.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let live = Arc::new(AtomicUsize::new(0));
+        loop {
+            if self.stop.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn = match &self.acceptor {
+                Acceptor::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => Some(Conn::Tcp(s)),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+                #[cfg(unix)]
+                Acceptor::Unix(l, _) => match l.accept() {
+                    Ok((s, _)) => Some(Conn::Unix(s)),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+            };
+            match conn {
+                None => std::thread::sleep(Duration::from_millis(10)),
+                Some(conn) => {
+                    let engine = Arc::clone(&self.engine);
+                    let stop = Arc::clone(&self.stop);
+                    let live = Arc::clone(&live);
+                    live.fetch_add(1, Ordering::SeqCst);
+                    conn_handles.push(std::thread::spawn(move || {
+                        serve_connection(conn, &engine, &stop);
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    }));
+                    // Reap finished handles so a long-lived daemon does
+                    // not accumulate one JoinHandle per past connection.
+                    conn_handles.retain(|h| !h.is_finished());
+                }
+            }
+        }
+        for h in conn_handles {
+            let _ = h.join();
+        }
+        #[cfg(unix)]
+        if let Acceptor::Unix(_, path) = &self.acceptor {
+            let _ = std::fs::remove_file(path);
+        }
+        // Unwrap the engine and drain its queue. Connection threads are
+        // joined, so test-held engine Arcs are the only other owners;
+        // those can't submit work, so skipping the drain there is fine.
+        if let Ok(engine) = Arc::try_unwrap(self.engine) {
+            engine.shutdown();
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(conn: Conn, engine: &Engine, stop: &Arc<AtomicBool>) {
+    match conn {
+        Conn::Tcp(s) => {
+            // One small write per response: without NODELAY, Nagle +
+            // delayed ACK turns every round trip into ~40 ms.
+            let _ = s.set_nodelay(true);
+            let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut writer = match s.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            serve_stream(BufReader::new(s), &mut writer, engine, stop);
+        }
+        #[cfg(unix)]
+        Conn::Unix(s) => {
+            let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut writer = match s.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            serve_stream(BufReader::new(s), &mut writer, engine, stop);
+        }
+    }
+}
+
+fn serve_stream<R: Read, W: Write>(
+    mut reader: BufReader<R>,
+    writer: &mut W,
+    engine: &Engine,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match read_line_bounded(&mut reader, &mut line, stop) {
+            LineRead::Closed => return,
+            LineRead::Stopping => return,
+            LineRead::Oversized => {
+                let body = render_error(
+                    codes::OVERSIZED,
+                    &format!("request line exceeds {MAX_REQUEST_BYTES} bytes"),
+                );
+                if write_reply(writer, &body).is_err() {
+                    return;
+                }
+            }
+            LineRead::Line => {
+                let text = match std::str::from_utf8(&line) {
+                    Ok(t) => t.trim(),
+                    Err(_) => {
+                        let body = render_error(codes::BAD_JSON, "request line is not valid UTF-8");
+                        if write_reply(writer, &body).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                if text.is_empty() {
+                    continue;
+                }
+                match engine.handle_line(text) {
+                    Outcome::Reply(body) => {
+                        if write_reply(writer, &body).is_err() {
+                            return;
+                        }
+                    }
+                    Outcome::ReplyAndShutdown(body) => {
+                        let _ = write_reply(writer, &body);
+                        stop.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn write_reply<W: Write>(w: &mut W, body: &str) -> std::io::Result<()> {
+    w.write_all(body.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+enum LineRead {
+    /// `line` holds one complete request line (without the newline).
+    Line,
+    /// The line exceeded the limit; its remainder was discarded.
+    Oversized,
+    /// The peer closed the connection.
+    Closed,
+    /// The daemon is stopping.
+    Stopping,
+}
+
+/// Reads one newline-terminated line into `line`, capped at
+/// [`MAX_REQUEST_BYTES`]; past the cap it switches to discarding until
+/// the newline so one oversized request costs bounded memory and exactly
+/// one error reply. Read timeouts are polls, not failures: they give the
+/// stop flag a look-in on idle connections.
+fn read_line_bounded<R: Read>(
+    reader: &mut BufReader<R>,
+    line: &mut Vec<u8>,
+    stop: &Arc<AtomicBool>,
+) -> LineRead {
+    line.clear();
+    let mut discarding = false;
+    loop {
+        if stop.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst) {
+            return LineRead::Stopping;
+        }
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return LineRead::Closed,
+        };
+        if buf.is_empty() {
+            return LineRead::Closed; // EOF
+        }
+        let (chunk, ate_newline) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (buf.len(), false),
+        };
+        if !discarding {
+            let take = chunk - usize::from(ate_newline);
+            line.extend_from_slice(&buf[..take]);
+            if line.len() > MAX_REQUEST_BYTES {
+                discarding = true;
+            }
+        }
+        reader.consume(chunk);
+        if ate_newline {
+            return if discarding {
+                LineRead::Oversized
+            } else {
+                LineRead::Line
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn quiet_stop() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+
+    #[test]
+    fn bounded_reader_splits_lines() {
+        let mut r = BufReader::new(Cursor::new(b"abc\ndef\n".to_vec()));
+        let mut line = Vec::new();
+        let stop = quiet_stop();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut line, &stop),
+            LineRead::Line
+        ));
+        assert_eq!(line, b"abc");
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut line, &stop),
+            LineRead::Line
+        ));
+        assert_eq!(line, b"def");
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut line, &stop),
+            LineRead::Closed
+        ));
+    }
+
+    #[test]
+    fn bounded_reader_discards_oversized_in_constant_memory() {
+        let mut big = vec![b'x'; MAX_REQUEST_BYTES + 4096];
+        big.push(b'\n');
+        big.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let mut r = BufReader::new(Cursor::new(big));
+        let mut line = Vec::new();
+        let stop = quiet_stop();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut line, &stop),
+            LineRead::Oversized
+        ));
+        assert!(line.len() <= MAX_REQUEST_BYTES + 8192);
+        // The connection is still line-synchronized after the discard.
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut line, &stop),
+            LineRead::Line
+        ));
+        assert_eq!(line, b"{\"op\":\"ping\"}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Wire-level fuzz: the textual-parser fuzz corpus (the fragment soup
+//! from `crates/ir/tests/fuzz_textual.rs`) fed through the daemon's
+//! NDJSON protocol as compile sources. Every soup must come back as one
+//! valid JSON response line — artifact or typed error — on the same
+//! connection; the daemon must never panic and the connection must never
+//! lose line synchronization.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, OnceLock};
+
+use proptest::prelude::*;
+
+use polyufc_serve::{json, EngineConfig, Listen, Server, ServerConfig};
+
+/// The same grammar-biased fragments the parser fuzz test concatenates;
+/// here each soup additionally crosses JSON escaping and the wire
+/// round trip before it reaches the parser.
+const FRAGMENTS: &[&str] = &[
+    "// affine program `f`\n",
+    "memref %A : 8x8xf64\n",
+    "memref %B : 99999999999x99999999999xf64\n",
+    "memref %C : f32\n",
+    "memref %D 8xf64\n",
+    "func @k {\n",
+    "  affine.for %i0 = max(0) to min(8) {\n",
+    "  affine.parallel %i1 = max(0) to min(i0) {\n",
+    "  affine.for %i2 = max to min {\n",
+    "  S0: load %A[i0, i1]; store %A[i1, i0] // 2 flops\n",
+    "  S1: load %A[i99999, 0] // 1 flops\n",
+    "  S2: load %Z[i0] // 1 flops\n",
+    "  S3: load %A[999999999999999999999i0] // 1 flops\n",
+    "}\n",
+    "}}\n",
+    "garbage\n",
+    "",
+];
+
+/// One daemon and one client connection shared by every fuzz case — a
+/// wedged or desynchronized connection fails the *next* case's read.
+static CLIENT: OnceLock<Mutex<(TcpStream, BufReader<TcpStream>)>> = OnceLock::new();
+
+fn client() -> &'static Mutex<(TcpStream, BufReader<TcpStream>)> {
+    CLIENT.get_or_init(|| {
+        let server = Server::bind(&ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            engine: EngineConfig::default(),
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        // Runs until the test process exits.
+        std::thread::spawn(move || server.run().expect("run"));
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().expect("clone");
+        Mutex::new((writer, BufReader::new(stream)))
+    })
+}
+
+fn roundtrip(line: &str) -> String {
+    let mut guard = client().lock().unwrap();
+    let (writer, reader) = &mut *guard;
+    writer.write_all(line.as_bytes()).expect("send");
+    writer.write_all(b"\n").expect("send");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("recv");
+    assert!(reply.ends_with('\n'), "unterminated reply: {reply:?}");
+    reply.trim_end().to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Any fragment soup, wrapped in a compile request, gets exactly one
+    /// JSON reply with a boolean `ok` — and the connection stays usable.
+    #[test]
+    fn fragment_soup_over_the_wire_never_wedges(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..12)
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let mut line = String::from("{\"op\":\"compile\",\"source\":");
+        json::push_escaped(&mut line, &src);
+        line.push('}');
+        let reply = roundtrip(&line);
+        let v = json::parse(&reply);
+        prop_assert!(v.is_ok(), "reply is not valid JSON: {reply}");
+        let ok = v.unwrap().get("ok").and_then(|o| o.as_bool());
+        prop_assert!(ok.is_some(), "reply has no boolean `ok`: {reply}");
+    }
+}
+
+#[test]
+fn the_shared_connection_answers_ping_after_fuzzing() {
+    // Regardless of test order, the shared connection must serve a
+    // normal request — before, between, or after fuzz cases.
+    assert_eq!(
+        roundtrip("{\"op\":\"ping\"}"),
+        "{\"ok\":true,\"pong\":true}"
+    );
+}

@@ -1,0 +1,129 @@
+//! Property: for any compile request, the live daemon's response bytes
+//! are identical to [`oneshot_response`] — the exact function behind the
+//! CLI's `compile --json`. This is the serve/one-shot parity guarantee:
+//! caching, batching, and worker reuse must never change a single byte.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, OnceLock};
+
+use proptest::prelude::*;
+
+use polyufc::Objective;
+use polyufc_cache::AssocMode;
+use polyufc_machine::Platform;
+use polyufc_serve::{
+    json, oneshot_response, CompileOptions, CompileRequest, EngineConfig, Listen, Server,
+    ServerConfig, SourceFormat,
+};
+use polyufc_workloads::{polybench_suite, PolybenchSize};
+
+/// Workload mix: a compute-bound blas kernel, a bandwidth-bound mat-vec
+/// composition, and a two-kernel reduction.
+const WORKLOADS: &[&str] = &["gemm", "mvt", "atax"];
+
+static CLIENT: OnceLock<Mutex<(TcpStream, BufReader<TcpStream>)>> = OnceLock::new();
+
+fn client() -> &'static Mutex<(TcpStream, BufReader<TcpStream>)> {
+    CLIENT.get_or_init(|| {
+        let server = Server::bind(&ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            engine: EngineConfig::default(),
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        // Runs until the test process exits.
+        std::thread::spawn(move || server.run().expect("run"));
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().expect("clone");
+        Mutex::new((writer, BufReader::new(stream)))
+    })
+}
+
+fn roundtrip(line: &str) -> String {
+    let mut guard = client().lock().unwrap();
+    let (writer, reader) = &mut *guard;
+    writer.write_all(line.as_bytes()).expect("send");
+    writer.write_all(b"\n").expect("send");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("recv");
+    reply.trim_end().to_string()
+}
+
+fn sources() -> &'static Vec<String> {
+    static SOURCES: OnceLock<Vec<String>> = OnceLock::new();
+    SOURCES.get_or_init(|| {
+        let suite = polybench_suite(PolybenchSize::Mini);
+        WORKLOADS
+            .iter()
+            .map(|name| {
+                let w = suite
+                    .iter()
+                    .find(|w| w.name == *name)
+                    .unwrap_or_else(|| panic!("workload {name}"));
+                format!("{}", w.program)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Serve response == one-shot response, byte for byte, across
+    /// workloads, platforms, objectives, epsilons, and assoc modes.
+    #[test]
+    fn serve_matches_the_oneshot_cli_path(
+        w in 0usize..WORKLOADS.len(),
+        plat in 0usize..2,
+        obj in 0usize..3,
+        eps_ix in 0usize..3,
+        assoc_full in any::<bool>(),
+    ) {
+        let source = sources()[w].clone();
+        let (platform, platform_s) = if plat == 0 {
+            (Platform::broadwell(), "bdw")
+        } else {
+            (Platform::raptor_lake(), "rpl")
+        };
+        let (objective, objective_s) = match obj {
+            0 => (Objective::Edp, "edp"),
+            1 => (Objective::Energy, "energy"),
+            _ => (Objective::Performance, "perf"),
+        };
+        let epsilon = [1e-3, 5e-3, 1e-2][eps_ix];
+        let (assoc, assoc_s) = if assoc_full {
+            (AssocMode::FullyAssociative, "full")
+        } else {
+            (AssocMode::SetAssociative, "set")
+        };
+
+        let expected = oneshot_response(&CompileRequest {
+            format: SourceFormat::TextualIr,
+            source: source.clone(),
+            name: "request".to_string(),
+            opts: CompileOptions {
+                platform,
+                objective,
+                epsilon,
+                assoc,
+                emit_scf: false,
+            },
+        });
+
+        let mut line = format!(
+            "{{\"op\":\"compile\",\"platform\":\"{platform_s}\",\
+             \"objective\":\"{objective_s}\",\"epsilon\":{epsilon},\
+             \"assoc\":\"{assoc_s}\",\"source\":"
+        );
+        json::push_escaped(&mut line, &source);
+        line.push('}');
+        let reply = roundtrip(&line);
+        prop_assert_eq!(
+            reply, expected,
+            "daemon and one-shot responses diverge for {} on {}/{}/{}/{}",
+            WORKLOADS[w], platform_s, objective_s, epsilon, assoc_s
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Live-daemon wire tests: a real [`Server`] on an ephemeral TCP port,
+//! driven through the NDJSON protocol exactly as a client would.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use polyufc_serve::json;
+use polyufc_serve::{
+    oneshot_response, CompileOptions, CompileRequest, Engine, EngineConfig, Listen, Server,
+    ServerConfig, SourceFormat, MAX_REQUEST_BYTES,
+};
+use polyufc_workloads::{polybench_suite, PolybenchSize};
+
+/// A running daemon plus the handles the tests poke at.
+struct Daemon {
+    addr: String,
+    engine: Arc<Engine>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    fn start(engine_cfg: EngineConfig) -> Daemon {
+        let server = Server::bind(&ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            engine: engine_cfg,
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let engine = server.engine();
+        let stop = server.stop_flag();
+        let thread = std::thread::spawn(move || server.run().expect("run"));
+        Daemon {
+            addr,
+            engine,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().expect("clone");
+        Client {
+            writer,
+            reader: BufReader::new(stream),
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("recv");
+        assert!(reply.ends_with('\n'), "unterminated reply: {reply:?}");
+        reply.trim_end().to_string()
+    }
+}
+
+fn mini_source(name: &str) -> String {
+    let w = polybench_suite(PolybenchSize::Mini)
+        .into_iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("workload {name}"));
+    format!("{}", w.program)
+}
+
+fn compile_line(source: &str) -> String {
+    let mut s = String::from("{\"op\":\"compile\",\"source\":");
+    let mut quoted = String::new();
+    json::push_escaped(&mut quoted, source);
+    s.push_str(&quoted);
+    s.push('}');
+    s
+}
+
+fn error_code(reply: &str) -> String {
+    let v = json::parse(reply).expect("reply must be valid JSON");
+    assert_eq!(
+        v.get("ok").and_then(|o| o.as_bool()),
+        Some(false),
+        "{reply}"
+    );
+    v.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(|c| c.as_str())
+        .unwrap_or_else(|| panic!("no error.code in {reply}"))
+        .to_string()
+}
+
+#[test]
+fn ping_stats_and_compile_roundtrip() {
+    let d = Daemon::start(EngineConfig::default());
+    let mut c = d.connect();
+    assert_eq!(
+        c.roundtrip("{\"op\":\"ping\"}"),
+        "{\"ok\":true,\"pong\":true}"
+    );
+
+    let stats = c.roundtrip("{\"op\":\"stats\"}");
+    let v = json::parse(&stats).expect("stats is JSON");
+    assert_eq!(v.get("ok").and_then(|o| o.as_bool()), Some(true));
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("polyufc-stats/1")
+    );
+
+    let reply = c.roundtrip(&compile_line(&mini_source("gemm")));
+    let v = json::parse(&reply).expect("artifact is JSON");
+    assert_eq!(v.get("ok").and_then(|o| o.as_bool()), Some(true));
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("polyufc-artifact/1")
+    );
+    let kernels = v.get("kernels").and_then(|k| k.as_arr()).expect("kernels");
+    assert!(!kernels.is_empty());
+    for k in kernels {
+        let cap = k.get("cap_ghz").and_then(|x| x.as_f64()).expect("cap_ghz");
+        assert!(cap > 0.0);
+    }
+}
+
+#[test]
+fn repeated_requests_hit_the_cache_with_identical_bytes() {
+    let d = Daemon::start(EngineConfig::default());
+    let mut c = d.connect();
+    let line = compile_line(&mini_source("mvt"));
+    let first = c.roundtrip(&line);
+    let before = d.engine.cache_stats();
+    let second = c.roundtrip(&line);
+    let after = d.engine.cache_stats();
+    assert_eq!(first, second, "cached response must be byte-identical");
+    assert_eq!(after.hits, before.hits + 1);
+    assert_eq!(after.misses, before.misses);
+
+    // ...and identical to the one-shot (CLI) path for the same request.
+    let oneshot = oneshot_response(&CompileRequest {
+        format: SourceFormat::TextualIr,
+        source: mini_source("mvt"),
+        name: "request".to_string(),
+        opts: CompileOptions::default(),
+    });
+    assert_eq!(first, oneshot);
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_the_daemon_keeps_serving() {
+    let d = Daemon::start(EngineConfig::default());
+    let mut c = d.connect();
+    let cases: &[(&str, &str)] = &[
+        ("{", "bad_json"),
+        ("nonsense", "bad_json"),
+        ("[1,2]", "bad_request"),
+        ("{\"op\":42}", "bad_request"),
+        ("{\"op\":\"frobnicate\"}", "unknown_op"),
+        ("{\"op\":\"compile\"}", "bad_request"),
+        (
+            "{\"op\":\"compile\",\"source\":\"func @k { wat\"}",
+            "parse_error",
+        ),
+        (
+            "{\"op\":\"compile\",\"source\":\"x\",\"epsilon\":\"tiny\"}",
+            "bad_request",
+        ),
+    ];
+    for (line, code) in cases {
+        assert_eq!(error_code(&c.roundtrip(line)), *code, "for {line}");
+    }
+    // The same connection still serves valid requests afterwards.
+    assert_eq!(
+        c.roundtrip("{\"op\":\"ping\"}"),
+        "{\"ok\":true,\"pong\":true}"
+    );
+}
+
+#[test]
+fn oversized_line_is_rejected_without_wedging_the_connection() {
+    let d = Daemon::start(EngineConfig::default());
+    let mut c = d.connect();
+    let big = format!(
+        "{{\"op\":\"compile\",\"source\":\"{}\"}}",
+        "a".repeat(MAX_REQUEST_BYTES + 1)
+    );
+    assert_eq!(error_code(&c.roundtrip(&big)), "oversized");
+    // Line framing recovered: the next request parses normally.
+    assert_eq!(
+        c.roundtrip("{\"op\":\"ping\"}"),
+        "{\"ok\":true,\"pong\":true}"
+    );
+}
+
+#[test]
+fn invalid_utf8_is_a_typed_error() {
+    let d = Daemon::start(EngineConfig::default());
+    let stream = TcpStream::connect(&d.addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"op\":\"ping\xff\"}\n").expect("send");
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("recv");
+    assert_eq!(error_code(reply.trim_end()), "bad_json");
+    writer.write_all(b"{\"op\":\"ping\"}\n").expect("send");
+    reply.clear();
+    reader.read_line(&mut reply).expect("recv");
+    assert_eq!(reply.trim_end(), "{\"ok\":true,\"pong\":true}");
+}
+
+#[test]
+fn verifier_rejection_carries_diagnostics() {
+    // An out-of-bounds access the static verifier must refuse: A is 8x8
+    // but the load reads A[i0 + 1].
+    let src = "// affine program `oob`\nmemref %A : 8x8xf64\nfunc @k {\n  affine.for %i0 = max(0) to min(8) {\n    affine.for %i1 = max(0) to min(8) {\n      S0: load %A[i0 + 1, i1]; store %A[i0, i1] // 1 flops\n    }\n  }\n}\n";
+    let d = Daemon::start(EngineConfig::default());
+    let mut c = d.connect();
+    let reply = c.roundtrip(&compile_line(src));
+    assert_eq!(error_code(&reply), "rejected");
+    let v = json::parse(&reply).unwrap();
+    let diags = v
+        .get("error")
+        .and_then(|e| e.get("diagnostics"))
+        .and_then(|x| x.as_arr())
+        .expect("diagnostics array");
+    assert!(!diags.is_empty());
+    // Deterministic rejections are cached like artifacts.
+    assert_eq!(c.roundtrip(&compile_line(src)), reply);
+}
+
+#[test]
+fn concurrent_identical_requests_compile_once() {
+    const N: usize = 8;
+    let d = Daemon::start(EngineConfig {
+        workers: 2,
+        queue_cap: 2 * N,
+        cache_capacity: 64,
+    });
+    let line = Arc::new(compile_line(&mini_source("gemm")));
+    let before = d.engine.cache_stats();
+    let mut handles = Vec::new();
+    for _ in 0..N {
+        let line = Arc::clone(&line);
+        let mut c = d.connect();
+        handles.push(std::thread::spawn(move || c.roundtrip(&line)));
+    }
+    let replies: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &replies {
+        assert_eq!(r, &replies[0], "all N responses must be byte-identical");
+    }
+    let after = d.engine.cache_stats();
+    assert_eq!(
+        after.misses - before.misses,
+        1,
+        "N identical requests must lead exactly one compile"
+    );
+    assert!(
+        after.hits - before.hits >= (N - 1) as u64,
+        "expected >= {} artifact-cache hits, got {}",
+        N - 1,
+        after.hits - before.hits
+    );
+}
+
+#[test]
+fn shutdown_request_drains_and_stops() {
+    let d = Daemon::start(EngineConfig::default());
+    let mut c = d.connect();
+    // Some work first, so the drain path has something behind it.
+    let _ = c.roundtrip(&compile_line(&mini_source("gemm")));
+    let mut c2 = d.connect();
+    assert_eq!(
+        c2.roundtrip("{\"op\":\"shutdown\"}"),
+        "{\"ok\":true,\"shutdown\":true}"
+    );
+    // The accept loop observes the stop flag and run() returns; Daemon's
+    // Drop would hang here if shutdown didn't actually stop the server.
+}
