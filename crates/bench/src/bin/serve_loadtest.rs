@@ -9,16 +9,20 @@
 //!   variants defeat the artifact cache on purpose);
 //! * **hot** — one batch of requests repeated from the warm cache; the
 //!   mini gate requires a ≥ 90% artifact-cache hit rate here;
-//! * **mixed** — 70% warm / 20% cold / 10% malformed, the realistic
-//!   steady state; the mini gate requires ≥ 1,000 req/s.
+//! * **mixed** — 70% warm / 20% cold / 10% malformed, one request in
+//!   flight per connection; the mini gate requires ≥ 1,000 req/s;
+//! * **pipelined** — the same mixed blend but each client writes a
+//!   window of requests before reading the replies, exercising the
+//!   reactor's in-order pipelining; the mini gate requires ≥ 5,000 req/s.
 //!
-//! Usage: `serve_loadtest [mini|small|large|xl]`. At `mini` the gates are
-//! enforced (exit 1 on miss) so CI catches serving-path regressions; the
-//! larger presets report without gating.
+//! Usage: `serve_loadtest [mini|small|large|xl] [BENCH_serve.json]`. At
+//! `mini` the gates are enforced (exit 1 on miss) so CI catches
+//! serving-path regressions; the larger presets report without gating.
+//! With a second positional argument, per-phase results are also written
+//! as JSON for the perf trajectory.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -33,6 +37,9 @@ const WORKLOADS: &[&str] = &["gemm", "mvt", "jacobi-2d"];
 
 /// Client threads (concurrent connections).
 const CLIENTS: usize = 8;
+
+/// Requests each pipelined client writes before reading the replies.
+const PIPELINE_WINDOW: usize = 64;
 
 /// One wire request line for a workload source at a given epsilon.
 fn compile_line(source: &str, epsilon: f64) -> String {
@@ -61,7 +68,8 @@ fn malformed_lines() -> Vec<String> {
 
 /// Round-trip latencies (µs) of running `lines` across [`CLIENTS`]
 /// threads against `addr`, each thread on its own connection taking lines
-/// round-robin. Returns (latencies, wall seconds, error-response count).
+/// round-robin, one request in flight at a time. Returns (latencies,
+/// wall seconds, error-response count).
 fn drive(addr: &str, lines: &[String]) -> (Vec<u64>, f64, usize) {
     let lines = Arc::new(lines.to_vec());
     let results: Arc<Mutex<(Vec<u64>, usize)>> = Arc::new(Mutex::new((Vec::new(), 0)));
@@ -103,6 +111,61 @@ fn drive(addr: &str, lines: &[String]) -> (Vec<u64>, f64, usize) {
     (lat, wall, errors)
 }
 
+/// Pipelined variant of [`drive`]: each client writes
+/// [`PIPELINE_WINDOW`] requests in one batch, then reads the window's
+/// replies, so the daemon sees deep per-connection queues instead of one
+/// request in flight. Latency is reply completion time since its window
+/// was sent (so it includes queueing behind window-mates, as pipelining
+/// implies). Replies must come back in request order — each is matched
+/// against the line it answers by position.
+fn drive_pipelined(addr: &str, lines: &[String]) -> (Vec<u64>, f64, usize) {
+    let lines = Arc::new(lines.to_vec());
+    let results: Arc<Mutex<(Vec<u64>, usize)>> = Arc::new(Mutex::new((Vec::new(), 0)));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let lines = Arc::clone(&lines);
+        let results = Arc::clone(&results);
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(&addr).expect("connect");
+            stream.set_nodelay(true).ok();
+            let mut writer = stream.try_clone().expect("clone");
+            let mut reader = BufReader::new(stream);
+            let mut lat = Vec::new();
+            let mut errors = 0usize;
+            let mine: Vec<&String> = lines.iter().skip(c).step_by(CLIENTS).collect();
+            let mut reply = String::new();
+            for window in mine.chunks(PIPELINE_WINDOW) {
+                let t = Instant::now();
+                let mut batch = String::new();
+                for line in window {
+                    batch.push_str(line);
+                    batch.push('\n');
+                }
+                writer.write_all(batch.as_bytes()).expect("send window");
+                for _ in window {
+                    reply.clear();
+                    reader.read_line(&mut reply).expect("recv");
+                    lat.push(t.elapsed().as_micros() as u64);
+                    if !reply.starts_with("{\"ok\":true") {
+                        errors += 1;
+                    }
+                }
+            }
+            let mut r = results.lock().unwrap();
+            r.0.extend(lat);
+            r.1 += errors;
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let (lat, errors) = Arc::try_unwrap(results).unwrap().into_inner().unwrap();
+    (lat, wall, errors)
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -111,24 +174,39 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-fn phase_row(name: &str, lat: &mut [u64], wall: f64, errors: usize) -> Vec<String> {
+/// Per-phase results: table row + the numbers the JSON report keeps.
+struct Phase {
+    name: &'static str,
+    requests: usize,
+    rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    errors: usize,
+}
+
+fn phase(name: &'static str, lat: &mut [u64], wall: f64, errors: usize) -> Phase {
     lat.sort_unstable();
-    let rps = lat.len() as f64 / wall.max(1e-9);
-    vec![
-        name.to_string(),
-        lat.len().to_string(),
-        format!("{rps:.0}"),
-        percentile(lat, 0.50).to_string(),
-        percentile(lat, 0.99).to_string(),
-        lat.last().copied().unwrap_or(0).to_string(),
-        errors.to_string(),
-    ]
+    Phase {
+        name,
+        requests: lat.len(),
+        rps: lat.len() as f64 / wall.max(1e-9),
+        p50_us: percentile(lat, 0.50),
+        p99_us: percentile(lat, 0.99),
+        max_us: lat.last().copied().unwrap_or(0),
+        errors,
+    }
 }
 
 fn main() {
     let size = size_from_args();
+    // An optional second positional argument is the JSON report path.
+    let json_path = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .nth(1);
     // Repetition counts scale with the preset: mini must clear the req/s
-    // gate with margin yet finish in CI time.
+    // gates with margin yet finish in CI time.
     let (hot_reps, mixed_reps) = match size {
         PolybenchSize::Mini => (64, 48),
         PolybenchSize::Small => (32, 24),
@@ -146,12 +224,14 @@ fn main() {
         "loadtest workloads missing from the polybench suite"
     );
 
-    // Each client blocks on its own round trip, so at most CLIENTS
-    // requests are ever in flight; a queue of 2×CLIENTS means the test
-    // measures compile/cache throughput, not backpressure shed (which
-    // wire tests cover separately).
+    // Sequential clients block on their own round trips, so at most
+    // CLIENTS requests are in flight there; the pipelined phase can park
+    // every cold request of every window in the pool queue at once
+    // (warm requests never reach the pool). Size for that worst case —
+    // the gate measures cache/reactor throughput, not backpressure shed
+    // (wire tests cover that).
     let mut engine_cfg = EngineConfig::default();
-    engine_cfg.queue_cap = engine_cfg.queue_cap.max(2 * CLIENTS);
+    engine_cfg.queue_cap = engine_cfg.queue_cap.max(CLIENTS * PIPELINE_WINDOW);
     let server = Server::bind(&ServerConfig {
         listen: Listen::Tcp("127.0.0.1:0".to_string()),
         engine: engine_cfg,
@@ -159,13 +239,15 @@ fn main() {
     .expect("bind loadtest server");
     let addr = server.local_addr().expect("tcp addr").to_string();
     let engine = server.engine();
-    let stop = server.stop_flag();
+    let shutdown = server.shutdown_handle();
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
 
-    let mut rows = Vec::new();
+    let mut phases: Vec<Phase> = Vec::new();
 
     // Phase 1: cold. Epsilon perturbations give every request a distinct
-    // artifact key, so each one pays a full compile.
+    // artifact key, so each one pays a full compile (the per-worker
+    // characterization-prefix cache still amortizes stages 1–3 across
+    // variants of one program — that is the production behavior too).
     let cold: Vec<String> = (0..sources.len() * 8)
         .map(|i| {
             let (_, src) = &sources[i % sources.len()];
@@ -173,7 +255,7 @@ fn main() {
         })
         .collect();
     let (mut lat, wall, errors) = drive(&addr, &cold);
-    rows.push(phase_row("cold", &mut lat, wall, errors));
+    phases.push(phase("cold", &mut lat, wall, errors));
 
     // Phase 2: hot. One fixed batch repeated; after the first pass every
     // response comes from the artifact cache (or a shared in-flight
@@ -185,7 +267,7 @@ fn main() {
     let hot: Vec<String> = (0..hot_reps).flat_map(|_| hot_batch.clone()).collect();
     let before_hot = engine.cache_stats();
     let (mut lat, wall, errors) = drive(&addr, &hot);
-    rows.push(phase_row("hot", &mut lat, wall, errors));
+    phases.push(phase("hot", &mut lat, wall, errors));
     let after_hot = engine.cache_stats();
     let hot_lookups = (after_hot.hits + after_hot.misses) - (before_hot.hits + before_hot.misses);
     let hot_hit_rate = if hot_lookups == 0 {
@@ -195,7 +277,7 @@ fn main() {
     };
 
     // Phase 3: mixed 70/20/10 — warm repeats, fresh epsilon variants,
-    // malformed noise.
+    // malformed noise; one request in flight per connection.
     let bad = malformed_lines();
     let mixed: Vec<String> = (0..sources.len() * mixed_reps * 10)
         .map(|i| match i % 10 {
@@ -208,13 +290,43 @@ fn main() {
         })
         .collect();
     let (mut lat, wall, errors) = drive(&addr, &mixed);
-    let mixed_rps = lat.len() as f64 / wall.max(1e-9);
-    rows.push(phase_row("mixed 70/20/10", &mut lat, wall, errors));
+    phases.push(phase("mixed 70/20/10", &mut lat, wall, errors));
+    let mixed_rps = phases.last().map_or(0.0, |p| p.rps);
 
-    stop.store(true, Ordering::SeqCst);
+    // Phase 4: the same blend, pipelined. Fresh epsilon offsets so the
+    // 20% cold slice is genuinely cold again.
+    let pipelined: Vec<String> = (0..sources.len() * mixed_reps * 10)
+        .map(|i| match i % 10 {
+            0 | 1 => compile_line(
+                &sources[i % sources.len()].1,
+                1e-3 * (1.0 + (2_000_000 + i) as f64 * 1e-6),
+            ),
+            2 => bad[i % bad.len()].clone(),
+            _ => hot_batch[i % hot_batch.len()].clone(),
+        })
+        .collect();
+    let (mut lat, wall, errors) = drive_pipelined(&addr, &pipelined);
+    phases.push(phase("pipelined mixed", &mut lat, wall, errors));
+    let pipelined_rps = phases.last().map_or(0.0, |p| p.rps);
+
+    shutdown.shutdown();
     server_thread.join().expect("server join");
 
     println!("== polyufc serve loadtest ({CLIENTS} clients) ==");
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                p.requests.to_string(),
+                format!("{:.0}", p.rps),
+                p.p50_us.to_string(),
+                p.p99_us.to_string(),
+                p.max_us.to_string(),
+                p.errors.to_string(),
+            ]
+        })
+        .collect();
     print_table(
         &[
             "phase",
@@ -232,10 +344,40 @@ fn main() {
         hot_hit_rate * 100.0
     );
 
+    if let Some(path) = json_path {
+        // Hand-rolled JSON, like bench_harness: the offline serde
+        // stand-in has no serializer and the schema is flat.
+        let mut json = String::new();
+        json.push_str("{\n  \"schema\": \"polyufc-bench-serve/1\",\n");
+        json.push_str(&format!("  \"clients\": {CLIENTS},\n"));
+        json.push_str(&format!(
+            "  \"threads\": {},\n",
+            polyufc_par::worker_count()
+        ));
+        json.push_str(&format!(
+            "  \"hot_hit_rate\": {:.4},\n  \"phases\": [\n",
+            hot_hit_rate
+        ));
+        for (i, p) in phases.iter().enumerate() {
+            let comma = if i + 1 < phases.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"requests\": {}, \"rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"errors\": {}}}{comma}\n",
+                p.name, p.requests, p.rps, p.p50_us, p.p99_us, p.max_us, p.errors
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write serve bench json");
+        println!("wrote {path}");
+    }
+
     if matches!(size, PolybenchSize::Mini) {
         let mut failed = false;
         if mixed_rps < 1000.0 {
             eprintln!("FAIL: mixed-phase throughput {mixed_rps:.0} req/s < 1000 req/s");
+            failed = true;
+        }
+        if pipelined_rps < 5000.0 {
+            eprintln!("FAIL: pipelined-phase throughput {pipelined_rps:.0} req/s < 5000 req/s");
             failed = true;
         }
         if hot_hit_rate < 0.90 {

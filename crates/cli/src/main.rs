@@ -45,12 +45,14 @@ const USAGE: &str = "usage:
                                           static verifier: races, bounds, IR,
                                           model audit; exit 0/1/2 = clean/warn/error
   polyufc serve   [--listen <addr>] [--unix <path>] [--threads N]
-                  [--queue N] [--cache-cap N]
-                                          compile-and-cap daemon (NDJSON, one
-                                          request per line; SIGTERM drains)
+                  [--queue N] [--cache-cap N] [--max-conns N]
+                                          compile-and-cap daemon (NDJSON,
+                                          pipelined requests, one per line;
+                                          SIGTERM drains; default connection
+                                          cap 1024 or POLYUFC_MAX_CONNS)
   polyufc stats   [--connect <addr>] [--unix <path>] [--json]
                                           query a running daemon's cache/pool
-                                          counters
+                                          counters and latency percentiles
   polyufc list                            list built-in workloads
 
 global options:
@@ -256,6 +258,7 @@ fn serve(args: &[String]) -> Result<u8, String> {
     let mut listen = polyufc_serve::Listen::Tcp("127.0.0.1:7077".to_string());
     let mut queue: Option<usize> = None;
     let mut cache_cap: Option<usize> = None;
+    let mut max_conns: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -284,6 +287,13 @@ fn serve(args: &[String]) -> Result<u8, String> {
                         .map_err(|_| "--cache-cap: expected an integer".to_string())?,
                 )
             }
+            "--max-conns" => {
+                max_conns = Some(
+                    value("--max-conns")?
+                        .parse()
+                        .map_err(|_| "--max-conns: expected an integer".to_string())?,
+                )
+            }
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
@@ -295,11 +305,14 @@ fn serve(args: &[String]) -> Result<u8, String> {
         engine.cache_capacity = c.max(1);
     }
     polyufc_serve::install_signal_handlers();
-    let server = polyufc_serve::Server::bind(&polyufc_serve::ServerConfig {
+    let mut server = polyufc_serve::Server::bind(&polyufc_serve::ServerConfig {
         listen: listen.clone(),
         engine: engine.clone(),
     })
     .map_err(|e| format!("bind: {e}"))?;
+    if let Some(n) = max_conns {
+        server.set_max_conns(n.max(1));
+    }
     match (&listen, server.local_addr()) {
         (_, Some(addr)) => eprintln!(
             "polyufc serve: listening on {addr} ({} workers, queue {})",
@@ -390,6 +403,13 @@ fn print_stats(line: &str) -> Result<u8, String> {
         n("server", "compiled"),
         n("server", "errors"),
         n("server", "shed"),
+    );
+    println!(
+        "latency:        requests {} | p50 {} µs | p99 {} µs | max {} µs",
+        n("latency", "count"),
+        n("latency", "p50_us"),
+        n("latency", "p99_us"),
+        n("latency", "max_us"),
     );
     println!(
         "artifact cache: hits {} | misses {} | evictions {} | entries {} | inflight {} | hit rate {:.1}%",

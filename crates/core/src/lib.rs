@@ -39,5 +39,7 @@ pub use capping::{insert_caps, remove_redundant_caps, CapPlan};
 pub use characterize::{characterize_kernel, Boundedness, Characterization};
 pub use mlpolyufc::{CapGranularity, MlPolyUfc, PhaseReport};
 pub use model::ParametricModel;
-pub use pipeline::{CompileReport, CompileSession, Error, Pipeline, PipelineOutput};
+pub use pipeline::{
+    CharacterizedProgram, CompileReport, CompileSession, Error, Pipeline, PipelineOutput,
+};
 pub use search::{search_cap, Objective, SearchResult};

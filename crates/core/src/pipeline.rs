@@ -134,6 +134,33 @@ impl CompileSession {
     }
 }
 
+/// The ε- and objective-independent prefix of a compilation: the result
+/// of stages 1–3 plus roofline characterization (verify, preprocessing,
+/// Pluto, PolyUFC-CM + OI, characterize), which depend only on the input
+/// program, the platform, and the associativity mode. POLYUFC-SEARCH and
+/// code generation — the only stages that read `epsilon` and `objective`
+/// — run in [`Pipeline::finish_characterized`].
+///
+/// Long-running callers (the serve daemon) cache these per
+/// `(platform, assoc, program)`: a request that differs only in ε or
+/// objective then skips the Pluto re-optimization that dominates warm
+/// compile time and pays only the microsecond-scale search.
+#[derive(Debug, Clone)]
+pub struct CharacterizedProgram {
+    /// The Pluto-optimized affine program.
+    pub optimized: AffineProgram,
+    /// Per-kernel PolyUFC-CM statistics (thread-sharing applied).
+    pub cache_stats: Vec<KernelCacheStats>,
+    /// Per-kernel roofline characterizations at the reference frequency.
+    pub characterizations: Vec<Characterization>,
+    /// What the optimizer did.
+    pub pluto_report: PlutoReport,
+    /// Stage 1–3 timings and counter deltas; `steps_4_6_us` holds only
+    /// the characterization share until `finish_characterized` adds the
+    /// search and code-generation time.
+    pub report: CompileReport,
+}
+
 /// Everything the pipeline produces for one input program.
 #[derive(Debug)]
 pub struct PipelineOutput {
@@ -284,6 +311,24 @@ impl Pipeline {
         input: &AffineProgram,
         session: &mut CompileSession,
     ) -> Result<PipelineOutput, Error> {
+        let ch = self.characterize_affine_in(input, session)?;
+        Ok(self.finish_characterized(ch))
+    }
+
+    /// Stages 1–3 plus characterization: everything in the pipeline that
+    /// is independent of `epsilon` and `objective`. The result can be
+    /// cached and re-finished under different search parameters via
+    /// [`Pipeline::finish_characterized`]; the two calls compose to
+    /// exactly [`Pipeline::compile_affine_in`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::compile_affine`].
+    pub fn characterize_affine_in(
+        &self,
+        input: &AffineProgram,
+        session: &mut CompileSession,
+    ) -> Result<CharacterizedProgram, Error> {
         // Session counters are cumulative; snapshot them so the report
         // carries per-compile deltas regardless of session age.
         let batches0 = session.ctx.batches();
@@ -351,12 +396,67 @@ impl Pipeline {
         }
         let polyufc_cm_us = t2.elapsed().as_micros();
 
-        // Stages 4–6: characterize, search, generate.
+        // Stage 4a: roofline characterization at the reference frequency
+        // (program- and platform-determined, independent of the search
+        // parameters; its time is accounted to `steps_4_6_us`, which
+        // `finish_characterized` completes).
+        let t3 = Instant::now();
+        let f_ref = self.platform.uncore_max_ghz;
+        let characterizations: Vec<Characterization> = optimized
+            .kernels
+            .iter()
+            .zip(&cache_stats)
+            .map(|(k, st)| characterize_kernel(&k.name, st, &self.roofline, f_ref))
+            .collect();
+        let steps_4_6_us = t3.elapsed().as_micros();
+
+        Ok(CharacterizedProgram {
+            report: CompileReport {
+                fallback_kernels,
+                verify_warnings,
+                verify_us,
+                preprocess_us,
+                pluto_us,
+                polyufc_cm_us,
+                steps_4_6_us,
+                count_cache_hits: count_cache.hits() - cc0.0,
+                count_cache_misses: count_cache.misses() - cc0.1,
+                count_symbolic: count_cache.symbolic() - cc0.2,
+                count_enumerated: count_cache.enumerated() - cc0.3,
+                count_cache_evictions: count_cache.evictions() - cc0.4,
+                // `analyze_in` reports the context's cumulative counters;
+                // subtract the pre-compile snapshot so a session's Nth
+                // request reports only its own solver traffic. (The arena
+                // high-water mark is monotone and stays cumulative.)
+                emptiness_batches: verify_stats.emptiness_batches.saturating_sub(batches0),
+                emptiness_checks: verify_stats.emptiness_checks.saturating_sub(checks0),
+                presburger_arena_bytes: verify_stats.peak_arena_bytes as u64,
+                count_parallel_splits: count_cache.parallel_splits() - cc0.5,
+            },
+            optimized,
+            cache_stats,
+            characterizations,
+            pluto_report,
+        })
+    }
+
+    /// Stages 4–6 on a characterized program: POLYUFC-SEARCH under this
+    /// pipeline's `objective`/`epsilon`, the cap-switch guard, and cap
+    /// insertion. Composes with [`Pipeline::characterize_affine_in`] to
+    /// exactly [`Pipeline::compile_affine_in`]; callers re-finishing a
+    /// cached prefix must use a pipeline whose platform and associativity
+    /// mode match the one that characterized it.
+    pub fn finish_characterized(&self, ch: CharacterizedProgram) -> PipelineOutput {
+        let CharacterizedProgram {
+            optimized,
+            cache_stats,
+            characterizations,
+            pluto_report,
+            mut report,
+        } = ch;
         let t3 = Instant::now();
         let freqs = self.platform.uncore_freqs();
-        let f_ref = self.platform.uncore_max_ghz;
         let conc = self.platform.cores as f64;
-        let mut characterizations = Vec::new();
         let mut search = Vec::new();
         let mut caps_ghz = Vec::new();
         // Greedy switch-overhead guard: a new cap is only worth paying a
@@ -367,9 +467,8 @@ impl Pipeline {
         // Membership probe built once: the per-kernel `Vec::contains` scan
         // was O(kernels²) on ML graphs with hundreds of kernels.
         let fallback_set: std::collections::HashSet<&str> =
-            fallback_kernels.iter().map(String::as_str).collect();
+            report.fallback_kernels.iter().map(String::as_str).collect();
         for (k, st) in optimized.kernels.iter().zip(&cache_stats) {
-            characterizations.push(characterize_kernel(&k.name, st, &self.roofline, f_ref));
             let pm = ParametricModel::new(&self.roofline, st, k.outer_parallel().is_some(), conc);
             let mut res = search_cap(&pm, &freqs, self.objective, self.epsilon);
             if fallback_set.contains(k.name.as_str()) {
@@ -399,39 +498,18 @@ impl Pipeline {
                 .map(|(k, &f)| (k.name.clone(), f)),
         );
         let scf = remove_redundant_caps(&insert_caps(&optimized, &plan));
-        let steps_4_6_us = t3.elapsed().as_micros();
+        report.steps_4_6_us += t3.elapsed().as_micros();
 
-        Ok(PipelineOutput {
+        PipelineOutput {
             optimized,
             scf,
             cache_stats,
             characterizations,
             search,
             caps_ghz,
-            report: CompileReport {
-                fallback_kernels,
-                verify_warnings,
-                verify_us,
-                preprocess_us,
-                pluto_us,
-                polyufc_cm_us,
-                steps_4_6_us,
-                count_cache_hits: count_cache.hits() - cc0.0,
-                count_cache_misses: count_cache.misses() - cc0.1,
-                count_symbolic: count_cache.symbolic() - cc0.2,
-                count_enumerated: count_cache.enumerated() - cc0.3,
-                count_cache_evictions: count_cache.evictions() - cc0.4,
-                // `analyze_in` reports the context's cumulative counters;
-                // subtract the pre-compile snapshot so a session's Nth
-                // request reports only its own solver traffic. (The arena
-                // high-water mark is monotone and stays cumulative.)
-                emptiness_batches: verify_stats.emptiness_batches.saturating_sub(batches0),
-                emptiness_checks: verify_stats.emptiness_checks.saturating_sub(checks0),
-                presburger_arena_bytes: verify_stats.peak_arena_bytes as u64,
-                count_parallel_splits: count_cache.parallel_splits() - cc0.5,
-            },
+            report,
             pluto_report,
-        })
+        }
     }
 
     /// The static model's per-kernel expectations `T(f_c,I)` / `E(f_c,I)`
@@ -702,6 +780,41 @@ mod tests {
         assert!(second.report.count_cache_hits >= first.report.count_cache_misses);
         assert_eq!(second.report.count_cache_misses, 0);
         assert!(second.report.emptiness_batches <= first.report.emptiness_batches);
+    }
+
+    #[test]
+    fn characterize_then_finish_matches_monolithic_compile() {
+        let input = matmul_program(128);
+        let mut pipe = Pipeline::new(Platform::broadwell());
+        pipe.cap_switch_guard = 0.0;
+        let whole = pipe.compile_affine(&input).unwrap();
+
+        // One characterization prefix, re-finished under several search
+        // parameters — each must match the monolithic pipeline exactly.
+        let prefix = pipe
+            .characterize_affine_in(&input, &mut CompileSession::new())
+            .unwrap();
+        for (objective, epsilon) in [
+            (Objective::Edp, 1e-3),
+            (Objective::Energy, 5e-3),
+            (Objective::Performance, 1e-2),
+        ] {
+            let mut variant = pipe.clone().with_objective(objective);
+            variant.epsilon = epsilon;
+            let split = variant.finish_characterized(prefix.clone());
+            let mono = variant.compile_affine(&input).unwrap();
+            assert_eq!(split.caps_ghz, mono.caps_ghz);
+            assert_eq!(
+                split.search.iter().map(|s| s.steps).collect::<Vec<_>>(),
+                mono.search.iter().map(|s| s.steps).collect::<Vec<_>>()
+            );
+            assert_eq!(format!("{}", split.scf), format!("{}", mono.scf));
+            assert_eq!(split.report.fallback_kernels, mono.report.fallback_kernels);
+        }
+        // And the default-parameter composition reproduces the original.
+        let recomposed = pipe.finish_characterized(prefix);
+        assert_eq!(recomposed.caps_ghz, whole.caps_ghz);
+        assert_eq!(format!("{}", recomposed.scf), format!("{}", whole.scf));
     }
 
     #[test]

@@ -29,13 +29,26 @@ impl<S> std::fmt::Debug for PoolFull<S> {
 
 type Job<S> = Box<dyn FnOnce(&mut S) + Send + 'static>;
 
+/// A callback the workers run after every completed job (see
+/// [`StatefulPool::set_completion_hook`]).
+type CompletionHook = Arc<dyn Fn() + Send + Sync + 'static>;
+
 /// Fixed-size worker pool over a bounded queue; each worker owns an `S`.
-#[derive(Debug)]
 pub struct StatefulPool<S> {
     tx: Option<SyncSender<Job<S>>>,
     handles: Vec<JoinHandle<()>>,
+    hook: Arc<Mutex<Option<CompletionHook>>>,
     workers: usize,
     queue_cap: usize,
+}
+
+impl<S> std::fmt::Debug for StatefulPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatefulPool")
+            .field("workers", &self.workers)
+            .field("queue_cap", &self.queue_cap)
+            .finish()
+    }
 }
 
 impl<S: Send + 'static> StatefulPool<S> {
@@ -49,22 +62,38 @@ impl<S: Send + 'static> StatefulPool<S> {
         let queue_cap = queue_cap.max(1);
         let (tx, rx) = sync_channel::<Job<S>>(queue_cap);
         let rx = Arc::new(Mutex::new(rx));
+        let hook: Arc<Mutex<Option<CompletionHook>>> = Arc::new(Mutex::new(None));
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let hook = Arc::clone(&hook);
                 let mut state = init(i);
                 std::thread::Builder::new()
                     .name(format!("polyufc-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &mut state))
+                    .spawn(move || worker_loop(&rx, &hook, &mut state))
                     .expect("spawn pool worker")
             })
             .collect();
         StatefulPool {
             tx: Some(tx),
             handles,
+            hook,
             workers,
             queue_cap,
         }
+    }
+
+    /// Installs (or replaces) a callback every worker runs after each
+    /// completed job. An event-driven caller uses this as a doorbell: the
+    /// serve reactor parks in `epoll_wait` and needs a wakeup-fd write —
+    /// not a poll — to learn that a compile finished and its completion
+    /// queue has entries to drain. The hook must be cheap and must not
+    /// submit jobs back into this pool (it runs on the worker thread).
+    pub fn set_completion_hook<F>(&self, hook: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        *self.hook.lock().unwrap() = Some(Arc::new(hook));
     }
 
     /// Submits a job without blocking. `Err(PoolFull)` means every worker
@@ -116,7 +145,11 @@ impl<S> Drop for StatefulPool<S> {
     }
 }
 
-fn worker_loop<S>(rx: &Mutex<Receiver<Job<S>>>, state: &mut S) {
+fn worker_loop<S>(
+    rx: &Mutex<Receiver<Job<S>>>,
+    hook: &Mutex<Option<CompletionHook>>,
+    state: &mut S,
+) {
     loop {
         // Hold the lock only while dequeuing, never while running a job.
         let job = match rx.lock() {
@@ -124,7 +157,15 @@ fn worker_loop<S>(rx: &Mutex<Receiver<Job<S>>>, state: &mut S) {
             Err(_) => return, // a sibling panicked mid-recv; stop cleanly
         };
         match job {
-            Ok(job) => job(state),
+            Ok(job) => {
+                job(state);
+                // Clone out under the lock, ring outside it: the hook may
+                // write to an fd and must not serialize the other workers.
+                let h = hook.lock().ok().and_then(|g| g.clone());
+                if let Some(h) = h {
+                    h();
+                }
+            }
             Err(_) => return, // channel closed: pool shut down
         }
     }
@@ -206,6 +247,39 @@ mod tests {
         cv.notify_all();
         pool.shutdown();
         assert_eq!(hits.load(Ordering::SeqCst), 0, "shed job must not run");
+    }
+
+    #[test]
+    fn completion_hook_rings_once_per_job() {
+        let pool = StatefulPool::new(2, 16, |_| ());
+        let rings = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&rings);
+        pool.set_completion_hook(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..12 {
+            let ran = Arc::clone(&ran);
+            let mut job = Box::new(move |_: &mut ()| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }) as Box<dyn FnOnce(&mut ()) + Send>;
+            loop {
+                match pool.try_execute(job) {
+                    Ok(()) => break,
+                    Err(PoolFull(back)) => {
+                        job = back;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 12);
+        assert_eq!(
+            rings.load(Ordering::SeqCst),
+            12,
+            "hook must run exactly once after each job"
+        );
     }
 
     #[test]

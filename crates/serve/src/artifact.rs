@@ -1,27 +1,28 @@
-//! The content-addressed artifact cache with single-flight deduplication.
-//!
-//! Keys are byte-exact structural fingerprints (built by the engine from
-//! [`polyufc_machine::program_fingerprint`] plus the request's pipeline
-//! configuration and the response-visible names); values are fully
-//! rendered response bodies. Caching the *bytes* rather than a parsed
-//! artifact makes the hot path a single map probe + `Arc` clone, and
-//! makes byte-identity between hits, fresh compilations, and the
-//! one-shot CLI a structural property instead of a test hope.
+//! Single-flight primitives for the artifact cache: the [`Flight`]
+//! rendezvous and the cache's shared result/abort types. The sharded
+//! cache itself lives in [`crate::shard`].
 //!
 //! **Single flight:** when N requests for the same key arrive
 //! concurrently, the first becomes the *leader* and compiles; the other
-//! N−1 become *followers* and block on the leader's [`Flight`] instead of
-//! burning N−1 workers on identical compilations. Followers count as
+//! N−1 become *followers* and attach to the leader's [`Flight`] instead
+//! of burning N−1 workers on identical compilations. Followers count as
 //! cache hits — they are served from shared work, not their own.
 //!
-//! **Bounding:** like the `MeasureCache`/`CountCache`, eviction is
-//! generational — when the ready-entry count reaches capacity the next
-//! insert clears every ready entry (one `evictions` tick) while in-flight
-//! leaders are retained, since dropping a pending flight would strand its
-//! followers.
+//! Followers attach in one of two ways:
+//!
+//! * [`Flight::subscribe`] — event-driven: the callback runs when the
+//!   leader completes (on the completing thread), or immediately if the
+//!   flight already finished. The epoll reactor uses this — it must never
+//!   block, so a follower's connection slot is filled by a completion
+//!   callback, not a parked thread.
+//! * [`Flight::wait`] — blocking, built on `subscribe` over a channel.
+//!   The legacy thread-per-connection path and tests use this.
 
-use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
+
+/// A fully rendered response body, shared zero-copy between the cache,
+/// in-flight completions, and per-connection write queues.
+pub type Body = Arc<[u8]>;
 
 /// Why an in-flight compilation finished without an artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,32 +34,83 @@ pub enum Abort {
     Internal,
 }
 
+/// A waiter attached to an in-flight compilation.
+type Waiter = Box<dyn FnOnce(Result<Body, Abort>) + Send + 'static>;
+
+enum FlightState {
+    /// Leader still compiling; waiters queue here.
+    Pending(Vec<Waiter>),
+    /// Completed: late subscribers get the result immediately.
+    Done(Result<Body, Abort>),
+}
+
 /// The rendezvous for one in-flight compilation.
-#[derive(Debug, Default)]
 pub struct Flight {
-    slot: Mutex<Option<Result<Arc<String>, Abort>>>,
-    cv: Condvar,
+    state: Mutex<FlightState>,
+}
+
+impl std::fmt::Debug for Flight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Flight")
+    }
+}
+
+impl Default for Flight {
+    fn default() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending(Vec::new())),
+        }
+    }
 }
 
 impl Flight {
-    /// Blocks until the leader fulfills or aborts this flight.
-    pub fn wait(&self) -> Result<Arc<String>, Abort> {
-        let mut slot = self.slot.lock().unwrap();
-        loop {
-            if let Some(r) = slot.as_ref() {
-                return r.clone();
+    /// Attaches a completion callback: runs on the completing thread when
+    /// the leader fulfills or aborts, or inline right now if it already
+    /// has. Callbacks run outside the flight's lock.
+    pub fn subscribe<F>(&self, f: F)
+    where
+        F: FnOnce(Result<Body, Abort>) + Send + 'static,
+    {
+        let done = {
+            let mut state = self.state.lock().unwrap();
+            match &mut *state {
+                FlightState::Pending(waiters) => {
+                    waiters.push(Box::new(f));
+                    return;
+                }
+                FlightState::Done(r) => r.clone(),
             }
-            slot = self.cv.wait(slot).unwrap();
-        }
+        };
+        f(done);
     }
 
-    fn complete(&self, r: Result<Arc<String>, Abort>) {
-        let mut slot = self.slot.lock().unwrap();
-        // First completion wins; a second (e.g. abort racing fulfill)
-        // must not overwrite what waiters may already have cloned.
-        if slot.is_none() {
-            *slot = Some(r);
-            self.cv.notify_all();
+    /// Blocks until the leader fulfills or aborts this flight.
+    pub fn wait(&self) -> Result<Body, Abort> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.subscribe(move |r| {
+            let _ = tx.send(r);
+        });
+        rx.recv()
+            .expect("flight completed or dropped without a result")
+    }
+
+    /// Completes the flight; first completion wins (e.g. an abort racing
+    /// a fulfill must not overwrite what waiters already saw). Every
+    /// queued waiter runs with a clone of the result.
+    pub(crate) fn complete(&self, r: Result<Body, Abort>) {
+        let waiters = {
+            let mut state = self.state.lock().unwrap();
+            match &mut *state {
+                FlightState::Pending(waiters) => {
+                    let waiters = std::mem::take(waiters);
+                    *state = FlightState::Done(r.clone());
+                    waiters
+                }
+                FlightState::Done(_) => return,
+            }
+        };
+        for w in waiters {
+            w(r.clone());
         }
     }
 }
@@ -66,16 +118,19 @@ impl Flight {
 /// A snapshot of the cache's counters, for the `stats` request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArtifactCacheStats {
-    /// Lookups served from a ready entry or a shared in-flight compile.
+    /// Lookups served from a ready entry, the exact-line response tier,
+    /// or a shared in-flight compile.
     pub hits: u64,
     /// Lookups that became compile leaders.
     pub misses: u64,
-    /// Generational clears performed on overflow.
+    /// Generational clears performed on overflow (per shard).
     pub evictions: u64,
-    /// Ready entries currently resident.
+    /// Ready keyed entries currently resident (across all shards).
     pub entries: usize,
     /// Compilations currently in flight.
     pub inflight: usize,
+    /// Exact-line response-tier entries currently resident.
+    pub line_entries: usize,
 }
 
 impl ArtifactCacheStats {
@@ -90,31 +145,16 @@ impl ArtifactCacheStats {
     }
 }
 
-#[derive(Debug)]
-enum Slot {
-    Ready(Arc<String>),
-    Pending(Arc<Flight>),
-}
-
-#[derive(Debug)]
-struct Inner {
-    map: HashMap<Vec<u8>, Slot>,
-    capacity: usize,
-    ready: usize,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-}
-
 /// The outcome of one cache probe.
 pub enum Lookup {
     /// A ready artifact: return its bytes.
-    Hit(Arc<String>),
-    /// Someone else is compiling this key: wait on their flight.
+    Hit(Body),
+    /// Someone else is compiling this key: subscribe to (or wait on)
+    /// their flight.
     Wait(Arc<Flight>),
     /// This caller is the leader: compile, then
-    /// [`ArtifactCache::fulfill`] (or [`ArtifactCache::abort`]) the
-    /// flight.
+    /// [`fulfill`](crate::shard::ArtifactCache::fulfill) (or
+    /// [`abort`](crate::shard::ArtifactCache::abort)) the flight.
     Lead(Arc<Flight>),
 }
 
@@ -128,203 +168,58 @@ impl std::fmt::Debug for Lookup {
     }
 }
 
-/// Bounded content-addressed response cache with single-flight dedup.
-#[derive(Debug)]
-pub struct ArtifactCache {
-    inner: Mutex<Inner>,
-}
-
-impl ArtifactCache {
-    /// A cache bounded to `capacity` ready entries (at least 1).
-    pub fn new(capacity: usize) -> Self {
-        ArtifactCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                capacity: capacity.max(1),
-                ready: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-            }),
-        }
-    }
-
-    /// Probes the cache; a miss atomically registers this caller as the
-    /// key's compile leader.
-    pub fn lookup(&self, key: &[u8]) -> Lookup {
-        let mut inner = self.inner.lock().unwrap();
-        match inner.map.get(key) {
-            Some(Slot::Ready(body)) => {
-                let body = Arc::clone(body);
-                inner.hits += 1;
-                Lookup::Hit(body)
-            }
-            Some(Slot::Pending(flight)) => {
-                let flight = Arc::clone(flight);
-                inner.hits += 1; // served from the leader's work
-                Lookup::Wait(flight)
-            }
-            None => {
-                inner.misses += 1;
-                let flight = Arc::new(Flight::default());
-                inner
-                    .map
-                    .insert(key.to_vec(), Slot::Pending(Arc::clone(&flight)));
-                Lookup::Lead(flight)
-            }
-        }
-    }
-
-    /// Publishes the leader's rendered response: the pending slot becomes
-    /// ready and every follower wakes with the same bytes.
-    pub fn fulfill(&self, key: &[u8], flight: &Arc<Flight>, body: String) -> Arc<String> {
-        let body = Arc::new(body);
-        {
-            let mut inner = self.inner.lock().unwrap();
-            if let Some(Slot::Pending(f)) = inner.map.get(key) {
-                if Arc::ptr_eq(f, flight) {
-                    if inner.ready >= inner.capacity {
-                        // Generational clear of ready entries only:
-                        // pending flights have waiters parked on them.
-                        inner.map.retain(|_, s| matches!(s, Slot::Pending(_)));
-                        inner.ready = 0;
-                        inner.evictions += 1;
-                    }
-                    inner
-                        .map
-                        .insert(key.to_vec(), Slot::Ready(Arc::clone(&body)));
-                    inner.ready += 1;
-                }
-            }
-        }
-        flight.complete(Ok(Arc::clone(&body)));
-        body
-    }
-
-    /// Cancels the leader's flight without publishing an artifact: the
-    /// pending slot is removed (the next request for this key leads a
-    /// fresh compile) and every follower wakes with `abort`.
-    pub fn abort(&self, key: &[u8], flight: &Arc<Flight>, abort: Abort) {
-        {
-            let mut inner = self.inner.lock().unwrap();
-            if let Some(Slot::Pending(f)) = inner.map.get(key) {
-                if Arc::ptr_eq(f, flight) {
-                    inner.map.remove(key);
-                }
-            }
-        }
-        flight.complete(Err(abort));
-    }
-
-    /// Counter snapshot.
-    pub fn stats(&self) -> ArtifactCacheStats {
-        let inner = self.inner.lock().unwrap();
-        ArtifactCacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.ready,
-            inflight: inner.map.len() - inner.ready,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
-    #[test]
-    fn leader_then_hits() {
-        let c = ArtifactCache::new(8);
-        let flight = match c.lookup(b"k1") {
-            Lookup::Lead(f) => f,
-            other => panic!("{other:?}"),
-        };
-        let body = c.fulfill(b"k1", &flight, "resp".to_string());
-        assert_eq!(*body, "resp");
-        match c.lookup(b"k1") {
-            Lookup::Hit(b) => assert_eq!(*b, "resp"),
-            other => panic!("{other:?}"),
-        }
-        let st = c.stats();
-        assert_eq!((st.hits, st.misses, st.entries, st.inflight), (1, 1, 1, 0));
+    fn body(s: &str) -> Body {
+        Arc::from(s.as_bytes())
     }
 
     #[test]
-    fn followers_share_the_leaders_flight() {
-        let c = Arc::new(ArtifactCache::new(8));
-        let leader = match c.lookup(b"k") {
-            Lookup::Lead(f) => f,
-            other => panic!("{other:?}"),
-        };
-        let mut joins = Vec::new();
-        for _ in 0..4 {
-            let c = Arc::clone(&c);
-            joins.push(thread::spawn(move || match c.lookup(b"k") {
-                Lookup::Hit(b) => (*b).clone(),
-                Lookup::Wait(f) => (*f.wait().unwrap()).clone(),
-                Lookup::Lead(_) => panic!("second leader for one key"),
-            }));
-        }
-        c.fulfill(b"k", &leader, "shared".to_string());
-        for j in joins {
-            assert_eq!(j.join().unwrap(), "shared");
-        }
-        let st = c.stats();
-        assert_eq!(st.misses, 1, "exactly one compile for 5 requests");
-        assert_eq!(st.hits, 4);
+    fn subscribe_before_completion_runs_on_complete() {
+        let f = Flight::default();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        f.subscribe(move |res| {
+            assert_eq!(&*res.unwrap(), b"x");
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "must not run early");
+        f.complete(Ok(body("x")));
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]
-    fn abort_wakes_followers_and_frees_the_key() {
-        let c = Arc::new(ArtifactCache::new(8));
-        let leader = match c.lookup(b"k") {
-            Lookup::Lead(f) => f,
-            other => panic!("{other:?}"),
-        };
-        let follower = match c.lookup(b"k") {
-            Lookup::Wait(f) => f,
-            other => panic!("{other:?}"),
-        };
-        c.abort(b"k", &leader, Abort::Overloaded);
-        assert_eq!(follower.wait().unwrap_err(), Abort::Overloaded);
-        // The key is free again: the next request leads a fresh compile.
-        assert!(matches!(c.lookup(b"k"), Lookup::Lead(_)));
-        assert_eq!(c.stats().inflight, 1);
+    fn subscribe_after_completion_runs_inline() {
+        let f = Flight::default();
+        f.complete(Err(Abort::Overloaded));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        f.subscribe(move |res| {
+            assert_eq!(res.unwrap_err(), Abort::Overloaded);
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]
-    fn generational_eviction_retains_pending() {
-        let c = ArtifactCache::new(2);
-        for key in [b"a".as_slice(), b"b"] {
-            match c.lookup(key) {
-                Lookup::Lead(f) => {
-                    c.fulfill(key, &f, "x".into());
-                }
-                other => panic!("{other:?}"),
-            }
-        }
-        let pending = match c.lookup(b"inflight") {
-            Lookup::Lead(f) => f,
-            other => panic!("{other:?}"),
+    fn first_completion_wins() {
+        let f = Flight::default();
+        f.complete(Ok(body("first")));
+        f.complete(Err(Abort::Internal));
+        assert_eq!(&*f.wait().unwrap(), b"first");
+    }
+
+    #[test]
+    fn blocking_wait_crosses_threads() {
+        let f = Arc::new(Flight::default());
+        let waiter = {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || f.wait())
         };
-        // Third ready insert overflows: ready entries clear, the pending
-        // flight survives.
-        match c.lookup(b"c") {
-            Lookup::Lead(f) => {
-                c.fulfill(b"c", &f, "y".into());
-            }
-            other => panic!("{other:?}"),
-        }
-        let st = c.stats();
-        assert_eq!(st.evictions, 1);
-        assert_eq!(st.entries, 1);
-        assert_eq!(st.inflight, 1);
-        c.fulfill(b"inflight", &pending, "z".into());
-        match c.lookup(b"inflight") {
-            Lookup::Hit(b) => assert_eq!(*b, "z"),
-            other => panic!("{other:?}"),
-        }
+        f.complete(Ok(body("shared")));
+        assert_eq!(&*waiter.join().unwrap().unwrap(), b"shared");
     }
 }

@@ -1,24 +1,45 @@
 //! The compile engine: request batching into the worker pool, the
-//! content-addressed artifact cache, and deterministic response
+//! sharded content-addressed artifact cache, and deterministic response
 //! rendering.
 //!
 //! The split of one compile request across threads is deliberate:
 //!
-//! * the **connection thread** parses and sanitizes the kernel source and
-//!   derives the artifact key — cheap, and it lets a cache hit complete
-//!   without ever touching the pool;
-//! * a **worker thread** (with its persistent [`CompileSession`]) runs
-//!   the expensive pipeline only when the key missed, and only once per
-//!   key no matter how many requests race (single flight).
+//! * the **reactor (or connection) thread** probes the exact-line
+//!   response tier, parses and sanitizes the kernel source, and derives
+//!   the artifact key — cheap, and it lets a cache hit complete without
+//!   ever touching the pool;
+//! * a **worker thread** (with its persistent [`CompileSession`] and a
+//!   per-worker characterization-prefix cache) runs the expensive
+//!   pipeline only when the key missed, and only once per key no matter
+//!   how many requests race (single flight).
+//!
+//! The engine's entry point is asynchronous: [`Engine::submit`] either
+//! answers immediately ([`Submitted::Ready`]) or dispatches a compile and
+//! later invokes the caller's `notify` callback with the finished body —
+//! the epoll reactor never blocks on a compile. The blocking
+//! [`Engine::handle_line`] wrapper serves the legacy
+//! thread-per-connection path and tests.
 //!
 //! When the bounded queue is full the leader sheds with a typed
 //! `overloaded` response and aborts its flight so followers shed too —
 //! backpressure is explicit, never an unbounded buffer.
+//!
+//! **Prefix cache:** stage timing shows warm recompiles are dominated by
+//! Pluto re-optimization (hundreds of µs to ms), while the only stages
+//! that read `epsilon`/`objective` — POLYUFC-SEARCH and code generation
+//! — cost ~15 µs. Each worker therefore caches
+//! [`CharacterizedProgram`] prefixes keyed on (platform, assoc,
+//! program): a request differing only in search parameters re-runs only
+//! [`Pipeline::finish_characterized`]. Responses stay byte-identical by
+//! construction — the prefix is exactly the pipeline's own stage-1–3
+//! output.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use polyufc::{CompileReport, CompileSession, Pipeline, PipelineOutput};
+use polyufc::{CharacterizedProgram, CompileReport, CompileSession, Pipeline, PipelineOutput};
 use polyufc_analysis::sanitize_parallel;
 use polyufc_cgeist::parse_scop;
 use polyufc_ir::affine::AffineProgram;
@@ -26,12 +47,13 @@ use polyufc_ir::textual::parse_affine_program;
 use polyufc_machine::program_fingerprint;
 use polyufc_par::StatefulPool;
 
-use crate::artifact::{Abort, ArtifactCache, ArtifactCacheStats, Lookup};
+use crate::artifact::{Abort, ArtifactCacheStats, Body, Flight, Lookup};
 use crate::json::{fmt_f64, push_escaped};
 use crate::protocol::{
     assoc_str, codes, objective_str, parse_request, render_error, CompileRequest, Request,
     WireError, MAX_REQUEST_BYTES,
 };
+use crate::shard::ArtifactCache;
 
 /// Engine sizing.
 #[derive(Debug, Clone)]
@@ -59,7 +81,7 @@ impl Default for EngineConfig {
 
 /// Cumulative Presburger counting-cache traffic across every compile the
 /// engine ran (aggregated from per-compile [`CompileReport`] deltas, so
-/// shed and cached requests contribute nothing).
+/// shed, cached, and prefix-cached requests contribute nothing).
 #[derive(Debug, Default)]
 pub struct CountTotals {
     /// Counting queries answered from warm per-worker session caches.
@@ -91,7 +113,75 @@ impl CountTotals {
     }
 }
 
-/// State shared between connection threads and compile workers.
+/// Fixed-bucket log₂ latency histogram: bucket `i` counts service times
+/// in `[2^(i-1), 2^i)` µs (bucket 0 is sub-microsecond). Recording is
+/// one relaxed atomic increment — safe from the reactor's hot path — and
+/// quantiles are read as bucket upper bounds, which is the right
+/// resolution for a trajectory metric (p99 drifting from 2^7 to 2^10 µs
+/// is the signal; ±30% inside a bucket is not).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    max_us: AtomicU64,
+}
+
+const BUCKETS: usize = 40;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one service time.
+    pub fn record_us(&self, us: u64) {
+        let idx = if us == 0 {
+            0
+        } else {
+            (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Snapshot: (count, p50, p99, max) with quantiles as bucket upper
+    /// bounds in µs.
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = (q * total as f64).ceil() as u64;
+            let mut cum = 0u64;
+            for (i, &n) in counts.iter().enumerate() {
+                cum += n;
+                if cum >= rank {
+                    return 1u64 << i;
+                }
+            }
+            1u64 << (BUCKETS - 1)
+        };
+        (
+            total,
+            quantile(0.50),
+            quantile(0.99),
+            self.max_us.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// State shared between the reactor/connection threads and compile
+/// workers.
 #[derive(Debug, Default)]
 struct Shared {
     counts: CountTotals,
@@ -99,9 +189,12 @@ struct Shared {
     compiled: AtomicU64,
     errors: AtomicU64,
     shed: AtomicU64,
+    prefix_hits: AtomicU64,
+    prefix_misses: AtomicU64,
+    latency: LatencyHistogram,
 }
 
-/// How the server should act on a handled line.
+/// How the server should act on a handled line (blocking API).
 #[derive(Debug)]
 pub enum Outcome {
     /// Write this response line and keep the connection open.
@@ -119,18 +212,70 @@ impl Outcome {
     }
 }
 
+/// How [`Engine::submit`] answered a request line (event-driven API).
+pub enum Submitted {
+    /// The response is ready now (no compile was needed).
+    Ready(Body),
+    /// Ready now, and the daemon should drain and stop after writing it.
+    ReadyShutdown(Body),
+    /// A compile was dispatched (or joined in flight); the `notify`
+    /// callback passed to `submit` will deliver the body later, possibly
+    /// on a worker thread.
+    Pending,
+}
+
+impl std::fmt::Debug for Submitted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Submitted::Ready(_) => "Submitted::Ready",
+            Submitted::ReadyShutdown(_) => "Submitted::ReadyShutdown",
+            Submitted::Pending => "Submitted::Pending",
+        })
+    }
+}
+
 /// A compile request parsed, sanitized, and keyed — everything the
-/// connection thread computes before deciding hit/wait/lead.
+/// reactor/connection thread computes before deciding hit/wait/lead.
 pub struct Prepared {
     program: AffineProgram,
     warnings: Vec<String>,
     opts: crate::protocol::CompileOptions,
     key: Vec<u8>,
+    prefix_key: Vec<u8>,
+}
+
+/// Per-worker compile state: the persistent [`CompileSession`] (warm
+/// Presburger caches) plus a bounded cache of ε-independent
+/// [`CharacterizedProgram`] prefixes.
+pub struct WorkerState {
+    session: CompileSession,
+    prefix: HashMap<Vec<u8>, Arc<CharacterizedProgram>>,
+}
+
+/// Prefix entries per worker; generational clear on overflow, like the
+/// other bounded caches. Characterized mini-suite programs are a few KB
+/// each, so this bounds worker memory to low MB.
+const PREFIX_CACHE_CAP: usize = 64;
+
+impl WorkerState {
+    /// Fresh state: empty session caches, empty prefix cache.
+    pub fn new() -> Self {
+        WorkerState {
+            session: CompileSession::new(),
+            prefix: HashMap::new(),
+        }
+    }
+}
+
+impl Default for WorkerState {
+    fn default() -> Self {
+        WorkerState::new()
+    }
 }
 
 /// The serving engine: worker pool + artifact cache + counters.
 pub struct Engine {
-    pool: StatefulPool<CompileSession>,
+    pool: StatefulPool<WorkerState>,
     cache: Arc<ArtifactCache>,
     shared: Arc<Shared>,
     workers: usize,
@@ -148,86 +293,155 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     /// Builds the engine: spawns the workers (each with a persistent
-    /// [`CompileSession`]) and allocates the artifact cache.
+    /// [`WorkerState`]) and allocates the sharded artifact cache
+    /// (`next_pow2(workers * 4)` shards).
     pub fn new(cfg: &EngineConfig) -> Self {
+        let workers = cfg.workers.max(1);
         Engine {
-            pool: StatefulPool::new(cfg.workers, cfg.queue_cap, |_| CompileSession::new()),
-            cache: Arc::new(ArtifactCache::new(cfg.cache_capacity)),
+            pool: StatefulPool::new(cfg.workers, cfg.queue_cap, |_| WorkerState::new()),
+            cache: Arc::new(ArtifactCache::new(cfg.cache_capacity, workers * 4)),
             shared: Arc::new(Shared::default()),
-            workers: cfg.workers.max(1),
+            workers,
             queue_cap: cfg.queue_cap.max(1),
         }
     }
 
-    /// Handles one request line and produces the one response line.
+    /// Installs the worker-pool completion hook (the reactor's doorbell:
+    /// one wakeup-fd write after every finished compile job).
+    pub fn set_completion_hook<F>(&self, hook: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        self.pool.set_completion_hook(hook);
+    }
+
+    /// Handles one request line, blocking until the response body exists.
     /// Never panics on any input; every failure is a typed error body.
+    /// (The legacy thread-per-connection path; the reactor uses
+    /// [`Engine::submit`].)
     pub fn handle_line(&self, line: &str) -> Outcome {
+        let (tx, rx) = std::sync::mpsc::channel();
+        match self.submit(line, move |b| {
+            let _ = tx.send(b);
+        }) {
+            Submitted::Ready(b) => Outcome::Reply(body_string(&b)),
+            Submitted::ReadyShutdown(b) => Outcome::ReplyAndShutdown(body_string(&b)),
+            Submitted::Pending => {
+                let body = rx.recv().expect("every flight completes");
+                Outcome::Reply(body_string(&body))
+            }
+        }
+    }
+
+    /// Handles one request line without blocking on compiles: fast-path
+    /// requests (line-tier hits, pings, stats, cache hits, typed errors)
+    /// return [`Submitted::Ready`]; everything that needs a worker
+    /// returns [`Submitted::Pending`] and later delivers the body through
+    /// `notify` — exactly once, possibly on a worker thread, possibly
+    /// inline before `submit` returns (e.g. an immediate shed).
+    pub fn submit<F>(&self, line: &str, notify: F) -> Submitted
+    where
+        F: FnOnce(Body) + Send + 'static,
+    {
+        let t0 = Instant::now();
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        // L0: byte-identical repeat of a compile line — skip parsing,
+        // sanitizing, and fingerprinting entirely.
+        if let Some(body) = self.cache.line_get(line) {
+            return self.ready(t0, body);
+        }
         let req = match parse_request(line) {
             Ok(r) => r,
             Err(e) => {
                 self.shared.errors.fetch_add(1, Ordering::Relaxed);
-                return Outcome::Reply(e.render());
+                return self.ready(t0, string_body(e.render()));
             }
         };
         match req {
-            Request::Ping => Outcome::Reply("{\"ok\":true,\"pong\":true}".to_string()),
-            Request::Stats => Outcome::Reply(self.stats_json()),
+            Request::Ping => self.ready(t0, string_body("{\"ok\":true,\"pong\":true}".into())),
+            Request::Stats => self.ready(t0, string_body(self.stats_json())),
             Request::Shutdown => {
-                Outcome::ReplyAndShutdown("{\"ok\":true,\"shutdown\":true}".to_string())
+                let body = string_body("{\"ok\":true,\"shutdown\":true}".into());
+                self.shared.latency.record_us(elapsed_us(t0));
+                Submitted::ReadyShutdown(body)
             }
-            Request::Compile(c) => Outcome::Reply(self.handle_compile(&c)),
+            Request::Compile(c) => self.submit_compile(t0, line, &c, notify),
         }
     }
 
-    fn handle_compile(&self, req: &CompileRequest) -> String {
+    fn ready(&self, t0: Instant, body: Body) -> Submitted {
+        self.shared.latency.record_us(elapsed_us(t0));
+        Submitted::Ready(body)
+    }
+
+    fn submit_compile<F>(
+        &self,
+        t0: Instant,
+        line: &str,
+        req: &CompileRequest,
+        notify: F,
+    ) -> Submitted
+    where
+        F: FnOnce(Body) + Send + 'static,
+    {
         let prepared = match prepare(req) {
             Ok(p) => p,
             Err(e) => {
                 self.shared.errors.fetch_add(1, Ordering::Relaxed);
-                return e.render();
+                return self.ready(t0, string_body(e.render()));
             }
         };
         match self.cache.lookup(&prepared.key) {
-            Lookup::Hit(body) => (*body).clone(),
-            Lookup::Wait(flight) => match flight.wait() {
-                Ok(body) => (*body).clone(),
-                Err(abort) => {
-                    self.shared.errors.fetch_add(1, Ordering::Relaxed);
-                    abort_error(abort).render()
-                }
-            },
+            Lookup::Hit(body) => {
+                self.cache.line_put(line, &body);
+                self.ready(t0, body)
+            }
+            Lookup::Wait(flight) => {
+                self.attach(t0, line, &flight, notify);
+                Submitted::Pending
+            }
             Lookup::Lead(flight) => {
+                self.attach(t0, line, &flight, notify);
                 let cache = Arc::clone(&self.cache);
                 let shared = Arc::clone(&self.shared);
                 let job_flight = Arc::clone(&flight);
-                let lead_key = prepared.key.clone();
                 let key = prepared.key.clone();
-                let submitted = self.pool.try_execute(move |session| {
+                let lead_key = prepared.key.clone();
+                let submitted = self.pool.try_execute(move |state: &mut WorkerState| {
                     // A panicking pass must not take the worker (or the
                     // daemon) down, and must not leave its followers
                     // parked forever; contain it, answer `internal`, and
-                    // hand the worker a fresh session in case the old one
-                    // was poisoned mid-update.
+                    // hand the worker fresh state in case the old one was
+                    // poisoned mid-update.
                     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        compile_prepared(&prepared, session)
+                        compile_prepared(&prepared, state)
                     }));
                     match run {
-                        Ok((body, report)) => {
+                        Ok((body, report, prefix_hit)) => {
+                            if prefix_hit {
+                                shared.prefix_hits.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                shared.prefix_misses.fetch_add(1, Ordering::Relaxed);
+                            }
                             match report {
                                 Some(r) => {
-                                    shared.counts.add(&r);
+                                    // A prefix hit re-ran only the search;
+                                    // its report clones the cached stage-1–3
+                                    // counters, which were already totaled
+                                    // when the prefix was built.
+                                    if !prefix_hit {
+                                        shared.counts.add(&r);
+                                    }
                                     shared.compiled.fetch_add(1, Ordering::Relaxed);
                                 }
                                 None => {
                                     shared.errors.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
-                            cache.fulfill(&key, &job_flight, body);
+                            cache.fulfill(&key, &job_flight, string_body(body));
                         }
                         Err(_) => {
-                            *session = CompileSession::new();
-                            shared.errors.fetch_add(1, Ordering::Relaxed);
+                            *state = WorkerState::new();
                             cache.abort(&key, &job_flight, Abort::Internal);
                         }
                     }
@@ -235,16 +449,41 @@ impl Engine {
                 if let Err(rejected) = submitted {
                     drop(rejected); // the boxed job, returned unrun
                     self.shared.shed.fetch_add(1, Ordering::Relaxed);
-                    self.shared.errors.fetch_add(1, Ordering::Relaxed);
+                    // Completes the flight inline: every subscriber —
+                    // including this request's own — gets the typed
+                    // `overloaded` body through its callback.
                     self.cache.abort(&lead_key, &flight, Abort::Overloaded);
-                    return abort_error(Abort::Overloaded).render();
                 }
-                match flight.wait() {
-                    Ok(body) => (*body).clone(),
-                    Err(abort) => abort_error(abort).render(),
-                }
+                Submitted::Pending
             }
         }
+    }
+
+    /// Subscribes this request's completion callback to a flight: on
+    /// fulfill the body is promoted to the exact-line tier; on abort a
+    /// typed error is rendered per subscriber. Latency is recorded at
+    /// completion, so queue wait counts as service time.
+    fn attach<F>(&self, t0: Instant, line: &str, flight: &Arc<Flight>, notify: F)
+    where
+        F: FnOnce(Body) + Send + 'static,
+    {
+        let cache = Arc::clone(&self.cache);
+        let shared = Arc::clone(&self.shared);
+        let line = line.to_string();
+        flight.subscribe(move |res| {
+            let body = match res {
+                Ok(body) => {
+                    cache.line_put(&line, &body);
+                    body
+                }
+                Err(abort) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    string_body(abort_error(abort).render())
+                }
+            };
+            shared.latency.record_us(elapsed_us(t0));
+            notify(body);
+        });
     }
 
     /// The structured `stats` response (deterministic field order; values
@@ -253,7 +492,8 @@ impl Engine {
         let a = self.cache.stats();
         let m = polyufc_machine::measure_cache_stats();
         let c = &self.shared.counts;
-        let mut s = String::with_capacity(512);
+        let (lat_n, lat_p50, lat_p99, lat_max) = self.shared.latency.summary();
+        let mut s = String::with_capacity(768);
         s.push_str("{\"ok\":true,\"schema\":\"polyufc-stats/1\",\"server\":{");
         push_u64(&mut s, "workers", self.workers as u64);
         push_u64(&mut s, "queue_capacity", self.queue_cap as u64);
@@ -269,13 +509,30 @@ impl Engine {
         );
         push_u64(&mut s, "errors", self.shared.errors.load(Ordering::Relaxed));
         push_u64(&mut s, "shed", self.shared.shed.load(Ordering::Relaxed));
+        push_u64(
+            &mut s,
+            "prefix_hits",
+            self.shared.prefix_hits.load(Ordering::Relaxed),
+        );
+        push_u64(
+            &mut s,
+            "prefix_misses",
+            self.shared.prefix_misses.load(Ordering::Relaxed),
+        );
         s.pop(); // trailing comma
+        s.push_str("},\"latency\":{");
+        push_u64(&mut s, "count", lat_n);
+        push_u64(&mut s, "p50_us", lat_p50);
+        push_u64(&mut s, "p99_us", lat_p99);
+        push_u64(&mut s, "max_us", lat_max);
+        s.pop();
         s.push_str("},\"artifact_cache\":{");
         push_u64(&mut s, "hits", a.hits);
         push_u64(&mut s, "misses", a.misses);
         push_u64(&mut s, "evictions", a.evictions);
         push_u64(&mut s, "entries", a.entries as u64);
         push_u64(&mut s, "inflight", a.inflight as u64);
+        push_u64(&mut s, "line_entries", a.line_entries as u64);
         s.push_str("\"hit_rate\":");
         s.push_str(&fmt_f64(a.hit_rate()));
         s.push_str("},\"measure_cache\":{");
@@ -306,6 +563,11 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Latency summary (count, p50 µs, p99 µs, max µs).
+    pub fn latency_summary(&self) -> (u64, u64, u64, u64) {
+        self.shared.latency.summary()
+    }
+
     /// Worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -322,8 +584,20 @@ impl Engine {
     }
 }
 
+fn elapsed_us(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn string_body(s: String) -> Body {
+    Arc::from(s.into_bytes().into_boxed_slice())
+}
+
+fn body_string(b: &Body) -> String {
+    String::from_utf8(b.to_vec()).expect("response bodies are rendered UTF-8")
+}
+
 /// Parses, sanitizes, and keys one compile request on the calling
-/// (connection) thread.
+/// (reactor/connection) thread.
 ///
 /// # Errors
 ///
@@ -343,77 +617,110 @@ pub fn prepare(req: &CompileRequest) -> Result<Prepared, WireError> {
         .iter()
         .map(|d| d.to_string())
         .collect();
-    let key = artifact_key(&program, &warnings, &req.opts);
+    let (key, prefix_key) = artifact_keys(&program, &warnings, &req.opts);
     Ok(Prepared {
         program,
         warnings,
         opts: req.opts.clone(),
         key,
+        prefix_key,
     })
 }
 
-/// The content address of a response: pipeline configuration, the
-/// structural program fingerprint the measure cache already computes,
-/// the program's rendered text (fingerprints deliberately exclude names,
-/// but responses embed them), and the sanitize trace (distinct
-/// pre-sanitize sources can converge on one program yet carry different
-/// warnings).
-fn artifact_key(
+/// The content addresses of a request, full and prefix.
+///
+/// The **artifact key** covers everything response bytes depend on:
+/// pipeline configuration, the structural program fingerprint the
+/// measure cache already computes, the program's rendered text
+/// (fingerprints deliberately exclude names, but responses embed them),
+/// and the sanitize trace (distinct pre-sanitize sources can converge on
+/// one program yet carry different warnings).
+///
+/// The **prefix key** covers only what stages 1–3 depend on — platform,
+/// associativity mode, and the program itself — so one characterization
+/// prefix serves every ε/objective/emit variant of a program.
+fn artifact_keys(
     program: &AffineProgram,
     warnings: &[String],
     opts: &crate::protocol::CompileOptions,
-) -> Vec<u8> {
-    let mut key = Vec::with_capacity(512);
+) -> (Vec<u8>, Vec<u8>) {
     let field = |key: &mut Vec<u8>, bytes: &[u8]| {
         key.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
         key.extend_from_slice(bytes);
     };
+    let text = format!("{program}");
+    let fingerprint = program_fingerprint(&opts.platform, program);
+
+    let mut prefix = Vec::with_capacity(text.len() + 128);
+    field(&mut prefix, b"polyufc-prefix/1");
+    field(&mut prefix, opts.platform.name.as_bytes());
+    field(&mut prefix, assoc_str(opts.assoc).as_bytes());
+    field(&mut prefix, &fingerprint);
+    field(&mut prefix, text.as_bytes());
+
+    let mut key = Vec::with_capacity(text.len() + 192);
     field(&mut key, b"polyufc-artifact/1");
     field(&mut key, opts.platform.name.as_bytes());
     field(&mut key, objective_str(opts.objective).as_bytes());
     field(&mut key, assoc_str(opts.assoc).as_bytes());
     field(&mut key, &opts.epsilon.to_le_bytes());
     field(&mut key, &[opts.emit_scf as u8]);
-    field(&mut key, &program_fingerprint(&opts.platform, program));
-    field(&mut key, format!("{program}").as_bytes());
+    field(&mut key, &fingerprint);
+    field(&mut key, text.as_bytes());
     for w in warnings {
         field(&mut key, w.as_bytes());
     }
-    key
+    (key, prefix)
 }
 
-/// Runs the pipeline for a prepared request against a session and renders
-/// the response body. The report is `Some` only for successful compiles
-/// (its counter deltas feed [`CountTotals`]); rejection and model errors
-/// render as deterministic typed bodies, which are cached like artifacts.
+/// Runs the pipeline for a prepared request against per-worker state and
+/// renders the response body. The report is `Some` only for successful
+/// compiles; the final flag says whether the ε-independent prefix came
+/// from the worker's cache (in which case only POLYUFC-SEARCH and code
+/// generation ran). Rejection and model errors render as deterministic
+/// typed bodies, which are cached like artifacts.
 pub fn compile_prepared(
     p: &Prepared,
-    session: &mut CompileSession,
-) -> (String, Option<CompileReport>) {
+    state: &mut WorkerState,
+) -> (String, Option<CompileReport>, bool) {
     let mut pipeline = Pipeline::new(p.opts.platform.clone())
         .with_objective(p.opts.objective)
         .with_assoc_mode(p.opts.assoc);
     pipeline.epsilon = p.opts.epsilon;
-    match pipeline.compile_affine_in(&p.program, session) {
-        Ok(out) => {
+    if let Some(ch) = state.prefix.get(&p.prefix_key) {
+        let ch = Arc::clone(ch);
+        let out = pipeline.finish_characterized((*ch).clone());
+        let report = out.report.clone();
+        return (render_artifact(p, &out), Some(report), true);
+    }
+    match pipeline.characterize_affine_in(&p.program, &mut state.session) {
+        Ok(ch) => {
+            if state.prefix.len() >= PREFIX_CACHE_CAP {
+                // Generational clear, like the other bounded caches.
+                state.prefix.clear();
+            }
+            let ch = Arc::new(ch);
+            state.prefix.insert(p.prefix_key.clone(), Arc::clone(&ch));
+            let out = pipeline.finish_characterized((*ch).clone());
             let report = out.report.clone();
-            (render_artifact(p, &out), Some(report))
+            (render_artifact(p, &out), Some(report), false)
         }
-        Err(polyufc::Error::AnalysisRejected(report)) => (render_rejected(&report), None),
+        Err(polyufc::Error::AnalysisRejected(report)) => (render_rejected(&report), None, false),
         Err(polyufc::Error::Model(e)) => (
             render_error(codes::MODEL, &format!("cache model: {e}")),
             None,
+            false,
         ),
     }
 }
 
 /// One-shot entry point shared with `polyufc compile --json`: same
-/// prepare, same pipeline, same renderer, fresh session — so the CLI's
+/// prepare, same pipeline, same renderer, fresh state — so the CLI's
 /// output is byte-identical to the daemon's response for the same
 /// request, cached or not.
 pub fn oneshot_response(req: &CompileRequest) -> String {
     match prepare(req) {
-        Ok(p) => compile_prepared(&p, &mut CompileSession::new()).0,
+        Ok(p) => compile_prepared(&p, &mut WorkerState::new()).0,
         Err(e) => e.render(),
     }
 }
@@ -441,7 +748,8 @@ fn push_u64(out: &mut String, key: &str, v: u64) {
 /// Renders the cap artifact with a fixed field order and no
 /// wall-clock- or session-warmth-dependent fields (those live in `stats`),
 /// so identical requests produce identical bytes whether answered by a
-/// cold compile, a warm session, the artifact cache, or the one-shot CLI.
+/// cold compile, a warm session, a cached prefix, the artifact cache, or
+/// the one-shot CLI.
 fn render_artifact(p: &Prepared, out: &PipelineOutput) -> String {
     let mut s = String::with_capacity(1024);
     s.push_str("{\"ok\":true,\"schema\":\"polyufc-artifact/1\",\"program\":");
@@ -530,4 +838,48 @@ fn render_rejected(report: &polyufc_analysis::AnalysisReport) -> String {
     }
     s.push_str("]}}");
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 3, 100, 100, 100, 100, 100, 100, 5000] {
+            h.record_us(us);
+        }
+        let (n, p50, p99, max) = h.summary();
+        assert_eq!(n, 10);
+        assert_eq!(max, 5000);
+        // p50 lands in the 100 µs bucket: upper bound 128.
+        assert_eq!(p50, 128);
+        // p99 is the slowest sample's bucket: 5000 µs → upper bound 8192.
+        assert_eq!(p99, 8192);
+    }
+
+    #[test]
+    fn prefix_cache_reuses_characterization_across_epsilons() {
+        let source = "// affine program `copy`\nmemref %A : 512xf64\nmemref %B : 512xf64\nfunc @k {\n  affine.for %i0 = max(0) to min(512) {\n    S0: load %A[i0]; store %B[i0] // 1 flops\n  }\n}\n";
+        let mut state = WorkerState::new();
+        let mut bodies = Vec::new();
+        for (i, eps) in [1e-3, 2e-3, 4e-3].into_iter().enumerate() {
+            let mut req = CompileRequest {
+                format: crate::protocol::SourceFormat::TextualIr,
+                source: source.to_string(),
+                name: "request".to_string(),
+                opts: crate::protocol::CompileOptions::default(),
+            };
+            req.opts.epsilon = eps;
+            let p = prepare(&req).expect("prepare");
+            let (body, report, prefix_hit) = compile_prepared(&p, &mut state);
+            assert!(report.is_some());
+            assert_eq!(prefix_hit, i > 0, "first compile builds the prefix");
+            // Each variant must also match a completely fresh compile.
+            assert_eq!(body, oneshot_response(&req), "prefix hit changed bytes");
+            bodies.push(body);
+        }
+        assert_eq!(state.prefix.len(), 1, "one prefix entry for 3 epsilons");
+    }
 }

@@ -9,19 +9,26 @@
 //!
 //! The performance architecture, bottom-up:
 //!
-//! * [`artifact`]: a content-addressed response cache keyed on the
-//!   structural fingerprints the measure cache already computes, with
-//!   single-flight dedup — N concurrent identical requests compile once.
-//! * [`engine`]: request batching into the bounded
+//! * [`artifact`] / [`shard`]: a sharded content-addressed response cache
+//!   keyed on the structural fingerprints the measure cache already
+//!   computes, with single-flight dedup — N concurrent identical requests
+//!   compile once — plus an exact-line response tier that answers repeat
+//!   request lines without parsing them.
+//! * [`engine`]: asynchronous compile submission into the bounded
 //!   [`polyufc_par::StatefulPool`], one persistent
-//!   [`polyufc::CompileSession`] per worker (warm Presburger caches), and
-//!   explicit shed (`overloaded`) when the queue is full.
-//! * [`server`]: nonblocking listeners, bounded line framing, and clean
-//!   drain on SIGINT/SIGTERM or a `shutdown` request.
+//!   [`polyufc::CompileSession`] and an ε-independent characterization
+//!   prefix cache per worker, and explicit shed (`overloaded`) when the
+//!   queue is full.
+//! * [`reactor`] / [`server`]: on Linux, a single epoll event loop owns
+//!   every connection — nonblocking sockets, pipelined NDJSON with
+//!   in-order replies, vectored writes of shared body buffers, an eventfd
+//!   doorbell for worker completions, and bounded connection admission.
+//!   Elsewhere, a thread-per-connection fallback with the same wire
+//!   behavior.
 //! * [`protocol`] / [`json`]: the strict wire layer. Responses are
-//!   byte-deterministic, so a cache hit, a fresh compile, and the
-//!   one-shot CLI (`polyufc compile --json`) all emit identical bytes
-//!   for identical requests.
+//!   byte-deterministic, so a cache hit, a fresh compile, a pipelined
+//!   batch, and the one-shot CLI (`polyufc compile --json`) all emit
+//!   identical bytes for identical requests.
 
 #![warn(missing_docs)]
 
@@ -29,12 +36,16 @@ pub mod artifact;
 pub mod engine;
 pub mod json;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
+pub mod shard;
 
-pub use artifact::{ArtifactCache, ArtifactCacheStats};
-pub use engine::{oneshot_response, Engine, EngineConfig, Outcome};
+pub use artifact::{ArtifactCacheStats, Body, Flight, Lookup};
+pub use engine::{oneshot_response, Engine, EngineConfig, Outcome, Submitted};
 pub use protocol::{
     parse_request, render_error, CompileOptions, CompileRequest, Request, SourceFormat, WireError,
     MAX_REQUEST_BYTES,
 };
-pub use server::{install_signal_handlers, Listen, Server, ServerConfig};
+pub use server::{install_signal_handlers, Listen, Server, ServerConfig, ShutdownHandle};
+pub use shard::ArtifactCache;

@@ -1,25 +1,36 @@
 //! The daemon shell around the [`Engine`](crate::engine::Engine):
-//! listeners, per-connection line framing, and clean shutdown on
-//! SIGINT/SIGTERM or a `shutdown` request.
+//! listeners, connection admission, and clean shutdown on SIGINT/SIGTERM,
+//! a `shutdown` request, or a [`ShutdownHandle`].
 //!
-//! The accept loop is nonblocking with a short sleep so the stop flag
-//! (set by a signal handler or a `shutdown` request on any connection)
-//! is observed within tens of milliseconds without busy-spinning.
-//! Connection sockets use a read timeout for the same reason: an idle
-//! client must not pin a reader thread through shutdown.
+//! On Linux, [`Server::run`] hands the listener to the epoll
+//! [`reactor`](crate::reactor): one event-loop thread owns every
+//! connection, requests pipeline, and nothing sleeps — worker
+//! completions and signals arrive through an eventfd doorbell. Elsewhere
+//! it falls back to the original thread-per-connection loop with the same
+//! wire behavior.
 //!
-//! Lines are read with a hand-rolled `fill_buf`/`consume` loop rather
-//! than `read_until`: a client streaming one enormous "line" must be
-//! answered with a typed `oversized` error and have its excess bytes
-//! discarded in constant memory, not buffered until allocation fails.
+//! Shutdown is event-driven end to end: the signal handler both sets
+//! [`SIGNALLED`] *and* writes the doorbell (one `write(2)` — both are
+//! async-signal-safe), so a parked `epoll_wait` wakes immediately instead
+//! of on its next timeout. [`ShutdownHandle::shutdown`] does the same
+//! from safe code; tests use it to stop a daemon without a signal.
+//!
+//! Admission is bounded: at most `max_conns` concurrent connections
+//! (default 1024, `--max-conns` / `POLYUFC_MAX_CONNS`); a connection past
+//! the limit is answered with one typed `overloaded` line and closed at
+//! accept, before it can buffer requests the daemon cannot serve.
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
+#[cfg(target_os = "linux")]
+use std::os::fd::AsRawFd;
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(target_os = "linux")]
+use std::sync::atomic::AtomicI32;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -46,18 +57,41 @@ pub struct ServerConfig {
     pub engine: EngineConfig,
 }
 
-/// Set by the SIGINT/SIGTERM handler; every accept loop polls it.
+/// Set by the SIGINT/SIGTERM handler; the event loop (and the fallback
+/// accept loop) checks it on every wakeup.
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// The reactor's doorbell fd, published while a daemon runs so the
+/// signal handler can wake a parked `epoll_wait`; −1 when no daemon is
+/// running.
+#[cfg(target_os = "linux")]
+static SIGNAL_WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
+pub(crate) fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
 
 /// Installs process-wide SIGINT/SIGTERM handlers that request a clean
 /// drain-and-stop. Uses the C `signal` entry point directly — the only
-/// async-signal work is one atomic store, and the workspace vendors no
-/// libc crate.
+/// async-signal work is one atomic store plus one `write(2)` to the
+/// reactor's doorbell (both async-signal-safe), and the workspace
+/// vendors no libc crate.
 pub fn install_signal_handlers() {
     #[cfg(unix)]
     {
         extern "C" fn on_signal(_sig: i32) {
             SIGNALLED.store(true, Ordering::SeqCst);
+            #[cfg(target_os = "linux")]
+            {
+                extern "C" {
+                    fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
+                }
+                let fd = SIGNAL_WAKE_FD.load(Ordering::SeqCst);
+                if fd >= 0 {
+                    let one: u64 = 1;
+                    unsafe { write(fd, (&one as *const u64).cast(), 8) };
+                }
+            }
         }
         extern "C" {
             fn signal(signum: i32, handler: usize) -> usize;
@@ -71,16 +105,154 @@ pub fn install_signal_handlers() {
     }
 }
 
-enum Acceptor {
+pub(crate) enum Acceptor {
     Tcp(TcpListener),
     #[cfg(unix)]
     Unix(UnixListener, PathBuf),
 }
 
-enum Conn {
+impl Acceptor {
+    /// One nonblocking accept; `Ok(None)` when no connection is pending.
+    pub(crate) fn accept(&self) -> std::io::Result<Option<Conn>> {
+        match self {
+            Acceptor::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Conn::Tcp(s))),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Acceptor::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => Ok(Some(Conn::Unix(s))),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        match self {
+            Acceptor::Tcp(l) => l.as_raw_fd(),
+            Acceptor::Unix(l, _) => l.as_raw_fd(),
+        }
+    }
+}
+
+pub(crate) enum Conn {
     Tcp(TcpStream),
     #[cfg(unix)]
     Unix(UnixStream),
+}
+
+impl Conn {
+    /// Socket options for the reactor: nonblocking, and NODELAY on TCP —
+    /// one small write per response round trip must not wait out Nagle.
+    #[cfg(target_os = "linux")]
+    pub(crate) fn prepare_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.set_nodelay(true);
+                s.set_nonblocking(true)
+            }
+            Conn::Unix(s) => s.set_nonblocking(true),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        match self {
+            Conn::Tcp(s) => s.as_raw_fd(),
+            Conn::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+        // Both streams lower this onto writev(2): one syscall flushes a
+        // whole batch of pipelined response bodies.
+        match self {
+            Conn::Tcp(s) => s.write_vectored(bufs),
+            Conn::Unix(s) => s.write_vectored(bufs),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The one typed response an over-limit connection receives at accept.
+pub(crate) fn admission_reject_line() -> String {
+    let mut s = render_error(
+        codes::OVERLOADED,
+        "connection limit reached; retry against a less loaded daemon",
+    );
+    s.push('\n');
+    s
+}
+
+fn default_max_conns() -> usize {
+    std::env::var("POLYUFC_MAX_CONNS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1024)
+}
+
+/// Stops a running daemon from outside: sets the stop flag *and* rings
+/// the reactor's doorbell, so a parked `epoll_wait` (or a sleeping
+/// fallback accept loop) observes the request immediately rather than on
+/// its next timeout. Clone freely; all clones control the same daemon.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    #[cfg(target_os = "linux")]
+    wake: Arc<crate::reactor::WakeupFd>,
+}
+
+impl std::fmt::Debug for ShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownHandle")
+            .field("requested", &self.flag.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl ShutdownHandle {
+    /// Requests a clean drain-and-stop.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        self.wake.ring();
+    }
+
+    /// Whether a stop was requested (by this handle, a signal, or a
+    /// `shutdown` request).
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst) || signalled()
+    }
 }
 
 /// A bound, not-yet-running daemon.
@@ -88,10 +260,14 @@ pub struct Server {
     acceptor: Acceptor,
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
+    max_conns: usize,
+    #[cfg(target_os = "linux")]
+    wakeup: Arc<crate::reactor::WakeupFd>,
 }
 
 impl Server {
-    /// Binds the listener and spins up the engine.
+    /// Binds the listener, spins up the engine, and (on Linux) creates
+    /// the reactor's doorbell eventfd.
     ///
     /// # Errors
     ///
@@ -119,6 +295,9 @@ impl Server {
             acceptor,
             engine: Arc::new(Engine::new(&cfg.engine)),
             stop: Arc::new(AtomicBool::new(false)),
+            max_conns: default_max_conns(),
+            #[cfg(target_os = "linux")]
+            wakeup: Arc::new(crate::reactor::WakeupFd::new()?),
         })
     }
 
@@ -137,41 +316,83 @@ impl Server {
         Arc::clone(&self.engine)
     }
 
-    /// A flag that stops the accept loop when set (tests use this to stop
-    /// a server without a signal or a `shutdown` request).
-    pub fn stop_flag(&self) -> Arc<AtomicBool> {
-        Arc::clone(&self.stop)
+    /// A handle that stops this daemon cleanly from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.stop),
+            #[cfg(target_os = "linux")]
+            wake: Arc::clone(&self.wakeup),
+        }
     }
 
-    /// Serves until a `shutdown` request, SIGINT/SIGTERM, or the stop
-    /// flag; then drains in-flight connections and compiles and returns.
+    /// Caps concurrent connections (at least 1); connections past the cap
+    /// are answered with one typed `overloaded` line and closed at accept.
+    pub fn set_max_conns(&mut self, max_conns: usize) {
+        self.max_conns = max_conns.max(1);
+    }
+
+    /// Serves until a `shutdown` request, SIGINT/SIGTERM, or a
+    /// [`ShutdownHandle`]; then drains in-flight connections and compiles
+    /// and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener/reactor I/O errors other than `WouldBlock`.
+    #[cfg(target_os = "linux")]
+    pub fn run(self) -> std::io::Result<()> {
+        let Server {
+            acceptor,
+            engine,
+            stop,
+            max_conns,
+            wakeup,
+        } = self;
+        // The doorbell: every finished compile job rings once, so the
+        // reactor drains its completion queue without ever polling.
+        {
+            let bell = Arc::clone(&wakeup);
+            engine.set_completion_hook(move || bell.ring());
+        }
+        SIGNAL_WAKE_FD.store(wakeup.fd(), Ordering::SeqCst);
+        let result = crate::reactor::run(&acceptor, &engine, &stop, &wakeup, max_conns);
+        SIGNAL_WAKE_FD.store(-1, Ordering::SeqCst);
+        #[cfg(unix)]
+        if let Acceptor::Unix(_, path) = &acceptor {
+            let _ = std::fs::remove_file(path);
+        }
+        drop(acceptor);
+        // Unwrap the engine and drain its queue. The reactor has
+        // returned, so test-held engine Arcs are the only other owners;
+        // those can't submit work, so skipping the drain there is fine.
+        if let Ok(engine) = Arc::try_unwrap(engine) {
+            engine.shutdown();
+        }
+        result
+    }
+
+    /// Serves until a `shutdown` request, SIGINT/SIGTERM, or a
+    /// [`ShutdownHandle`] (portable fallback: thread per connection).
     ///
     /// # Errors
     ///
     /// Propagates accept-loop I/O errors other than `WouldBlock`.
+    #[cfg(not(target_os = "linux"))]
     pub fn run(self) -> std::io::Result<()> {
+        use std::sync::atomic::AtomicUsize;
+
         let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let live = Arc::new(AtomicUsize::new(0));
         loop {
-            if self.stop.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst) {
+            if self.stop.load(Ordering::SeqCst) || signalled() {
                 break;
             }
-            let conn = match &self.acceptor {
-                Acceptor::Tcp(l) => match l.accept() {
-                    Ok((s, _)) => Some(Conn::Tcp(s)),
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => None,
-                    Err(e) => return Err(e),
-                },
-                #[cfg(unix)]
-                Acceptor::Unix(l, _) => match l.accept() {
-                    Ok((s, _)) => Some(Conn::Unix(s)),
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => None,
-                    Err(e) => return Err(e),
-                },
-            };
-            match conn {
-                None => std::thread::sleep(Duration::from_millis(10)),
-                Some(conn) => {
+            match self.acceptor.accept() {
+                Err(e) => return Err(e),
+                Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                Ok(Some(conn)) if live.load(Ordering::SeqCst) >= self.max_conns => {
+                    shed_connection(conn);
+                }
+                Ok(Some(conn)) => {
                     let engine = Arc::clone(&self.engine);
                     let stop = Arc::clone(&self.stop);
                     let live = Arc::clone(&live);
@@ -193,9 +414,6 @@ impl Server {
         if let Acceptor::Unix(_, path) = &self.acceptor {
             let _ = std::fs::remove_file(path);
         }
-        // Unwrap the engine and drain its queue. Connection threads are
-        // joined, so test-held engine Arcs are the only other owners;
-        // those can't submit work, so skipping the drain there is fine.
         if let Ok(engine) = Arc::try_unwrap(self.engine) {
             engine.shutdown();
         }
@@ -203,6 +421,24 @@ impl Server {
     }
 }
 
+/// Answers an over-limit connection with one `overloaded` line and drops
+/// it (fallback path; the reactor has its own copy of this policy).
+#[cfg(not(target_os = "linux"))]
+fn shed_connection(conn: Conn) {
+    let line = admission_reject_line();
+    match conn {
+        Conn::Tcp(mut s) => {
+            let _ = s.set_nodelay(true);
+            let _ = s.write_all(line.as_bytes());
+        }
+        #[cfg(unix)]
+        Conn::Unix(mut s) => {
+            let _ = s.write_all(line.as_bytes());
+        }
+    }
+}
+
+#[cfg_attr(target_os = "linux", allow(dead_code))]
 fn serve_connection(conn: Conn, engine: &Engine, stop: &Arc<AtomicBool>) {
     match conn {
         Conn::Tcp(s) => {
@@ -228,6 +464,7 @@ fn serve_connection(conn: Conn, engine: &Engine, stop: &Arc<AtomicBool>) {
     }
 }
 
+#[cfg_attr(target_os = "linux", allow(dead_code))]
 fn serve_stream<R: Read, W: Write>(
     mut reader: BufReader<R>,
     writer: &mut W,
@@ -279,12 +516,14 @@ fn serve_stream<R: Read, W: Write>(
     }
 }
 
+#[cfg_attr(target_os = "linux", allow(dead_code))]
 fn write_reply<W: Write>(w: &mut W, body: &str) -> std::io::Result<()> {
     w.write_all(body.as_bytes())?;
     w.write_all(b"\n")?;
     w.flush()
 }
 
+#[cfg_attr(target_os = "linux", allow(dead_code))]
 enum LineRead {
     /// `line` holds one complete request line (without the newline).
     Line,
@@ -301,6 +540,7 @@ enum LineRead {
 /// the newline so one oversized request costs bounded memory and exactly
 /// one error reply. Read timeouts are polls, not failures: they give the
 /// stop flag a look-in on idle connections.
+#[cfg_attr(target_os = "linux", allow(dead_code))]
 fn read_line_bounded<R: Read>(
     reader: &mut BufReader<R>,
     line: &mut Vec<u8>,
@@ -309,7 +549,7 @@ fn read_line_bounded<R: Read>(
     line.clear();
     let mut discarding = false;
     loop {
-        if stop.load(Ordering::SeqCst) || SIGNALLED.load(Ordering::SeqCst) {
+        if stop.load(Ordering::SeqCst) || signalled() {
             return LineRead::Stopping;
         }
         let buf = match reader.fill_buf() {

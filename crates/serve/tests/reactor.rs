@@ -1,0 +1,316 @@
+//! Event-loop edge cases: pipelining order, partial reads and writes,
+//! mid-request disconnects, oversized-line resync, and bounded
+//! connection admission — everything the reactor's state machines must
+//! get right that a one-request-at-a-time client never exercises.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use polyufc_serve::{
+    json, oneshot_response, CompileOptions, CompileRequest, EngineConfig, Listen, Server,
+    ServerConfig, ShutdownHandle, SourceFormat,
+};
+use polyufc_workloads::{polybench_suite, PolybenchSize};
+
+/// A daemon started for one test, stopped on drop.
+struct Daemon {
+    addr: String,
+    stop: ShutdownHandle,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    fn start(configure: impl FnOnce(&mut Server)) -> Daemon {
+        // A queue deep enough that pipelined batches of *distinct*
+        // compiles measure ordering, not backpressure shed (wire tests
+        // cover shed).
+        let mut engine = EngineConfig::default();
+        engine.queue_cap = engine.queue_cap.max(64);
+        let mut server = Server::bind(&ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            engine,
+        })
+        .expect("bind");
+        configure(&mut server);
+        let addr = server.local_addr().expect("addr").to_string();
+        let stop = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run().expect("run"));
+        Daemon {
+            addr,
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let s = TcpStream::connect(&self.addr).expect("connect");
+        s.set_nodelay(true).ok();
+        s
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop.shutdown();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn mini_source(name: &str) -> String {
+    let suite = polybench_suite(PolybenchSize::Mini);
+    let w = suite
+        .iter()
+        .find(|w| w.name == name)
+        .unwrap_or_else(|| panic!("workload {name}"));
+    format!("{}", w.program)
+}
+
+fn compile_line(source: &str, epsilon: f64) -> String {
+    let mut line = format!("{{\"op\":\"compile\",\"epsilon\":{epsilon},\"source\":");
+    json::push_escaped(&mut line, source);
+    line.push('}');
+    line
+}
+
+fn expected_compile(source: &str, epsilon: f64) -> String {
+    let opts = CompileOptions {
+        epsilon,
+        ..CompileOptions::default()
+    };
+    oneshot_response(&CompileRequest {
+        format: SourceFormat::TextualIr,
+        source: source.to_string(),
+        name: "request".to_string(),
+        opts,
+    })
+}
+
+const PONG: &str = "{\"ok\":true,\"pong\":true}";
+
+#[test]
+fn request_bytes_dribbled_one_at_a_time_still_parse() {
+    let d = Daemon::start(|_| {});
+    let mut s = d.connect();
+    let src = mini_source("gemm");
+    let batch = format!(
+        "{{\"op\":\"ping\"}}\n{}\n{{\"op\":\"ping\"}}\n",
+        compile_line(&src, 1e-3)
+    );
+    // One byte per segment: the reactor must accumulate partial lines
+    // across an arbitrary number of reads.
+    for chunk in batch.as_bytes().chunks(1) {
+        s.write_all(chunk).expect("dribble");
+    }
+    let mut reader = BufReader::new(s);
+    let mut reply = String::new();
+    for expected in [
+        PONG.to_string(),
+        expected_compile(&src, 1e-3),
+        PONG.to_string(),
+    ] {
+        reply.clear();
+        reader.read_line(&mut reply).expect("reply");
+        assert_eq!(reply.trim_end(), expected);
+    }
+}
+
+#[test]
+fn slow_reader_forces_partial_writes_without_reordering() {
+    let d = Daemon::start(|_| {});
+    let s = d.connect();
+    let src = mini_source("gemm");
+    // Megabytes of identical responses pipelined at a dawdling reader:
+    // the daemon's socket buffer must fill, forcing the
+    // partial-write/EPOLLOUT state machine through many cycles, and the
+    // pipeline-depth cap must pause reading without deadlocking (the
+    // writer thread below keeps streaming while replies drain).
+    let mut line = format!(
+        "{{\"op\":\"compile\",\"emit\":\"scf\",\"epsilon\":{},\"source\":",
+        1e-3
+    );
+    json::push_escaped(&mut line, &src);
+    line.push('}');
+    let reps = 2048;
+
+    let opts = CompileOptions {
+        epsilon: 1e-3,
+        emit_scf: true,
+        ..CompileOptions::default()
+    };
+    let expected = oneshot_response(&CompileRequest {
+        format: SourceFormat::TextualIr,
+        source: src.clone(),
+        name: "request".to_string(),
+        opts,
+    });
+    assert!(
+        reps * (expected.len() + 1) > 1 << 20,
+        "response volume too small to overflow socket buffers"
+    );
+
+    let writer = {
+        let mut s = s.try_clone().expect("clone");
+        let line = line.clone();
+        std::thread::spawn(move || {
+            for _ in 0..reps {
+                s.write_all(line.as_bytes()).expect("send");
+                s.write_all(b"\n").expect("send");
+            }
+        })
+    };
+
+    let mut reader = BufReader::new(s);
+    let mut reply = String::new();
+    for i in 0..reps {
+        if i % 64 == 0 {
+            // Dawdle: keep the kernel buffers full a while longer.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        reply.clear();
+        reader.read_line(&mut reply).expect("reply");
+        assert_eq!(reply.trim_end(), expected, "reply {i} diverged");
+    }
+    writer.join().expect("writer");
+}
+
+#[test]
+fn mid_request_disconnect_leaves_the_daemon_serving() {
+    let d = Daemon::start(|_| {});
+    {
+        let mut s = d.connect();
+        // Half a request, no newline — then vanish.
+        s.write_all(b"{\"op\":\"comp").expect("partial");
+        s.flush().ok();
+    } // dropped: RST/FIN mid-line
+    {
+        let mut s = d.connect();
+        // A full request followed by a disconnect before reading the
+        // reply: the daemon must tolerate writing into a closed socket.
+        s.write_all(format!("{}\n", compile_line(&mini_source("mvt"), 1e-3)).as_bytes())
+            .expect("send");
+    }
+    let mut s = d.connect();
+    s.write_all(b"{\"op\":\"ping\"}\n").expect("ping");
+    let mut reader = BufReader::new(s);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply");
+    assert_eq!(reply.trim_end(), PONG);
+}
+
+#[test]
+fn oversized_line_resyncs_inside_a_pipelined_batch() {
+    let d = Daemon::start(|_| {});
+    let mut s = d.connect();
+    let mut batch = Vec::new();
+    batch.extend_from_slice(b"{\"op\":\"ping\"}\n");
+    batch.extend_from_slice(&vec![b'x'; polyufc_serve::MAX_REQUEST_BYTES + 4096]);
+    batch.push(b'\n');
+    batch.extend_from_slice(b"{\"op\":\"ping\"}\n");
+    s.write_all(&batch).expect("send");
+    let mut reader = BufReader::new(s);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("reply 0");
+    assert_eq!(reply.trim_end(), PONG);
+    reply.clear();
+    reader.read_line(&mut reply).expect("reply 1");
+    assert!(
+        reply.contains("\"code\":\"oversized\""),
+        "expected oversized error, got {reply:?}"
+    );
+    reply.clear();
+    reader.read_line(&mut reply).expect("reply 2");
+    assert_eq!(
+        reply.trim_end(),
+        PONG,
+        "stream must be line-synchronized after the oversized discard"
+    );
+}
+
+#[test]
+fn connections_past_the_cap_shed_with_a_typed_error() {
+    let d = Daemon::start(|s| s.set_max_conns(2));
+    // Two admitted connections, proven live with a round trip each.
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let mut s = d.connect();
+        s.write_all(b"{\"op\":\"ping\"}\n").expect("ping");
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        assert_eq!(reply.trim_end(), PONG);
+        held.push(s);
+    }
+    // The N+1th is rejected at accept: one typed line, then EOF.
+    let s = d.connect();
+    let mut reader = BufReader::new(s);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("shed line");
+    assert!(
+        reply.contains("\"code\":\"overloaded\""),
+        "expected overloaded shed, got {reply:?}"
+    );
+    reply.clear();
+    assert_eq!(
+        reader.read_line(&mut reply).expect("eof"),
+        0,
+        "shed connection must close"
+    );
+
+    // Freeing a slot readmits: drop one held connection and retry until
+    // the daemon notices the close.
+    drop(held.pop());
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut s = d.connect();
+        s.write_all(b"{\"op\":\"ping\"}\n").expect("ping");
+        let mut reader = BufReader::new(s);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        if reply.trim_end() == PONG {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed after disconnect; last reply {reply:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any pipelined batch comes back in request order with every reply
+    /// byte-identical to the one-shot CLI path for that request.
+    #[test]
+    fn pipelined_replies_in_request_order_match_oneshot(
+        picks in proptest::collection::vec((0usize..3, 0usize..3), 2..12),
+    ) {
+        static WORKLOADS: &[&str] = &["gemm", "mvt", "atax"];
+        let d = Daemon::start(|_| {});
+        let sources: Vec<String> = WORKLOADS.iter().map(|w| mini_source(w)).collect();
+        let epsilons = [1e-3, 2e-3, 5e-3];
+
+        let mut batch = String::new();
+        let mut expected = Vec::new();
+        for &(w, e) in &picks {
+            batch.push_str(&compile_line(&sources[w], epsilons[e]));
+            batch.push('\n');
+            expected.push(expected_compile(&sources[w], epsilons[e]));
+        }
+        let mut s = d.connect();
+        s.write_all(batch.as_bytes()).expect("send batch");
+        let mut reader = BufReader::new(s);
+        let mut reply = String::new();
+        for (i, want) in expected.iter().enumerate() {
+            reply.clear();
+            reader.read_line(&mut reply).expect("reply");
+            prop_assert_eq!(reply.trim_end(), want.as_str(), "reply {} out of order or diverged", i);
+        }
+    }
+}

@@ -3,13 +3,12 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use polyufc_serve::json;
 use polyufc_serve::{
     oneshot_response, CompileOptions, CompileRequest, Engine, EngineConfig, Listen, Server,
-    ServerConfig, SourceFormat, MAX_REQUEST_BYTES,
+    ServerConfig, ShutdownHandle, SourceFormat, MAX_REQUEST_BYTES,
 };
 use polyufc_workloads::{polybench_suite, PolybenchSize};
 
@@ -17,7 +16,7 @@ use polyufc_workloads::{polybench_suite, PolybenchSize};
 struct Daemon {
     addr: String,
     engine: Arc<Engine>,
-    stop: Arc<std::sync::atomic::AtomicBool>,
+    stop: ShutdownHandle,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -30,7 +29,7 @@ impl Daemon {
         .expect("bind");
         let addr = server.local_addr().expect("addr").to_string();
         let engine = server.engine();
-        let stop = server.stop_flag();
+        let stop = server.shutdown_handle();
         let thread = std::thread::spawn(move || server.run().expect("run"));
         Daemon {
             addr,
@@ -53,7 +52,7 @@ impl Daemon {
 
 impl Drop for Daemon {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.shutdown();
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
