@@ -26,6 +26,7 @@ const HARNESSES: &[&str] = &[
     "lint_sweep",
     "sim_microbench",
     "serve_loadtest",
+    "serve_chaos",
 ];
 
 /// Default per-harness wall-clock deadline, seconds. Generous: the `xl`

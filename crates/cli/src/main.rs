@@ -46,10 +46,18 @@ const USAGE: &str = "usage:
                                           model audit; exit 0/1/2 = clean/warn/error
   polyufc serve   [--listen <addr>] [--unix <path>] [--threads N]
                   [--queue N] [--cache-cap N] [--max-conns N]
+                  [--deadline-ms N] [--quarantine N] [--chaos <spec>]
                                           compile-and-cap daemon (NDJSON,
                                           pipelined requests, one per line;
                                           SIGTERM drains; default connection
-                                          cap 1024 or POLYUFC_MAX_CONNS)
+                                          cap 1024 or POLYUFC_MAX_CONNS;
+                                          --deadline-ms bounds each compile
+                                          [or POLYUFC_DEADLINE_MS] with a
+                                          watchdog that aborts + replaces
+                                          stalled workers; --quarantine N
+                                          poisons kernels after N failures;
+                                          --chaos injects seeded faults,
+                                          e.g. `standard,seed=7`)
   polyufc stats   [--connect <addr>] [--unix <path>] [--json]
                                           query a running daemon's cache/pool
                                           counters and latency percentiles
@@ -259,6 +267,9 @@ fn serve(args: &[String]) -> Result<u8, String> {
     let mut queue: Option<usize> = None;
     let mut cache_cap: Option<usize> = None;
     let mut max_conns: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut quarantine: Option<u32> = None;
+    let mut chaos: Option<polyufc_serve::ChaosPlan> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -294,6 +305,25 @@ fn serve(args: &[String]) -> Result<u8, String> {
                         .map_err(|_| "--max-conns: expected an integer".to_string())?,
                 )
             }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms: expected an integer".to_string())?;
+                deadline_ms = Some(ms);
+            }
+            "--quarantine" => {
+                quarantine = Some(
+                    value("--quarantine")?
+                        .parse()
+                        .map_err(|_| "--quarantine: expected an integer".to_string())?,
+                )
+            }
+            "--chaos" => {
+                chaos = Some(
+                    polyufc_serve::ChaosPlan::parse_spec(&value("--chaos")?)
+                        .map_err(|e| format!("--chaos: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
@@ -303,6 +333,20 @@ fn serve(args: &[String]) -> Result<u8, String> {
     }
     if let Some(c) = cache_cap {
         engine.cache_capacity = c.max(1);
+    }
+    if let Some(ms) = deadline_ms {
+        // `--deadline-ms 0` explicitly disables a POLYUFC_DEADLINE_MS
+        // default picked up by EngineConfig::default().
+        engine.deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    if let Some(q) = quarantine {
+        engine.quarantine_threshold = q;
+    }
+    if let Some(plan) = chaos {
+        if !plan.is_pristine() {
+            eprintln!("polyufc serve: CHAOS ACTIVE ({})", plan.spec_string());
+        }
+        engine.chaos = plan;
     }
     polyufc_serve::install_signal_handlers();
     let mut server = polyufc_serve::Server::bind(&polyufc_serve::ServerConfig {
@@ -436,6 +480,16 @@ fn print_stats(line: &str) -> Result<u8, String> {
         n("count_cache", "enumerated"),
         n("count_cache", "evictions"),
         n("count_cache", "parallel_splits"),
+    );
+    println!(
+        "self-heal:      deadline {} ms | deadlines fired {} | workers replaced {} | quarantined {} (total {}, hits {}) | chaos injections {}",
+        n("self_heal", "deadline_ms"),
+        n("self_heal", "deadlines"),
+        n("self_heal", "workers_replaced"),
+        n("self_heal", "quarantined"),
+        n("self_heal", "quarantined_total"),
+        n("self_heal", "quarantine_hits"),
+        n("self_heal", "chaos_injections"),
     );
     Ok(0)
 }

@@ -32,6 +32,12 @@ pub enum Abort {
     /// The compile job panicked; the worker recovered with a fresh
     /// session.
     Internal,
+    /// The compile exceeded the configured per-request deadline; the
+    /// watchdog aborted the flight (and may have replaced the worker).
+    DeadlineExceeded,
+    /// The daemon shut down while this flight was still pending; the
+    /// request was never compiled.
+    ShuttingDown,
 }
 
 /// A waiter attached to an in-flight compilation.
@@ -131,6 +137,12 @@ pub struct ArtifactCacheStats {
     pub inflight: usize,
     /// Exact-line response-tier entries currently resident.
     pub line_entries: usize,
+    /// Structural fingerprints currently quarantined (poison-pill tier).
+    pub quarantined: usize,
+    /// Lookups answered by a cached quarantine rejection.
+    pub quarantine_hits: u64,
+    /// Fingerprints ever moved into quarantine (monotonic).
+    pub quarantined_total: u64,
 }
 
 impl ArtifactCacheStats {

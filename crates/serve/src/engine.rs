@@ -36,8 +36,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use polyufc::{CharacterizedProgram, CompileReport, CompileSession, Pipeline, PipelineOutput};
 use polyufc_analysis::sanitize_parallel;
@@ -48,6 +48,7 @@ use polyufc_machine::program_fingerprint;
 use polyufc_par::StatefulPool;
 
 use crate::artifact::{Abort, ArtifactCacheStats, Body, Flight, Lookup};
+use crate::chaos::{ChaosPlan, CompileFault};
 use crate::json::{fmt_f64, push_escaped};
 use crate::protocol::{
     assoc_str, codes, objective_str, parse_request, render_error, CompileRequest, Request,
@@ -66,15 +67,41 @@ pub struct EngineConfig {
     pub queue_cap: usize,
     /// Artifact-cache capacity in ready entries.
     pub cache_capacity: usize,
+    /// Per-request compile budget: a flight pending longer is aborted by
+    /// the watchdog with a typed `deadline_exceeded` error, and a worker
+    /// stuck past 1.5× this is detached and replaced. `None` disables
+    /// the watchdog (defaults from `POLYUFC_DEADLINE_MS`; `0` or unset
+    /// means off).
+    pub deadline: Option<Duration>,
+    /// Consecutive panics/timeouts after which a kernel's structural
+    /// fingerprint is quarantined behind a cached typed rejection; `0`
+    /// disables the circuit breaker.
+    pub quarantine_threshold: u32,
+    /// Seeded fault injection for the compile path (off by default;
+    /// pristine plans leave dispatch byte-identical).
+    pub chaos: ChaosPlan,
+    /// How long [`Engine::shutdown`] waits for busy workers to finish
+    /// before detaching them and draining still-pending flights with
+    /// typed `shutting_down` errors.
+    pub shutdown_grace: Duration,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         let workers = polyufc_par::worker_count();
+        let deadline = std::env::var("POLYUFC_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis);
         EngineConfig {
             workers,
             queue_cap: 4 * workers.max(1),
             cache_capacity: 4096,
+            deadline,
+            quarantine_threshold: 3,
+            chaos: ChaosPlan::pristine(),
+            shutdown_grace: Duration::from_secs(5),
         }
     }
 }
@@ -191,7 +218,81 @@ struct Shared {
     shed: AtomicU64,
     prefix_hits: AtomicU64,
     prefix_misses: AtomicU64,
+    deadlines: AtomicU64,
+    chaos_injections: AtomicU64,
     latency: LatencyHistogram,
+}
+
+/// One pending compile lead, tracked so the watchdog can expire it and
+/// shutdown can drain it. Registered for *every* lead — not just when a
+/// deadline is configured — because shutdown-with-flights-pending must
+/// complete waiters even on deadline-less engines.
+struct InflightEntry {
+    key: Vec<u8>,
+    fingerprint: Vec<u8>,
+    flight: Arc<Flight>,
+    started: Instant,
+}
+
+/// The registry of pending compile leads, shared with the watchdog.
+#[derive(Default)]
+struct InflightRegistry {
+    next: AtomicU64,
+    map: Mutex<HashMap<u64, InflightEntry>>,
+}
+
+impl InflightRegistry {
+    fn register(&self, key: Vec<u8>, fingerprint: Vec<u8>, flight: Arc<Flight>) -> u64 {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().unwrap().insert(
+            ticket,
+            InflightEntry {
+                key,
+                fingerprint,
+                flight,
+                started: Instant::now(),
+            },
+        );
+        ticket
+    }
+
+    /// Removes a ticket; `false` means someone else (the watchdog on
+    /// expiry, or the shutdown drain) already took it — i.e. the flight
+    /// was aborted out from under this job.
+    fn deregister(&self, ticket: u64) -> bool {
+        self.map.lock().unwrap().remove(&ticket).is_some()
+    }
+
+    /// Extracts every entry pending longer than `deadline`.
+    fn take_expired(&self, deadline: Duration) -> Vec<InflightEntry> {
+        let mut map = self.map.lock().unwrap();
+        let expired: Vec<u64> = map
+            .iter()
+            .filter(|(_, e)| e.started.elapsed() >= deadline)
+            .map(|(&t, _)| t)
+            .collect();
+        expired.into_iter().filter_map(|t| map.remove(&t)).collect()
+    }
+
+    /// Extracts every entry (the shutdown drain).
+    fn drain(&self) -> Vec<InflightEntry> {
+        self.map.lock().unwrap().drain().map(|(_, e)| e).collect()
+    }
+}
+
+/// The deadline watchdog thread plus its condvar-based stop latch.
+struct Watchdog {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Watchdog {
+    fn stop(self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        let _ = self.handle.join();
+    }
 }
 
 /// How the server should act on a handled line (blocking API).
@@ -273,11 +374,22 @@ impl Default for WorkerState {
     }
 }
 
-/// The serving engine: worker pool + artifact cache + counters.
+/// The serving engine: worker pool + artifact cache + counters + the
+/// self-healing layer (deadline watchdog, worker replacement, quarantine
+/// circuit breaker, seeded chaos injection).
 pub struct Engine {
-    pool: StatefulPool<WorkerState>,
+    pool: Arc<StatefulPool<WorkerState>>,
     cache: Arc<ArtifactCache>,
     shared: Arc<Shared>,
+    inflight: Arc<InflightRegistry>,
+    chaos: Arc<ChaosPlan>,
+    /// Per-fingerprint chaos attempt counters (bounded; only touched
+    /// when a chaos plan is active).
+    attempts: Mutex<HashMap<Vec<u8>, u64>>,
+    watchdog: Mutex<Option<Watchdog>>,
+    deadline: Option<Duration>,
+    quarantine_threshold: u32,
+    shutdown_grace: Duration,
     workers: usize,
     queue_cap: usize,
 }
@@ -293,17 +405,38 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     /// Builds the engine: spawns the workers (each with a persistent
-    /// [`WorkerState`]) and allocates the sharded artifact cache
-    /// (`next_pow2(workers * 4)` shards).
+    /// [`WorkerState`]), allocates the sharded artifact cache
+    /// (`next_pow2(workers * 4)` shards), and — when a deadline is
+    /// configured — starts the watchdog thread.
     pub fn new(cfg: &EngineConfig) -> Self {
         let workers = cfg.workers.max(1);
-        Engine {
-            pool: StatefulPool::new(cfg.workers, cfg.queue_cap, |_| WorkerState::new()),
+        let engine = Engine {
+            pool: Arc::new(StatefulPool::new(cfg.workers, cfg.queue_cap, |_| {
+                WorkerState::new()
+            })),
             cache: Arc::new(ArtifactCache::new(cfg.cache_capacity, workers * 4)),
             shared: Arc::new(Shared::default()),
+            inflight: Arc::new(InflightRegistry::default()),
+            chaos: Arc::new(cfg.chaos.clone()),
+            attempts: Mutex::new(HashMap::new()),
+            watchdog: Mutex::new(None),
+            deadline: cfg.deadline,
+            quarantine_threshold: cfg.quarantine_threshold,
+            shutdown_grace: cfg.shutdown_grace,
             workers,
             queue_cap: cfg.queue_cap.max(1),
+        };
+        if let Some(deadline) = cfg.deadline {
+            *engine.watchdog.lock().unwrap() = Some(spawn_watchdog(
+                deadline,
+                cfg.quarantine_threshold,
+                Arc::clone(&engine.inflight),
+                Arc::clone(&engine.cache),
+                Arc::clone(&engine.shared),
+                Arc::clone(&engine.pool),
+            ));
         }
+        engine
     }
 
     /// Installs the worker-pool completion hook (the reactor's doorbell:
@@ -391,6 +524,14 @@ impl Engine {
                 return self.ready(t0, string_body(e.render()));
             }
         };
+        // Circuit breaker: a fingerprint that struck out serves its
+        // cached typed rejection without touching a worker. Never
+        // promoted to the line tier — quarantine is daemon state, not a
+        // deterministic property of the request.
+        if let Some(body) = self.cache.quarantine_get(&prepared.prefix_key) {
+            self.shared.errors.fetch_add(1, Ordering::Relaxed);
+            return self.ready(t0, body);
+        }
         match self.cache.lookup(&prepared.key) {
             Lookup::Hit(body) => {
                 self.cache.line_put(line, &body);
@@ -404,9 +545,19 @@ impl Engine {
                 self.attach(t0, line, &flight, notify);
                 let cache = Arc::clone(&self.cache);
                 let shared = Arc::clone(&self.shared);
+                let inflight = Arc::clone(&self.inflight);
                 let job_flight = Arc::clone(&flight);
                 let key = prepared.key.clone();
                 let lead_key = prepared.key.clone();
+                let fingerprint = prepared.prefix_key.clone();
+                let threshold = self.quarantine_threshold;
+                // Chaos is decided here, deterministically, not on the
+                // worker — submission order fixes the attempt counter.
+                let fault = self.next_compile_fault(&prepared.prefix_key);
+                // Registered for every lead (not just under a deadline):
+                // the shutdown drain needs the full pending set.
+                let ticket =
+                    inflight.register(key.clone(), fingerprint.clone(), Arc::clone(&job_flight));
                 let submitted = self.pool.try_execute(move |state: &mut WorkerState| {
                     // A panicking pass must not take the worker (or the
                     // daemon) down, and must not leave its followers
@@ -414,10 +565,27 @@ impl Engine {
                     // hand the worker fresh state in case the old one was
                     // poisoned mid-update.
                     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        match fault {
+                            Some(CompileFault::Slow(d)) | Some(CompileFault::Hang(d)) => {
+                                std::thread::sleep(d);
+                            }
+                            Some(CompileFault::Panic) => {
+                                panic!("chaos: injected compile panic");
+                            }
+                            None => {}
+                        }
                         compile_prepared(&prepared, state)
                     }));
+                    // `false` means the watchdog (deadline) or shutdown
+                    // already aborted this flight: the late result must
+                    // not clear strikes, and fulfill/abort below are
+                    // harmless no-ops past the flight's completion.
+                    let owned = inflight.deregister(ticket);
                     match run {
                         Ok((body, report, prefix_hit)) => {
+                            if owned {
+                                cache.clear_strikes(&fingerprint);
+                            }
                             if prefix_hit {
                                 shared.prefix_hits.fetch_add(1, Ordering::Relaxed);
                             } else {
@@ -442,12 +610,14 @@ impl Engine {
                         }
                         Err(_) => {
                             *state = WorkerState::new();
+                            cache.record_strike(&fingerprint, threshold, quarantine_body);
                             cache.abort(&key, &job_flight, Abort::Internal);
                         }
                     }
                 });
                 if let Err(rejected) = submitted {
                     drop(rejected); // the boxed job, returned unrun
+                    self.inflight.deregister(ticket);
                     self.shared.shed.fetch_add(1, Ordering::Relaxed);
                     // Completes the flight inline: every subscriber —
                     // including this request's own — gets the typed
@@ -457,6 +627,30 @@ impl Engine {
                 Submitted::Pending
             }
         }
+    }
+
+    /// Draws the (deterministic) chaos fault for one compile submission
+    /// and counts it. Pristine plans return `None` without touching the
+    /// attempt table — the hot path stays byte- and work-identical.
+    fn next_compile_fault(&self, fingerprint: &[u8]) -> Option<CompileFault> {
+        if self.chaos.is_pristine() {
+            return None;
+        }
+        let attempt = {
+            let mut m = self.attempts.lock().unwrap();
+            if m.len() >= 4096 && !m.contains_key(fingerprint) {
+                m.clear(); // generational bound, like the other caches
+            }
+            let e = m.entry(fingerprint.to_vec()).or_insert(0);
+            let a = *e;
+            *e += 1;
+            a
+        };
+        let fault = self.chaos.compile_fault(fingerprint, attempt);
+        if fault.is_some() {
+            self.shared.chaos_injections.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
     }
 
     /// Subscribes this request's completion callback to a flight: on
@@ -554,6 +748,27 @@ impl Engine {
             c.parallel_splits.load(Ordering::Relaxed),
         );
         s.pop();
+        s.push_str("},\"self_heal\":{");
+        push_u64(
+            &mut s,
+            "deadline_ms",
+            self.deadline.map_or(0, |d| d.as_millis() as u64),
+        );
+        push_u64(
+            &mut s,
+            "deadlines",
+            self.shared.deadlines.load(Ordering::Relaxed),
+        );
+        push_u64(&mut s, "workers_replaced", self.pool.workers_replaced());
+        push_u64(&mut s, "quarantined", a.quarantined as u64);
+        push_u64(&mut s, "quarantined_total", a.quarantined_total);
+        push_u64(&mut s, "quarantine_hits", a.quarantine_hits);
+        push_u64(
+            &mut s,
+            "chaos_injections",
+            self.shared.chaos_injections.load(Ordering::Relaxed),
+        );
+        s.pop();
         s.push_str("}}");
         s
     }
@@ -578,9 +793,43 @@ impl Engine {
         MAX_REQUEST_BYTES
     }
 
-    /// Drains queued compiles and joins the workers.
-    pub fn shutdown(self) {
-        self.pool.shutdown();
+    /// The engine's chaos plan (pristine unless configured otherwise);
+    /// the reactor consults it for socket-level injection.
+    pub fn chaos(&self) -> &ChaosPlan {
+        &self.chaos
+    }
+
+    /// Counts one socket-level chaos injection (rung by the reactor).
+    pub fn count_chaos_injection(&self) {
+        self.shared.chaos_injections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Workers detached and replaced by the stall watchdog so far.
+    pub fn workers_replaced(&self) -> u64 {
+        self.pool.workers_replaced()
+    }
+
+    /// Flights aborted by the deadline watchdog so far.
+    pub fn deadlines_fired(&self) -> u64 {
+        self.shared.deadlines.load(Ordering::Relaxed)
+    }
+
+    /// Stops the watchdog, drains queued compiles, and joins the workers
+    /// — bounded by the configured shutdown grace: workers still stuck
+    /// past it are detached, and every flight still pending afterwards
+    /// completes with a typed `shutting_down` error so no waiter (or
+    /// blocked [`Engine::handle_line`] caller) hangs. Idempotent, and
+    /// callable through a shared reference (the server calls it on its
+    /// `Arc<Engine>`).
+    pub fn shutdown(&self) {
+        let watchdog = self.watchdog.lock().unwrap().take();
+        if let Some(w) = watchdog {
+            w.stop();
+        }
+        self.pool.shutdown_with_grace(self.shutdown_grace);
+        for e in self.inflight.drain() {
+            self.cache.abort(&e.key, &e.flight, Abort::ShuttingDown);
+        }
     }
 }
 
@@ -735,7 +984,67 @@ fn abort_error(abort: Abort) -> WireError {
             codes::INTERNAL,
             "compile worker panicked; the daemon recovered, this request did not",
         ),
+        Abort::DeadlineExceeded => WireError::new(
+            codes::DEADLINE_EXCEEDED,
+            "compile exceeded the configured deadline; the flight was aborted",
+        ),
+        Abort::ShuttingDown => WireError::new(
+            codes::SHUTTING_DOWN,
+            "daemon is shutting down; the request was not compiled",
+        ),
     }
+}
+
+/// The deterministic cached rejection a quarantined fingerprint serves.
+fn quarantine_body() -> Body {
+    string_body(render_error(
+        codes::QUARANTINED,
+        "kernel repeatedly crashed or timed out compile workers and is quarantined; \
+         fix the kernel or restart the daemon",
+    ))
+}
+
+/// Starts the deadline watchdog: every `deadline/4` (clamped to
+/// 2–250 ms) it aborts expired flights with `deadline_exceeded`, records
+/// quarantine strikes against their fingerprints, and replaces workers
+/// stuck past 1.5× the deadline — so a hung compile costs one bounded
+/// window of one worker, never the daemon.
+fn spawn_watchdog(
+    deadline: Duration,
+    quarantine_threshold: u32,
+    inflight: Arc<InflightRegistry>,
+    cache: Arc<ArtifactCache>,
+    shared: Arc<Shared>,
+    pool: Arc<StatefulPool<WorkerState>>,
+) -> Watchdog {
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let latch = Arc::clone(&stop);
+    let period = (deadline / 4).clamp(Duration::from_millis(2), Duration::from_millis(250));
+    let stall_threshold = deadline + deadline / 2;
+    let handle = std::thread::Builder::new()
+        .name("polyufc-watchdog".to_string())
+        .spawn(move || {
+            let (lock, cv) = &*latch;
+            let mut stopped = lock.lock().unwrap();
+            loop {
+                let (guard, _timeout) = cv.wait_timeout(stopped, period).unwrap();
+                stopped = guard;
+                if *stopped {
+                    return;
+                }
+                for e in inflight.take_expired(deadline) {
+                    shared.deadlines.fetch_add(1, Ordering::Relaxed);
+                    cache.record_strike(&e.fingerprint, quarantine_threshold, quarantine_body);
+                    // Wakes the leader's and every follower's callbacks
+                    // with the typed error; the worker's late fulfill (if
+                    // the compile ever returns) is a no-op past this.
+                    cache.abort(&e.key, &e.flight, Abort::DeadlineExceeded);
+                }
+                pool.replace_stalled(stall_threshold);
+            }
+        })
+        .expect("spawn watchdog");
+    Watchdog { stop, handle }
 }
 
 fn push_u64(out: &mut String, key: &str, v: u64) {

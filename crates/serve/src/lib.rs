@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod chaos;
 pub mod engine;
 pub mod json;
 pub mod protocol;
@@ -41,7 +42,8 @@ pub mod reactor;
 pub mod server;
 pub mod shard;
 
-pub use artifact::{ArtifactCacheStats, Body, Flight, Lookup};
+pub use artifact::{Abort, ArtifactCacheStats, Body, Flight, Lookup};
+pub use chaos::{ChaosPlan, CompileFault};
 pub use engine::{oneshot_response, Engine, EngineConfig, Outcome, Submitted};
 pub use protocol::{
     parse_request, render_error, CompileOptions, CompileRequest, Request, SourceFormat, WireError,

@@ -45,6 +45,15 @@ pub mod codes {
     /// A compile worker panicked; the daemon recovered and keeps
     /// serving, the request did not.
     pub const INTERNAL: &str = "internal";
+    /// The compile exceeded the configured per-request deadline and was
+    /// aborted by the watchdog.
+    pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// This kernel's structural fingerprint repeatedly panicked or timed
+    /// out and is quarantined; the request was rejected from cache.
+    pub const QUARANTINED: &str = "quarantined";
+    /// The daemon is shutting down; pending flights were drained with
+    /// this error instead of compiling.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
 }
 
 /// A typed protocol error, rendered as one `{"ok":false,...}` line.

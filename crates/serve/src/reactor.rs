@@ -100,15 +100,30 @@ impl WakeupFd {
 
     /// Adds 1 to the counter; wakes an `epoll_wait` parked on this fd.
     /// Safe to call from any thread, any number of times; rings coalesce.
+    /// Restarts on EINTR: a signal storm must not eat a doorbell ring —
+    /// a worker completion whose ring vanished would strand its reply
+    /// until the next unrelated wakeup.
     pub(crate) fn ring(&self) {
         let one: u64 = 1;
-        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+        loop {
+            let n = unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+            if n >= 0 || std::io::Error::last_os_error().kind() != ErrorKind::Interrupted {
+                return;
+            }
+        }
     }
 
     /// Resets the counter so level-triggered epoll stops reporting it.
+    /// Restarts on EINTR — a failed drain would leave the eventfd
+    /// permanently readable and turn the loop into a spin.
     fn drain(&self) {
         let mut count: u64 = 0;
-        unsafe { read(self.fd, (&mut count as *mut u64).cast(), 8) };
+        loop {
+            let n = unsafe { read(self.fd, (&mut count as *mut u64).cast(), 8) };
+            if n >= 0 || std::io::Error::last_os_error().kind() != ErrorKind::Interrupted {
+                return;
+            }
+        }
     }
 }
 
@@ -162,6 +177,10 @@ struct Connection {
     peer_closed: bool,
     /// Unrecoverable socket error; close now, drop pending slots.
     dead: bool,
+    /// Per-connection I/O sequence number, bumped per syscall *only when
+    /// a chaos plan is active* — the pristine path never touches it, so
+    /// pristine dispatch stays instruction-identical.
+    io_salt: u64,
 }
 
 impl Connection {
@@ -178,6 +197,7 @@ impl Connection {
             paused: false,
             peer_closed: false,
             dead: false,
+            io_salt: 0,
         }
     }
 
@@ -352,7 +372,7 @@ pub(crate) fn run(
             // round).
             loop {
                 if !conn.dead {
-                    if let Err(_e) = flush(conn) {
+                    if let Err(_e) = flush(conn, id, engine) {
                         conn.dead = true;
                     }
                 }
@@ -491,7 +511,23 @@ fn ingest(
         if conn.discarding {
             conn.rbuf.clear();
         }
-        match conn.sock.read(&mut buf) {
+        // Chaos: clamp this read short (≥1 byte — zero would read as
+        // EOF), forcing the line accumulator through arbitrary split
+        // points. Pristine plans skip the draw entirely.
+        let cap = if engine.chaos().is_pristine() {
+            buf.len()
+        } else {
+            let salt = conn.io_salt;
+            conn.io_salt += 1;
+            match engine.chaos().read_clamp(id, salt) {
+                Some(k) => {
+                    engine.count_chaos_injection();
+                    k.clamp(1, buf.len())
+                }
+                None => buf.len(),
+            }
+        };
+        match conn.sock.read(&mut buf[..cap]) {
             Ok(0) => {
                 conn.peer_closed = true;
                 return wants_shutdown;
@@ -514,7 +550,7 @@ fn ingest(
 ///
 /// Any socket error other than `WouldBlock` (the connection should be
 /// closed).
-fn flush(conn: &mut Connection) -> std::io::Result<()> {
+fn flush(conn: &mut Connection, id: u64, engine: &Arc<Engine>) -> std::io::Result<()> {
     const NEWLINE: &[u8] = b"\n";
     loop {
         let mut iovecs: Vec<IoSlice<'_>> = Vec::new();
@@ -536,7 +572,31 @@ fn flush(conn: &mut Connection) -> std::io::Result<()> {
         if iovecs.is_empty() {
             return Ok(());
         }
-        match conn.sock.write_vectored(&iovecs) {
+        // Chaos: clamp this write short (≥1 byte — a zero-byte write is
+        // `WriteZero` and would kill the connection), driving the
+        // partial-write accounting below through every resume path. The
+        // clamped write moves a prefix of the logical stream, so the
+        // accounting loop needs no special casing.
+        let clamp = if engine.chaos().is_pristine() {
+            None
+        } else {
+            let salt = conn.io_salt;
+            conn.io_salt += 1;
+            engine.chaos().write_clamp(id, salt)
+        };
+        let wrote = match clamp {
+            Some(k) => {
+                engine.count_chaos_injection();
+                let first = iovecs
+                    .iter()
+                    .find(|s| !s.is_empty())
+                    .expect("nonempty iovec: every entry pairs with a newline");
+                let k = k.clamp(1, first.len());
+                conn.sock.write(&first[..k])
+            }
+            None => conn.sock.write_vectored(&iovecs),
+        };
+        match wrote {
             Ok(0) => return Err(std::io::Error::from(ErrorKind::WriteZero)),
             Ok(mut n) => {
                 while n > 0 {

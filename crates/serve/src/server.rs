@@ -113,19 +113,23 @@ pub(crate) enum Acceptor {
 
 impl Acceptor {
     /// One nonblocking accept; `Ok(None)` when no connection is pending.
+    /// Restarts on EINTR — `accept(2)` never auto-restarts under the BSD
+    /// `signal()` semantics glibc installs, so without the loop one
+    /// signal landing mid-accept would bubble an error out of the
+    /// reactor and kill the daemon.
     pub(crate) fn accept(&self) -> std::io::Result<Option<Conn>> {
-        match self {
-            Acceptor::Tcp(l) => match l.accept() {
-                Ok((s, _)) => Ok(Some(Conn::Tcp(s))),
-                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
-                Err(e) => Err(e),
-            },
-            #[cfg(unix)]
-            Acceptor::Unix(l, _) => match l.accept() {
-                Ok((s, _)) => Ok(Some(Conn::Unix(s))),
-                Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
-                Err(e) => Err(e),
-            },
+        loop {
+            let result = match self {
+                Acceptor::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                #[cfg(unix)]
+                Acceptor::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            match result {
+                Ok(conn) => return Ok(Some(conn)),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -361,12 +365,12 @@ impl Server {
             let _ = std::fs::remove_file(path);
         }
         drop(acceptor);
-        // Unwrap the engine and drain its queue. The reactor has
-        // returned, so test-held engine Arcs are the only other owners;
-        // those can't submit work, so skipping the drain there is fine.
-        if let Ok(engine) = Arc::try_unwrap(engine) {
-            engine.shutdown();
-        }
+        // Drain the engine through the Arc: stops the watchdog, gives
+        // workers the shutdown grace, then completes any still-pending
+        // flight with a typed `shutting_down` error — even when tests
+        // hold extra engine Arcs (the old `Arc::try_unwrap` skipped the
+        // drain in exactly that case, leaking hung workers).
+        engine.shutdown();
         result
     }
 
@@ -414,9 +418,7 @@ impl Server {
         if let Acceptor::Unix(_, path) = &self.acceptor {
             let _ = std::fs::remove_file(path);
         }
-        if let Ok(engine) = Arc::try_unwrap(self.engine) {
-            engine.shutdown();
-        }
+        self.engine.shutdown();
         Ok(())
     }
 }

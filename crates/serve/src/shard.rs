@@ -62,6 +62,12 @@ struct ShardInner {
     ready: usize,
     /// Exact-line response tier: trimmed request line → body.
     lines: HashMap<Box<str>, Body>,
+    /// Consecutive-failure strike counts per structural fingerprint
+    /// (cleared on the fingerprint's next success).
+    strikes: HashMap<Vec<u8>, u32>,
+    /// Poison-pill tier: fingerprints that struck out, mapped to the
+    /// cached typed rejection their requests get without compiling.
+    quarantined: HashMap<Vec<u8>, Body>,
 }
 
 /// Bounded, sharded, content-addressed response cache with single-flight
@@ -78,6 +84,8 @@ pub struct ArtifactCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    quarantine_hits: AtomicU64,
+    quarantined_total: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -95,6 +103,8 @@ impl ArtifactCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            quarantine_hits: AtomicU64::new(0),
+            quarantined_total: AtomicU64::new(0),
         }
     }
 
@@ -198,17 +208,87 @@ impl ArtifactCache {
         inner.lines.insert(Box::from(line), Arc::clone(body));
     }
 
+    /// Probes the quarantine tier: `Some(body)` means this fingerprint
+    /// struck out and gets the cached typed rejection without touching a
+    /// worker.
+    pub fn quarantine_get(&self, fingerprint: &[u8]) -> Option<Body> {
+        let body = {
+            let inner = self.shard(fingerprint).lock().unwrap();
+            inner.quarantined.get(fingerprint).map(Arc::clone)
+        };
+        if body.is_some() {
+            self.quarantine_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        body
+    }
+
+    /// Records one failure (panic or deadline expiry) against a
+    /// fingerprint. At `threshold` consecutive failures the fingerprint
+    /// is quarantined behind `rejection()`'s body and `true` is returned;
+    /// a `threshold` of 0 disables the breaker. Strikes are
+    /// *consecutive*, not cumulative — [`ArtifactCache::clear_strikes`]
+    /// resets them on success, so a kernel that fails under transient
+    /// pressure but then compiles fine is never poisoned.
+    pub fn record_strike(
+        &self,
+        fingerprint: &[u8],
+        threshold: u32,
+        rejection: impl FnOnce() -> Body,
+    ) -> bool {
+        if threshold == 0 {
+            return false;
+        }
+        let quarantined = {
+            let mut inner = self.shard(fingerprint).lock().unwrap();
+            if inner.quarantined.contains_key(fingerprint) {
+                return false; // already poisoned; nothing new to record
+            }
+            let strikes = inner.strikes.entry(fingerprint.to_vec()).or_insert(0);
+            *strikes += 1;
+            if *strikes < threshold {
+                false
+            } else {
+                inner.strikes.remove(fingerprint);
+                // The strike and quarantine maps are bounded the same
+                // generational way as the ready tier: a pathological
+                // *stream* of distinct failing fingerprints must not
+                // grow without bound.
+                if inner.quarantined.len() >= self.shard_cap {
+                    inner.quarantined.clear();
+                }
+                if inner.strikes.len() >= self.shard_cap {
+                    inner.strikes.clear();
+                }
+                inner.quarantined.insert(fingerprint.to_vec(), rejection());
+                true
+            }
+        };
+        if quarantined {
+            self.quarantined_total.fetch_add(1, Ordering::Relaxed);
+        }
+        quarantined
+    }
+
+    /// Clears a fingerprint's consecutive-failure strikes after a
+    /// successful compile.
+    pub fn clear_strikes(&self, fingerprint: &[u8]) {
+        let mut inner = self.shard(fingerprint).lock().unwrap();
+        inner.strikes.remove(fingerprint);
+    }
+
     /// Counter snapshot. Counters are lock-free reads; entry counts take
     /// each shard lock briefly (`stats` requests are rare).
     pub fn stats(&self) -> ArtifactCacheStats {
         let mut entries = 0;
         let mut inflight = 0;
         let mut line_entries = 0;
+        let mut quarantined = 0;
         for shard in self.shards.iter() {
             let inner = shard.lock().unwrap();
             entries += inner.ready;
             inflight += inner.map.len() - inner.ready;
             line_entries += inner.lines.len();
+            quarantined += inner.quarantined.len();
         }
         ArtifactCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -217,6 +297,9 @@ impl ArtifactCache {
             entries,
             inflight,
             line_entries,
+            quarantined,
+            quarantine_hits: self.quarantine_hits.load(Ordering::Relaxed),
+            quarantined_total: self.quarantined_total.load(Ordering::Relaxed),
         }
     }
 }
@@ -353,6 +436,68 @@ mod tests {
         assert_eq!(ArtifactCache::new(16, 3).shard_count(), 4);
         assert_eq!(ArtifactCache::new(16, 0).shard_count(), 1);
         assert_eq!(ArtifactCache::new(16, 8).shard_count(), 8);
+    }
+
+    #[test]
+    fn strikes_quarantine_at_threshold_and_reset_on_success() {
+        let c = ArtifactCache::new(8, 2);
+        let fp = b"bad-kernel";
+        assert!(!c.record_strike(fp, 3, || body("poison")));
+        assert!(!c.record_strike(fp, 3, || body("poison")));
+        // A success between failures resets the consecutive count.
+        c.clear_strikes(fp);
+        assert!(!c.record_strike(fp, 3, || body("poison")));
+        assert!(!c.record_strike(fp, 3, || body("poison")));
+        assert!(c.quarantine_get(fp).is_none());
+        assert!(c.record_strike(fp, 3, || body("poison")));
+        assert_eq!(&*c.quarantine_get(fp).expect("quarantined"), b"poison");
+        // Further strikes against a quarantined fingerprint are no-ops.
+        assert!(!c.record_strike(fp, 3, || body("other")));
+        let st = c.stats();
+        assert_eq!(st.quarantined, 1);
+        assert_eq!(st.quarantined_total, 1);
+        assert_eq!(st.quarantine_hits, 1);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let c = ArtifactCache::new(8, 1);
+        for _ in 0..32 {
+            assert!(!c.record_strike(b"fp", 0, || body("poison")));
+        }
+        assert!(c.quarantine_get(b"fp").is_none());
+        assert_eq!(c.stats().quarantined_total, 0);
+    }
+
+    #[test]
+    fn quarantined_entry_evicted_then_rerequested_leads_again() {
+        // One shard, capacity 2: quarantining a third distinct
+        // fingerprint clears the tier generationally. An evicted
+        // fingerprint must fall back to a normal compile lead, not get a
+        // stale rejection or a dangling strike count.
+        let c = ArtifactCache::new(2, 1);
+        for fp in [b"p1".as_slice(), b"p2"] {
+            assert!(c.record_strike(fp, 1, || body("poison")));
+            assert!(c.quarantine_get(fp).is_some());
+        }
+        assert!(c.record_strike(b"p3", 1, || body("poison")));
+        // p1/p2 were swept by the generational clear; p3 is resident.
+        assert!(c.quarantine_get(b"p1").is_none());
+        assert!(c.quarantine_get(b"p3").is_some());
+        assert_eq!(c.stats().quarantined, 1);
+        assert_eq!(c.stats().quarantined_total, 3);
+        // The evicted fingerprint's requests flow through the normal
+        // keyed tier again.
+        match c.lookup(b"p1") {
+            Lookup::Lead(f) => {
+                c.fulfill(b"p1", &f, body("recovered"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match c.lookup(b"p1") {
+            Lookup::Hit(b) => assert_eq!(&*b, b"recovered"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

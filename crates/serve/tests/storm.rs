@@ -1,0 +1,104 @@
+//! Signal-storm regression: SIGUSR1 delivered thousands of times per
+//! second across the process must not corrupt a single reply. glibc's
+//! `signal()` restarts reads and writes, but `epoll_wait`, `accept`,
+//! and the eventfd doorbell return `EINTR` — this drives every one of
+//! those retry loops under live traffic. Lives in its own test binary
+//! because signal dispositions are process-global and sticky.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use polyufc_serve::{
+    json, oneshot_response, CompileOptions, CompileRequest, EngineConfig, Listen, Server,
+    ServerConfig, SourceFormat,
+};
+use polyufc_workloads::{polybench_suite, PolybenchSize};
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn kill(pid: i32, sig: i32) -> i32;
+    fn getpid() -> i32;
+}
+
+extern "C" fn sigusr1_noop(_sig: i32) {}
+
+const SIGUSR1: i32 = 10;
+
+#[test]
+fn a_sigusr1_storm_does_not_corrupt_replies() {
+    unsafe {
+        signal(SIGUSR1, sigusr1_noop as *const () as usize);
+    }
+
+    let server = Server::bind(&ServerConfig {
+        listen: Listen::Tcp("127.0.0.1:0".to_string()),
+        engine: EngineConfig::default(),
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let stop = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("run"));
+
+    // ~4k signals/s at the whole process: any thread not blocking the
+    // signal can be interrupted mid-syscall, including the reactor.
+    let storming = Arc::new(AtomicBool::new(true));
+    let storm = {
+        let storming = Arc::clone(&storming);
+        std::thread::spawn(move || {
+            while storming.load(Ordering::Relaxed) {
+                unsafe {
+                    kill(getpid(), SIGUSR1);
+                }
+                std::thread::sleep(Duration::from_micros(250));
+            }
+        })
+    };
+
+    let src = {
+        let suite = polybench_suite(PolybenchSize::Mini);
+        let w = suite.iter().find(|w| w.name == "gemm").expect("gemm");
+        format!("{}", w.program)
+    };
+    let expected = oneshot_response(&CompileRequest {
+        format: SourceFormat::TextualIr,
+        source: src.clone(),
+        name: "request".to_string(),
+        opts: CompileOptions {
+            epsilon: 1e-3,
+            ..CompileOptions::default()
+        },
+    });
+    let mut line = "{\"op\":\"compile\",\"epsilon\":1e-3,\"source\":".to_string();
+    json::push_escaped(&mut line, &src);
+    line.push('}');
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("read timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    for i in 0..200 {
+        // Alternate pings and (mostly cached) compiles under the storm.
+        let (want, send): (&str, &str) = if i % 2 == 0 {
+            ("{\"ok\":true,\"pong\":true}", "{\"op\":\"ping\"}")
+        } else {
+            (expected.as_str(), line.as_str())
+        };
+        writer.write_all(send.as_bytes()).expect("send");
+        writer.write_all(b"\n").expect("send");
+        reply.clear();
+        reader.read_line(&mut reply).expect("reply under storm");
+        assert_eq!(reply.trim_end(), want, "reply {i} corrupted under storm");
+    }
+
+    storming.store(false, Ordering::Relaxed);
+    storm.join().expect("storm thread");
+    stop.shutdown();
+    server_thread.join().expect("server thread");
+}

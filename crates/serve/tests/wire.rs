@@ -251,6 +251,7 @@ fn concurrent_identical_requests_compile_once() {
         workers: 2,
         queue_cap: 2 * N,
         cache_capacity: 64,
+        ..EngineConfig::default()
     });
     let line = Arc::new(compile_line(&mini_source("gemm")));
     let before = d.engine.cache_stats();
