@@ -46,6 +46,10 @@ pub struct Location {
     pub loop_index: Option<usize>,
     /// Array name.
     pub array: Option<String>,
+    /// Source file path (used by source-level passes like the self-lint).
+    pub file: Option<String>,
+    /// 1-based source line within `file`.
+    pub line: Option<usize>,
 }
 
 impl Location {
@@ -74,6 +78,15 @@ impl Location {
         self.array = Some(name.into());
         self
     }
+
+    /// A source-file location (1-based line), for source-level passes.
+    pub fn source(file: impl Into<String>, line: usize) -> Self {
+        Location {
+            file: Some(file.into()),
+            line: Some(line),
+            ..Location::default()
+        }
+    }
 }
 
 impl fmt::Display for Location {
@@ -90,6 +103,12 @@ impl fmt::Display for Location {
         }
         if let Some(a) = &self.array {
             parts.push(format!("array `{a}`"));
+        }
+        if let Some(file) = &self.file {
+            match self.line {
+                Some(line) => parts.push(format!("{file}:{line}")),
+                None => parts.push(file.clone()),
+            }
         }
         if parts.is_empty() {
             f.write_str("program")
@@ -303,6 +322,12 @@ fn diag_json(d: &Diagnostic) -> String {
     }
     if let Some(a) = &d.location.array {
         fields.push(format!("\"array\": \"{}\"", json_escape(a)));
+    }
+    if let Some(file) = &d.location.file {
+        fields.push(format!("\"file\": \"{}\"", json_escape(file)));
+    }
+    if let Some(line) = d.location.line {
+        fields.push(format!("\"line\": {line}"));
     }
     fields.push(format!("\"message\": \"{}\"", json_escape(&d.message)));
     match &d.witness {

@@ -54,6 +54,7 @@ pub mod audit;
 pub mod bounds;
 pub mod diag;
 pub mod races;
+pub mod selflint;
 pub mod verify_ir;
 
 pub use audit::ModelCounts;

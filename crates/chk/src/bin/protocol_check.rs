@@ -1,0 +1,178 @@
+//! Schedule-exploring checker for the four serving protocols.
+//!
+//! Runs the bounded DFS (plus the seeded-random tail) over every clean
+//! protocol model, enforcing a floor on explored schedules and zero
+//! violations; then runs each fault-injected variant, which **must**
+//! produce a violation whose schedule string replays to the same result
+//! (proving the checker can fail). Exits nonzero on any miss.
+//!
+//! Usage: `protocol_check [--floor N]` (default floor: 10000 bounded
+//! schedules per protocol).
+
+use polyufc_chk::explore::{replay, Explorer, Model};
+use polyufc_chk::models::pipeline::Pipeline;
+use polyufc_chk::models::quarantine::Quarantine;
+use polyufc_chk::models::single_flight::SingleFlight;
+use polyufc_chk::models::watchdog::Watchdog;
+
+fn check_clean<M: Model>(
+    label: &str,
+    model: &M,
+    explorer: &Explorer,
+    floor: u64,
+    failed: &mut bool,
+) {
+    let stats = explorer.explore(model);
+    let violations = stats.violation.iter().count();
+    println!(
+        "{:<14} {:>9} {:>7} {:>10} {:>8} {:>11}",
+        label,
+        stats.schedules,
+        stats.random_schedules,
+        stats.max_depth,
+        explorer.max_preemptions,
+        violations
+    );
+    if let Some(v) = &stats.violation {
+        eprintln!("FAIL [{label}]: {v}");
+        *failed = true;
+    }
+    if stats.schedules < floor {
+        eprintln!(
+            "FAIL [{label}]: explored {} bounded schedules, floor is {floor}",
+            stats.schedules
+        );
+        *failed = true;
+    }
+}
+
+fn check_fault<M: Model>(label: &str, model: &M, explorer: &Explorer, failed: &mut bool) {
+    let stats = explorer.explore(model);
+    let Some(v) = stats.violation else {
+        eprintln!("FAIL [{label}]: fault-injected model produced no violation");
+        *failed = true;
+        return;
+    };
+    match replay(model, &v.schedule) {
+        Err(r) if r.message == v.message => {
+            println!(
+                "fault {label}: violation at schedule {} — {}",
+                v.schedule, v.message
+            );
+            println!("fault {label}: replay reproduced the violation");
+        }
+        Err(r) => {
+            eprintln!(
+                "FAIL [{label}]: replay diverged: explorer said {:?}, replay said {:?}",
+                v.message, r.message
+            );
+            *failed = true;
+        }
+        Ok(()) => {
+            eprintln!(
+                "FAIL [{label}]: schedule {} did not replay to a violation",
+                v.schedule
+            );
+            *failed = true;
+        }
+    }
+}
+
+fn main() {
+    let mut floor = 10_000u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--floor" => {
+                i += 1;
+                floor = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--floor needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut failed = false;
+    println!(
+        "{:<14} {:>9} {:>7} {:>10} {:>8} {:>11}",
+        "protocol", "schedules", "random", "max-depth", "preempt", "violations"
+    );
+
+    // Budgets are per-model: enough preemptions to clear the schedule
+    // floor, small enough that the DFS stays well under a second.
+    let explorer = Explorer::default();
+    let deep = Explorer {
+        max_preemptions: 5,
+        ..Explorer::default()
+    };
+    check_clean(
+        "single-flight",
+        &SingleFlight::new(3, false),
+        &explorer,
+        floor,
+        &mut failed,
+    );
+    check_clean(
+        "pipeline",
+        &Pipeline::new(6, 2, false),
+        &deep,
+        floor,
+        &mut failed,
+    );
+    check_clean(
+        "watchdog",
+        &Watchdog::new(true, false),
+        &deep,
+        floor,
+        &mut failed,
+    );
+    check_clean(
+        "watchdog-ok",
+        &Watchdog::new(false, false),
+        &deep,
+        floor,
+        &mut failed,
+    );
+    check_clean(
+        "quarantine",
+        &Quarantine::new(4, 2, false),
+        &deep,
+        floor,
+        &mut failed,
+    );
+
+    check_fault(
+        "single-flight",
+        &SingleFlight::new(3, true),
+        &explorer,
+        &mut failed,
+    );
+    check_fault(
+        "pipeline",
+        &Pipeline::new(6, 2, true),
+        &explorer,
+        &mut failed,
+    );
+    check_fault(
+        "watchdog",
+        &Watchdog::new(true, true),
+        &explorer,
+        &mut failed,
+    );
+    check_fault(
+        "quarantine",
+        &Quarantine::new(2, 2, true),
+        &explorer,
+        &mut failed,
+    );
+
+    println!("PROTOCOLS_OK: {}", !failed);
+    std::process::exit(if failed { 1 } else { 0 });
+}

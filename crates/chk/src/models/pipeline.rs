@@ -1,0 +1,244 @@
+//! Pipeline pause/resume model.
+//!
+//! Miniature of the per-connection backpressure protocol in
+//! `serve::reactor::run`: a connection pauses ingest at `MAX_PIPELINE`
+//! (256) in-flight slots and resumes below `MAX_PIPELINE / 2` (128); the
+//! model keeps the same 2:1 ratio at `hi = 4`, `lo = 2` so the state
+//! space stays exhaustively explorable. Step ↔ source mapping:
+//!
+//! | step | source |
+//! |---|---|
+//! | client `Write` | peer writes one request line, kernel marks the socket readable (doorbell) |
+//! | reactor `Wake` | `epoll_wait` returns; the eventfd/readiness edge is consumed |
+//! | reactor `Flush` | `flush`: write the ready **prefix** of the slot queue, in order |
+//! | reactor `Resume` | the `resume` check: unpause iff paused and depth ≤ `lo` |
+//! | reactor `Ingest` | `ingest`: claim slots until input runs dry or depth hits `hi` (pause) |
+//! | worker `Complete` | a pool worker finishes a submitted job and rings the doorbell |
+//!
+//! After a flush/resume/ingest pass the real reactor **loops until the
+//! pass makes no progress** before parking; `fault_single_resume` makes
+//! it park after a single pass, re-introducing the stranded-connection
+//! bug (a paused connection whose last ingest produced only cache hits
+//! has ready slots, an empty job queue, and no future doorbell — a lost
+//! wakeup the explorer reports as a deadlock). Replies must come back in
+//! sequence order: an order inversion is reported at the flush step.
+//!
+//! Requests alternate between worker-path jobs and cache hits (hits
+//! complete inline during ingest, exactly like an artifact-cache hit in
+//! `engine.submit`), and the two worker threads drain the job queue from
+//! opposite ends so out-of-order completion is part of the state space.
+
+use crate::explore::Model;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RPc {
+    Parked,
+    Flush,
+    Resume,
+    Ingest,
+}
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Pause watermark (`MAX_PIPELINE`, scaled).
+    pub hi: usize,
+    /// Resume watermark (`MAX_PIPELINE / 2`, scaled).
+    pub lo: usize,
+    /// Requests the client writes in total.
+    pub total: usize,
+    /// Park after one flush/resume/ingest pass instead of looping until
+    /// stable (injected bug).
+    pub fault_single_resume: bool,
+    /// `kinds[seq]` is true for worker-path requests, false for hits.
+    worker_path: Vec<bool>,
+    written: usize,
+    unread: usize,
+    doorbell: bool,
+    rpc: RPc,
+    pass_changed: bool,
+    paused: bool,
+    /// In-flight slots: (seq, ready).
+    slots: VecDeque<(usize, bool)>,
+    next_seq: usize,
+    jobs: Vec<usize>,
+    out: Vec<usize>,
+}
+
+const CLIENT: usize = 0;
+const REACTOR: usize = 1;
+const WORKER_A: usize = 2;
+const WORKER_B: usize = 3;
+
+impl Pipeline {
+    /// A model with `total` requests; the first `workers` of them take
+    /// the worker path, the rest are cache hits.
+    pub fn new(total: usize, workers: usize, fault_single_resume: bool) -> Self {
+        Pipeline {
+            hi: 4,
+            lo: 2,
+            total,
+            fault_single_resume,
+            worker_path: (0..total).map(|seq| seq < workers).collect(),
+            written: 0,
+            unread: 0,
+            doorbell: false,
+            rpc: RPc::Parked,
+            pass_changed: false,
+            paused: false,
+            slots: VecDeque::new(),
+            next_seq: 0,
+            jobs: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.written == self.total
+            && self.unread == 0
+            && self.jobs.is_empty()
+            && self.slots.is_empty()
+            && !self.doorbell
+            && self.rpc == RPc::Parked
+    }
+
+    fn complete_job(&mut self, seq: usize) {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|(s, _)| *s == seq)
+            .expect("model bug: completed job has no slot");
+        slot.1 = true;
+        self.doorbell = true;
+    }
+}
+
+impl Model for Pipeline {
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn threads(&self) -> usize {
+        4
+    }
+
+    fn done(&self, t: usize) -> bool {
+        if t == CLIENT {
+            self.written == self.total
+        } else {
+            self.quiescent()
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        match t {
+            CLIENT => self.written < self.total,
+            REACTOR => self.rpc != RPc::Parked || self.doorbell,
+            _ => !self.jobs.is_empty(),
+        }
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        match t {
+            CLIENT => {
+                self.written += 1;
+                self.unread += 1;
+                self.doorbell = true;
+                Ok(())
+            }
+            REACTOR => match self.rpc {
+                RPc::Parked => {
+                    // epoll_wait returned: consume the readiness edge and
+                    // start a flush/resume/ingest pass.
+                    self.doorbell = false;
+                    self.pass_changed = false;
+                    self.rpc = RPc::Flush;
+                    Ok(())
+                }
+                RPc::Flush => {
+                    let mut last = self.out.last().copied();
+                    while matches!(self.slots.front(), Some(&(_, true))) {
+                        let (seq, _) = self.slots.pop_front().expect("checked front");
+                        if let Some(prev) = last {
+                            if seq <= prev {
+                                return Err(format!(
+                                    "reply order inversion: seq {seq} flushed after {prev}"
+                                ));
+                            }
+                        }
+                        last = Some(seq);
+                        self.out.push(seq);
+                        self.pass_changed = true;
+                    }
+                    self.rpc = RPc::Resume;
+                    Ok(())
+                }
+                RPc::Resume => {
+                    if self.paused && self.slots.len() <= self.lo {
+                        self.paused = false;
+                        self.pass_changed = true;
+                    }
+                    self.rpc = RPc::Ingest;
+                    Ok(())
+                }
+                RPc::Ingest => {
+                    while !self.paused && self.unread > 0 {
+                        let seq = self.next_seq;
+                        self.next_seq += 1;
+                        self.unread -= 1;
+                        self.pass_changed = true;
+                        if self.worker_path[seq] {
+                            self.slots.push_back((seq, false));
+                            self.jobs.push(seq);
+                        } else {
+                            // Cache hit: ready the moment it is claimed.
+                            self.slots.push_back((seq, true));
+                        }
+                        if self.slots.len() >= self.hi {
+                            self.paused = true;
+                        }
+                    }
+                    // The real reactor repeats the pass until it makes no
+                    // progress; the fault variant parks after one pass.
+                    self.rpc = if self.pass_changed && !self.fault_single_resume {
+                        self.pass_changed = false;
+                        RPc::Flush
+                    } else {
+                        RPc::Parked
+                    };
+                    Ok(())
+                }
+            },
+            WORKER_A => {
+                let seq = self.jobs.remove(0);
+                self.complete_job(seq);
+                Ok(())
+            }
+            WORKER_B => {
+                let seq = self.jobs.pop().expect("enabled gate");
+                self.complete_job(seq);
+                Ok(())
+            }
+            _ => Err("model bug: unknown thread".into()),
+        }
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.out.len() != self.total {
+            return Err(format!(
+                "{} of {} replies delivered at quiescence",
+                self.out.len(),
+                self.total
+            ));
+        }
+        for (i, &seq) in self.out.iter().enumerate() {
+            if seq != i {
+                return Err(format!(
+                    "reply order inversion at position {i}: got seq {seq}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}

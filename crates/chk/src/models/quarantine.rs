@@ -1,0 +1,183 @@
+//! Quarantine strike/reset model.
+//!
+//! Miniature of the circuit breaker in `serve::shard`: consecutive
+//! failures for one fingerprint accumulate strikes under the fingerprint's
+//! shard lock; reaching the threshold moves the fingerprint into the
+//! quarantined map (publishing a canned rejection); a success clears the
+//! strike count; readers observe the quarantined flag on the request fast
+//! path. Step ↔ source mapping:
+//!
+//! | step | source critical section |
+//! |---|---|
+//! | striker `Strike` | `shard.rs record_strike` (shard mutex): check-increment-promote, atomically |
+//! | clearer `Clear` | `shard.rs clear_strikes` (shard mutex) |
+//! | reader `Read` | `shard.rs quarantine_get` (shard mutex) |
+//!
+//! The model keeps a ground-truth count of *committed* strike regions
+//! (the linearization order the explorer fixes) and checks after every
+//! commit that the shared counter agrees — a lost update means two
+//! failures counted as one, so a flapping kernel needs more than
+//! `threshold` failures to trip the breaker. Also checked: the breaker
+//! trips at most once while resident (no double-quarantine) and the
+//! quarantined flag is monotone as seen by readers. The injected bug,
+//! `fault_split_strike`, splits `record_strike` into a read step and a
+//! write step (check-then-act without the shard lock), re-introducing
+//! the lost-update race.
+
+use crate::explore::Model;
+
+#[derive(Debug, Clone)]
+struct Striker {
+    pc: u8,
+    local: u32,
+}
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    /// Failures required to trip the breaker.
+    pub threshold: u32,
+    /// Split `record_strike` into unlocked read + write steps (injected
+    /// bug).
+    pub fault_split_strike: bool,
+    strikes: u32,
+    ground_commits: u32,
+    quarantined: bool,
+    q_events: u32,
+    strikers: Vec<Striker>,
+    clearer_steps: u8,
+    reader_steps: u8,
+    reader_saw_quarantined: bool,
+}
+
+impl Quarantine {
+    /// A model with `strikers` failing requests, one clearing success
+    /// path (`clearer_steps` clears), and a fast-path reader.
+    pub fn new(strikers: usize, threshold: u32, fault_split_strike: bool) -> Self {
+        Quarantine {
+            threshold,
+            fault_split_strike,
+            strikes: 0,
+            ground_commits: 0,
+            quarantined: false,
+            q_events: 0,
+            strikers: (0..strikers).map(|_| Striker { pc: 0, local: 0 }).collect(),
+            clearer_steps: 2,
+            reader_steps: 3,
+            reader_saw_quarantined: false,
+        }
+    }
+
+    /// Commits one strike and checks the counter against the ground
+    /// truth linearization.
+    fn commit_strike(&mut self) -> Result<(), String> {
+        self.strikes += 1;
+        self.ground_commits += 1;
+        if self.strikes != self.ground_commits {
+            return Err(format!(
+                "lost strike update: {} failures committed but counter shows {}",
+                self.ground_commits, self.strikes
+            ));
+        }
+        if self.strikes >= self.threshold {
+            self.quarantined = true;
+            self.q_events += 1;
+            if self.q_events > 1 {
+                return Err("double quarantine: breaker tripped twice while resident".into());
+            }
+            // record_strike moves the fingerprint out of the strikes map
+            // when it promotes.
+            self.strikes = 0;
+            self.ground_commits = 0;
+        }
+        Ok(())
+    }
+}
+
+const CLEARER_OFF: usize = 0; // strikers come first, then clearer, then reader
+
+impl Model for Quarantine {
+    fn name(&self) -> &'static str {
+        "quarantine"
+    }
+
+    fn threads(&self) -> usize {
+        self.strikers.len() + 2
+    }
+
+    fn done(&self, t: usize) -> bool {
+        let n = self.strikers.len();
+        if t < n {
+            self.strikers[t].pc == 2
+        } else if t == n + CLEARER_OFF {
+            self.clearer_steps == 0
+        } else {
+            self.reader_steps == 0
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        !self.done(t)
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        let n = self.strikers.len();
+        if t < n {
+            if self.fault_split_strike {
+                match self.strikers[t].pc {
+                    0 => {
+                        // Buggy: read the counter in one region...
+                        self.strikers[t].local = self.strikes;
+                        self.strikers[t].pc = 1;
+                        Ok(())
+                    }
+                    1 => {
+                        // ...and write it back in another.
+                        self.strikers[t].pc = 2;
+                        if self.quarantined {
+                            return Ok(());
+                        }
+                        self.strikes = self.strikers[t].local; // clobbers concurrent commits
+                        self.commit_strike()
+                    }
+                    _ => Err("model bug: striker stepped after done".into()),
+                }
+            } else {
+                // record_strike: one atomic region under the shard lock.
+                self.strikers[t].pc = 2;
+                if self.quarantined {
+                    // Already quarantined: the request was rejected before
+                    // reaching the compiler, nothing to record.
+                    return Ok(());
+                }
+                self.commit_strike()
+            }
+        } else if t == n + CLEARER_OFF {
+            self.clearer_steps -= 1;
+            if !self.quarantined {
+                self.strikes = 0;
+                self.ground_commits = 0;
+            }
+            Ok(())
+        } else {
+            self.reader_steps -= 1;
+            if self.reader_saw_quarantined && !self.quarantined {
+                return Err("quarantine flag regressed: reader saw it set, then clear".into());
+            }
+            if self.quarantined {
+                self.reader_saw_quarantined = true;
+            }
+            Ok(())
+        }
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.q_events == 0 && self.strikes != self.ground_commits {
+            return Err(format!(
+                "lost strike update at quiescence: {} committed, counter shows {}",
+                self.ground_commits, self.strikes
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,244 @@
+//! Single-flight subscribe/abort model.
+//!
+//! Miniature of `serve::shard::ArtifactCache::{lookup, fulfill, abort}`
+//! plus `serve::artifact::Flight::{subscribe, complete}`. Step ↔ source
+//! mapping (one step per lock region):
+//!
+//! | step | source critical section |
+//! |---|---|
+//! | requester `Lookup` | `shard.rs lookup` (shard mutex): hit, join pending, or become leader |
+//! | requester `Subscribe` | `artifact.rs subscribe` (flight mutex): inline if done, else enqueue waiter |
+//! | leader `Compile` | the compile job itself (no locks held) |
+//! | leader `Fulfill` | `shard.rs fulfill` (shard mutex): publish body iff the slot still holds *this* flight |
+//! | leader `Complete` | `artifact.rs complete` (flight mutex): first completion wins, drain waiters |
+//! | aborter `TakeSlot` | `shard.rs abort` (shard mutex): remove the pending slot iff `Arc::ptr_eq` |
+//! | aborter `Complete` | `artifact.rs complete` with the abort error |
+//!
+//! Checked properties: every requester is answered **exactly once** (zero
+//! answers = lost wakeup, surfaced as a deadlock because the requester
+//! parks forever; two = double completion), and no flight ever delivers
+//! twice. `fault_double_complete` removes the first-completion-wins guard
+//! in `complete`, re-introducing the double delivery that the real
+//! `Flight` prevents.
+
+use crate::explore::Model;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Slot {
+    Empty,
+    Pending(usize),
+    Ready,
+}
+
+#[derive(Debug, Clone)]
+struct FlightSt {
+    done: bool,
+    waiters: Vec<usize>,
+    completions: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Req {
+    pc: u8,
+    flight: usize,
+    leader: bool,
+    deliveries: u32,
+}
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct SingleFlight {
+    /// Requester thread count (the aborter is one extra thread).
+    pub requesters: usize,
+    /// Disable first-completion-wins in `complete` (injected bug).
+    pub fault_double_complete: bool,
+    slot: Slot,
+    flights: Vec<FlightSt>,
+    req: Vec<Req>,
+    aborter_pc: u8,
+    aborter_flight: usize,
+}
+
+// Requester pcs.
+const R_LOOKUP: u8 = 0;
+const R_SUBSCRIBE: u8 = 1;
+const R_COMPILE: u8 = 2;
+const R_FULFILL: u8 = 3;
+const R_COMPLETE: u8 = 4;
+const R_AWAIT: u8 = 5;
+const R_DONE: u8 = 6;
+
+impl SingleFlight {
+    /// A model with `requesters` concurrent requests for one key plus a
+    /// watchdog-style aborter.
+    pub fn new(requesters: usize, fault_double_complete: bool) -> Self {
+        SingleFlight {
+            requesters,
+            fault_double_complete,
+            slot: Slot::Empty,
+            flights: Vec::new(),
+            req: (0..requesters)
+                .map(|_| Req {
+                    pc: R_LOOKUP,
+                    flight: usize::MAX,
+                    leader: false,
+                    deliveries: 0,
+                })
+                .collect(),
+            aborter_pc: 0,
+            aborter_flight: usize::MAX,
+        }
+    }
+
+    /// `Flight::complete`: delivers to all waiters; first completion wins
+    /// unless the fault switch re-opens the race.
+    fn complete(&mut self, f: usize) -> Result<(), String> {
+        let fl = &mut self.flights[f];
+        if fl.done && !self.fault_double_complete {
+            return Ok(()); // first completion won; late completer is a no-op
+        }
+        fl.done = true;
+        fl.completions += 1;
+        if fl.completions > 1 {
+            return Err(format!("double completion: flight {f} completed twice"));
+        }
+        let waiters = std::mem::take(&mut fl.waiters);
+        for w in waiters {
+            self.req[w].deliveries += 1;
+        }
+        Ok(())
+    }
+}
+
+impl Model for SingleFlight {
+    fn name(&self) -> &'static str {
+        "single-flight"
+    }
+
+    fn threads(&self) -> usize {
+        self.requesters + 1
+    }
+
+    fn done(&self, t: usize) -> bool {
+        if t < self.requesters {
+            self.req[t].pc == R_DONE
+        } else {
+            self.aborter_pc == 2
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        if t < self.requesters {
+            match self.req[t].pc {
+                R_AWAIT => self.req[t].deliveries > 0,
+                R_DONE => false,
+                _ => true,
+            }
+        } else {
+            self.aborter_pc < 2
+        }
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        if t == self.requesters {
+            // Aborter (the watchdog deadline path).
+            match self.aborter_pc {
+                0 => {
+                    if let Slot::Pending(f) = self.slot {
+                        self.slot = Slot::Empty;
+                        self.aborter_flight = f;
+                        self.aborter_pc = 1;
+                    } else {
+                        self.aborter_pc = 2; // nothing pending; give up
+                    }
+                    Ok(())
+                }
+                1 => {
+                    self.aborter_pc = 2;
+                    self.complete(self.aborter_flight)
+                }
+                _ => Err("model bug: aborter stepped after done".into()),
+            }
+        } else {
+            match self.req[t].pc {
+                R_LOOKUP => {
+                    match self.slot {
+                        Slot::Ready => {
+                            // Cache hit: answered directly under the shard lock.
+                            self.req[t].deliveries += 1;
+                            self.req[t].pc = R_AWAIT;
+                        }
+                        Slot::Pending(f) => {
+                            self.req[t].flight = f;
+                            self.req[t].pc = R_SUBSCRIBE;
+                        }
+                        Slot::Empty => {
+                            let f = self.flights.len();
+                            self.flights.push(FlightSt {
+                                done: false,
+                                waiters: Vec::new(),
+                                completions: 0,
+                            });
+                            self.slot = Slot::Pending(f);
+                            self.req[t].flight = f;
+                            self.req[t].leader = true;
+                            self.req[t].pc = R_SUBSCRIBE;
+                        }
+                    }
+                    Ok(())
+                }
+                R_SUBSCRIBE => {
+                    let f = self.req[t].flight;
+                    if self.flights[f].done {
+                        // Flight finished between lookup and attach:
+                        // subscribe delivers inline.
+                        self.req[t].deliveries += 1;
+                    } else {
+                        self.flights[f].waiters.push(t);
+                    }
+                    self.req[t].pc = if self.req[t].leader {
+                        R_COMPILE
+                    } else {
+                        R_AWAIT
+                    };
+                    Ok(())
+                }
+                R_COMPILE => {
+                    self.req[t].pc = R_FULFILL;
+                    Ok(())
+                }
+                R_FULFILL => {
+                    // Publish only if the slot still holds *this* flight
+                    // (the Arc::ptr_eq guard in shard.rs).
+                    if self.slot == Slot::Pending(self.req[t].flight) {
+                        self.slot = Slot::Ready;
+                    }
+                    self.req[t].pc = R_COMPLETE;
+                    Ok(())
+                }
+                R_COMPLETE => {
+                    self.req[t].pc = R_AWAIT;
+                    let f = self.req[t].flight;
+                    self.complete(f)
+                }
+                R_AWAIT => {
+                    self.req[t].pc = R_DONE;
+                    Ok(())
+                }
+                _ => Err("model bug: requester stepped after done".into()),
+            }
+        }
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        for (t, r) in self.req.iter().enumerate() {
+            if r.deliveries != 1 {
+                return Err(format!(
+                    "requester t{t} answered {} times (expected exactly once)",
+                    r.deliveries
+                ));
+            }
+        }
+        Ok(())
+    }
+}

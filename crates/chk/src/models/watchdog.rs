@@ -1,0 +1,332 @@
+//! Watchdog abort vs. worker panic vs. shutdown drain model.
+//!
+//! Miniature of the deadline/ownership protocol in `serve::engine`: an
+//! in-flight request is registered in the `InflightRegistry`; exactly one
+//! of three parties *takes* (deregisters) its ticket and thereby owns its
+//! accounting — the worker when the job finishes, the watchdog when the
+//! deadline expires, or shutdown when it drains the registry. The stop
+//! latch is a real mutex+condvar pair built on [`crate::shim::ShimSync`],
+//! so the model exercises honest wait/notify semantics including timeout
+//! wakeups (bounded spurious/timer wakeups) and the missed-generation
+//! re-check: **every** wakeup re-checks the stop flag under the latch
+//! before scanning. Step ↔ source mapping:
+//!
+//! | step | source |
+//! |---|---|
+//! | worker `Run` | the compile job (panics in the modelled scenario) |
+//! | worker `Deregister` | `InflightRegistry::deregister` (inflight mutex): `owned = map.remove(ticket)` |
+//! | worker `Strike` | `cache.record_strike` (shard mutex) — **only if owned** |
+//! | worker `Complete` | `cache.abort` → `Flight::complete(Internal)`, first completion wins |
+//! | watchdog `Latch`/`WaitPark`/`WakeOrTimeout` | `spawn_watchdog`'s `wait_timeout` loop on the stop latch |
+//! | watchdog `Scan` | `InflightRegistry::take_expired` (inflight mutex) |
+//! | watchdog `Strike`/`Complete` | `record_strike` + `abort(DeadlineExceeded)` for owned tickets |
+//! | shutdown `Drain` | `InflightRegistry::drain` (inflight mutex) |
+//! | shutdown `Complete` | `abort(ShuttingDown)` for drained tickets |
+//! | shutdown `Stop` | set the stop flag under the latch, `notify_all` |
+//!
+//! Checked properties: the flight completes exactly once; at most one
+//! strike is recorded per failed request (ownership makes strike
+//! accounting exclusive); the watchdog always terminates (a lost stop
+//! notification would park it forever — a deadlock). The injected bug,
+//! `fault_unguarded_strike`, strikes on the worker's panic path without
+//! checking ownership — exactly the double-strike engine.rs bug this
+//! model surfaced (see EXPERIMENTS.md): the watchdog strikes on deadline
+//! expiry, then the panicking worker strikes the same fingerprint again,
+//! so one failed request counts twice toward the quarantine threshold.
+
+use crate::explore::Model;
+use crate::shim::ShimSync;
+
+const LATCH: usize = 0;
+const STOP_CV: usize = 0;
+
+const WORKER: usize = 0;
+const WATCHDOG: usize = 1;
+const SHUTDOWN: usize = 2;
+
+// Worker pcs.
+const W_RUN: u8 = 0;
+const W_DEREG: u8 = 1;
+const W_STRIKE: u8 = 2;
+const W_COMPLETE: u8 = 3;
+const W_DONE: u8 = 4;
+
+// Watchdog pcs.
+const D_LATCH: u8 = 0;
+const D_CHECK: u8 = 1;
+const D_PARKED: u8 = 2;
+const D_RECHECK: u8 = 3;
+const D_SCAN: u8 = 4;
+const D_STRIKE: u8 = 5;
+const D_COMPLETE: u8 = 6;
+const D_DONE: u8 = 7;
+
+// Shutdown pcs.
+const S_DRAIN: u8 = 0;
+const S_COMPLETE: u8 = 1;
+const S_LATCH: u8 = 2;
+const S_STOP: u8 = 3;
+const S_DONE: u8 = 4;
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    /// Strike on the worker panic path without checking ownership
+    /// (injected bug; this was the live engine.rs defect).
+    pub fault_unguarded_strike: bool,
+    /// Whether the modelled job panics (the interesting scenario) or
+    /// completes normally.
+    pub worker_panics: bool,
+    sync: ShimSync,
+    ticket: bool,
+    flight_done: bool,
+    completions: u32,
+    strikes: u32,
+    stop: bool,
+    timeouts_left: u8,
+    w_pc: u8,
+    w_owned: bool,
+    d_pc: u8,
+    d_owned: bool,
+    s_pc: u8,
+    s_owned: bool,
+}
+
+impl Watchdog {
+    /// A model with one in-flight request, a deadline watchdog (the
+    /// deadline is treated as already expired whenever it scans — the
+    /// worst case), and a shutdown drainer.
+    pub fn new(worker_panics: bool, fault_unguarded_strike: bool) -> Self {
+        Watchdog {
+            fault_unguarded_strike,
+            worker_panics,
+            sync: ShimSync::new(1, 1),
+            ticket: true,
+            flight_done: false,
+            completions: 0,
+            strikes: 0,
+            stop: false,
+            timeouts_left: 1,
+            w_pc: W_RUN,
+            w_owned: false,
+            d_pc: D_LATCH,
+            d_owned: false,
+            s_pc: S_DRAIN,
+            s_owned: false,
+        }
+    }
+
+    /// `Flight::complete`: first completion wins (always guarded here;
+    /// the single-flight model owns the double-completion fault).
+    fn complete(&mut self) {
+        if !self.flight_done {
+            self.flight_done = true;
+            self.completions += 1;
+        }
+    }
+
+    fn strike(&mut self) -> Result<(), String> {
+        self.strikes += 1;
+        if self.strikes > 1 {
+            return Err(format!(
+                "double strike: one failed request recorded {} times toward quarantine",
+                self.strikes
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Model for Watchdog {
+    fn name(&self) -> &'static str {
+        "watchdog"
+    }
+
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn done(&self, t: usize) -> bool {
+        match t {
+            WORKER => self.w_pc == W_DONE,
+            WATCHDOG => self.d_pc == D_DONE,
+            _ => self.s_pc == S_DONE,
+        }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        match t {
+            WORKER => self.w_pc != W_DONE,
+            WATCHDOG => match self.d_pc {
+                D_LATCH => self.sync.can_lock(LATCH),
+                D_PARKED => {
+                    self.sync.can_wake(STOP_CV, LATCH, WATCHDOG)
+                        || (self.timeouts_left > 0 && self.sync.can_lock(LATCH))
+                }
+                D_DONE => false,
+                _ => true,
+            },
+            _ => match self.s_pc {
+                S_LATCH => self.sync.can_lock(LATCH),
+                S_DONE => false,
+                _ => true,
+            },
+        }
+    }
+
+    fn step(&mut self, t: usize) -> Result<(), String> {
+        match t {
+            WORKER => match self.w_pc {
+                W_RUN => {
+                    self.w_pc = W_DEREG;
+                    Ok(())
+                }
+                W_DEREG => {
+                    self.w_owned = self.ticket;
+                    self.ticket = false;
+                    self.w_pc = W_STRIKE;
+                    Ok(())
+                }
+                W_STRIKE => {
+                    self.w_pc = W_COMPLETE;
+                    if self.worker_panics {
+                        if self.w_owned || self.fault_unguarded_strike {
+                            return self.strike();
+                        }
+                    } else if self.w_owned {
+                        self.strikes = 0; // clear_strikes on an owned success
+                    }
+                    Ok(())
+                }
+                W_COMPLETE => {
+                    self.complete();
+                    self.w_pc = W_DONE;
+                    Ok(())
+                }
+                _ => Err("model bug: worker stepped after done".into()),
+            },
+            WATCHDOG => match self.d_pc {
+                D_LATCH => {
+                    self.sync.lock(LATCH, WATCHDOG);
+                    self.d_pc = D_CHECK;
+                    Ok(())
+                }
+                D_CHECK => {
+                    if self.stop {
+                        self.sync.unlock(LATCH, WATCHDOG);
+                        self.d_pc = D_DONE;
+                    } else {
+                        self.sync.wait_park(STOP_CV, LATCH, WATCHDOG);
+                        self.d_pc = D_PARKED;
+                    }
+                    Ok(())
+                }
+                D_PARKED => {
+                    if self.sync.can_wake(STOP_CV, LATCH, WATCHDOG) {
+                        self.sync.wake(STOP_CV, LATCH, WATCHDOG);
+                    } else {
+                        // wait_timeout fired: leave the wait set and
+                        // reacquire the latch, exactly like a timeout
+                        // return from Condvar::wait_timeout.
+                        self.timeouts_left -= 1;
+                        self.sync.timeout_unpark(STOP_CV, LATCH, WATCHDOG);
+                    }
+                    self.d_pc = D_RECHECK;
+                    Ok(())
+                }
+                D_RECHECK => {
+                    // Missed-generation re-check: whatever woke us, look
+                    // at the stop flag again under the latch.
+                    if self.stop {
+                        self.sync.unlock(LATCH, WATCHDOG);
+                        self.d_pc = D_DONE;
+                    } else {
+                        // Release the latch for the scan: the abort path
+                        // takes the inflight, shard, and flight locks and
+                        // must not nest under the latch.
+                        self.sync.unlock(LATCH, WATCHDOG);
+                        self.d_pc = D_SCAN;
+                    }
+                    Ok(())
+                }
+                D_SCAN => {
+                    self.d_owned = self.ticket;
+                    self.ticket = false;
+                    self.d_pc = D_STRIKE;
+                    Ok(())
+                }
+                D_STRIKE => {
+                    self.d_pc = D_COMPLETE;
+                    if self.d_owned {
+                        return self.strike();
+                    }
+                    Ok(())
+                }
+                D_COMPLETE => {
+                    if self.d_owned {
+                        self.complete();
+                    }
+                    self.d_pc = D_LATCH; // back around the wait loop
+                    Ok(())
+                }
+                _ => Err("model bug: watchdog stepped after done".into()),
+            },
+            SHUTDOWN => match self.s_pc {
+                S_DRAIN => {
+                    self.s_owned = self.ticket;
+                    self.ticket = false;
+                    self.s_pc = S_COMPLETE;
+                    Ok(())
+                }
+                S_COMPLETE => {
+                    if self.s_owned {
+                        self.complete();
+                    }
+                    self.s_pc = S_LATCH;
+                    Ok(())
+                }
+                S_LATCH => {
+                    self.sync.lock(LATCH, SHUTDOWN);
+                    self.s_pc = S_STOP;
+                    Ok(())
+                }
+                S_STOP => {
+                    self.stop = true;
+                    self.sync.notify_all(STOP_CV);
+                    self.sync.unlock(LATCH, SHUTDOWN);
+                    self.s_pc = S_DONE;
+                    Ok(())
+                }
+                _ => Err("model bug: shutdown stepped after done".into()),
+            },
+            _ => Err("model bug: unknown thread".into()),
+        }
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.completions != 1 {
+            return Err(format!(
+                "request completed {} times (expected exactly once)",
+                self.completions
+            ));
+        }
+        // Exactly one party owns the ticket; the expected strike count
+        // follows from who: shutdown drains without striking, the
+        // watchdog strikes its deadline, and the worker strikes only a
+        // panicked job it still owned (an owned success clears strikes).
+        let expected = if self.s_owned {
+            0
+        } else if self.d_owned || self.worker_panics {
+            1
+        } else {
+            0
+        };
+        if self.strikes != expected {
+            return Err(format!(
+                "one request left {} strikes (expected {expected} for this owner)",
+                self.strikes
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,109 @@
+//! Shim synchronization layer for protocol models.
+//!
+//! Real locks block; model threads must never block *inside* a step
+//! (the explorer owns the scheduler), so blocking is expressed through
+//! enabledness instead: a thread that would block on `lock` reports
+//! `enabled() == false` until the lock frees, and a condvar waiter is
+//! disabled until a notify moves it to the woken set *and* its lock can
+//! be reacquired. This gives the models honest mutex/condvar semantics —
+//! including the classic lost wakeup, where a notify that arrives before
+//! the wait leaves the waiter parked forever (the explorer reports that
+//! as a deadlock).
+
+/// Model-world mutexes and condvars addressed by small indices.
+#[derive(Debug, Clone, Default)]
+pub struct ShimSync {
+    /// `locks[l]` is the holder thread, if held.
+    locks: Vec<Option<usize>>,
+    /// `waiters[cv]`: threads parked on the condvar, not yet notified.
+    waiters: Vec<Vec<usize>>,
+    /// `woken[cv]`: notified threads that have not yet reacquired.
+    woken: Vec<Vec<usize>>,
+}
+
+impl ShimSync {
+    /// A shim layer with `nlocks` mutexes and `nconds` condvars.
+    pub fn new(nlocks: usize, nconds: usize) -> Self {
+        ShimSync {
+            locks: vec![None; nlocks],
+            waiters: vec![Vec::new(); nconds],
+            woken: vec![Vec::new(); nconds],
+        }
+    }
+
+    /// Whether thread `t` could acquire lock `l` right now.
+    pub fn can_lock(&self, l: usize) -> bool {
+        self.locks[l].is_none()
+    }
+
+    /// Acquires lock `l` for thread `t`; the caller must have gated the
+    /// step on [`ShimSync::can_lock`].
+    pub fn lock(&mut self, l: usize, t: usize) {
+        assert!(self.locks[l].is_none(), "model bug: lock {l} already held");
+        self.locks[l] = Some(t);
+    }
+
+    /// Releases lock `l`, which must be held by `t`.
+    pub fn unlock(&mut self, l: usize, t: usize) {
+        assert_eq!(
+            self.locks[l],
+            Some(t),
+            "model bug: unlock of lock {l} not held by t{t}"
+        );
+        self.locks[l] = None;
+    }
+
+    /// Atomically releases lock `l` and parks `t` on condvar `cv`.
+    pub fn wait_park(&mut self, cv: usize, l: usize, t: usize) {
+        self.unlock(l, t);
+        self.waiters[cv].push(t);
+    }
+
+    /// Wakes the longest-parked waiter, if any.
+    pub fn notify_one(&mut self, cv: usize) {
+        if !self.waiters[cv].is_empty() {
+            let t = self.waiters[cv].remove(0);
+            self.woken[cv].push(t);
+        }
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&mut self, cv: usize) {
+        let mut ts = std::mem::take(&mut self.waiters[cv]);
+        self.woken[cv].append(&mut ts);
+    }
+
+    /// Whether parked thread `t` can return from its wait: it has been
+    /// notified and the paired lock is free for reacquisition.
+    pub fn can_wake(&self, cv: usize, l: usize, t: usize) -> bool {
+        self.woken[cv].contains(&t) && self.locks[l].is_none()
+    }
+
+    /// Completes thread `t`'s wait: reacquires lock `l` and leaves the
+    /// woken set. Gate the step on [`ShimSync::can_wake`].
+    pub fn wake(&mut self, cv: usize, l: usize, t: usize) {
+        let pos = self.woken[cv]
+            .iter()
+            .position(|&w| w == t)
+            .expect("model bug: wake without notify");
+        self.woken[cv].remove(pos);
+        self.lock(l, t);
+    }
+
+    /// Completes thread `t`'s wait by *timeout*: leaves the wait set
+    /// without a notify and reacquires lock `l` (the semantics of a
+    /// timed-out `Condvar::wait_timeout`). Gate on the lock being free.
+    pub fn timeout_unpark(&mut self, cv: usize, l: usize, t: usize) {
+        let pos = self.waiters[cv]
+            .iter()
+            .position(|&w| w == t)
+            .expect("model bug: timeout of a thread that is not parked");
+        self.waiters[cv].remove(pos);
+        self.lock(l, t);
+    }
+
+    /// Whether thread `t` is parked (waiting, not yet notified).
+    pub fn is_parked(&self, cv: usize, t: usize) -> bool {
+        self.waiters[cv].contains(&t)
+    }
+}

@@ -44,6 +44,10 @@ const USAGE: &str = "usage:
   polyufc lint    --workloads [--size mini|small|large|xl] [--json]
                                           static verifier: races, bounds, IR,
                                           model audit; exit 0/1/2 = clean/warn/error
+  polyufc lint    --self [--json]         concurrency self-lint over the daemon's
+                                          own (compiled-in) sources: signal
+                                          safety, EINTR restarts, reactor
+                                          blocking, lockdep adoption
   polyufc serve   [--listen <addr>] [--unix <path>] [--threads N]
                   [--queue N] [--cache-cap N] [--max-conns N]
                   [--deadline-ms N] [--quarantine N] [--chaos <spec>]
@@ -491,6 +495,16 @@ fn print_stats(line: &str) -> Result<u8, String> {
         n("self_heal", "quarantine_hits"),
         n("self_heal", "chaos_injections"),
     );
+    // Only emitted by lockdep-instrumented daemons.
+    if v.get("chk").is_some() {
+        println!(
+            "chk (lockdep):  lock sites {} | order edges {} | max chain {} | cycles {}",
+            n("chk", "lock_sites"),
+            n("chk", "order_edges"),
+            n("chk", "max_chain"),
+            n("chk", "cycles"),
+        );
+    }
     Ok(0)
 }
 
@@ -515,6 +529,7 @@ fn parse_input_file(path: &str) -> Result<AffineProgram, String> {
 fn lint(args: &[String]) -> Result<u8, String> {
     let mut json = false;
     let mut workloads = false;
+    let mut self_lint = false;
     let mut size = PolybenchSize::Mini;
     let mut path: Option<&String> = None;
     let mut it = args.iter();
@@ -522,6 +537,7 @@ fn lint(args: &[String]) -> Result<u8, String> {
         match a.as_str() {
             "--json" => json = true,
             "--workloads" => workloads = true,
+            "--self" => self_lint = true,
             "--size" => {
                 size = match it.next().map(String::as_str) {
                     Some("mini") => PolybenchSize::Mini,
@@ -538,6 +554,15 @@ fn lint(args: &[String]) -> Result<u8, String> {
             other if !other.starts_with('-') && path.is_none() => path = Some(a),
             other => return Err(format!("unknown lint option `{other}`")),
         }
+    }
+    if self_lint {
+        let report = polyufc_analysis::selflint::lint_sources(&self_lint_sources());
+        emit_reports(std::slice::from_ref(&report), json);
+        return Ok(match report.max_severity() {
+            Some(Severity::Error) => 2,
+            Some(Severity::Warning) => 1,
+            _ => 0,
+        });
     }
     let programs: Vec<AffineProgram> = if workloads {
         polybench_suite(size)
@@ -584,6 +609,33 @@ fn lint(args: &[String]) -> Result<u8, String> {
         Some(Severity::Warning) => 1,
         _ => 0,
     })
+}
+
+/// The daemon's concurrency-sensitive sources, embedded at build time
+/// so `lint --self` lints exactly what this binary was built from, from
+/// any working directory.
+fn self_lint_sources() -> Vec<polyufc_analysis::selflint::SourceFile> {
+    macro_rules! src {
+        ($path:literal) => {
+            polyufc_analysis::selflint::SourceFile::new(
+                $path,
+                include_str!(concat!("../../../", $path)),
+            )
+        };
+    }
+    vec![
+        src!("crates/serve/src/lib.rs"),
+        src!("crates/serve/src/server.rs"),
+        src!("crates/serve/src/reactor.rs"),
+        src!("crates/serve/src/engine.rs"),
+        src!("crates/serve/src/shard.rs"),
+        src!("crates/serve/src/artifact.rs"),
+        src!("crates/serve/src/protocol.rs"),
+        src!("crates/serve/src/json.rs"),
+        src!("crates/serve/src/chaos.rs"),
+        src!("crates/par/src/lib.rs"),
+        src!("crates/par/src/pool.rs"),
+    ]
 }
 
 fn lint_program(program: &AffineProgram) -> AnalysisReport {
@@ -780,6 +832,16 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
+        assert_eq!(run(&args).unwrap(), 0);
+    }
+
+    #[test]
+    fn lint_self_is_clean() {
+        // The daemon's own sources must satisfy the concurrency self-lint
+        // (exit 0: no errors, no warnings); regressions here mean a new
+        // signal-unsafe call, unrestarted syscall, blocking reactor call,
+        // or bare std lock slipped into the serving stack.
+        let args: Vec<String> = ["lint", "--self"].iter().map(|s| s.to_string()).collect();
         assert_eq!(run(&args).unwrap(), 0);
     }
 

@@ -18,8 +18,8 @@ pub mod pool;
 
 pub use pool::{PoolFull, StatefulPool};
 
+use polyufc_chk::OrderedMutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Process-wide explicit pool-size override (0 = unset). Set by the CLI
 /// `--threads` flag; takes precedence over the environment so a flag on
@@ -77,7 +77,10 @@ where
         return items.iter().map(&f).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<OrderedMutex<Option<R>>> = items
+        .iter()
+        .map(|_| OrderedMutex::new("par.map.slot", None))
+        .collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {

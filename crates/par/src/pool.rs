@@ -21,9 +21,10 @@
 //! built state is spawned on the same shared queue. Capacity recovers in
 //! bounded time instead of bleeding away one hung compile at a time.
 
+use polyufc_chk::OrderedMutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -64,10 +65,10 @@ struct Worker {
 pub struct StatefulPool<S> {
     /// Behind a mutex so shutdown can close the channel through `&self`
     /// (the pool is shared with a watchdog thread via `Arc`).
-    tx: Mutex<Option<SyncSender<Job<S>>>>,
-    rx: Arc<Mutex<Receiver<Job<S>>>>,
-    workers_m: Mutex<Vec<Worker>>,
-    hook: Arc<Mutex<Option<CompletionHook>>>,
+    tx: OrderedMutex<Option<SyncSender<Job<S>>>>,
+    rx: Arc<OrderedMutex<Receiver<Job<S>>>>,
+    workers_m: OrderedMutex<Vec<Worker>>,
+    hook: Arc<OrderedMutex<Option<CompletionHook>>>,
     /// Rebuilds a replacement worker's state; runs on the new thread.
     init: Arc<dyn Fn(usize) -> S + Send + Sync>,
     epoch: Instant,
@@ -99,10 +100,10 @@ impl<S: Send + 'static> StatefulPool<S> {
         let queue_cap = queue_cap.max(1);
         let (tx, rx) = sync_channel::<Job<S>>(queue_cap);
         let pool = StatefulPool {
-            tx: Mutex::new(Some(tx)),
-            rx: Arc::new(Mutex::new(rx)),
-            workers_m: Mutex::new(Vec::with_capacity(workers)),
-            hook: Arc::new(Mutex::new(None)),
+            tx: OrderedMutex::new("par.pool.tx", Some(tx)),
+            rx: Arc::new(OrderedMutex::new("par.pool.rx", rx)),
+            workers_m: OrderedMutex::new("par.pool.workers", Vec::with_capacity(workers)),
+            hook: Arc::new(OrderedMutex::new("par.pool.hook", None)),
             init: Arc::new(init),
             epoch: Instant::now(),
             workers,
@@ -268,8 +269,8 @@ impl<S> Drop for StatefulPool<S> {
 }
 
 fn worker_loop<S>(
-    rx: &Mutex<Receiver<Job<S>>>,
-    hook: &Mutex<Option<CompletionHook>>,
+    rx: &OrderedMutex<Receiver<Job<S>>>,
+    hook: &OrderedMutex<Option<CompletionHook>>,
     slot: &WorkerSlot,
     epoch: Instant,
     state: &mut S,
@@ -304,6 +305,7 @@ fn worker_loop<S>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use polyufc_chk::OrderedCondvar;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc::channel;
     use std::time::Duration;
@@ -343,7 +345,10 @@ mod tests {
     fn full_queue_returns_pool_full_with_the_job() {
         // One worker blocked on a gate + queue of 1: the third submit
         // must come back as PoolFull, not block or vanish.
-        let gate = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let gate = Arc::new((
+            OrderedMutex::new("par.pool.test.gate", false),
+            OrderedCondvar::new("par.pool.test.gate"),
+        ));
         let pool = StatefulPool::new(1, 1, |_| ());
         let g = Arc::clone(&gate);
         pool.try_execute(move |_| {
@@ -431,7 +436,10 @@ mod tests {
     fn stalled_worker_is_replaced_and_queue_drains() {
         // One worker wedged on a gated job; the queued follow-up can only
         // run if replace_stalled spawns a replacement on the same queue.
-        let gate = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let gate = Arc::new((
+            OrderedMutex::new("par.pool.test.gate", false),
+            OrderedCondvar::new("par.pool.test.gate"),
+        ));
         let states_built = Arc::new(AtomicUsize::new(0));
         let sb = Arc::clone(&states_built);
         let pool = StatefulPool::new(1, 4, move |_| {
@@ -495,7 +503,10 @@ mod tests {
 
     #[test]
     fn shutdown_with_grace_is_bounded_despite_a_hung_worker() {
-        let gate = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let gate = Arc::new((
+            OrderedMutex::new("par.pool.test.gate", false),
+            OrderedCondvar::new("par.pool.test.gate"),
+        ));
         let pool = StatefulPool::new(1, 4, |_| ());
         let g = Arc::clone(&gate);
         pool.try_execute(move |_| {

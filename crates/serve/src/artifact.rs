@@ -18,7 +18,8 @@
 //! * [`Flight::wait`] — blocking, built on `subscribe` over a channel.
 //!   The legacy thread-per-connection path and tests use this.
 
-use std::sync::{Arc, Mutex};
+use polyufc_chk::OrderedMutex;
+use std::sync::Arc;
 
 /// A fully rendered response body, shared zero-copy between the cache,
 /// in-flight completions, and per-connection write queues.
@@ -52,7 +53,7 @@ enum FlightState {
 
 /// The rendezvous for one in-flight compilation.
 pub struct Flight {
-    state: Mutex<FlightState>,
+    state: OrderedMutex<FlightState>,
 }
 
 impl std::fmt::Debug for Flight {
@@ -64,7 +65,7 @@ impl std::fmt::Debug for Flight {
 impl Default for Flight {
     fn default() -> Self {
         Flight {
-            state: Mutex::new(FlightState::Pending(Vec::new())),
+            state: OrderedMutex::new("serve.flight", FlightState::Pending(Vec::new())),
         }
     }
 }

@@ -34,9 +34,10 @@
 //! construction — the prefix is exactly the pipeline's own stage-1–3
 //! output.
 
+use polyufc_chk::{OrderedCondvar, OrderedMutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use polyufc::{CharacterizedProgram, CompileReport, CompileSession, Pipeline, PipelineOutput};
@@ -235,10 +236,18 @@ struct InflightEntry {
 }
 
 /// The registry of pending compile leads, shared with the watchdog.
-#[derive(Default)]
 struct InflightRegistry {
     next: AtomicU64,
-    map: Mutex<HashMap<u64, InflightEntry>>,
+    map: OrderedMutex<HashMap<u64, InflightEntry>>,
+}
+
+impl Default for InflightRegistry {
+    fn default() -> Self {
+        InflightRegistry {
+            next: AtomicU64::new(0),
+            map: OrderedMutex::new("serve.inflight", HashMap::new()),
+        }
+    }
 }
 
 impl InflightRegistry {
@@ -282,7 +291,7 @@ impl InflightRegistry {
 
 /// The deadline watchdog thread plus its condvar-based stop latch.
 struct Watchdog {
-    stop: Arc<(Mutex<bool>, Condvar)>,
+    stop: Arc<(OrderedMutex<bool>, OrderedCondvar)>,
     handle: std::thread::JoinHandle<()>,
 }
 
@@ -385,8 +394,8 @@ pub struct Engine {
     chaos: Arc<ChaosPlan>,
     /// Per-fingerprint chaos attempt counters (bounded; only touched
     /// when a chaos plan is active).
-    attempts: Mutex<HashMap<Vec<u8>, u64>>,
-    watchdog: Mutex<Option<Watchdog>>,
+    attempts: OrderedMutex<HashMap<Vec<u8>, u64>>,
+    watchdog: OrderedMutex<Option<Watchdog>>,
     deadline: Option<Duration>,
     quarantine_threshold: u32,
     shutdown_grace: Duration,
@@ -418,8 +427,8 @@ impl Engine {
             shared: Arc::new(Shared::default()),
             inflight: Arc::new(InflightRegistry::default()),
             chaos: Arc::new(cfg.chaos.clone()),
-            attempts: Mutex::new(HashMap::new()),
-            watchdog: Mutex::new(None),
+            attempts: OrderedMutex::new("serve.chaos.attempts", HashMap::new()),
+            watchdog: OrderedMutex::new("serve.watchdog.handle", None),
             deadline: cfg.deadline,
             quarantine_threshold: cfg.quarantine_threshold,
             shutdown_grace: cfg.shutdown_grace,
@@ -610,7 +619,14 @@ impl Engine {
                         }
                         Err(_) => {
                             *state = WorkerState::new();
-                            cache.record_strike(&fingerprint, threshold, quarantine_body);
+                            // Strike only while owning the ticket: if the
+                            // watchdog (or shutdown) already took it, it
+                            // already recorded this failure — striking
+                            // again would count one failed request twice
+                            // toward quarantine.
+                            if owned {
+                                cache.record_strike(&fingerprint, threshold, quarantine_body);
+                            }
                             cache.abort(&key, &job_flight, Abort::Internal);
                         }
                     }
@@ -748,6 +764,16 @@ impl Engine {
             c.parallel_splits.load(Ordering::Relaxed),
         );
         s.pop();
+        // Present only in lockdep-instrumented builds: the default build
+        // emits byte-identical stats with or without the chk dep.
+        if let Some(l) = polyufc_chk::lockdep_stats() {
+            s.push_str("},\"chk\":{");
+            push_u64(&mut s, "lock_sites", l.sites);
+            push_u64(&mut s, "order_edges", l.edges);
+            push_u64(&mut s, "max_chain", l.max_chain);
+            push_u64(&mut s, "cycles", l.cycles);
+            s.pop();
+        }
         s.push_str("},\"self_heal\":{");
         push_u64(
             &mut s,
@@ -1017,7 +1043,10 @@ fn spawn_watchdog(
     shared: Arc<Shared>,
     pool: Arc<StatefulPool<WorkerState>>,
 ) -> Watchdog {
-    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let stop = Arc::new((
+        OrderedMutex::new("serve.watchdog.latch", false),
+        OrderedCondvar::new("serve.watchdog.latch"),
+    ));
     let latch = Arc::clone(&stop);
     let period = (deadline / 4).clamp(Duration::from_millis(2), Duration::from_millis(250));
     let stall_threshold = deadline + deadline / 2;
@@ -1025,12 +1054,29 @@ fn spawn_watchdog(
         .name("polyufc-watchdog".to_string())
         .spawn(move || {
             let (lock, cv) = &*latch;
-            let mut stopped = lock.lock().unwrap();
             loop {
-                let (guard, _timeout) = cv.wait_timeout(stopped, period).unwrap();
-                stopped = guard;
-                if *stopped {
-                    return;
+                // Park against an absolute scan deadline: a spurious (or
+                // early) wakeup re-checks stop and keeps waiting for the
+                // remainder instead of rescanning immediately.
+                let next_scan = Instant::now() + period;
+                {
+                    let mut stopped = lock.lock().unwrap();
+                    loop {
+                        if *stopped {
+                            return;
+                        }
+                        let now = Instant::now();
+                        if now >= next_scan {
+                            break;
+                        }
+                        let (guard, _timeout) = cv.wait_timeout(stopped, next_scan - now).unwrap();
+                        stopped = guard;
+                    }
+                    // Latch released here: the scan below takes the
+                    // inflight, shard, and flight locks, and holding the
+                    // latch across them would order the latch before all
+                    // of them — a shutdown stuck behind a slow scan, and
+                    // three lock-order edges the daemon doesn't need.
                 }
                 for e in inflight.take_expired(deadline) {
                     shared.deadlines.fetch_add(1, Ordering::Relaxed);

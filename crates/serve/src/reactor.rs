@@ -34,11 +34,12 @@
 //! the loop alive until every claimed slot is filled and flushed or the
 //! drain deadline passes, then tear down.
 
+use polyufc_chk::OrderedMutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::sync::atomic::AtomicBool;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::artifact::Body;
@@ -265,6 +266,7 @@ impl Drop for EpollGuard {
 }
 
 /// Runs the event loop until shutdown; returns after drain.
+// chk:reactor-thread
 pub(crate) fn run(
     acceptor: &Acceptor,
     engine: &Arc<Engine>,
@@ -280,7 +282,8 @@ pub(crate) fn run(
     epoll_add(epfd, acceptor.raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
     epoll_add(epfd, wakeup.fd(), EPOLLIN, TOKEN_WAKEUP)?;
 
-    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+    let completions: Arc<OrderedMutex<Vec<Completion>>> =
+        Arc::new(OrderedMutex::new("serve.reactor.completions", Vec::new()));
     let mut conns: HashMap<u64, Connection> = HashMap::new();
     let mut next_id: u64 = 0;
     let mut stopping = false;
@@ -447,7 +450,7 @@ fn ingest(
     conn: &mut Connection,
     id: u64,
     engine: &Arc<Engine>,
-    completions: &Arc<Mutex<Vec<Completion>>>,
+    completions: &Arc<OrderedMutex<Vec<Completion>>>,
     wakeup: &Arc<WakeupFd>,
 ) -> bool {
     let mut buf = [0u8; 16384];
@@ -639,6 +642,6 @@ fn update_interest(epfd: i32, conn: &mut Connection, id: u64) {
     }
 }
 
-fn drain_completions(completions: &Arc<Mutex<Vec<Completion>>>) -> Vec<Completion> {
+fn drain_completions(completions: &Arc<OrderedMutex<Vec<Completion>>>) -> Vec<Completion> {
     std::mem::take(&mut *completions.lock().unwrap())
 }

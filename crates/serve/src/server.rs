@@ -79,6 +79,7 @@ pub(crate) fn signalled() -> bool {
 pub fn install_signal_handlers() {
     #[cfg(unix)]
     {
+        // chk:signal-handler
         extern "C" fn on_signal(_sig: i32) {
             SIGNALLED.store(true, Ordering::SeqCst);
             #[cfg(target_os = "linux")]

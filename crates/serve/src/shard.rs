@@ -29,9 +29,10 @@
 //! while in-flight leaders are retained, since dropping a pending flight
 //! would strand its followers.
 
+use polyufc_chk::OrderedMutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::artifact::{Abort, ArtifactCacheStats, Body, Flight, Lookup};
 
@@ -74,7 +75,7 @@ struct ShardInner {
 /// dedup and an exact-line fast tier.
 #[derive(Debug)]
 pub struct ArtifactCache {
-    shards: Box<[Mutex<ShardInner>]>,
+    shards: Box<[OrderedMutex<ShardInner>]>,
     /// `shards.len() - 1`; shard count is a power of two.
     mask: u64,
     /// Ready-entry capacity per shard (keyed tier).
@@ -96,7 +97,9 @@ impl ArtifactCache {
         let capacity = capacity.max(1);
         let shard_cap = capacity.div_ceil(n).max(1);
         ArtifactCache {
-            shards: (0..n).map(|_| Mutex::new(ShardInner::default())).collect(),
+            shards: (0..n)
+                .map(|_| OrderedMutex::new("serve.shard", ShardInner::default()))
+                .collect(),
             mask: (n - 1) as u64,
             shard_cap,
             line_cap: shard_cap,
@@ -113,7 +116,7 @@ impl ArtifactCache {
         self.shards.len()
     }
 
-    fn shard(&self, bytes: &[u8]) -> &Mutex<ShardInner> {
+    fn shard(&self, bytes: &[u8]) -> &OrderedMutex<ShardInner> {
         &self.shards[(fnv1a(bytes) & self.mask) as usize]
     }
 

@@ -1,0 +1,206 @@
+//! Property test: the real sharded cache's single-flight protocol
+//! (`shard.rs` lookup/fulfill/abort + `artifact.rs` subscribe/complete)
+//! agrees with the `chk` protocol model's slot semantics
+//! (`polyufc_chk::models::single_flight`: a key is Empty, Pending with
+//! attached waiters, or Ready) on randomized operation sequences.
+//!
+//! The schedule explorer checks the model against *interleavings*; this
+//! test checks the model against the *implementation*: for every random
+//! op sequence, the cache must classify lookups exactly as the reference
+//! slot machine does, deliver every subscriber exactly one result, and
+//! deliver the result the reference predicts. A double completion, lost
+//! waiter, or slot misclassification fails the property.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use polyufc_serve::{Abort, ArtifactCache, Body, Flight, Lookup};
+
+/// Reference slot state, mirroring `chk::models::single_flight::Slot`.
+enum RefSlot {
+    Pending { subscribers: Vec<usize> },
+    Ready(Vec<u8>),
+}
+
+/// One randomized operation over a small key space.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Probe a key; leads when empty, waits when pending, hits when
+    /// ready.
+    Lookup(u8),
+    /// Complete the key's pending flight with a body derived from the
+    /// step index (no-op when not pending).
+    Fulfill(u8),
+    /// Abort the key's pending flight (no-op when not pending).
+    AbortKey(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..3, 0u8..4).prop_map(|(kind, key)| match kind {
+        0 => Op::Lookup(key),
+        1 => Op::Fulfill(key),
+        _ => Op::AbortKey(key),
+    })
+}
+
+/// What one subscriber observed: completion count and the result.
+#[derive(Default)]
+struct Observed {
+    completions: AtomicUsize,
+    result: Mutex<Option<Result<Vec<u8>, Abort>>>,
+}
+
+fn run_sequence(ops: &[Op]) -> Result<(), String> {
+    // One shard forces every key through the same lock, the worst case
+    // for slot-state confusion; capacity high enough that eviction never
+    // interferes with the reference (eviction is a separate concern).
+    let cache = ArtifactCache::new(1024, 1);
+    let mut reference: HashMap<u8, RefSlot> = HashMap::new();
+    let mut flights: HashMap<u8, Arc<Flight>> = HashMap::new();
+    let mut observers: Vec<Arc<Observed>> = Vec::new();
+    // What the reference expects each subscriber to eventually receive.
+    let mut expected: Vec<Result<Vec<u8>, Abort>> = Vec::new();
+
+    let subscribe = |flight: &Arc<Flight>, observers: &mut Vec<Arc<Observed>>| {
+        let obs = Arc::new(Observed::default());
+        let o = Arc::clone(&obs);
+        flight.subscribe(move |r| {
+            o.completions.fetch_add(1, Ordering::SeqCst);
+            *o.result.lock().unwrap() = Some(r.map(|b| b.to_vec()));
+        });
+        observers.push(obs);
+        observers.len() - 1
+    };
+
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Lookup(k) => match (cache.lookup(&[k]), reference.get_mut(&k)) {
+                (Lookup::Lead(flight), None) => {
+                    let id = subscribe(&flight, &mut observers);
+                    expected.push(Err(Abort::ShuttingDown)); // placeholder
+                    reference.insert(
+                        k,
+                        RefSlot::Pending {
+                            subscribers: vec![id],
+                        },
+                    );
+                    flights.insert(k, flight);
+                }
+                (Lookup::Wait(flight), Some(RefSlot::Pending { subscribers })) => {
+                    if !Arc::ptr_eq(&flight, &flights[&k]) {
+                        return Err(format!(
+                            "step {step}: waiter joined a different flight than the leader's"
+                        ));
+                    }
+                    let id = subscribe(&flight, &mut observers);
+                    expected.push(Err(Abort::ShuttingDown)); // placeholder
+                    subscribers.push(id);
+                }
+                (Lookup::Hit(body), Some(RefSlot::Ready(want))) => {
+                    if *body != want[..] {
+                        return Err(format!("step {step}: hit served stale bytes"));
+                    }
+                }
+                (got, r) => {
+                    let model = match r {
+                        None => "Empty",
+                        Some(RefSlot::Pending { .. }) => "Pending",
+                        Some(RefSlot::Ready(_)) => "Ready",
+                    };
+                    return Err(format!(
+                        "step {step}: cache said {got:?} but the model slot is {model}"
+                    ));
+                }
+            },
+            // Fulfill and abort only act on pending slots (the real
+            // engine only ever completes flights it leads); anything
+            // else is a no-op in both the cache and the reference.
+            Op::Fulfill(k) => {
+                if matches!(reference.get(&k), Some(RefSlot::Pending { .. })) {
+                    let Some(RefSlot::Pending { subscribers }) = reference.remove(&k) else {
+                        unreachable!()
+                    };
+                    let body: Body = Arc::from(vec![k, step as u8].into_boxed_slice());
+                    let flight = flights.remove(&k).expect("leader recorded a flight");
+                    cache.fulfill(&[k], &flight, Arc::clone(&body));
+                    for id in subscribers {
+                        expected[id] = Ok(body.to_vec());
+                    }
+                    reference.insert(k, RefSlot::Ready(body.to_vec()));
+                }
+            }
+            Op::AbortKey(k) => {
+                if matches!(reference.get(&k), Some(RefSlot::Pending { .. })) {
+                    let Some(RefSlot::Pending { subscribers }) = reference.remove(&k) else {
+                        unreachable!()
+                    };
+                    let flight = flights.remove(&k).expect("leader recorded a flight");
+                    cache.abort(&[k], &flight, Abort::Internal);
+                    for id in subscribers {
+                        expected[id] = Err(Abort::Internal);
+                    }
+                    // Aborted key is free again: reference slot Empty.
+                }
+            }
+        }
+    }
+
+    // Drain: abort every still-pending flight so all subscribers settle.
+    for (k, slot) in reference.iter() {
+        if let RefSlot::Pending { subscribers } = slot {
+            let flight = &flights[k];
+            cache.abort(&[*k], flight, Abort::ShuttingDown);
+            for &id in subscribers {
+                expected[id] = Err(Abort::ShuttingDown);
+            }
+        }
+    }
+
+    // Every subscriber completed exactly once with the predicted result.
+    for (id, obs) in observers.iter().enumerate() {
+        let n = obs.completions.load(Ordering::SeqCst);
+        if n != 1 {
+            return Err(format!(
+                "subscriber {id} completed {n} times (want exactly 1)"
+            ));
+        }
+        let got = obs.result.lock().unwrap().clone().expect("completed");
+        if got != expected[id] {
+            return Err(format!(
+                "subscriber {id} got {got:?}, but the model predicted {:?}",
+                expected[id]
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn real_single_flight_matches_the_protocol_model(
+        ops in proptest::collection::vec(op_strategy(), 1..48)
+    ) {
+        run_sequence(&ops)?;
+    }
+}
+
+#[test]
+fn pinned_lead_wait_fulfill_hit_sequence() {
+    // The canonical leader/follower/fulfill/hit shape, pinned so a
+    // strategy change can never silently stop covering it.
+    let ops = [
+        Op::Lookup(0),
+        Op::Lookup(0),
+        Op::Fulfill(0),
+        Op::Lookup(0),
+        Op::Lookup(1),
+        Op::AbortKey(1),
+        Op::Lookup(1),
+    ];
+    run_sequence(&ops).expect("pinned sequence agrees with the model");
+}

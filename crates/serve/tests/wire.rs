@@ -122,6 +122,25 @@ fn ping_stats_and_compile_roundtrip() {
         v.get("schema").and_then(|s| s.as_str()),
         Some("polyufc-stats/1")
     );
+    // The chk section appears exactly when the daemon is built with the
+    // lockdep feature; default builds must stay byte-identical.
+    let instrumented = polyufc_chk::lockdep_stats().is_some();
+    assert_eq!(stats.contains("\"chk\":{"), instrumented, "stats: {stats}");
+    if instrumented {
+        let chk = v.get("chk").expect("chk section parses");
+        assert!(
+            chk.get("lock_sites")
+                .and_then(|x| x.as_f64())
+                .unwrap_or(0.0)
+                >= 1.0,
+            "stats: {stats}"
+        );
+        assert_eq!(
+            chk.get("cycles").and_then(|x| x.as_f64()),
+            Some(0.0),
+            "stats: {stats}"
+        );
+    }
 
     let reply = c.roundtrip(&compile_line(&mini_source("gemm")));
     let v = json::parse(&reply).expect("artifact is JSON");
